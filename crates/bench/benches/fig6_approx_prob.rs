@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks backing Figure 6: the approximate
+//! probabilistic miners against the exact DCB reference, on a dense and a
+//! sparse dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ufim_data::Benchmark;
+use ufim_miners::Algorithm;
+
+const SCALE: f64 = 0.002;
+const SEED: u64 = 42;
+
+fn bench_approx_miners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_approx_prob");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    for bench in [Benchmark::Accident, Benchmark::Kosarak] {
+        let db = bench.generate(SCALE, SEED);
+        let (min_sup, pft) = match bench {
+            Benchmark::Accident => (0.2, 0.9),
+            _ => (0.0025, 0.9),
+        };
+        for algo in Algorithm::APPROXIMATE {
+            let miner = algo.probabilistic_miner().unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), bench.name()),
+                &db,
+                |b, db| {
+                    b.iter(|| {
+                        miner
+                            .mine_probabilistic_raw(std::hint::black_box(db), min_sup, pft)
+                            .unwrap()
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_approx_miners);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Harness configuration and CLI parsing (hand-rolled; the sanctioned
+//! dependency list has no argument parser, and the surface is small).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Configuration shared by all experiment subcommands.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Fraction of the paper's transaction counts to generate, in `(0, 1]`.
+    pub scale: f64,
+    /// Master RNG seed (generators and probability assignment derive from
+    /// it deterministically).
+    pub seed: u64,
+    /// Per-point time budget. When one sweep point exceeds it, the
+    /// remaining (strictly harder) points for that algorithm are skipped
+    /// and reported as `>budget` — the analog of the paper's 1-hour cutoff.
+    pub timeout: Duration,
+    /// Directory for CSV dumps (`None` = print only).
+    pub csv_dir: Option<PathBuf>,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            scale: 0.01,
+            seed: 42,
+            timeout: Duration::from_secs(60),
+            csv_dir: None,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Parses `--scale X --seed N --timeout-secs S --csv DIR` style flags
+    /// from an argument list, returning the config and unconsumed args.
+    ///
+    /// # Errors
+    /// Returns a message suitable for printing on malformed input.
+    pub fn parse(args: &[String]) -> Result<(Self, Vec<String>), String> {
+        let mut cfg = HarnessConfig::default();
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().ok_or("--scale needs a value")?;
+                    cfg.scale = v
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad --scale value {v:?}"))?;
+                    if !(cfg.scale > 0.0 && cfg.scale <= 1.0) {
+                        return Err(format!("--scale must be in (0,1], got {}", cfg.scale));
+                    }
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    cfg.seed = v
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad --seed value {v:?}"))?;
+                }
+                "--timeout-secs" => {
+                    let v = it.next().ok_or("--timeout-secs needs a value")?;
+                    let secs = v
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad --timeout-secs value {v:?}"))?;
+                    cfg.timeout = Duration::from_secs(secs);
+                }
+                "--csv" => {
+                    let v = it.next().ok_or("--csv needs a directory")?;
+                    cfg.csv_dir = Some(PathBuf::from(v));
+                }
+                other => rest.push(other.to_string()),
+            }
+        }
+        Ok((cfg, rest))
+    }
+
+    /// Writes one CSV series if `--csv` was given. Errors are reported to
+    /// stderr but never abort an experiment (losing a dump should not lose
+    /// the run).
+    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) {
+        let Some(dir) = &self.csv_dir else { return };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+        body.push_str(header);
+        body.push('\n');
+        for r in rows {
+            body.push_str(r);
+            body.push('\n');
+        }
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let (cfg, rest) = HarnessConfig::parse(&[]).unwrap();
+        assert_eq!(cfg.scale, 0.01);
+        assert_eq!(cfg.seed, 42);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn parses_flags_and_passes_rest() {
+        let (cfg, rest) = HarnessConfig::parse(&argv(&[
+            "fig4",
+            "--scale",
+            "0.1",
+            "--seed",
+            "7",
+            "--timeout-secs",
+            "5",
+            "--panel",
+            "scale",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.scale, 0.1);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.timeout, Duration::from_secs(5));
+        assert_eq!(rest, argv(&["fig4", "--panel", "scale"]));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(HarnessConfig::parse(&argv(&["--scale", "0"])).is_err());
+        assert!(HarnessConfig::parse(&argv(&["--scale", "abc"])).is_err());
+        assert!(HarnessConfig::parse(&argv(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn csv_writes_when_configured() {
+        let dir = std::env::temp_dir().join(format!("ufim-bench-test-{}", std::process::id()));
+        let cfg = HarnessConfig {
+            csv_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        cfg.write_csv("t", "a,b", &["1,2".to_string()]);
+        let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

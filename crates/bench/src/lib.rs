@@ -1,0 +1,38 @@
+//! # ufim-bench
+//!
+//! Experiment harness regenerating **every table and figure** of the
+//! evaluation section of Tong et al. (VLDB 2012). The binary `ufim-bench`
+//! exposes one subcommand per artifact:
+//!
+//! | subcommand | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1/2 worked example (Examples 1–2) |
+//! | `table6` | dataset characteristics |
+//! | `table7` | default parameters |
+//! | `fig4`   | expected-support miners: time/memory vs `min_esup`, scalability, Zipf |
+//! | `fig5`   | exact probabilistic miners: vs `min_sup`, vs `pft`, scalability, Zipf |
+//! | `fig6`   | approximate miners: vs `min_sup`, vs `pft`, scalability, Zipf |
+//! | `table8` | precision/recall on Accident |
+//! | `table9` | precision/recall on Kosarak |
+//! | `table10`| winner summary grid (derived from fresh measurements) |
+//! | `all`    | everything above in paper order |
+//!
+//! Every subcommand accepts `--scale` (fraction of the paper's transaction
+//! counts; default 0.01 so the full suite completes on a laptop in minutes),
+//! `--seed`, `--timeout-secs` (per-point cutoff mirroring the paper's "we do
+//! not report the running time over 1 hour"), and `--csv DIR` to dump
+//! machine-readable series next to the printed tables.
+//!
+//! Memory numbers come from the [`ufim_metrics::CountingAllocator`]
+//! installed as the binary's global allocator; Criterion benches (time only)
+//! live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod runner;
+
+pub use config::HarnessConfig;
+pub use runner::{run_expected, run_probabilistic, MeasuredRun};

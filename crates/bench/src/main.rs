@@ -1,0 +1,122 @@
+//! `ufim-bench` — the experiment harness binary. See crate docs
+//! (`cargo doc -p ufim-bench`) and `ufim-bench help` for usage.
+
+use ufim_bench::experiments::{fig4, fig5, fig6, tables};
+use ufim_bench::HarnessConfig;
+
+/// The paper's memory metric needs a counting allocator installed in the
+/// process that runs the miners.
+#[global_allocator]
+static ALLOC: ufim_metrics::CountingAllocator = ufim_metrics::CountingAllocator::new();
+
+const HELP: &str = "\
+ufim-bench — regenerate the tables and figures of Tong et al., VLDB 2012
+
+USAGE:
+    ufim-bench <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    table1            worked example (Tables 1-2, Examples 1-2)
+    table6            dataset characteristics (paper vs generated)
+    table7            default parameters
+    fig4 [--panel P]  expected-support miners   (P: minesup|scale|zipf|all)
+    fig5 [--panel P]  exact probabilistic miners (P: minsup|pft|scale|zipf|all)
+    fig6 [--panel P]  approximate miners         (P: minsup|pft|scale|zipf|all)
+    table8            precision/recall on Accident
+    table9            precision/recall on Kosarak
+    table10           winner summary grid
+    all               everything, in paper order
+    help              this text
+
+OPTIONS (all subcommands):
+    --scale X         fraction of paper-size transaction counts (default 0.01)
+    --seed N          master RNG seed (default 42)
+    --timeout-secs S  per-point budget; harder points skipped after a miss
+                      (default 60; paper used 3600)
+    --csv DIR         also write CSV series into DIR
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, rest) = match HarnessConfig::parse(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+    let sub = rest.first().map(String::as_str).unwrap_or("help");
+    let panel_arg = rest
+        .iter()
+        .position(|a| a == "--panel")
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    match sub {
+        "table1" => tables::table1_example(),
+        "table6" => tables::table6(&cfg),
+        "table7" => tables::table7(),
+        "fig4" => {
+            let panel = match panel_arg {
+                "minesup" => fig4::Fig4Panel::MinEsup,
+                "scale" => fig4::Fig4Panel::Scalability,
+                "zipf" => fig4::Fig4Panel::Zipf,
+                "all" => fig4::Fig4Panel::All,
+                other => return bad_panel(other),
+            };
+            fig4::run(&cfg, panel);
+        }
+        "fig5" => {
+            let panel = match panel_arg {
+                "minsup" => fig5::Fig5Panel::MinSup,
+                "pft" => fig5::Fig5Panel::Pft,
+                "scale" => fig5::Fig5Panel::Scalability,
+                "zipf" => fig5::Fig5Panel::Zipf,
+                "all" => fig5::Fig5Panel::All,
+                other => return bad_panel(other),
+            };
+            fig5::run(&cfg, panel);
+        }
+        "fig6" => {
+            let panel = match panel_arg {
+                "minsup" => fig6::Fig6Panel::MinSup,
+                "pft" => fig6::Fig6Panel::Pft,
+                "scale" => fig6::Fig6Panel::Scalability,
+                "zipf" => fig6::Fig6Panel::Zipf,
+                "all" => fig6::Fig6Panel::All,
+                other => return bad_panel(other),
+            };
+            fig6::run(&cfg, panel);
+        }
+        "table8" => tables::table8(&cfg),
+        "table9" => tables::table9(&cfg),
+        "table10" => tables::table10(&cfg),
+        "all" => {
+            tables::table1_example();
+            println!();
+            tables::table6(&cfg);
+            println!();
+            tables::table7();
+            fig4::run(&cfg, fig4::Fig4Panel::All);
+            fig5::run(&cfg, fig5::Fig5Panel::All);
+            fig6::run(&cfg, fig6::Fig6Panel::All);
+            println!();
+            tables::table8(&cfg);
+            println!();
+            tables::table9(&cfg);
+            println!();
+            tables::table10(&cfg);
+        }
+        "help" | "--help" | "-h" => print!("{HELP}"),
+        other => {
+            eprintln!("error: unknown subcommand {other:?}\n\n{HELP}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn bad_panel(p: &str) {
+    eprintln!("error: unknown --panel {p:?}\n\n{HELP}");
+    std::process::exit(2);
+}

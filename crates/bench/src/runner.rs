@@ -1,0 +1,110 @@
+//! Measured execution of one mining run: wall time, peak heap, result size.
+
+use ufim_core::{MinerStats, UncertainDatabase};
+use ufim_metrics::alloc::measure_peak;
+use ufim_metrics::time::Stopwatch;
+use ufim_miners::Algorithm;
+
+/// The measurements of a single `(algorithm, database, parameters)` run —
+/// one point of one curve in the paper's figures.
+#[derive(Clone, Debug)]
+pub struct MeasuredRun {
+    /// Algorithm name as printed in the paper.
+    pub algorithm: &'static str,
+    /// Wall-clock seconds.
+    pub time_secs: f64,
+    /// Peak heap growth during the run, in bytes (0 unless the counting
+    /// allocator is installed, as it is in the `ufim-bench` binary).
+    pub peak_bytes: usize,
+    /// Number of frequent itemsets found.
+    pub num_itemsets: usize,
+    /// The miner's work counters.
+    pub stats: MinerStats,
+    /// Largest itemset cardinality.
+    pub max_len: usize,
+}
+
+/// Runs an expected-support algorithm (Definition 2) measured.
+///
+/// # Panics
+/// Panics if `algo` is not an expected-support miner or parameters are
+/// invalid — the harness constructs both from trusted tables.
+pub fn run_expected(algo: Algorithm, db: &UncertainDatabase, min_esup: f64) -> MeasuredRun {
+    let miner = algo
+        .expected_support_miner()
+        .unwrap_or_else(|| panic!("{} is not an expected-support miner", algo.name()));
+    let sw = Stopwatch::start();
+    let (result, peak) = measure_peak(|| {
+        miner
+            .mine_expected_ratio(db, min_esup)
+            .expect("valid parameters")
+    });
+    MeasuredRun {
+        algorithm: algo.name(),
+        time_secs: sw.elapsed_secs(),
+        peak_bytes: peak,
+        num_itemsets: result.len(),
+        max_len: result.max_len(),
+        stats: result.stats,
+    }
+}
+
+/// Runs a probabilistic algorithm (Definition 4) measured.
+///
+/// # Panics
+/// Panics if `algo` is not a probabilistic miner or parameters are invalid.
+pub fn run_probabilistic(
+    algo: Algorithm,
+    db: &UncertainDatabase,
+    min_sup: f64,
+    pft: f64,
+) -> MeasuredRun {
+    let miner = algo
+        .probabilistic_miner()
+        .unwrap_or_else(|| panic!("{} is not a probabilistic miner", algo.name()));
+    let sw = Stopwatch::start();
+    let (result, peak) = measure_peak(|| {
+        miner
+            .mine_probabilistic_raw(db, min_sup, pft)
+            .expect("valid parameters")
+    });
+    MeasuredRun {
+        algorithm: algo.name(),
+        time_secs: sw.elapsed_secs(),
+        peak_bytes: peak,
+        num_itemsets: result.len(),
+        max_len: result.max_len(),
+        stats: result.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufim_core::examples::paper_table1;
+
+    #[test]
+    fn expected_run_measures() {
+        let db = paper_table1();
+        let run = run_expected(Algorithm::UApriori, &db, 0.5);
+        assert_eq!(run.algorithm, "UApriori");
+        assert_eq!(run.num_itemsets, 2);
+        assert_eq!(run.max_len, 1);
+        assert!(run.time_secs >= 0.0);
+    }
+
+    #[test]
+    fn probabilistic_run_measures() {
+        let db = paper_table1();
+        let run = run_probabilistic(Algorithm::DCB, &db, 0.5, 0.7);
+        assert_eq!(run.algorithm, "DCB");
+        assert!(run.num_itemsets >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an expected-support miner")]
+    fn wrong_interface_panics() {
+        let db = paper_table1();
+        run_expected(Algorithm::DCB, &db, 0.5);
+    }
+}

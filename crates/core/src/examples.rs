@@ -1,0 +1,123 @@
+//! Curated micro-databases used by documentation and tests across the
+//! workspace, including the worked example from the paper.
+
+use crate::database::UncertainDatabase;
+use crate::transaction::Transaction;
+
+/// Item ids for the paper's Table 1 alphabet, in order `A..F`.
+pub mod table1_items {
+    /// Item `A`.
+    pub const A: u32 = 0;
+    /// Item `B`.
+    pub const B: u32 = 1;
+    /// Item `C`.
+    pub const C: u32 = 2;
+    /// Item `D`.
+    pub const D: u32 = 3;
+    /// Item `E`.
+    pub const E: u32 = 4;
+    /// Item `F`.
+    pub const F: u32 = 5;
+}
+
+/// The uncertain database of the paper's **Table 1**:
+///
+/// ```text
+/// T1: A(0.8) B(0.2) C(0.9) D(0.7) F(0.8)
+/// T2: A(0.8) B(0.7) C(0.9) E(0.5)
+/// T3: A(0.5) C(0.8) E(0.8) F(0.3)
+/// T4: B(0.5) D(0.5) F(0.7)
+/// ```
+///
+/// Known ground truth pinned by tests:
+/// * `esup(A) = 2.1`, `esup(C) = 2.6` (Example 1);
+/// * with `min_esup = 0.5` exactly `{A}` and `{C}` are expected-support
+///   frequent;
+/// * with `min_esup = 0.25` the frequency-ordered item list is
+///   `C:2.6, A:2.1, F:1.8, B:1.4, E:1.3, D:1.2` (§3.1.2, Figure 1).
+pub fn paper_table1() -> UncertainDatabase {
+    use table1_items::*;
+    let t1 = Transaction::new([(A, 0.8), (B, 0.2), (C, 0.9), (D, 0.7), (F, 0.8)]).unwrap();
+    let t2 = Transaction::new([(A, 0.8), (B, 0.7), (C, 0.9), (E, 0.5)]).unwrap();
+    let t3 = Transaction::new([(A, 0.5), (C, 0.8), (E, 0.8), (F, 0.3)]).unwrap();
+    let t4 = Transaction::new([(B, 0.5), (D, 0.5), (F, 0.7)]).unwrap();
+    UncertainDatabase::with_num_items(vec![t1, t2, t3, t4], 6)
+}
+
+/// A small database in the spirit of the paper's Example 2: item 0's
+/// frequent probability at `min_sup = 0.5` sits strictly between common
+/// `pft` choices, so documentation examples and tests can exercise both
+/// accept and reject outcomes.
+///
+/// The paper's Table 2 distribution itself is not realizable as a product of
+/// three Bernoulli units (no probability triple yields
+/// `[0.1, 0.18, 0.4, 0.32]`), so the distribution is provided separately as
+/// [`table2_distribution`] and this database only mirrors the example's
+/// structure.
+pub fn paper_example2_like() -> UncertainDatabase {
+    let t1 = Transaction::new([(0, 0.8), (1, 0.3)]).unwrap();
+    let t2 = Transaction::new([(0, 0.7), (1, 0.9)]).unwrap();
+    let t3 = Transaction::new([(0, 0.5)]).unwrap();
+    let t4 = Transaction::new([(1, 0.6)]).unwrap();
+    UncertainDatabase::with_num_items(vec![t1, t2, t3, t4], 2)
+}
+
+/// The support probability mass function of the paper's **Table 2**:
+/// `Pr[sup(A) = 0..3] = [0.1, 0.18, 0.4, 0.32]`.
+///
+/// Example 2 computes `Pr{sup(A) ≥ 4 × 0.5} = 0.4 + 0.32 = 0.72 > 0.7`.
+pub fn table2_distribution() -> Vec<f64> {
+    vec![0.1, 0.18, 0.4, 0.32]
+}
+
+/// A tiny deterministic (all-probability-one) database, used to check that
+/// uncertain miners degrade to classical frequent itemset mining.
+pub fn deterministic_small() -> UncertainDatabase {
+    UncertainDatabase::from_transactions(vec![
+        Transaction::certain([0, 1, 2]),
+        Transaction::certain([0, 1]),
+        Transaction::certain([0, 2]),
+        Transaction::certain([1, 2]),
+        Transaction::certain([0, 1, 2, 3]),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let db = paper_table1();
+        assert_eq!(db.num_transactions(), 4);
+        assert_eq!(db.num_items(), 6);
+        assert_eq!(db.transactions()[0].len(), 5);
+        assert_eq!(db.transactions()[3].len(), 3);
+    }
+
+    #[test]
+    fn table2_distribution_sums_to_one() {
+        let d = table2_distribution();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Example 2's headline: Pr{sup >= 2} = 0.72.
+        assert!((d[2] + d[3] - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_db_is_certain() {
+        let db = deterministic_small();
+        for t in db.transactions() {
+            assert!(t.probs().iter().all(|&p| p == 1.0));
+        }
+        // Classical support of {0,1} is 3 of 5.
+        assert!((db.expected_support(&[0, 1]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example2_like_shape() {
+        let db = paper_example2_like();
+        assert_eq!(db.num_transactions(), 4);
+        let q = db.itemset_prob_vector(&[0]);
+        assert_eq!(q.len(), 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! A fast, non-cryptographic hasher in the style of `rustc-hash`'s FxHash.
+//!
+//! Frequent itemset mining is hash-table heavy: candidate lookup tables are
+//! probed once per (transaction, candidate-prefix) pair, and the keys are
+//! small integers or short integer sequences. `SipHash` (std's default)
+//! leaves a lot of throughput on the table for such keys, and HashDoS
+//! resistance is irrelevant for an offline mining workload, so the workspace
+//! standardizes on this multiply-and-rotate hasher.
+//!
+//! The algorithm is the classic Fx mix: for each machine word `w` of input,
+//! `state = (state.rotate_left(5) ^ w) * K` with a fixed odd constant `K`.
+//! It is the same construction rustc uses for its internal tables.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by the Fx mix (64-bit variant).
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Rotation applied before each multiply.
+const ROTATE: u32 = 5;
+
+/// The hasher state. Use via [`FxHashMap`] / [`FxHashSet`] or
+/// `BuildHasherDefault<FxHasher>`.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume full 8-byte words first, then the tail. This differs from
+        // byte-at-a-time hashing only in mixing granularity, not quality.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&vec![1u32, 2, 3]), hash_of(&vec![1u32, 2, 3]));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u32), hash_of(&2u32));
+        assert_ne!(hash_of(&[1u32, 2][..]), hash_of(&[2u32, 1][..]));
+    }
+
+    #[test]
+    fn distinguishes_lengths_of_byte_tails() {
+        // The tail path tags the remainder length, so a 1-byte zero and a
+        // 2-byte zero string must differ.
+        let mut h1 = FxHasher::default();
+        h1.write(&[0u8]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[0u8, 0u8]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+
+    #[test]
+    fn spreads_small_keys() {
+        // Low-entropy integer keys should not collide in the low bits that a
+        // power-of-two table actually uses.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u32..1024 {
+            seen.insert(hash_of(&i) & 0xFFF);
+        }
+        // With 4096 buckets and 1024 keys, a decent mix keeps most distinct.
+        assert!(seen.len() > 900, "only {} distinct low-bit patterns", seen.len());
+    }
+}

@@ -1,0 +1,66 @@
+//! # ufim-core
+//!
+//! Core data model for **frequent itemset mining over uncertain databases**,
+//! the shared foundation of this workspace's reproduction of
+//! *Tong, Chen, Cheng, Yu: "Mining Frequent Itemsets over Uncertain
+//! Databases", PVLDB 5(11), 2012*.
+//!
+//! An *uncertain transaction database* is a list of transactions in which
+//! every item carries an independent existence probability. The number of
+//! transactions that actually contain an itemset `X` is therefore a random
+//! variable `sup(X)` following a Poisson-Binomial distribution, and the paper
+//! studies two frequency semantics built on it:
+//!
+//! * **expected support** — `esup(X) = Σ_t P_t(X)` (Definitions 1–2), and
+//! * **frequent probability** — `Pr{sup(X) ≥ ⌈N·min_sup⌉}` (Definitions 3–4).
+//!
+//! This crate provides the types every algorithm crate shares:
+//!
+//! * [`UncertainDatabase`] / [`Transaction`] — the probabilistic data model,
+//! * [`Itemset`] — a sorted, duplicate-free set of item ids,
+//! * [`MiningParams`], [`Ratio`] — validated threshold parameters,
+//! * [`FrequentItemset`], [`MiningResult`], [`MinerStats`] — outputs,
+//! * [`ExpectedSupportMiner`] / [`ProbabilisticMiner`] — the two algorithm
+//!   interfaces corresponding to the paper's two definitions,
+//! * [`hash`] — a fast FxHash-style hasher used throughout the workspace.
+//!
+//! The worked example from the paper (its Table 1) ships as
+//! [`examples::paper_table1`] and is pinned by tests across the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod error;
+pub mod examples;
+pub mod hash;
+pub mod itemset;
+pub mod params;
+pub mod result;
+pub mod traits;
+pub mod transaction;
+pub mod vocab;
+
+pub use database::{DatabaseStats, UncertainDatabase, UncertainDatabaseBuilder};
+pub use error::CoreError;
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use itemset::{ItemId, Itemset};
+pub use params::{MiningParams, Ratio};
+pub use result::{FrequentItemset, MinerStats, MiningResult};
+pub use traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
+pub use transaction::Transaction;
+pub use vocab::Vocabulary;
+
+/// Convenient glob-import for downstream crates:
+/// `use ufim_core::prelude::*;`
+pub mod prelude {
+    pub use crate::database::{DatabaseStats, UncertainDatabase, UncertainDatabaseBuilder};
+    pub use crate::error::CoreError;
+    pub use crate::hash::{FxHashMap, FxHashSet};
+    pub use crate::itemset::{ItemId, Itemset};
+    pub use crate::params::{MiningParams, Ratio};
+    pub use crate::result::{FrequentItemset, MinerStats, MiningResult};
+    pub use crate::traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
+    pub use crate::transaction::Transaction;
+    pub use crate::vocab::Vocabulary;
+}

@@ -1,0 +1,131 @@
+//! Validated mining parameters.
+//!
+//! All three thresholds of the paper — `min_esup` (Definition 2), `min_sup`
+//! (Definition 3) and `pft` (Definition 4) — are ratios in `(0, 1]`.
+//! [`Ratio`] enforces that once, at the API boundary, so the miners never
+//! re-validate. [`MiningParams`] bundles the probabilistic pair and
+//! precomputes the integer support threshold `msup = ⌈N · min_sup⌉`.
+
+use crate::error::CoreError;
+
+/// A ratio in the half-open interval `(0, 1]`.
+///
+/// `0` is excluded: a zero minimum support would declare every itemset
+/// frequent, including the 2^|I| lattice — a configuration error, not a
+/// mining problem.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// Validates `value ∈ (0, 1]`.
+    pub fn new(name: &'static str, value: f64) -> Result<Self, CoreError> {
+        if value > 0.0 && value <= 1.0 {
+            Ok(Ratio(value))
+        } else {
+            Err(CoreError::InvalidRatio { name, value })
+        }
+    }
+
+    /// The raw value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Scales by a transaction count: `⌈N · ratio⌉`, the integer threshold
+    /// used by both definitions ("appears at least `N·min_sup` times").
+    /// Always at least 1 for a non-empty database.
+    #[inline]
+    pub fn threshold_count(self, n: usize) -> usize {
+        (self.0 * n as f64).ceil() as usize
+    }
+
+    /// Scales by a transaction count without rounding: `N · ratio`, the
+    /// real-valued expected-support threshold of Definition 2.
+    #[inline]
+    pub fn threshold_real(self, n: usize) -> f64 {
+        self.0 * n as f64
+    }
+}
+
+/// Parameters for probabilistic frequent itemset mining (Definitions 3–4):
+/// the support ratio `min_sup` and the probability threshold `pft`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MiningParams {
+    /// Minimum support ratio (`min_sup`).
+    pub min_sup: Ratio,
+    /// Probabilistic frequent threshold (`pft`): an itemset is frequent iff
+    /// `Pr{sup(X) ≥ msup} > pft`.
+    pub pft: Ratio,
+}
+
+impl MiningParams {
+    /// Validates and constructs.
+    pub fn new(min_sup: f64, pft: f64) -> Result<Self, CoreError> {
+        Ok(MiningParams {
+            min_sup: Ratio::new("min_sup", min_sup)?,
+            pft: Ratio::new("pft", pft)?,
+        })
+    }
+
+    /// The integer support threshold `msup = ⌈N·min_sup⌉` for a database of
+    /// `n` transactions.
+    #[inline]
+    pub fn msup(&self, n: usize) -> usize {
+        self.min_sup.threshold_count(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_range() {
+        assert!(Ratio::new("r", 1e-9).is_ok());
+        assert!(Ratio::new("r", 0.5).is_ok());
+        assert!(Ratio::new("r", 1.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(Ratio::new("r", 0.0).is_err());
+        assert!(Ratio::new("r", -0.3).is_err());
+        assert!(Ratio::new("r", 1.0001).is_err());
+        assert!(Ratio::new("r", f64::NAN).is_err());
+        match Ratio::new("min_sup", 2.0) {
+            Err(CoreError::InvalidRatio { name, value }) => {
+                assert_eq!(name, "min_sup");
+                assert_eq!(value, 2.0);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threshold_count_is_ceiling() {
+        let r = Ratio::new("r", 0.5).unwrap();
+        assert_eq!(r.threshold_count(4), 2);
+        assert_eq!(r.threshold_count(5), 3);
+        let r = Ratio::new("r", 0.0005).unwrap();
+        assert_eq!(r.threshold_count(1000), 1);
+        assert_eq!(r.threshold_count(990_002), 496);
+    }
+
+    #[test]
+    fn threshold_real_is_exact() {
+        let r = Ratio::new("r", 0.25).unwrap();
+        assert_eq!(r.threshold_real(4), 1.0);
+        assert_eq!(r.threshold_real(6), 1.5);
+    }
+
+    #[test]
+    fn mining_params_bundle() {
+        let p = MiningParams::new(0.5, 0.9).unwrap();
+        assert_eq!(p.msup(4), 2);
+        assert_eq!(p.min_sup.get(), 0.5);
+        assert_eq!(p.pft.get(), 0.9);
+        assert!(MiningParams::new(0.0, 0.9).is_err());
+        assert!(MiningParams::new(0.5, 1.5).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Item vocabularies: bidirectional mapping between human-readable item
+//! labels and the dense integer ids the miners operate on.
+//!
+//! Datasets arrive with string labels ("bread", sensor names, page URLs);
+//! the mining core wants dense `u32` ids. A [`Vocabulary`] interns labels
+//! in first-seen order — ids are then exactly the `0..n` range every
+//! per-item array in the workspace indexes by — and renders itemsets back
+//! for presentation.
+
+use crate::hash::FxHashMap;
+use crate::itemset::{ItemId, Itemset};
+
+/// An interned label set with dense ids.
+#[derive(Clone, Debug, Default)]
+pub struct Vocabulary {
+    by_label: FxHashMap<String, ItemId>,
+    by_id: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from labels, interning in order (duplicates collapse).
+    pub fn from_labels<S: AsRef<str>, I: IntoIterator<Item = S>>(labels: I) -> Self {
+        let mut v = Vocabulary::new();
+        for l in labels {
+            v.intern(l.as_ref());
+        }
+        v
+    }
+
+    /// Returns the id for `label`, interning it if new.
+    pub fn intern(&mut self, label: &str) -> ItemId {
+        if let Some(&id) = self.by_label.get(label) {
+            return id;
+        }
+        let id = self.by_id.len() as ItemId;
+        self.by_id.push(label.to_owned());
+        self.by_label.insert(label.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing label's id without interning.
+    pub fn id(&self, label: &str) -> Option<ItemId> {
+        self.by_label.get(label).copied()
+    }
+
+    /// The label for an id, if in range.
+    pub fn label(&self, id: ItemId) -> Option<&str> {
+        self.by_id.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Renders an itemset as `{label, label, …}`, falling back to `#id`
+    /// for out-of-vocabulary ids.
+    pub fn render(&self, itemset: &Itemset) -> String {
+        let inner: Vec<String> = itemset
+            .items()
+            .iter()
+            .map(|&i| {
+                self.label(i)
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| format!("#{i}"))
+            })
+            .collect();
+        format!("{{{}}}", inner.join(", "))
+    }
+
+    /// Parses a labeled unit list into `(id, prob)` pairs, interning labels
+    /// — the ergonomic constructor for hand-written uncertain data:
+    ///
+    /// ```
+    /// use ufim_core::vocab::Vocabulary;
+    /// use ufim_core::Transaction;
+    /// let mut vocab = Vocabulary::new();
+    /// let t = Transaction::new(vocab.units([("milk", 0.9), ("bread", 0.4)])).unwrap();
+    /// assert_eq!(vocab.len(), 2);
+    /// assert_eq!(t.prob_of(vocab.id("milk").unwrap()), 0.9);
+    /// ```
+    pub fn units<'a, I: IntoIterator<Item = (&'a str, f64)>>(
+        &mut self,
+        labeled: I,
+    ) -> Vec<(ItemId, f64)> {
+        labeled
+            .into_iter()
+            .map(|(label, p)| (self.intern(label), p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_dense_and_stable() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("a"), 0);
+        assert_eq!(v.intern("b"), 1);
+        assert_eq!(v.intern("a"), 0); // duplicate
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+        assert_eq!(v.label(1), Some("b"));
+        assert_eq!(v.label(9), None);
+        assert_eq!(v.id("b"), Some(1));
+        assert_eq!(v.id("zzz"), None);
+    }
+
+    #[test]
+    fn from_labels_collapses_duplicates() {
+        let v = Vocabulary::from_labels(["x", "y", "x", "z"]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.id("z"), Some(2));
+    }
+
+    #[test]
+    fn render_itemsets() {
+        let v = Vocabulary::from_labels(["milk", "bread"]);
+        let set = Itemset::from_items([0, 1]);
+        assert_eq!(v.render(&set), "{milk, bread}");
+        // Out-of-vocabulary fallback.
+        assert_eq!(v.render(&Itemset::from_items([0, 7])), "{milk, #7}");
+        assert_eq!(v.render(&Itemset::empty()), "{}");
+    }
+
+    #[test]
+    fn units_builds_transactions() {
+        let mut v = Vocabulary::new();
+        let units = v.units([("a", 0.5), ("b", 0.25)]);
+        assert_eq!(units, vec![(0, 0.5), (1, 0.25)]);
+        // Re-using labels keeps ids.
+        let units2 = v.units([("b", 0.9)]);
+        assert_eq!(units2, vec![(1, 0.9)]);
+    }
+}

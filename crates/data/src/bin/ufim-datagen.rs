@@ -1,0 +1,159 @@
+//! `ufim-datagen` — generate benchmark-analog datasets to files.
+//!
+//! Downstream users (and other mining implementations being compared
+//! against this one) need the exact same inputs; this tool materializes any
+//! benchmark analog deterministically:
+//!
+//! ```text
+//! ufim-datagen <benchmark> [--scale X] [--seed N]
+//!              [--model gaussian|zipf|uniform|constant] [--param A] [--param2 B]
+//!              [--out FILE] [--deterministic]
+//! ```
+//!
+//! With `--deterministic` the probability-free FIMI file is written;
+//! otherwise the uncertain `item:prob` format. `--model` defaults to the
+//! benchmark's Table 7 Gaussian; `--param/--param2` are (mean, variance)
+//! for `gaussian`, (skew, levels) for `zipf`, (lo, hi) for `uniform`, and
+//! (p, –) for `constant`.
+
+use std::io::BufWriter;
+use ufim_data::prob::ProbabilityModel;
+use ufim_data::registry::Benchmark;
+use ufim_data::{assign_probabilities, fimi};
+
+const HELP: &str = "\
+ufim-datagen — materialize benchmark-analog datasets
+
+USAGE:
+    ufim-datagen <connect|accident|kosarak|gazelle|t25> [OPTIONS]
+
+OPTIONS:
+    --scale X        fraction of paper-size transaction count (default 0.01)
+    --seed N         RNG seed (default 42)
+    --model M        gaussian|zipf|uniform|constant (default: Table 7 gaussian)
+    --param A        first model parameter  (mean | skew | lo | p)
+    --param2 B       second model parameter (variance | levels | hi)
+    --out FILE       output path (default: stdout)
+    --deterministic  write the probability-free FIMI file instead
+    --stats          print shape statistics to stderr
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{HELP}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        print!("{HELP}");
+        return;
+    }
+    let bench = match args[0].as_str() {
+        "connect" => Benchmark::Connect,
+        "accident" => Benchmark::Accident,
+        "kosarak" => Benchmark::Kosarak,
+        "gazelle" => Benchmark::Gazelle,
+        "t25" | "t25i15d320k" => Benchmark::T25I15D320k,
+        other => fail(&format!("unknown benchmark {other:?}")),
+    };
+
+    let mut scale = 0.01f64;
+    let mut seed = 42u64;
+    let mut model_name: Option<String> = None;
+    let mut param: Option<f64> = None;
+    let mut param2: Option<f64> = None;
+    let mut out: Option<String> = None;
+    let mut deterministic = false;
+    let mut stats = false;
+
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let mut next_f64 = |name: &str| -> f64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| fail(&format!("{name} needs a numeric value")))
+        };
+        match a.as_str() {
+            "--scale" => scale = next_f64("--scale"),
+            "--seed" => seed = next_f64("--seed") as u64,
+            "--param" => param = Some(next_f64("--param")),
+            "--param2" => param2 = Some(next_f64("--param2")),
+            "--model" => {
+                model_name = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--model needs a value"))
+                        .clone(),
+                )
+            }
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--out needs a path"))
+                        .clone(),
+                )
+            }
+            "--deterministic" => deterministic = true,
+            "--stats" => stats = true,
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    if !(scale > 0.0 && scale <= 1.0) {
+        fail("--scale must be in (0,1]");
+    }
+
+    let model = match model_name.as_deref() {
+        None => bench.default_model(),
+        Some("gaussian") => ProbabilityModel::Gaussian {
+            mean: param.unwrap_or(bench.defaults().mean),
+            variance: param2.unwrap_or(bench.defaults().variance),
+        },
+        Some("zipf") => ProbabilityModel::Zipf {
+            skew: param.unwrap_or(1.2),
+            levels: param2.unwrap_or(10.0) as usize,
+        },
+        Some("uniform") => ProbabilityModel::Uniform {
+            lo: param.unwrap_or(0.1),
+            hi: param2.unwrap_or(1.0),
+        },
+        Some("constant") => ProbabilityModel::Constant(param.unwrap_or(1.0)),
+        Some(other) => fail(&format!("unknown model {other:?}")),
+    };
+
+    let det = bench.generate_deterministic(scale, seed);
+    if stats {
+        let p = ufim_data::stats::popularity_profile(&det);
+        eprintln!(
+            "{}: N={} items={} avg_len={:.2} density={:.5} gini={:.3} top1={:.3} top10={:.3} len_q={:?}",
+            bench.name(),
+            det.num_transactions(),
+            det.num_items(),
+            det.avg_transaction_len(),
+            det.density(),
+            p.gini,
+            p.top1_share,
+            p.top10_share,
+            p.len_quartiles,
+        );
+    }
+
+    let write = |w: &mut dyn std::io::Write| -> std::io::Result<()> {
+        if deterministic {
+            fimi::write_fimi(&det, w)
+        } else {
+            let udb = assign_probabilities(&det, &model, seed ^ 0x9E37_79B9_7F4A_7C15);
+            fimi::write_uncertain(&udb, w)
+        }
+    };
+    let result = match &out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
+            write(&mut BufWriter::new(file))
+        }
+        None => write(&mut BufWriter::new(std::io::stdout().lock())),
+    };
+    if let Err(e) = result {
+        fail(&format!("write failed: {e}"));
+    }
+}

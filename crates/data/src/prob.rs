@@ -1,0 +1,254 @@
+//! Probability-assignment models: deterministic → uncertain databases.
+//!
+//! "Assigning probability to deterministic database to generate meaningful
+//! uncertain test data is widely accepted by the current community"
+//! (paper §4.1). Each unit of each transaction independently draws an
+//! existence probability from one of the models below; a drawn probability
+//! of zero removes the unit (absence and zero probability are equivalent).
+
+use crate::deterministic::DeterministicDatabase;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ufim_core::{Transaction, UncertainDatabase};
+
+/// Smallest probability the Gaussian model will assign. Draws below this are
+/// clamped rather than dropped so the uncertain database keeps exactly the
+/// unit count of its deterministic source (the paper's setup).
+pub const GAUSSIAN_P_MIN: f64 = 0.01;
+
+/// A distribution over existence probabilities.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProbabilityModel {
+    /// Normal(`mean`, `variance`) clamped into `[GAUSSIAN_P_MIN, 1]` — the
+    /// paper's primary model. Table 7 uses (0.95, 0.05) for the
+    /// high-mean/low-variance scenarios and (0.5, 0.5) for
+    /// low-mean/high-variance.
+    Gaussian {
+        /// Mean of the underlying normal.
+        mean: f64,
+        /// Variance (σ²) of the underlying normal, as reported in Table 7.
+        variance: f64,
+    },
+    /// The paper's Zipf scenario (§4.1, Figures 4(k)–(l) etc.): draw a
+    /// discrete *probability level* `j ∈ {0, …, levels}` with
+    /// `P(j) ∝ (j+1)^{-skew}` and assign `p = j/levels`. Level 0 maps to
+    /// probability zero — the unit disappears — so a larger skew
+    /// concentrates mass at level 0 and, exactly as the paper observes,
+    /// "more items are assigned the zero probability with the increase of
+    /// the skew parameter, which results in fewer frequent itemsets".
+    Zipf {
+        /// Skew `s` (the paper sweeps 0.8 → 2.0).
+        skew: f64,
+        /// Number of nonzero levels (defaults to 10 via [`ProbabilityModel::zipf`]).
+        levels: usize,
+    },
+    /// Uniform over `[lo, hi] ⊆ (0, 1]`.
+    Uniform {
+        /// Lower bound (exclusive of zero).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Every unit gets the same probability (1.0 degrades uncertain mining
+    /// to classical mining — used by equivalence tests).
+    Constant(f64),
+}
+
+impl ProbabilityModel {
+    /// The paper's default Zipf configuration with 10 probability levels.
+    pub fn zipf(skew: f64) -> Self {
+        ProbabilityModel::Zipf { skew, levels: 10 }
+    }
+
+    /// Draws one probability; `0.0` means "drop the unit".
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            ProbabilityModel::Gaussian { mean, variance } => {
+                let std = variance.sqrt();
+                let draw = mean + std * sample_std_normal(rng);
+                draw.clamp(GAUSSIAN_P_MIN, 1.0)
+            }
+            ProbabilityModel::Zipf { skew, levels } => {
+                assert!(levels >= 1, "need at least one nonzero level");
+                // Cumulative inversion over the (levels+1)-point law.
+                let mut total = 0.0;
+                for j in 0..=levels {
+                    total += ((j + 1) as f64).powf(-skew);
+                }
+                let mut u: f64 = rng.gen_range(0.0..total);
+                for j in 0..=levels {
+                    let w = ((j + 1) as f64).powf(-skew);
+                    if u < w {
+                        return j as f64 / levels as f64;
+                    }
+                    u -= w;
+                }
+                1.0
+            }
+            ProbabilityModel::Uniform { lo, hi } => {
+                assert!(lo > 0.0 && hi <= 1.0 && lo <= hi, "bad uniform range");
+                rng.gen_range(lo..=hi)
+            }
+            ProbabilityModel::Constant(p) => {
+                assert!(p > 0.0 && p <= 1.0, "bad constant probability");
+                p
+            }
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (kept private; `rand` is the only
+/// sanctioned randomness dependency and ships no Gaussian sampler in the
+/// base crate).
+fn sample_std_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0f64..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Assigns a probability from `model` to every unit of `det`, producing an
+/// uncertain database. Units drawing probability zero are dropped;
+/// transactions that lose all units remain as empty transactions so the
+/// transaction count `N` (and with it every `N·ratio` threshold) matches the
+/// deterministic source.
+pub fn assign_probabilities(
+    det: &DeterministicDatabase,
+    model: &ProbabilityModel,
+    seed: u64,
+) -> UncertainDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut transactions = Vec::with_capacity(det.num_transactions());
+    for t in det.transactions() {
+        let mut items = Vec::with_capacity(t.len());
+        let mut probs = Vec::with_capacity(t.len());
+        for &item in t {
+            let p = model.sample(&mut rng);
+            if p > 0.0 {
+                items.push(item);
+                probs.push(p);
+            }
+        }
+        transactions.push(Transaction::from_sorted_unchecked(items, probs));
+    }
+    UncertainDatabase::with_num_items(transactions, det.num_items())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn gaussian_stays_in_bounds_and_near_mean() {
+        let m = ProbabilityModel::Gaussian {
+            mean: 0.95,
+            variance: 0.05,
+        };
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| m.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&p| (GAUSSIAN_P_MIN..=1.0).contains(&p)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        // Clamping pulls the mean below 0.95 (mass above 1 folds down);
+        // it must stay in a plausible high band.
+        assert!((0.80..=0.95).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_high_variance_spreads() {
+        let m = ProbabilityModel::Gaussian {
+            mean: 0.5,
+            variance: 0.5,
+        };
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| m.sample(&mut r)).collect();
+        let at_min = samples.iter().filter(|&&p| p == GAUSSIAN_P_MIN).count();
+        let at_max = samples.iter().filter(|&&p| p == 1.0).count();
+        // σ ≈ 0.707: roughly a quarter of the mass clamps at each end.
+        assert!(at_min > 2_000 && at_max > 2_000, "min {at_min} max {at_max}");
+    }
+
+    #[test]
+    fn zipf_zero_fraction_grows_with_skew() {
+        let mut r = rng();
+        let frac_zero = |skew: f64, r: &mut StdRng| {
+            let m = ProbabilityModel::zipf(skew);
+            let zeros = (0..20_000).filter(|_| m.sample(r) == 0.0).count();
+            zeros as f64 / 20_000.0
+        };
+        let low = frac_zero(0.8, &mut r);
+        let high = frac_zero(2.0, &mut r);
+        assert!(
+            high > low + 0.1,
+            "zero fraction should grow with skew: {low} vs {high}"
+        );
+    }
+
+    #[test]
+    fn zipf_levels_are_gridded() {
+        let m = ProbabilityModel::Zipf { skew: 1.0, levels: 4 };
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let p = m.sample(&mut r);
+            let scaled = p * 4.0;
+            assert!((scaled - scaled.round()).abs() < 1e-12, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn uniform_and_constant() {
+        let mut r = rng();
+        let u = ProbabilityModel::Uniform { lo: 0.2, hi: 0.4 };
+        for _ in 0..1_000 {
+            let p = u.sample(&mut r);
+            assert!((0.2..=0.4).contains(&p));
+        }
+        assert_eq!(ProbabilityModel::Constant(0.7).sample(&mut r), 0.7);
+    }
+
+    #[test]
+    fn assignment_preserves_structure() {
+        let det = DeterministicDatabase::new(vec![vec![0, 1, 2], vec![1, 3]]);
+        let udb = assign_probabilities(&det, &ProbabilityModel::Constant(0.5), 1);
+        assert_eq!(udb.num_transactions(), 2);
+        assert_eq!(udb.num_items(), 4);
+        assert_eq!(udb.transactions()[0].items(), &[0, 1, 2]);
+        assert!(udb.transactions()[0].probs().iter().all(|&p| p == 0.5));
+    }
+
+    #[test]
+    fn assignment_drops_zero_probability_units() {
+        let det = DeterministicDatabase::new(vec![vec![0, 1, 2, 3]; 200]);
+        let udb = assign_probabilities(&det, &ProbabilityModel::zipf(2.0), 5);
+        // Transaction count is preserved even when units vanish…
+        assert_eq!(udb.num_transactions(), 200);
+        // …but a substantial share of units is gone at skew 2.
+        let total_units: usize = udb.transactions().iter().map(|t| t.len()).sum();
+        assert!(total_units < 700, "only {total_units} of 800 should remain");
+        // Every surviving probability is on the 10-level grid and positive.
+        for t in udb.transactions() {
+            for &p in t.probs() {
+                assert!(p > 0.0 && p <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_seeded() {
+        let det = DeterministicDatabase::new(vec![vec![0, 1], vec![2]]);
+        let m = ProbabilityModel::Gaussian {
+            mean: 0.5,
+            variance: 0.5,
+        };
+        assert_eq!(
+            assign_probabilities(&det, &m, 7),
+            assign_probabilities(&det, &m, 7)
+        );
+        assert_ne!(
+            assign_probabilities(&det, &m, 7),
+            assign_probabilities(&det, &m, 8)
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! One place tying every benchmark to its published shape (Table 6) and its
+//! default experiment parameters (Table 7).
+
+use crate::benchmarks;
+use crate::deterministic::DeterministicDatabase;
+use crate::prob::{assign_probabilities, ProbabilityModel};
+use crate::quest::QuestConfig;
+use ufim_core::UncertainDatabase;
+
+/// The five benchmark datasets of the paper's evaluation (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Dense game-state data (FIMI `connect`).
+    Connect,
+    /// Dense-ish traffic-accident attributes (FIMI `accidents`).
+    Accident,
+    /// Sparse clickstream over a huge vocabulary (FIMI `kosarak`).
+    Kosarak,
+    /// Very sparse e-commerce clicks (KDD-Cup 2000 `BMS-WebView` / gazelle).
+    Gazelle,
+    /// IBM Quest synthetic `T25I15D320k`, the scalability dataset.
+    T25I15D320k,
+}
+
+/// The characteristics the paper publishes for a dataset (its Table 6 row).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PaperShape {
+    /// `# of Trans.`
+    pub num_transactions: usize,
+    /// `# of Items`
+    pub num_items: u32,
+    /// `Ave. Len.`
+    pub avg_len: f64,
+    /// `Density`
+    pub density: f64,
+}
+
+/// The default experiment parameters for a dataset (its Table 7 row).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenchmarkDefaults {
+    /// Gaussian probability mean.
+    pub mean: f64,
+    /// Gaussian probability variance.
+    pub variance: f64,
+    /// Default `min_sup` (also used as `min_esup` for Definition 2 runs).
+    pub min_sup: f64,
+    /// Default probabilistic frequent threshold.
+    pub pft: f64,
+}
+
+impl Benchmark {
+    /// All five benchmarks, in the paper's Table 6 order.
+    pub const ALL: [Benchmark; 5] = [
+        Benchmark::Connect,
+        Benchmark::Accident,
+        Benchmark::Kosarak,
+        Benchmark::Gazelle,
+        Benchmark::T25I15D320k,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Connect => "Connect",
+            Benchmark::Accident => "Accident",
+            Benchmark::Kosarak => "Kosarak",
+            Benchmark::Gazelle => "Gazelle",
+            Benchmark::T25I15D320k => "T25I15D320k",
+        }
+    }
+
+    /// Whether the paper classifies the dataset as dense.
+    pub fn is_dense(self) -> bool {
+        matches!(self, Benchmark::Connect | Benchmark::Accident)
+    }
+
+    /// The Table 6 row.
+    pub fn paper_shape(self) -> PaperShape {
+        match self {
+            Benchmark::Connect => PaperShape {
+                num_transactions: 67_557,
+                num_items: 129,
+                avg_len: 43.0,
+                density: 0.33,
+            },
+            Benchmark::Accident => PaperShape {
+                num_transactions: 340_183,
+                num_items: 468,
+                avg_len: 33.8,
+                density: 0.072,
+            },
+            Benchmark::Kosarak => PaperShape {
+                num_transactions: 990_002,
+                num_items: 41_270,
+                avg_len: 8.1,
+                density: 0.000_19,
+            },
+            Benchmark::Gazelle => PaperShape {
+                num_transactions: 59_601,
+                num_items: 498,
+                avg_len: 2.5,
+                density: 0.005,
+            },
+            Benchmark::T25I15D320k => PaperShape {
+                num_transactions: 320_000,
+                num_items: 994,
+                avg_len: 25.0,
+                density: 0.025,
+            },
+        }
+    }
+
+    /// The Table 7 row.
+    pub fn defaults(self) -> BenchmarkDefaults {
+        match self {
+            Benchmark::Connect => BenchmarkDefaults {
+                mean: 0.95,
+                variance: 0.05,
+                min_sup: 0.5,
+                pft: 0.9,
+            },
+            Benchmark::Accident => BenchmarkDefaults {
+                mean: 0.5,
+                variance: 0.5,
+                min_sup: 0.5,
+                pft: 0.9,
+            },
+            Benchmark::Kosarak => BenchmarkDefaults {
+                mean: 0.5,
+                variance: 0.5,
+                min_sup: 0.000_5,
+                pft: 0.9,
+            },
+            Benchmark::Gazelle => BenchmarkDefaults {
+                mean: 0.95,
+                variance: 0.05,
+                min_sup: 0.025,
+                pft: 0.9,
+            },
+            Benchmark::T25I15D320k => BenchmarkDefaults {
+                mean: 0.9,
+                variance: 0.1,
+                min_sup: 0.1,
+                pft: 0.9,
+            },
+        }
+    }
+
+    /// The dataset's default Gaussian probability model (Table 7).
+    pub fn default_model(self) -> ProbabilityModel {
+        let d = self.defaults();
+        ProbabilityModel::Gaussian {
+            mean: d.mean,
+            variance: d.variance,
+        }
+    }
+
+    /// Generates the deterministic analog at `scale ∈ (0, 1]` of the paper's
+    /// transaction count.
+    pub fn generate_deterministic(self, scale: f64, seed: u64) -> DeterministicDatabase {
+        match self {
+            Benchmark::Connect => benchmarks::connect_like(scale, seed),
+            Benchmark::Accident => benchmarks::accident_like(scale, seed),
+            Benchmark::Kosarak => benchmarks::kosarak_like(scale, seed),
+            Benchmark::Gazelle => benchmarks::gazelle_like(scale, seed),
+            Benchmark::T25I15D320k => QuestConfig::t25_i15_d320k(scale).generate(seed),
+        }
+    }
+
+    /// Generates the uncertain database: deterministic analog plus the
+    /// Table 7 Gaussian assignment. The probability seed is derived from
+    /// `seed` so one seed controls the whole pipeline.
+    pub fn generate(self, scale: f64, seed: u64) -> UncertainDatabase {
+        let det = self.generate_deterministic(scale, seed);
+        assign_probabilities(&det, &self.default_model(), seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Generates with an explicit probability model (Zipf sweeps etc.).
+    pub fn generate_with_model(
+        self,
+        scale: f64,
+        seed: u64,
+        model: &ProbabilityModel,
+    ) -> UncertainDatabase {
+        let det = self.generate_deterministic(scale, seed);
+        assign_probabilities(&det, model, seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_rows_match_paper() {
+        let shape = Benchmark::Kosarak.paper_shape();
+        assert_eq!(shape.num_transactions, 990_002);
+        assert_eq!(shape.num_items, 41_270);
+        assert_eq!(Benchmark::Connect.paper_shape().avg_len, 43.0);
+        assert_eq!(Benchmark::T25I15D320k.paper_shape().num_transactions, 320_000);
+    }
+
+    #[test]
+    fn table7_rows_match_paper() {
+        let d = Benchmark::Gazelle.defaults();
+        assert_eq!((d.mean, d.variance), (0.95, 0.05));
+        assert_eq!(d.min_sup, 0.025);
+        assert_eq!(d.pft, 0.9);
+        assert_eq!(Benchmark::Kosarak.defaults().min_sup, 0.000_5);
+        assert_eq!(Benchmark::Accident.defaults().mean, 0.5);
+    }
+
+    #[test]
+    fn density_classification() {
+        assert!(Benchmark::Connect.is_dense());
+        assert!(Benchmark::Accident.is_dense());
+        assert!(!Benchmark::Kosarak.is_dense());
+        assert!(!Benchmark::Gazelle.is_dense());
+    }
+
+    #[test]
+    fn generate_matches_shape_at_small_scale() {
+        for b in [Benchmark::Connect, Benchmark::Gazelle] {
+            let shape = b.paper_shape();
+            let udb = b.generate(0.01, 123);
+            let want_n = (shape.num_transactions as f64 * 0.01).round() as usize;
+            assert_eq!(udb.num_transactions(), want_n, "{}", b.name());
+            assert_eq!(udb.num_items(), shape.num_items);
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = Benchmark::Gazelle.generate(0.01, 5);
+        let b = Benchmark::Gazelle.generate(0.01, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_model_produces_sparser_data_at_high_skew() {
+        let low = Benchmark::Connect.generate_with_model(0.005, 3, &ProbabilityModel::zipf(0.8));
+        let high = Benchmark::Connect.generate_with_model(0.005, 3, &ProbabilityModel::zipf(2.0));
+        let units = |db: &UncertainDatabase| -> usize {
+            db.transactions().iter().map(|t| t.len()).sum()
+        };
+        assert!(
+            units(&high) < units(&low),
+            "skew 2.0 should drop more units: {} vs {}",
+            units(&high),
+            units(&low)
+        );
+    }
+
+    #[test]
+    fn names_cover_all() {
+        let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Connect", "Accident", "Kosarak", "Gazelle", "T25I15D320k"]
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the data substrate: format round-trips,
+//! generator invariants, probability-model ranges.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Cursor;
+use ufim_data::deterministic::DeterministicDatabase;
+use ufim_data::fimi;
+use ufim_data::prob::{assign_probabilities, ProbabilityModel, GAUSSIAN_P_MIN};
+
+fn raw_db() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    vec(vec(0u32..50, 0..8), 0..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fimi_roundtrip_any_db(raw in raw_db()) {
+        let db = DeterministicDatabase::new(raw);
+        let mut buf = Vec::new();
+        fimi::write_fimi(&db, &mut buf).unwrap();
+        let back = fimi::read_fimi(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back.transactions(), db.transactions());
+    }
+
+    #[test]
+    fn uncertain_fimi_roundtrip_bitwise(raw in raw_db(), seed in 0u64..1000) {
+        let det = DeterministicDatabase::new(raw);
+        let udb = assign_probabilities(
+            &det,
+            &ProbabilityModel::Gaussian { mean: 0.6, variance: 0.2 },
+            seed,
+        );
+        let mut buf = Vec::new();
+        fimi::write_uncertain(&udb, &mut buf).unwrap();
+        let back = fimi::read_uncertain(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back.num_transactions(), udb.num_transactions());
+        for (a, b) in back.transactions().iter().zip(udb.transactions()) {
+            prop_assert_eq!(a.items(), b.items());
+            prop_assert_eq!(a.probs(), b.probs()); // bitwise
+        }
+    }
+
+    #[test]
+    fn gaussian_samples_always_valid(mean in 0u32..=10, variance in 0u32..=10, seed in 0u64..500) {
+        let m = ProbabilityModel::Gaussian {
+            mean: mean as f64 / 10.0,
+            variance: variance as f64 / 10.0,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let p = m.sample(&mut rng);
+            prop_assert!((GAUSSIAN_P_MIN..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn zipf_samples_on_grid(skew in 1u32..=30, levels in 1usize..=20, seed in 0u64..500) {
+        let m = ProbabilityModel::Zipf { skew: skew as f64 / 10.0, levels };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let p = m.sample(&mut rng);
+            prop_assert!((0.0..=1.0).contains(&p));
+            let scaled = p * levels as f64;
+            prop_assert!((scaled - scaled.round()).abs() < 1e-9, "p={} not on grid", p);
+        }
+    }
+
+    #[test]
+    fn assignment_preserves_transaction_count_and_items(raw in raw_db(), seed in 0u64..500) {
+        let det = DeterministicDatabase::new(raw);
+        let udb = assign_probabilities(&det, &ProbabilityModel::zipf(1.2), seed);
+        prop_assert_eq!(udb.num_transactions(), det.num_transactions());
+        prop_assert_eq!(udb.num_items(), det.num_items());
+        // Every unit surviving assignment appears in the deterministic row.
+        for (u, d) in udb.transactions().iter().zip(det.transactions()) {
+            for (item, p) in u.units() {
+                prop_assert!(d.contains(&item));
+                prop_assert!(p > 0.0 && p <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic_in_seed(raw in raw_db(), seed in 0u64..500) {
+        let det = DeterministicDatabase::new(raw);
+        let m = ProbabilityModel::Uniform { lo: 0.1, hi: 0.9 };
+        let a = assign_probabilities(&det, &m, seed);
+        let b = assign_probabilities(&det, &m, seed);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Generators are expensive; their shape properties are checked once per
+/// generator at fixed seeds rather than per proptest case.
+#[test]
+fn generator_shapes_are_stable_across_seeds() {
+    use ufim_data::registry::Benchmark;
+    for seed in [1u64, 99, 12345] {
+        for b in [Benchmark::Connect, Benchmark::Gazelle] {
+            let det = b.generate_deterministic(0.005, seed);
+            let shape = b.paper_shape();
+            assert_eq!(det.num_items(), shape.num_items);
+            let len = det.avg_transaction_len();
+            assert!(
+                (len - shape.avg_len).abs() / shape.avg_len < 0.25,
+                "{} seed {seed}: {len} vs {}",
+                b.name(),
+                shape.avg_len
+            );
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Precision and recall of approximate mining results (paper §4.4,
+//! Tables 8–9).
+//!
+//! With `AR` the approximate result set and `ER` the exact result set:
+//! `precision = |AR ∩ ER| / |AR|`, `recall = |AR ∩ ER| / |ER|`.
+
+use ufim_core::{FxHashSet, Itemset, MiningResult};
+
+/// A precision/recall pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Accuracy {
+    /// `|AR ∩ ER| / |AR|` — 1.0 when `AR` is empty (no false positives).
+    pub precision: f64,
+    /// `|AR ∩ ER| / |ER|` — 1.0 when `ER` is empty (nothing to miss).
+    pub recall: f64,
+}
+
+impl Accuracy {
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// Computes precision and recall of `approximate` against `exact`.
+///
+/// Only itemset membership is compared (the paper's measure); supports and
+/// probabilities are ignored.
+pub fn precision_recall(approximate: &MiningResult, exact: &MiningResult) -> Accuracy {
+    let ar: FxHashSet<&Itemset> = approximate.itemsets.iter().map(|f| &f.itemset).collect();
+    let er: FxHashSet<&Itemset> = exact.itemsets.iter().map(|f| &f.itemset).collect();
+    let inter = ar.intersection(&er).count() as f64;
+    Accuracy {
+        precision: if ar.is_empty() { 1.0 } else { inter / ar.len() as f64 },
+        recall: if er.is_empty() { 1.0 } else { inter / er.len() as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufim_core::FrequentItemset;
+
+    fn result_of(sets: &[&[u32]]) -> MiningResult {
+        MiningResult {
+            itemsets: sets
+                .iter()
+                .map(|s| FrequentItemset::with_esup(Itemset::from_items(s.iter().copied()), 1.0))
+                .collect(),
+            stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn perfect_agreement() {
+        let a = result_of(&[&[1], &[2], &[1, 2]]);
+        let acc = precision_recall(&a, &a);
+        assert_eq!(acc.precision, 1.0);
+        assert_eq!(acc.recall, 1.0);
+        assert_eq!(acc.f1(), 1.0);
+    }
+
+    #[test]
+    fn false_positives_hit_precision() {
+        let approx = result_of(&[&[1], &[2], &[3]]);
+        let exact = result_of(&[&[1], &[2]]);
+        let acc = precision_recall(&approx, &exact);
+        assert!((acc.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(acc.recall, 1.0);
+    }
+
+    #[test]
+    fn false_negatives_hit_recall() {
+        let approx = result_of(&[&[1]]);
+        let exact = result_of(&[&[1], &[2]]);
+        let acc = precision_recall(&approx, &exact);
+        assert_eq!(acc.precision, 1.0);
+        assert!((acc.recall - 0.5).abs() < 1e-12);
+        assert!((acc.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_conventions() {
+        let empty = result_of(&[]);
+        let nonempty = result_of(&[&[1]]);
+        let acc = precision_recall(&empty, &nonempty);
+        assert_eq!(acc.precision, 1.0);
+        assert_eq!(acc.recall, 0.0);
+        let acc = precision_recall(&nonempty, &empty);
+        assert_eq!(acc.precision, 0.0);
+        assert_eq!(acc.recall, 1.0);
+        let acc = precision_recall(&empty, &empty);
+        assert_eq!(acc.precision, 1.0);
+        assert_eq!(acc.recall, 1.0);
+        assert_eq!(acc.f1(), 1.0);
+    }
+
+    #[test]
+    fn f1_zero_when_disjoint() {
+        let a = result_of(&[&[1]]);
+        let b = result_of(&[&[2]]);
+        assert_eq!(precision_recall(&a, &b).f1(), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # ufim-metrics
+//!
+//! Measurement substrate for the experimental study: the paper evaluates
+//! every algorithm on **running time**, **memory cost**, and (for the
+//! approximate miners) **precision/recall** (§4.1). This crate provides
+//! those three instruments plus the plain-text table renderer the harness
+//! prints paper-shaped results with.
+//!
+//! * [`alloc::CountingAllocator`] — a global-allocator wrapper tracking
+//!   current and peak heap bytes; install it in a binary with
+//!   `#[global_allocator]` and bracket a run with [`alloc::reset_peak`] /
+//!   [`alloc::peak_bytes`] to get the paper's "Memory Cost (MB)" metric.
+//! * [`time::Stopwatch`] and [`time::measure`] — wall-clock timing.
+//! * [`accuracy`] — precision/recall of an approximate result against an
+//!   exact one (Tables 8–9).
+//! * [`table`] — fixed-width table rendering for harness output.
+
+// `deny`, not `forbid`: the allocator module needs a scoped exception for
+// the unavoidable `unsafe impl GlobalAlloc` (bodies delegate to `System`).
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod alloc;
+pub mod plot;
+pub mod table;
+pub mod time;
+
+pub use accuracy::{precision_recall, Accuracy};
+pub use alloc::CountingAllocator;
+pub use plot::AsciiChart;
+pub use table::Table;
+pub use time::{measure, Stopwatch};

@@ -1,0 +1,145 @@
+//! Fixed-width plain-text tables for harness output.
+//!
+//! The experiment harness prints paper-shaped rows; this renderer keeps the
+//! formatting logic in one place (column sizing, alignment, separators) so
+//! every `fig*`/`table*` subcommand reads the same.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept (the
+    /// widest row wins).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with left-aligned first column and right-aligned numeric-ish
+    /// remaining columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let consider = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        consider(&mut widths, &self.header);
+        for r in &self.rows {
+            consider(&mut widths, r);
+        }
+
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String], widths: &[usize]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    let _ = write!(out, "{cell:<w$}");
+                } else {
+                    let _ = write!(out, "  {cell:>w$}");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            write_row(&mut out, r, &widths);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats seconds the way the paper's figures label them.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.0}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Formats a byte count as MB with sensible precision.
+pub fn fmt_mb(bytes: usize) -> String {
+    let mb = bytes as f64 / (1024.0 * 1024.0);
+    if mb < 1.0 {
+        format!("{:.0}KB", bytes as f64 / 1024.0)
+    } else {
+        format!("{mb:.1}MB")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["dataset", "time", "mem"]);
+        t.row(["Connect", "10.5s", "120MB"]);
+        t.row(["Kosarak-long-name", "3.2s", "80MB"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("dataset"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // All rows equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn tolerates_ragged_rows() {
+        let mut t = Table::new(["a"]);
+        t.row(["x", "y", "z"]);
+        t.row(["only"]);
+        let s = t.render();
+        assert!(s.contains('z'));
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(12.345), "12.35s");
+        assert_eq!(fmt_secs(0.0123), "12.3ms");
+        assert_eq!(fmt_secs(0.000_005), "5µs");
+        assert_eq!(fmt_mb(2048), "2KB");
+        assert_eq!(fmt_mb(10 * 1024 * 1024), "10.0MB");
+    }
+}

@@ -1,0 +1,77 @@
+//! Wall-clock timing.
+
+use std::time::{Duration, Instant};
+
+/// A simple restartable stopwatch.
+#[derive(Clone, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start/restart.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed seconds as `f64` (the unit of every figure in the paper).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Restarts and returns the previous elapsed time.
+    pub fn lap(&mut self) -> Duration {
+        let e = self.started.elapsed();
+        self.started = Instant::now();
+        e
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Times a closure: `(result, elapsed)`.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let sw = Stopwatch::start();
+    let out = f();
+    (out, sw.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let (sum, elapsed) = measure(|| (0..10_000).sum::<u64>());
+        assert_eq!(sum, 49_995_000);
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn lap_restarts() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let first = sw.lap();
+        assert!(first >= Duration::from_millis(2));
+        assert!(sw.elapsed() < first);
+    }
+
+    #[test]
+    fn elapsed_secs_is_consistent() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(1));
+        let secs = sw.elapsed_secs();
+        assert!(secs > 0.0 && secs < 60.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Brute-force oracle: evaluates every itemset straight from the
+//! definitions.
+//!
+//! This is not one of the paper's algorithms — it is the ground truth the
+//! test suites measure the eight real miners against. It explores the
+//! itemset lattice depth-first, computing each itemset's statistics with the
+//! `O(N·|X|)` reference routines from `ufim-core` and the exact
+//! Poisson-Binomial machinery from `ufim-stats`, pruning only by the
+//! (provably sound) anti-monotonicity of each frequency measure.
+
+use ufim_core::prelude::*;
+use ufim_stats::pb::survival_dp;
+
+/// The oracle. `max_len` optionally caps itemset size (handy for bounding
+/// randomized tests); `None` explores the full lattice.
+#[derive(Clone, Debug, Default)]
+pub struct BruteForce {
+    /// Maximum itemset cardinality to report (`None` = unbounded).
+    pub max_len: Option<usize>,
+}
+
+impl BruteForce {
+    /// Unbounded oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Oracle limited to itemsets of at most `max_len` items.
+    pub fn with_max_len(max_len: usize) -> Self {
+        BruteForce {
+            max_len: Some(max_len),
+        }
+    }
+
+    fn depth_ok(&self, len: usize) -> bool {
+        self.max_len.is_none_or(|m| len < m)
+    }
+}
+
+impl MinerInfo for BruteForce {
+    fn name(&self) -> &'static str {
+        "BruteForce"
+    }
+    fn description(&self) -> &'static str {
+        "definition-level oracle (test ground truth, not a paper algorithm)"
+    }
+}
+
+impl ExpectedSupportMiner for BruteForce {
+    fn mine_expected(
+        &self,
+        db: &UncertainDatabase,
+        min_esup: Ratio,
+    ) -> Result<MiningResult, CoreError> {
+        let mut result = MiningResult::default();
+        if db.is_empty() {
+            return Ok(result);
+        }
+        let threshold = min_esup.threshold_real(db.num_transactions());
+        // DFS over the lattice in item order; esup is anti-monotone, so a
+        // failing itemset admits no frequent superset *with the same prefix
+        // extension discipline* — extending only to larger item ids keeps
+        // every itemset reachable exactly once through frequent prefixes
+        // (standard Eclat-style argument: any subset of a frequent itemset
+        // is frequent, in particular its prefixes).
+        let n_items = db.num_items();
+        let mut stack: Vec<Itemset> = (0..n_items).map(Itemset::singleton).collect();
+        while let Some(itemset) = stack.pop() {
+            result.stats.candidates_evaluated += 1;
+            let esup = db.expected_support(itemset.items());
+            if esup < threshold {
+                continue;
+            }
+            if self.depth_ok(itemset.len()) {
+                let last = *itemset.items().last().expect("non-empty");
+                for next in last + 1..n_items {
+                    stack.push(itemset.with_item(next));
+                }
+            }
+            result.itemsets.push(FrequentItemset::with_esup(itemset, esup));
+        }
+        result.canonicalize();
+        Ok(result)
+    }
+}
+
+impl ProbabilisticMiner for BruteForce {
+    fn mine_probabilistic(
+        &self,
+        db: &UncertainDatabase,
+        params: MiningParams,
+    ) -> Result<MiningResult, CoreError> {
+        let mut result = MiningResult::default();
+        if db.is_empty() {
+            return Ok(result);
+        }
+        let msup = params.msup(db.num_transactions());
+        let pft = params.pft.get();
+        let n_items = db.num_items();
+        let mut stack: Vec<Itemset> = (0..n_items).map(Itemset::singleton).collect();
+        while let Some(itemset) = stack.pop() {
+            result.stats.candidates_evaluated += 1;
+            let probs = db.itemset_prob_vector(itemset.items());
+            // Frequent probability is anti-monotone (Bernecker et al. 2009),
+            // so the same prefix-extension DFS is exact.
+            let pr = survival_dp(&probs, msup);
+            result.stats.exact_evaluations += 1;
+            if pr <= pft {
+                continue;
+            }
+            if self.depth_ok(itemset.len()) {
+                let last = *itemset.items().last().expect("non-empty");
+                for next in last + 1..n_items {
+                    stack.push(itemset.with_item(next));
+                }
+            }
+            let (esup, var) = ufim_stats::pb::support_moments(&probs);
+            result.itemsets.push(FrequentItemset {
+                itemset,
+                expected_support: esup,
+                variance: Some(var),
+                frequent_prob: Some(pr),
+            });
+        }
+        result.canonicalize();
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufim_core::examples::{deterministic_small, paper_table1};
+
+    #[test]
+    fn example1_expected_support() {
+        let db = paper_table1();
+        let r = BruteForce::new().mine_expected_ratio(&db, 0.5).unwrap();
+        assert_eq!(
+            r.sorted_itemsets(),
+            vec![Itemset::singleton(0), Itemset::singleton(2)]
+        );
+    }
+
+    #[test]
+    fn low_threshold_finds_pairs() {
+        let db = paper_table1();
+        let r = BruteForce::new().mine_expected_ratio(&db, 0.25).unwrap();
+        // All 6 singletons plus {A,C} (1.84), {A,E} (0.4+0.4=... no: A,E in
+        // T2: .8·.5=.4, T3: .5·.8=.4 → 0.8 < 1.0), {C,E} (T2 .9·.5 + T3
+        // .8·.8 = 1.09 ≥ 1.0 ✓), {A,F}(T1 .64 + T3 .15 = .79 ✗),
+        // {C,F} (T1 .72 + T3 .24 = .96 ✗), {B,D} (T1 .14 + T4 .25 = .39 ✗).
+        assert!(r.get(&Itemset::from_items([0, 2])).is_some());
+        assert!(r.get(&Itemset::from_items([2, 4])).is_some());
+        assert!(r.get(&Itemset::from_items([0, 4])).is_none());
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn probabilistic_example2_style() {
+        let db = paper_table1();
+        // min_sup = 0.5 ⇒ msup = 2. Pr{sup(A) ≥ 2} with probs {.8,.8,.5}:
+        // 1 - Pr[0] - Pr[1] = 1 - .02 - (.8·.2·.5 + .2·.8·.5 + .2·.2·.5)
+        //                   = 1 - .02 - .18 = 0.80.
+        let r = BruteForce::new()
+            .mine_probabilistic_raw(&db, 0.5, 0.7)
+            .unwrap();
+        let a = r.get(&Itemset::singleton(0)).expect("{A} frequent");
+        assert!((a.frequent_prob.unwrap() - 0.80).abs() < 1e-12);
+        // pft above 0.80 excludes {A}.
+        let r2 = BruteForce::new()
+            .mine_probabilistic_raw(&db, 0.5, 0.85)
+            .unwrap();
+        assert!(r2.get(&Itemset::singleton(0)).is_none());
+    }
+
+    #[test]
+    fn deterministic_db_degrades_to_classical_mining() {
+        let db = deterministic_small();
+        // Classical: support({0,1}) = 3/5.
+        let r = BruteForce::new().mine_expected_ratio(&db, 0.6).unwrap();
+        assert!(r.get(&Itemset::from_items([0, 1])).is_some());
+        assert!(r.get(&Itemset::from_items([0, 1, 2])).is_none()); // 2/5
+        // With certainty, probabilistic mining at any pft agrees.
+        let rp = BruteForce::new()
+            .mine_probabilistic_raw(&db, 0.6, 0.5)
+            .unwrap();
+        assert_eq!(r.sorted_itemsets(), rp.sorted_itemsets());
+    }
+
+    #[test]
+    fn max_len_caps_depth() {
+        let db = paper_table1();
+        let r = BruteForce::with_max_len(1)
+            .mine_expected_ratio(&db, 0.25)
+            .unwrap();
+        assert_eq!(r.max_len(), 1);
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn empty_db_yields_empty() {
+        let db = UncertainDatabase::from_transactions(vec![]);
+        assert!(BruteForce::new().mine_expected_ratio(&db, 0.5).unwrap().is_empty());
+        assert!(BruteForce::new()
+            .mine_probabilistic_raw(&db, 0.5, 0.9)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! The level-wise (breadth-first) Apriori scaffold shared by UApriori,
+//! PDUApriori, NDUApriori and the exact probabilistic miners.
+//!
+//! The scaffold owns what is common to all of them — candidate generation by
+//! prefix join, subset-based structural pruning, and the loop over levels —
+//! and delegates the *judgment* (which candidates of a level are frequent,
+//! and with what statistics) to a [`LevelEvaluator`]. That split is exactly
+//! the paper's observation that the four Apriori-framework algorithms differ
+//! only in how they evaluate a candidate's support random variable.
+
+use ufim_core::{
+    FrequentItemset, FxHashSet, Itemset, MinerStats, MiningResult, UncertainDatabase,
+};
+
+/// Judges one level of candidates. Implementations scan the database however
+/// they need (once for expectation-based miners, twice for Chernoff-pruned
+/// exact miners) and return the surviving itemsets with their records.
+pub trait LevelEvaluator {
+    /// Evaluates `candidates` (all of size `level`), pushing survivors into
+    /// the result and updating `stats`.
+    fn evaluate_level(
+        &mut self,
+        db: &UncertainDatabase,
+        level: usize,
+        candidates: &[Itemset],
+        stats: &mut MinerStats,
+    ) -> Vec<FrequentItemset>;
+}
+
+/// Runs the level-wise loop: singletons, then join/prune/evaluate until a
+/// level produces nothing.
+pub fn run_apriori<E: LevelEvaluator>(db: &UncertainDatabase, evaluator: &mut E) -> MiningResult {
+    let mut result = MiningResult::default();
+    if db.is_empty() {
+        return result;
+    }
+
+    // Level 1: every item in the vocabulary is a candidate.
+    let mut candidates: Vec<Itemset> = (0..db.num_items()).map(Itemset::singleton).collect();
+    let mut level = 1usize;
+
+    while !candidates.is_empty() {
+        let frequent = evaluator.evaluate_level(db, level, &candidates, &mut result.stats);
+        if frequent.is_empty() {
+            break;
+        }
+        candidates = generate_candidates(&frequent, &mut result.stats);
+        result.itemsets.extend(frequent);
+        level += 1;
+    }
+    result
+}
+
+/// Apriori candidate generation: join frequent k-itemsets sharing a
+/// (k−1)-prefix, then prune candidates with any infrequent k-subset
+/// (downward closure, which holds for both frequency definitions).
+pub fn generate_candidates(
+    frequent: &[FrequentItemset],
+    stats: &mut MinerStats,
+) -> Vec<Itemset> {
+    let mut sorted: Vec<&Itemset> = frequent.iter().map(|f| &f.itemset).collect();
+    sorted.sort();
+    let frequent_set: FxHashSet<&Itemset> = sorted.iter().copied().collect();
+
+    let mut out = Vec::new();
+    for i in 0..sorted.len() {
+        for j in i + 1..sorted.len() {
+            // Sorted order groups equal prefixes together: once the prefix
+            // differs, no later j can join with i.
+            let Some(joined) = sorted[i].apriori_join(sorted[j]) else {
+                break;
+            };
+            // Subset prune: every (k)-subset of the (k+1)-candidate must be
+            // frequent. The two join parents are by construction; check the
+            // rest.
+            let ok = joined
+                .subsets_dropping_one()
+                .all(|s| frequent_set.contains(&s));
+            if ok {
+                out.push(joined);
+            } else {
+                stats.candidates_pruned_structural += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufim_core::examples::paper_table1;
+    use ufim_core::Ratio;
+
+    /// Minimal evaluator: plain expected-support counting via the reference
+    /// database scan (quadratic, test-only).
+    struct NaiveEsup {
+        threshold: f64,
+    }
+
+    impl LevelEvaluator for NaiveEsup {
+        fn evaluate_level(
+            &mut self,
+            db: &UncertainDatabase,
+            _level: usize,
+            candidates: &[Itemset],
+            stats: &mut MinerStats,
+        ) -> Vec<FrequentItemset> {
+            stats.scans += 1;
+            candidates
+                .iter()
+                .filter_map(|c| {
+                    stats.candidates_evaluated += 1;
+                    let esup = db.expected_support(c.items());
+                    (esup >= self.threshold)
+                        .then(|| FrequentItemset::with_esup(c.clone(), esup))
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn scaffold_reproduces_example1() {
+        let db = paper_table1();
+        let threshold = Ratio::new("min_esup", 0.5).unwrap().threshold_real(4);
+        let mut eval = NaiveEsup { threshold };
+        let result = run_apriori(&db, &mut eval);
+        assert_eq!(
+            result.sorted_itemsets(),
+            vec![Itemset::singleton(0), Itemset::singleton(2)]
+        );
+        // {A,C} was generated as a candidate (both parents frequent) but
+        // fails the threshold, so level 2 is evaluated and empty.
+        assert!(result.stats.scans >= 2);
+    }
+
+    #[test]
+    fn scaffold_finds_multilevel_itemsets() {
+        let db = paper_table1();
+        let mut eval = NaiveEsup { threshold: 1.0 }; // min_esup = 0.25
+        let result = run_apriori(&db, &mut eval);
+        // All six items are frequent; {A,C} has esup 1.84 ≥ 1.0 and more.
+        assert!(result.get(&Itemset::from_items([0, 2])).is_some());
+        let ac = result.get(&Itemset::from_items([0, 2])).unwrap();
+        assert!((ac.expected_support - 1.84).abs() < 1e-12);
+        // Triple {A,C,E}: T2 0.8·0.9·0.5 + T3 0.5·0.8·0.8 = 0.36+0.32 = 0.68.
+        let ace = result.get(&Itemset::from_items([0, 2, 4]));
+        assert!(ace.is_none(), "esup 0.68 < 1.0 must be excluded");
+    }
+
+    #[test]
+    fn empty_db_short_circuits() {
+        let db = UncertainDatabase::from_transactions(vec![]);
+        let mut eval = NaiveEsup { threshold: 1.0 };
+        let result = run_apriori(&db, &mut eval);
+        assert!(result.is_empty());
+        assert_eq!(result.stats.scans, 0);
+    }
+
+    #[test]
+    fn candidate_generation_joins_and_prunes() {
+        let mut stats = MinerStats::default();
+        let freq: Vec<FrequentItemset> = [[1u32, 2], [1, 3], [2, 3], [2, 4]]
+            .iter()
+            .map(|pair| FrequentItemset::with_esup(Itemset::from_items(*pair), 1.0))
+            .collect();
+        let cands = generate_candidates(&freq, &mut stats);
+        // {1,2}+{1,3} → {1,2,3}: all subsets frequent ✓
+        // {2,3}+{2,4} → {2,3,4}: subset {3,4} missing ✗ (structural prune)
+        assert_eq!(cands, vec![Itemset::from_items([1, 2, 3])]);
+        assert_eq!(stats.candidates_pruned_structural, 1);
+    }
+
+    #[test]
+    fn candidate_generation_from_singletons() {
+        let mut stats = MinerStats::default();
+        let freq: Vec<FrequentItemset> = [5u32, 2, 9]
+            .iter()
+            .map(|&i| FrequentItemset::with_esup(Itemset::singleton(i), 1.0))
+            .collect();
+        let mut cands = generate_candidates(&freq, &mut stats);
+        cands.sort();
+        assert_eq!(
+            cands,
+            vec![
+                Itemset::from_items([2, 5]),
+                Itemset::from_items([2, 9]),
+                Itemset::from_items([5, 9]),
+            ]
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Shared mining substrate: the "common basic operations" every algorithm in
+//! the paper's uniform framework is built from.
+
+pub mod apriori;
+pub mod order;
+pub mod scan;
+pub mod trie;
+
+pub use apriori::{run_apriori, LevelEvaluator};
+pub use order::FrequencyOrder;
+pub use trie::CandidateTrie;

@@ -1,0 +1,97 @@
+//! Database-scan primitives over a candidate trie.
+//!
+//! Each function performs exactly one pass over the database, accumulating a
+//! different per-candidate statistic. Every Apriori-framework miner is a
+//! composition of these passes with a judgment rule.
+
+use super::trie::CandidateTrie;
+use ufim_core::{Itemset, MinerStats, UncertainDatabase};
+
+/// Generic pass: calls `f(candidate_index, q)` for every
+/// (transaction, contained candidate) pair with containment probability `q`.
+pub fn scan_with<F: FnMut(u32, f64)>(
+    db: &UncertainDatabase,
+    trie: &CandidateTrie,
+    stats: &mut MinerStats,
+    mut f: F,
+) {
+    stats.scans += 1;
+    for t in db.transactions() {
+        trie.for_each_contained(t.items(), t.probs(), &mut f);
+    }
+}
+
+/// One pass accumulating expected supports: `esup[i] = Σ_t q_t(i)`.
+pub fn scan_esup(
+    db: &UncertainDatabase,
+    candidates: &[Itemset],
+    stats: &mut MinerStats,
+) -> Vec<f64> {
+    let trie = CandidateTrie::build(candidates);
+    let mut esup = vec![0.0f64; candidates.len()];
+    scan_with(db, &trie, stats, |idx, q| esup[idx as usize] += q);
+    esup
+}
+
+/// One pass accumulating expected supports and variances:
+/// `var[i] = Σ_t q_t (1 − q_t)` (the Normal-approximation miners' needs).
+pub fn scan_esup_var(
+    db: &UncertainDatabase,
+    candidates: &[Itemset],
+    stats: &mut MinerStats,
+) -> (Vec<f64>, Vec<f64>) {
+    let trie = CandidateTrie::build(candidates);
+    let mut esup = vec![0.0f64; candidates.len()];
+    let mut var = vec![0.0f64; candidates.len()];
+    scan_with(db, &trie, stats, |idx, q| {
+        esup[idx as usize] += q;
+        var[idx as usize] += q * (1.0 - q);
+    });
+    (esup, var)
+}
+
+/// One pass accumulating expected supports and nonzero-transaction counts —
+/// the pre-pruning pass of the Chernoff-bounded exact miners.
+pub fn scan_esup_count(
+    db: &UncertainDatabase,
+    candidates: &[Itemset],
+    stats: &mut MinerStats,
+) -> (Vec<f64>, Vec<u64>) {
+    let trie = CandidateTrie::build(candidates);
+    let mut esup = vec![0.0f64; candidates.len()];
+    let mut count = vec![0u64; candidates.len()];
+    scan_with(db, &trie, stats, |idx, q| {
+        esup[idx as usize] += q;
+        count[idx as usize] += 1;
+    });
+    (esup, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufim_core::examples::paper_table1;
+
+    #[test]
+    fn scans_agree_with_reference() {
+        let db = paper_table1();
+        let candidates = vec![
+            Itemset::from_items([0]),
+            Itemset::from_items([0, 2]),
+            Itemset::from_items([1, 3]),
+        ];
+        let mut stats = MinerStats::default();
+        let esup = scan_esup(&db, &candidates, &mut stats);
+        let (esup2, var) = scan_esup_var(&db, &candidates, &mut stats);
+        let (esup3, count) = scan_esup_count(&db, &candidates, &mut stats);
+        assert_eq!(stats.scans, 3);
+        for (i, c) in candidates.iter().enumerate() {
+            let (want_e, want_v) = db.support_moments(c.items());
+            assert!((esup[i] - want_e).abs() < 1e-12);
+            assert!((esup2[i] - want_e).abs() < 1e-12);
+            assert!((esup3[i] - want_e).abs() < 1e-12);
+            assert!((var[i] - want_v).abs() < 1e-12);
+            assert_eq!(count[i] as usize, db.itemset_prob_vector(c.items()).len());
+        }
+    }
+}

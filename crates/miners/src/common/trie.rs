@@ -1,0 +1,246 @@
+//! Candidate prefix-trie: the counting structure of every
+//! Apriori-framework miner.
+//!
+//! A level's candidate k-itemsets (sorted item lists) are packed into a
+//! trie; one pass over each transaction then enumerates *all candidates
+//! contained in the transaction* together with their containment
+//! probability `q = Π p`, in a single downward walk. This replaces the
+//! classical hash-tree of Agrawal–Srikant with the same asymptotics and a
+//! flatter memory layout.
+//!
+//! The walk is adaptive: at high-fanout nodes it iterates the transaction
+//! and binary-searches the children; at low-fanout nodes it iterates the
+//! children and binary-searches the transaction — keeping level-1 scans over
+//! 40k-item vocabularies and deep scans over 40-item candidates both fast.
+
+use ufim_core::{ItemId, Itemset};
+
+/// One trie node. Children are stored as a sorted `(item, node_index)` list
+/// in a shared arena.
+struct Node {
+    /// Sorted by item id.
+    children: Vec<(ItemId, u32)>,
+    /// Index of the candidate terminating here, if any.
+    candidate: Option<u32>,
+}
+
+/// A prefix trie over one level's candidate itemsets.
+pub struct CandidateTrie {
+    nodes: Vec<Node>,
+    num_candidates: usize,
+}
+
+impl CandidateTrie {
+    /// Builds the trie; `candidates[i]` keeps index `i` in every callback.
+    pub fn build(candidates: &[Itemset]) -> Self {
+        let mut trie = CandidateTrie {
+            nodes: vec![Node {
+                children: Vec::new(),
+                candidate: None,
+            }],
+            num_candidates: candidates.len(),
+        };
+        for (idx, cand) in candidates.iter().enumerate() {
+            trie.insert(cand.items(), idx as u32);
+        }
+        trie
+    }
+
+    fn insert(&mut self, items: &[ItemId], idx: u32) {
+        let mut node = 0usize;
+        for &item in items {
+            let pos = self.nodes[node]
+                .children
+                .binary_search_by_key(&item, |&(i, _)| i);
+            node = match pos {
+                Ok(p) => self.nodes[node].children[p].1 as usize,
+                Err(p) => {
+                    let new_idx = self.nodes.len() as u32;
+                    self.nodes.push(Node {
+                        children: Vec::new(),
+                        candidate: None,
+                    });
+                    self.nodes[node].children.insert(p, (item, new_idx));
+                    new_idx as usize
+                }
+            };
+        }
+        debug_assert!(
+            self.nodes[node].candidate.is_none(),
+            "duplicate candidate {items:?}"
+        );
+        self.nodes[node].candidate = Some(idx);
+    }
+
+    /// Number of candidates in the trie.
+    pub fn num_candidates(&self) -> usize {
+        self.num_candidates
+    }
+
+    /// Number of trie nodes (including the root) — a memory diagnostic.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Calls `f(candidate_index, q)` for every candidate contained in the
+    /// transaction, where `q` is the product of the members' probabilities.
+    ///
+    /// `items`/`probs` are the transaction's parallel sorted arrays.
+    pub fn for_each_contained<F: FnMut(u32, f64)>(
+        &self,
+        items: &[ItemId],
+        probs: &[f64],
+        f: &mut F,
+    ) {
+        self.walk(0, items, probs, 1.0, f);
+    }
+
+    fn walk<F: FnMut(u32, f64)>(
+        &self,
+        node: usize,
+        items: &[ItemId],
+        probs: &[f64],
+        acc: f64,
+        f: &mut F,
+    ) {
+        let n = &self.nodes[node];
+        if let Some(idx) = n.candidate {
+            f(idx, acc);
+        }
+        if n.children.is_empty() || items.is_empty() {
+            return;
+        }
+        if n.children.len() <= items.len() {
+            // Few children: binary-search each child item in the transaction.
+            for &(item, child) in &n.children {
+                if let Ok(j) = items.binary_search(&item) {
+                    self.walk(
+                        child as usize,
+                        &items[j + 1..],
+                        &probs[j + 1..],
+                        acc * probs[j],
+                        f,
+                    );
+                }
+            }
+        } else {
+            // Few transaction items: binary-search each item in the children.
+            for (j, &item) in items.iter().enumerate() {
+                if let Ok(p) = n.children.binary_search_by_key(&item, |&(i, _)| i) {
+                    let child = n.children[p].1;
+                    self.walk(
+                        child as usize,
+                        &items[j + 1..],
+                        &probs[j + 1..],
+                        acc * probs[j],
+                        f,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufim_core::examples::paper_table1;
+    use ufim_core::UncertainDatabase;
+
+    fn esups_via_trie(db: &UncertainDatabase, candidates: &[Itemset]) -> Vec<f64> {
+        let trie = CandidateTrie::build(candidates);
+        let mut esup = vec![0.0; candidates.len()];
+        for t in db.transactions() {
+            trie.for_each_contained(t.items(), t.probs(), &mut |idx, q| {
+                esup[idx as usize] += q;
+            });
+        }
+        esup
+    }
+
+    #[test]
+    fn singleton_counting_matches_reference() {
+        let db = paper_table1();
+        let candidates: Vec<Itemset> = (0..6).map(Itemset::singleton).collect();
+        let esup = esups_via_trie(&db, &candidates);
+        let want = db.item_expected_supports();
+        for (a, b) in esup.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pair_counting_matches_reference() {
+        let db = paper_table1();
+        let mut candidates = Vec::new();
+        for a in 0..6u32 {
+            for b in a + 1..6u32 {
+                candidates.push(Itemset::from_items([a, b]));
+            }
+        }
+        let esup = esups_via_trie(&db, &candidates);
+        for (cand, got) in candidates.iter().zip(&esup) {
+            let want = db.expected_support(cand.items());
+            assert!(
+                (got - want).abs() < 1e-12,
+                "{cand}: trie {got} vs reference {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_length_candidates() {
+        let db = paper_table1();
+        let candidates = vec![
+            Itemset::from_items([0]),
+            Itemset::from_items([0, 2]),
+            Itemset::from_items([0, 2, 4]),
+            Itemset::from_items([1, 3, 5]),
+        ];
+        let esup = esups_via_trie(&db, &candidates);
+        for (cand, got) in candidates.iter().zip(&esup) {
+            let want = db.expected_support(cand.items());
+            assert!((got - want).abs() < 1e-12, "{cand}");
+        }
+    }
+
+    #[test]
+    fn candidate_absent_from_all_transactions() {
+        let db = paper_table1();
+        // {B, E}: B∈{T1,T2,T4}, E∈{T2,T3}; both only in T2.
+        let candidates = vec![Itemset::from_items([1, 4]), Itemset::from_items([3, 4])];
+        let esup = esups_via_trie(&db, &candidates);
+        assert!((esup[0] - 0.7 * 0.5).abs() < 1e-12);
+        assert_eq!(esup[1], 0.0); // D and E never co-occur
+    }
+
+    #[test]
+    fn empty_trie_and_empty_transaction() {
+        let trie = CandidateTrie::build(&[]);
+        assert_eq!(trie.num_candidates(), 0);
+        let mut called = false;
+        trie.for_each_contained(&[1, 2], &[0.5, 0.5], &mut |_, _| called = true);
+        assert!(!called);
+
+        let trie = CandidateTrie::build(&[Itemset::singleton(1)]);
+        trie.for_each_contained(&[], &[], &mut |_, _| called = true);
+        assert!(!called);
+        assert_eq!(trie.num_nodes(), 2);
+    }
+
+    #[test]
+    fn per_transaction_probability_is_product() {
+        let db = paper_table1();
+        let cand = vec![Itemset::from_items([0, 2])]; // {A, C}
+        let trie = CandidateTrie::build(&cand);
+        let mut qs = Vec::new();
+        for t in db.transactions() {
+            trie.for_each_contained(t.items(), t.probs(), &mut |_, q| qs.push(q));
+        }
+        // A,C co-occur in T1 (0.8·0.9), T2 (0.8·0.9), T3 (0.5·0.8).
+        assert_eq!(qs.len(), 3);
+        assert!((qs[0] - 0.72).abs() < 1e-12);
+        assert!((qs[1] - 0.72).abs() < 1e-12);
+        assert!((qs[2] - 0.40).abs() < 1e-12);
+    }
+}

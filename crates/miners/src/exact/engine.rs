@@ -1,0 +1,374 @@
+//! The shared level-wise engine behind DP/DC ± Chernoff.
+
+use crate::common::apriori::{run_apriori, LevelEvaluator};
+use crate::common::scan::{scan_esup_count, scan_with};
+use crate::common::trie::CandidateTrie;
+use ufim_core::prelude::*;
+use ufim_stats::chernoff::chernoff_prunable;
+use ufim_stats::pb::{pmf_divide_conquer, survival_dp};
+
+/// Which exact frequent-probability kernel a miner uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExactKernel {
+    /// Threshold-truncated dynamic programming, `O(N·msup)` per itemset.
+    DynamicProgramming,
+    /// Divide-and-conquer PMF with FFT convolution, `O(N log N)` per itemset.
+    DivideConquer,
+}
+
+/// The **DP** miner family (paper §3.2.1): `DpMiner::with_pruning()` is DPB,
+/// `DpMiner::without_pruning()` is DPNB.
+#[derive(Clone, Debug)]
+pub struct DpMiner {
+    chernoff: bool,
+}
+
+impl DpMiner {
+    /// DPB: dynamic programming with Chernoff-bound pruning.
+    pub fn with_pruning() -> Self {
+        DpMiner { chernoff: true }
+    }
+    /// DPNB: dynamic programming, no bound.
+    pub fn without_pruning() -> Self {
+        DpMiner { chernoff: false }
+    }
+}
+
+impl MinerInfo for DpMiner {
+    fn name(&self) -> &'static str {
+        if self.chernoff {
+            "DPB"
+        } else {
+            "DPNB"
+        }
+    }
+    fn description(&self) -> &'static str {
+        "exact frequent probability via O(N·msup) dynamic programming (Apriori framework)"
+    }
+}
+
+/// The **DC** miner family (paper §3.2.2): `DcMiner::with_pruning()` is DCB,
+/// `DcMiner::without_pruning()` is DCNB.
+#[derive(Clone, Debug)]
+pub struct DcMiner {
+    chernoff: bool,
+}
+
+impl DcMiner {
+    /// DCB: divide-and-conquer with Chernoff-bound pruning.
+    pub fn with_pruning() -> Self {
+        DcMiner { chernoff: true }
+    }
+    /// DCNB: divide-and-conquer, no bound.
+    pub fn without_pruning() -> Self {
+        DcMiner { chernoff: false }
+    }
+}
+
+impl MinerInfo for DcMiner {
+    fn name(&self) -> &'static str {
+        if self.chernoff {
+            "DCB"
+        } else {
+            "DCNB"
+        }
+    }
+    fn description(&self) -> &'static str {
+        "exact frequent probability via divide-and-conquer + FFT convolution (Apriori framework)"
+    }
+}
+
+/// Per-level evaluator implementing the two-phase (B) or single-phase (NB)
+/// exact evaluation.
+struct ExactEvaluator {
+    kernel: ExactKernel,
+    chernoff: bool,
+    msup: usize,
+    msup_real: f64,
+    pft: f64,
+}
+
+impl ExactEvaluator {
+    /// Exact survival for one candidate's probability vector.
+    fn survival(&self, probs: &[f64], stats: &mut MinerStats) -> f64 {
+        stats.exact_evaluations += 1;
+        match self.kernel {
+            ExactKernel::DynamicProgramming => survival_dp(probs, self.msup),
+            ExactKernel::DivideConquer => {
+                // Saturated PMF: index msup is Pr{sup ≥ msup}.
+                let pmf = pmf_divide_conquer(probs, Some(self.msup));
+                if self.msup < pmf.len() {
+                    pmf[self.msup]
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+impl LevelEvaluator for ExactEvaluator {
+    fn evaluate_level(
+        &mut self,
+        db: &UncertainDatabase,
+        _level: usize,
+        candidates: &[Itemset],
+        stats: &mut MinerStats,
+    ) -> Vec<FrequentItemset> {
+        stats.candidates_evaluated += candidates.len() as u64;
+
+        // Select survivors for the exact phase.
+        let (esup, survivors): (Vec<f64>, Vec<u32>) = if self.chernoff {
+            // Phase A (cheap scan): esup + nonzero count per candidate.
+            let (esup, count) = scan_esup_count(db, candidates, stats);
+            let mut survivors = Vec::new();
+            for idx in 0..candidates.len() {
+                if (count[idx] as usize) < self.msup {
+                    stats.candidates_pruned_count += 1;
+                } else if chernoff_prunable(esup[idx], self.msup_real, self.pft) {
+                    stats.candidates_pruned_chernoff += 1;
+                } else {
+                    survivors.push(idx as u32);
+                }
+            }
+            (esup, survivors)
+        } else {
+            // NB: everything goes to the exact phase; esup still accumulated
+            // (it is part of the reported record and costs the same scan).
+            let (esup, _count) = scan_esup_count(db, candidates, stats);
+            (esup, (0..candidates.len() as u32).collect())
+        };
+
+        if survivors.is_empty() {
+            return Vec::new();
+        }
+
+        // Phase B (exact): gather survivors' probability vectors in one
+        // scan, then run the kernel. A dense survivor-index map keeps the
+        // inner loop branch-free.
+        let mut slot_of = vec![u32::MAX; candidates.len()];
+        for (slot, &idx) in survivors.iter().enumerate() {
+            slot_of[idx as usize] = slot as u32;
+        }
+        let survivor_sets: Vec<Itemset> = survivors
+            .iter()
+            .map(|&i| candidates[i as usize].clone())
+            .collect();
+        let trie = CandidateTrie::build(&survivor_sets);
+        let mut qvecs: Vec<Vec<f64>> = vec![Vec::new(); survivors.len()];
+        scan_with(db, &trie, stats, |slot, q| {
+            qvecs[slot as usize].push(q);
+        });
+
+        let mut out = Vec::with_capacity(survivors.len());
+        for (slot, &idx) in survivors.iter().enumerate() {
+            let pr = self.survival(&qvecs[slot], stats);
+            if pr > self.pft {
+                out.push(FrequentItemset {
+                    itemset: candidates[idx as usize].clone(),
+                    expected_support: esup[idx as usize],
+                    variance: None,
+                    frequent_prob: Some(pr),
+                });
+            }
+        }
+        out
+    }
+}
+
+fn mine_exact(
+    kernel: ExactKernel,
+    chernoff: bool,
+    db: &UncertainDatabase,
+    params: MiningParams,
+) -> MiningResult {
+    if db.is_empty() {
+        return MiningResult::default();
+    }
+    let n = db.num_transactions();
+    let mut evaluator = ExactEvaluator {
+        kernel,
+        chernoff,
+        msup: params.msup(n),
+        msup_real: params.min_sup.threshold_real(n),
+        pft: params.pft.get(),
+    };
+    run_apriori(db, &mut evaluator)
+}
+
+impl ProbabilisticMiner for DpMiner {
+    fn mine_probabilistic(
+        &self,
+        db: &UncertainDatabase,
+        params: MiningParams,
+    ) -> Result<MiningResult, CoreError> {
+        Ok(mine_exact(
+            ExactKernel::DynamicProgramming,
+            self.chernoff,
+            db,
+            params,
+        ))
+    }
+}
+
+impl ProbabilisticMiner for DcMiner {
+    fn mine_probabilistic(
+        &self,
+        db: &UncertainDatabase,
+        params: MiningParams,
+    ) -> Result<MiningResult, CoreError> {
+        Ok(mine_exact(
+            ExactKernel::DivideConquer,
+            self.chernoff,
+            db,
+            params,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use ufim_core::examples::{deterministic_small, paper_table1};
+
+    fn all_four() -> Vec<(&'static str, Box<dyn ProbabilisticMiner>)> {
+        vec![
+            ("DPB", Box::new(DpMiner::with_pruning())),
+            ("DPNB", Box::new(DpMiner::without_pruning())),
+            ("DCB", Box::new(DcMiner::with_pruning())),
+            ("DCNB", Box::new(DcMiner::without_pruning())),
+        ]
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(DpMiner::with_pruning().name(), "DPB");
+        assert_eq!(DpMiner::without_pruning().name(), "DPNB");
+        assert_eq!(DcMiner::with_pruning().name(), "DCB");
+        assert_eq!(DcMiner::without_pruning().name(), "DCNB");
+    }
+
+    #[test]
+    fn all_variants_agree_with_oracle_on_paper_db() {
+        let db = paper_table1();
+        for (min_sup, pft) in [(0.5, 0.7), (0.5, 0.85), (0.25, 0.5), (0.75, 0.3), (0.25, 0.9)]
+        {
+            let oracle = BruteForce::new()
+                .mine_probabilistic_raw(&db, min_sup, pft)
+                .unwrap();
+            for (name, miner) in all_four() {
+                let r = miner.mine_probabilistic_raw(&db, min_sup, pft).unwrap();
+                assert_eq!(
+                    r.sorted_itemsets(),
+                    oracle.sorted_itemsets(),
+                    "{name} at min_sup={min_sup}, pft={pft}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_probabilities_are_exact() {
+        let db = paper_table1();
+        let oracle = BruteForce::new()
+            .mine_probabilistic_raw(&db, 0.25, 0.5)
+            .unwrap();
+        for (name, miner) in all_four() {
+            let r = miner.mine_probabilistic_raw(&db, 0.25, 0.5).unwrap();
+            for fi in &r.itemsets {
+                let want = oracle.get(&fi.itemset).expect("same sets").frequent_prob;
+                let got = fi.frequent_prob.expect("exact miners report Pr");
+                assert!(
+                    (got - want.unwrap()).abs() < 1e-9,
+                    "{name} {}: {got} vs {want:?}",
+                    fi.itemset
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chernoff_pruning_fires_but_preserves_results() {
+        // Deterministic-ish DB where many candidates are hopeless: pruning
+        // counters must move, answers must not.
+        let db = deterministic_small();
+        let with = DpMiner::with_pruning()
+            .mine_probabilistic_raw(&db, 0.8, 0.9)
+            .unwrap();
+        let without = DpMiner::without_pruning()
+            .mine_probabilistic_raw(&db, 0.8, 0.9)
+            .unwrap();
+        assert_eq!(with.sorted_itemsets(), without.sorted_itemsets());
+        assert!(
+            with.stats.candidates_pruned_chernoff + with.stats.candidates_pruned_count > 0,
+            "pruning should fire on hopeless candidates: {:?}",
+            with.stats
+        );
+        assert!(
+            with.stats.exact_evaluations <= without.stats.exact_evaluations,
+            "pruning must not increase exact evaluations"
+        );
+    }
+
+    #[test]
+    fn deterministic_db_matches_classical_support() {
+        // With certainty, Pr{sup ≥ msup} ∈ {0,1}: probabilistic mining at
+        // any pft equals classical mining at min_sup.
+        let db = deterministic_small();
+        let r = DcMiner::with_pruning()
+            .mine_probabilistic_raw(&db, 0.6, 0.5)
+            .unwrap();
+        let classical = BruteForce::new().mine_expected_ratio(&db, 0.6).unwrap();
+        assert_eq!(r.sorted_itemsets(), classical.sorted_itemsets());
+        for fi in &r.itemsets {
+            assert_eq!(fi.frequent_prob, Some(1.0), "{}", fi.itemset);
+        }
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = UncertainDatabase::from_transactions(vec![]);
+        for (_, miner) in all_four() {
+            assert!(miner
+                .mine_probabilistic_raw(&db, 0.5, 0.9)
+                .unwrap()
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn dc_and_dp_kernels_agree_on_larger_random_db() {
+        // 60 transactions of up to 6 items — large enough for multi-level
+        // recursion, small enough for the oracle.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        let transactions: Vec<Transaction> = (0..60)
+            .map(|_| {
+                let units: Vec<(u32, f64)> = (0..6u32)
+                    .filter_map(|i| {
+                        if rng.gen_bool(0.5) {
+                            Some((i, rng.gen_range(0.05..=1.0)))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                Transaction::new(units).unwrap()
+            })
+            .collect();
+        let db = UncertainDatabase::with_num_items(transactions, 6);
+        let oracle = BruteForce::new()
+            .mine_probabilistic_raw(&db, 0.3, 0.6)
+            .unwrap();
+        for (name, miner) in all_four() {
+            let r = miner.mine_probabilistic_raw(&db, 0.3, 0.6).unwrap();
+            assert_eq!(
+                r.sorted_itemsets(),
+                oracle.sorted_itemsets(),
+                "{name} diverged from oracle"
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Exact probabilistic frequent itemset mining (paper §3.2): the dynamic
+//! programming (DP) and divide-and-conquer (DC) algorithms, each with and
+//! without Chernoff-bound pruning (DPB/DPNB/DCB/DCNB).
+//!
+//! Both algorithms run in the shared Apriori scaffold — frequent probability
+//! is anti-monotone (Bernecker et al. 2009), so downward closure justifies
+//! level-wise candidate generation — and differ only in the kernel that
+//! turns a candidate's per-transaction probability vector into
+//! `Pr{sup ≥ msup}`:
+//!
+//! * **DP**: threshold-truncated dynamic programming,
+//!   `O(N · msup)` per itemset ([`ufim_stats::pb::survival_dp`]);
+//! * **DC**: divide-and-conquer PMF construction with FFT convolution,
+//!   `O(N log N)` per itemset ([`ufim_stats::pb::pmf_divide_conquer`]).
+//!   DC materializes the candidates' probability vectors, trading memory
+//!   for speed — the paper's Fig 5 memory plots show exactly this.
+//!
+//! The `B` variants run a cheap pre-pass per level (expected support +
+//! nonzero count in one scan), prune candidates whose Chernoff upper bound
+//! (§3.2.3, Lemma 1) already fails `pft` — plus the free *count* shortcut
+//! `|{t : q_t > 0}| < msup ⇒ Pr = 0` — and only then pay the exact kernel
+//! for survivors. The `NB` variants evaluate every candidate exactly.
+
+mod engine;
+
+pub use engine::{DcMiner, DpMiner, ExactKernel};

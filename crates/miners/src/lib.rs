@@ -1,0 +1,66 @@
+//! # ufim-miners
+//!
+//! The eight representative frequent-itemset mining algorithms over
+//! uncertain databases studied by Tong et al. (VLDB 2012), plus a
+//! brute-force oracle, all built on one shared implementation framework —
+//! exactly the paper's methodological point ("uniform baseline
+//! implementations … adopt common basic operations").
+//!
+//! | group | miner | paper § | strategy |
+//! |---|---|---|---|
+//! | expected-support | [`UApriori`] | 3.1.1 | breadth-first, candidate trie |
+//! | expected-support | [`UFPGrowth`] | 3.1.2 | depth-first, UFP-tree |
+//! | expected-support | [`UHMine`] | 3.1.3 | depth-first, UH-Struct |
+//! | exact probabilistic | [`DpMiner`] (DP/DPB/DPNB) | 3.2.1 | Apriori + `O(N·msup)` DP |
+//! | exact probabilistic | [`DcMiner`] (DC/DCB/DCNB) | 3.2.2 | Apriori + divide-&-conquer/FFT |
+//! | approximate | [`PDUApriori`] | 3.3.1 | Poisson λ-inversion + UApriori |
+//! | approximate | [`NDUApriori`] | 3.3.2 | Apriori + Normal CDF |
+//! | approximate | [`NDUHMine`] | 3.3.3 | UH-Mine + Normal CDF |
+//!
+//! The `B`/`NB` suffixes select Chernoff-bound pruning (§3.2.3) on the exact
+//! miners. [`BruteForce`] evaluates every itemset directly from the
+//! definitions and anchors the test suites.
+//!
+//! The shared substrate lives in [`common`]: frequency ordering, the
+//! candidate prefix-trie used by every Apriori-framework miner, and the
+//! level-wise scaffold.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod common;
+pub mod exact;
+pub mod ndu_apriori;
+pub mod nduh_mine;
+pub mod pdu_apriori;
+pub mod postprocess;
+pub mod registry;
+pub mod uapriori;
+pub mod ufp_growth;
+pub mod uh_mine;
+
+pub use brute::BruteForce;
+pub use exact::{DcMiner, DpMiner};
+pub use ndu_apriori::NDUApriori;
+pub use nduh_mine::NDUHMine;
+pub use pdu_apriori::PDUApriori;
+pub use postprocess::{closed, containing, maximal, top_k_by_expected_support};
+pub use registry::{Algorithm, AlgorithmGroup};
+pub use uapriori::UApriori;
+pub use ufp_growth::UFPGrowth;
+pub use uh_mine::UHMine;
+
+/// Convenient glob-import: `use ufim_miners::prelude::*;`
+pub mod prelude {
+    pub use crate::brute::BruteForce;
+    pub use crate::exact::{DcMiner, DpMiner};
+    pub use crate::ndu_apriori::NDUApriori;
+    pub use crate::nduh_mine::NDUHMine;
+    pub use crate::pdu_apriori::PDUApriori;
+    pub use crate::registry::{Algorithm, AlgorithmGroup};
+    pub use crate::uapriori::UApriori;
+    pub use crate::ufp_growth::UFPGrowth;
+    pub use crate::uh_mine::UHMine;
+    pub use ufim_core::traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
+}

@@ -1,0 +1,211 @@
+//! **NDUH-Mine** — the paper's own contribution (§3.3.3): UH-Mine's
+//! hyper-structure married to the Normal approximation.
+//!
+//! UH-Mine dominates the expected-support miners on sparse data; the Normal
+//! approximation turns `(esup, Var)` into a frequent probability at no extra
+//! asymptotic cost. NDUH-Mine therefore runs the UH-Mine depth-first walk
+//! with variance accumulation switched on and judges each extension by
+//! `Pr(X) ≈ 1 − Φ((msup − 0.5 − esup)/√Var) > pft` — "a win-win partnership
+//! in sparse uncertain databases".
+//!
+//! Implementation note: this module is intentionally thin. The whole
+//! algorithm is [`crate::uh_mine`]'s engine with a different judgment
+//! closure — precisely mirroring how the paper derives it from UH-Mine.
+
+use crate::common::order::FrequencyOrder;
+use crate::uh_mine::UhEngine;
+use ufim_core::prelude::*;
+use ufim_stats::normal::normal_survival_with_continuity;
+
+/// The NDUH-Mine miner.
+#[derive(Clone, Debug, Default)]
+pub struct NDUHMine {
+    _private: (),
+}
+
+impl NDUHMine {
+    /// Creates the miner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MinerInfo for NDUHMine {
+    fn name(&self) -> &'static str {
+        "NDUH-Mine"
+    }
+    fn description(&self) -> &'static str {
+        "UH-Mine hyper-structure + Normal (CLT) frequent-probability judgment (the paper's novel algorithm)"
+    }
+}
+
+impl ProbabilisticMiner for NDUHMine {
+    fn mine_probabilistic(
+        &self,
+        db: &UncertainDatabase,
+        params: MiningParams,
+    ) -> Result<MiningResult, CoreError> {
+        let mut result = MiningResult::default();
+        if db.is_empty() {
+            return Ok(result);
+        }
+        let n = db.num_transactions();
+        let msup = params.msup(n);
+        let pft = params.pft.get();
+
+        // Level-1 filtering, exactly as NDUApriori prunes items: one scan
+        // accumulates each item's (esup, var); only items whose
+        // Normal-approximated frequent probability clears pft enter the
+        // UH-Struct. The true frequent probability is anti-monotone, so
+        // dropping failing items loses nothing within the approximation —
+        // and keeps the structure proportional to the *frequent* item mass,
+        // which is the whole point of UH-Mine on sparse data.
+        let mut esup = vec![0.0f64; db.num_items() as usize];
+        let mut var = vec![0.0f64; db.num_items() as usize];
+        for t in db.transactions() {
+            for (item, p) in t.units() {
+                esup[item as usize] += p;
+                var[item as usize] += p * (1.0 - p);
+            }
+        }
+        result.stats.scans += 1;
+        let selection: Vec<(ItemId, f64)> = (0..db.num_items())
+            .filter(|&i| {
+                normal_survival_with_continuity(esup[i as usize], var[i as usize], msup) > pft
+            })
+            .map(|i| (i, esup[i as usize]))
+            .collect();
+        let order = FrequencyOrder::from_selection(db.num_items(), selection);
+        if order.is_empty() {
+            return Ok(result);
+        }
+
+        let judge = move |esup: f64, var: f64| {
+            normal_survival_with_continuity(esup, var, msup) > pft
+        };
+        let (mut engine, rows) =
+            UhEngine::build(db, &order, true, judge, &mut result.stats);
+        let mut prefix = Vec::new();
+        engine.mine(&mut prefix, &rows, &mut result);
+
+        // Fill in the probabilities the judgment computed from each
+        // itemset's recorded moments.
+        for fi in &mut result.itemsets {
+            let pr = normal_survival_with_continuity(
+                fi.expected_support,
+                fi.variance.expect("variance accumulation is on"),
+                msup,
+            );
+            fi.frequent_prob = Some(pr);
+        }
+        result.canonicalize();
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use crate::ndu_apriori::NDUApriori;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use ufim_core::examples::paper_table1;
+
+    #[test]
+    fn reports_probabilities() {
+        let db = paper_table1();
+        let r = NDUHMine::new()
+            .mine_probabilistic_raw(&db, 0.25, 0.5)
+            .unwrap();
+        assert!(!r.is_empty());
+        for fi in &r.itemsets {
+            assert!(fi.frequent_prob.is_some());
+            assert!(fi.variance.is_some());
+        }
+    }
+
+    #[test]
+    fn agrees_with_nduapriori_everywhere() {
+        // Same approximation, different search strategy ⇒ identical answer
+        // sets and probabilities (up to float noise).
+        let mut rng = StdRng::seed_from_u64(42);
+        let transactions: Vec<Transaction> = (0..200)
+            .map(|_| {
+                let units: Vec<(u32, f64)> = (0..5u32)
+                    .filter_map(|i| {
+                        if rng.gen_bool(0.6) {
+                            Some((i, rng.gen_range(0.1..=1.0)))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                Transaction::new(units).unwrap()
+            })
+            .collect();
+        let db = UncertainDatabase::with_num_items(transactions, 5);
+        for (min_sup, pft) in [(0.3, 0.9), (0.2, 0.5), (0.45, 0.7)] {
+            let a = NDUHMine::new()
+                .mine_probabilistic_raw(&db, min_sup, pft)
+                .unwrap();
+            let b = NDUApriori::new()
+                .mine_probabilistic_raw(&db, min_sup, pft)
+                .unwrap();
+            assert_eq!(
+                a.sorted_itemsets(),
+                b.sorted_itemsets(),
+                "min_sup={min_sup} pft={pft}"
+            );
+            for fi in &a.itemsets {
+                let other = b.get(&fi.itemset).unwrap();
+                assert!(
+                    (fi.frequent_prob.unwrap() - other.frequent_prob.unwrap()).abs() < 1e-9,
+                    "{}",
+                    fi.itemset
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tracks_exact_mining_at_scale() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let transactions: Vec<Transaction> = (0..400)
+            .map(|_| {
+                let units: Vec<(u32, f64)> = (0..4u32)
+                    .filter_map(|i| {
+                        if rng.gen_bool(0.65) {
+                            Some((i, rng.gen_range(0.3..=1.0)))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                Transaction::new(units).unwrap()
+            })
+            .collect();
+        let db = UncertainDatabase::with_num_items(transactions, 4);
+        let approx = NDUHMine::new()
+            .mine_probabilistic_raw(&db, 0.4, 0.9)
+            .unwrap();
+        let exact_loose = BruteForce::new()
+            .mine_probabilistic_raw(&db, 0.4, 0.85)
+            .unwrap();
+        for itemset in approx.sorted_itemsets() {
+            assert!(
+                exact_loose.get(&itemset).is_some(),
+                "{itemset}: accepted but exact Pr ≤ 0.85"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = UncertainDatabase::from_transactions(vec![]);
+        assert!(NDUHMine::new()
+            .mine_probabilistic_raw(&db, 0.5, 0.9)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! **PDUApriori** — Poisson-approximation probabilistic mining
+//! (Wang et al. 2010; paper §3.3.1).
+//!
+//! The support of an itemset is Poisson-Binomial; Le Cam's theorem
+//! approximates it by Poisson(λ = esup). Because the Poisson survival
+//! function is monotone increasing in λ, the probabilistic condition
+//! `Pr{Poisson(esup) ≥ msup} > pft` is equivalent to a plain
+//! expected-support threshold `esup > λ*` where λ\* solves
+//! `Pr{Poisson(λ*) ≥ msup} = pft`. PDUApriori computes λ\* once
+//! ([`ufim_stats::poisson::poisson_lambda_for_survival`]) and delegates to
+//! UApriori — the entire probabilistic semantics collapses into one
+//! threshold inversion, which is why the algorithm runs at
+//! expected-support-miner speed.
+//!
+//! As the paper notes, PDUApriori "cannot return the frequent probability
+//! values": it reports membership only (`frequent_prob = None`).
+
+use crate::uapriori::UApriori;
+use ufim_core::prelude::*;
+use ufim_stats::poisson::poisson_lambda_for_survival;
+
+/// The PDUApriori miner.
+#[derive(Clone, Debug, Default)]
+pub struct PDUApriori {
+    _private: (),
+}
+
+impl PDUApriori {
+    /// Creates the miner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The derived expected-support threshold λ\* for a given database size
+    /// and parameters — exposed for tests and the experiment harness.
+    pub fn lambda_star(n: usize, params: MiningParams) -> f64 {
+        let msup = params.msup(n);
+        let pft = params.pft.get();
+        if pft >= 1.0 {
+            // Survival can never strictly exceed 1; unreachable via Ratio,
+            // kept as a guard for direct callers.
+            return f64::INFINITY;
+        }
+        poisson_lambda_for_survival(msup, pft)
+    }
+}
+
+impl MinerInfo for PDUApriori {
+    fn name(&self) -> &'static str {
+        "PDUApriori"
+    }
+    fn description(&self) -> &'static str {
+        "Poisson approximation folded into an expected-support threshold; UApriori framework"
+    }
+}
+
+impl ProbabilisticMiner for PDUApriori {
+    fn mine_probabilistic(
+        &self,
+        db: &UncertainDatabase,
+        params: MiningParams,
+    ) -> Result<MiningResult, CoreError> {
+        if db.is_empty() {
+            return Ok(MiningResult::default());
+        }
+        let n = db.num_transactions();
+        let lambda = Self::lambda_star(n, params);
+        if lambda > n as f64 {
+            // esup(X) ≤ N for every itemset: nothing can qualify.
+            return Ok(MiningResult::default());
+        }
+        // λ*/N is a valid ratio by the guard above; Ratio requires > 0,
+        // which poisson_lambda_for_survival guarantees (msup ≥ 1, pft < 1).
+        let min_esup = Ratio::new("min_esup(λ*/N)", lambda / n as f64)?;
+        let mut result = UApriori::new().mine_expected(db, min_esup)?;
+        // Membership-only semantics: strip nothing, add nothing — esup stays,
+        // probabilities stay None.
+        for fi in &mut result.itemsets {
+            debug_assert!(fi.frequent_prob.is_none());
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use ufim_core::examples::paper_table1;
+    use ufim_stats::poisson::poisson_survival;
+
+    #[test]
+    fn lambda_star_solves_the_survival_equation() {
+        let params = MiningParams::new(0.5, 0.9).unwrap();
+        let lambda = PDUApriori::lambda_star(100, params);
+        assert!((poisson_survival(50, lambda) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reports_membership_without_probabilities() {
+        let db = paper_table1();
+        let r = PDUApriori::new()
+            .mine_probabilistic_raw(&db, 0.25, 0.5)
+            .unwrap();
+        assert!(!r.is_empty());
+        for fi in &r.itemsets {
+            assert!(fi.frequent_prob.is_none(), "{}", fi.itemset);
+        }
+    }
+
+    #[test]
+    fn equivalent_to_uapriori_at_lambda_star() {
+        let db = paper_table1();
+        let params = MiningParams::new(0.5, 0.7).unwrap();
+        let lambda = PDUApriori::lambda_star(db.num_transactions(), params);
+        let direct = PDUApriori::new().mine_probabilistic(&db, params).unwrap();
+        let manual = UApriori::new()
+            .mine_expected_ratio(&db, lambda / db.num_transactions() as f64)
+            .unwrap();
+        assert_eq!(direct.sorted_itemsets(), manual.sorted_itemsets());
+    }
+
+    #[test]
+    fn approximates_oracle_reasonably_on_small_db() {
+        // The Poisson approximation is coarse at N=4, but the *direction*
+        // must hold: anything PDUApriori accepts at a high pft has
+        // substantial exact frequent probability.
+        let db = paper_table1();
+        let approx = PDUApriori::new()
+            .mine_probabilistic_raw(&db, 0.25, 0.6)
+            .unwrap();
+        let exact = BruteForce::new()
+            .mine_probabilistic_raw(&db, 0.25, 0.2)
+            .unwrap();
+        for itemset in approx.sorted_itemsets() {
+            assert!(
+                exact.get(&itemset).is_some(),
+                "{itemset} accepted by PDUApriori but has exact Pr ≤ 0.2"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_lambda_yields_empty() {
+        // min_sup = 1.0 and pft = 0.99 on a tiny DB: λ* exceeds N.
+        let db = paper_table1();
+        let r = PDUApriori::new()
+            .mine_probabilistic_raw(&db, 1.0, 0.99)
+            .unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = UncertainDatabase::from_transactions(vec![]);
+        assert!(PDUApriori::new()
+            .mine_probabilistic_raw(&db, 0.5, 0.9)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Algorithm registry: every miner in the study, addressable by name.
+//!
+//! The experiment harness and examples iterate over this enum to run "all
+//! expected-support miners" or "all approximate miners" exactly as the
+//! paper's Section 4 groups them.
+
+use crate::{
+    BruteForce, DcMiner, DpMiner, NDUApriori, NDUHMine, PDUApriori, UApriori, UFPGrowth, UHMine,
+};
+use ufim_core::traits::{ExpectedSupportMiner, ProbabilisticMiner};
+
+/// The paper's three algorithm groups (§3), plus the testing oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlgorithmGroup {
+    /// Definition 2 miners (§3.1).
+    ExpectedSupport,
+    /// Exact Definition 4 miners (§3.2).
+    ExactProbabilistic,
+    /// Approximate Definition 4 miners (§3.3).
+    ApproximateProbabilistic,
+    /// Not a paper algorithm: ground truth for tests.
+    Oracle,
+}
+
+impl AlgorithmGroup {
+    /// Human-readable group name (paper's section titles).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmGroup::ExpectedSupport => "Expected Support-based Frequent Algorithms",
+            AlgorithmGroup::ExactProbabilistic => "Exact Probabilistic Frequent Algorithms",
+            AlgorithmGroup::ApproximateProbabilistic => {
+                "Approximate Probabilistic Frequent Algorithms"
+            }
+            AlgorithmGroup::Oracle => "Oracle",
+        }
+    }
+}
+
+/// Every algorithm in the study (the eight of Table 10, the un-pruned exact
+/// variants, and the oracle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names are the algorithm names
+pub enum Algorithm {
+    UApriori,
+    UFPGrowth,
+    UHMine,
+    DPB,
+    DPNB,
+    DCB,
+    DCNB,
+    PDUApriori,
+    NDUApriori,
+    NDUHMine,
+    BruteForce,
+}
+
+impl Algorithm {
+    /// The algorithms of the paper's Figure 4 (expected-support study).
+    pub const EXPECTED_SUPPORT: [Algorithm; 3] =
+        [Algorithm::UApriori, Algorithm::UHMine, Algorithm::UFPGrowth];
+
+    /// The algorithms of the paper's Figure 5 (exact probabilistic study).
+    pub const EXACT_PROBABILISTIC: [Algorithm; 4] = [
+        Algorithm::DPNB,
+        Algorithm::DPB,
+        Algorithm::DCNB,
+        Algorithm::DCB,
+    ];
+
+    /// The algorithms of the paper's Figure 6 (approximate study; DCB is the
+    /// exact reference line in those plots).
+    pub const APPROXIMATE: [Algorithm; 4] = [
+        Algorithm::DCB,
+        Algorithm::PDUApriori,
+        Algorithm::NDUApriori,
+        Algorithm::NDUHMine,
+    ];
+
+    /// Canonical name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::UApriori => "UApriori",
+            Algorithm::UFPGrowth => "UFP-growth",
+            Algorithm::UHMine => "UH-Mine",
+            Algorithm::DPB => "DPB",
+            Algorithm::DPNB => "DPNB",
+            Algorithm::DCB => "DCB",
+            Algorithm::DCNB => "DCNB",
+            Algorithm::PDUApriori => "PDUApriori",
+            Algorithm::NDUApriori => "NDUApriori",
+            Algorithm::NDUHMine => "NDUH-Mine",
+            Algorithm::BruteForce => "BruteForce",
+        }
+    }
+
+    /// The group the algorithm belongs to.
+    pub fn group(self) -> AlgorithmGroup {
+        match self {
+            Algorithm::UApriori | Algorithm::UFPGrowth | Algorithm::UHMine => {
+                AlgorithmGroup::ExpectedSupport
+            }
+            Algorithm::DPB | Algorithm::DPNB | Algorithm::DCB | Algorithm::DCNB => {
+                AlgorithmGroup::ExactProbabilistic
+            }
+            Algorithm::PDUApriori | Algorithm::NDUApriori | Algorithm::NDUHMine => {
+                AlgorithmGroup::ApproximateProbabilistic
+            }
+            Algorithm::BruteForce => AlgorithmGroup::Oracle,
+        }
+    }
+
+    /// Instantiates the miner as an expected-support miner, if it is one.
+    pub fn expected_support_miner(self) -> Option<Box<dyn ExpectedSupportMiner>> {
+        match self {
+            Algorithm::UApriori => Some(Box::new(UApriori::new())),
+            Algorithm::UFPGrowth => Some(Box::new(UFPGrowth::new())),
+            Algorithm::UHMine => Some(Box::new(UHMine::new())),
+            Algorithm::BruteForce => Some(Box::new(BruteForce::new())),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the miner as a probabilistic miner, if it is one.
+    pub fn probabilistic_miner(self) -> Option<Box<dyn ProbabilisticMiner>> {
+        match self {
+            Algorithm::DPB => Some(Box::new(DpMiner::with_pruning())),
+            Algorithm::DPNB => Some(Box::new(DpMiner::without_pruning())),
+            Algorithm::DCB => Some(Box::new(DcMiner::with_pruning())),
+            Algorithm::DCNB => Some(Box::new(DcMiner::without_pruning())),
+            Algorithm::PDUApriori => Some(Box::new(PDUApriori::new())),
+            Algorithm::NDUApriori => Some(Box::new(NDUApriori::new())),
+            Algorithm::NDUHMine => Some(Box::new(NDUHMine::new())),
+            Algorithm::BruteForce => Some(Box::new(BruteForce::new())),
+            _ => None,
+        }
+    }
+
+    /// Parses a paper-style name (case-insensitive, dashes optional).
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        let norm: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Some(match norm.as_str() {
+            "uapriori" => Algorithm::UApriori,
+            "ufpgrowth" => Algorithm::UFPGrowth,
+            "uhmine" => Algorithm::UHMine,
+            "dpb" => Algorithm::DPB,
+            "dpnb" => Algorithm::DPNB,
+            "dcb" => Algorithm::DCB,
+            "dcnb" => Algorithm::DCNB,
+            "pduapriori" => Algorithm::PDUApriori,
+            "nduapriori" => Algorithm::NDUApriori,
+            "nduhmine" => Algorithm::NDUHMine,
+            "bruteforce" => Algorithm::BruteForce,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufim_core::examples::paper_table1;
+
+    #[test]
+    fn groups_partition_the_algorithms() {
+        for a in Algorithm::EXPECTED_SUPPORT {
+            assert_eq!(a.group(), AlgorithmGroup::ExpectedSupport);
+            assert!(a.expected_support_miner().is_some());
+            assert!(a.probabilistic_miner().is_none());
+        }
+        for a in Algorithm::EXACT_PROBABILISTIC {
+            assert_eq!(a.group(), AlgorithmGroup::ExactProbabilistic);
+            assert!(a.probabilistic_miner().is_some());
+            assert!(a.expected_support_miner().is_none());
+        }
+        for a in [
+            Algorithm::PDUApriori,
+            Algorithm::NDUApriori,
+            Algorithm::NDUHMine,
+        ] {
+            assert_eq!(a.group(), AlgorithmGroup::ApproximateProbabilistic);
+            assert!(a.probabilistic_miner().is_some());
+        }
+        // The oracle speaks both interfaces.
+        assert!(Algorithm::BruteForce.expected_support_miner().is_some());
+        assert!(Algorithm::BruteForce.probabilistic_miner().is_some());
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for a in [
+            Algorithm::UApriori,
+            Algorithm::UFPGrowth,
+            Algorithm::UHMine,
+            Algorithm::DPB,
+            Algorithm::DPNB,
+            Algorithm::DCB,
+            Algorithm::DCNB,
+            Algorithm::PDUApriori,
+            Algorithm::NDUApriori,
+            Algorithm::NDUHMine,
+            Algorithm::BruteForce,
+        ] {
+            assert_eq!(Algorithm::parse(a.name()), Some(a), "{}", a.name());
+        }
+        assert_eq!(Algorithm::parse("ufp-GROWTH"), Some(Algorithm::UFPGrowth));
+        assert_eq!(Algorithm::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn boxed_miners_run() {
+        let db = paper_table1();
+        for a in Algorithm::EXPECTED_SUPPORT {
+            let m = a.expected_support_miner().unwrap();
+            let r = m.mine_expected_ratio(&db, 0.5).unwrap();
+            assert_eq!(r.len(), 2, "{}", a.name());
+        }
+        for a in Algorithm::EXACT_PROBABILISTIC {
+            let m = a.probabilistic_miner().unwrap();
+            let r = m.mine_probabilistic_raw(&db, 0.5, 0.7).unwrap();
+            assert!(!r.is_empty(), "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn group_names() {
+        assert!(AlgorithmGroup::ExpectedSupport.name().contains("Expected"));
+        assert!(AlgorithmGroup::Oracle.name().contains("Oracle"));
+    }
+}

@@ -1,0 +1,261 @@
+//! **UApriori** — expected-support mining by generate-and-test
+//! (Chui et al. 2007/2008; paper §3.1.1).
+//!
+//! The uncertain extension of classical Apriori: breadth-first level-wise
+//! search where a level's candidates are counted in one database pass
+//! through the shared [candidate trie](crate::common::trie), and an itemset
+//! is frequent iff its *expected* support clears `N · min_esup`. The
+//! downward-closure property carries over from deterministic mining, so
+//! classical join + subset pruning applies unchanged.
+//!
+//! A *decremental pruning* pass (the paper credits it to Chui et al.) is
+//! available behind [`UApriori::with_decremental_pruning`]: after the count,
+//! candidates whose expected support plus the best-possible remaining mass
+//! cannot reach the threshold are dropped early during the scan. Its benefit
+//! is dataset-dependent (the paper: "the most important pruning method in
+//! UApriori is still the traditional Apriori pruning"), so it defaults off
+//! and the `fig4` ablation bench quantifies it.
+
+use crate::common::apriori::{run_apriori, LevelEvaluator};
+use crate::common::scan::{scan_esup, scan_esup_var};
+use ufim_core::prelude::*;
+
+/// The UApriori miner. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct UApriori {
+    /// Also accumulate support variance for each reported itemset (one
+    /// extra multiply-add per transaction pair; used when UApriori serves as
+    /// the engine of Normal-approximation miners).
+    pub compute_variance: bool,
+    /// Enable the decremental upper-bound pruning inside the counting scan.
+    pub decremental_pruning: bool,
+}
+
+impl UApriori {
+    /// Plain UApriori (no variance, no decremental pruning).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// UApriori that records each itemset's support variance.
+    pub fn with_variance() -> Self {
+        UApriori {
+            compute_variance: true,
+            ..Self::default()
+        }
+    }
+
+    /// UApriori with the decremental pruning variant enabled.
+    pub fn with_decremental_pruning() -> Self {
+        UApriori {
+            decremental_pruning: true,
+            ..Self::default()
+        }
+    }
+}
+
+impl MinerInfo for UApriori {
+    fn name(&self) -> &'static str {
+        "UApriori"
+    }
+    fn description(&self) -> &'static str {
+        "breadth-first generate-and-test on expected support (Table 3: no auxiliary structure)"
+    }
+}
+
+struct EsupEvaluator {
+    threshold: f64,
+    compute_variance: bool,
+    decremental: bool,
+}
+
+impl LevelEvaluator for EsupEvaluator {
+    fn evaluate_level(
+        &mut self,
+        db: &UncertainDatabase,
+        _level: usize,
+        candidates: &[Itemset],
+        stats: &mut MinerStats,
+    ) -> Vec<FrequentItemset> {
+        stats.candidates_evaluated += candidates.len() as u64;
+        if self.decremental {
+            return self.evaluate_decremental(db, candidates, stats);
+        }
+        if self.compute_variance {
+            let (esup, var) = scan_esup_var(db, candidates, stats);
+            candidates
+                .iter()
+                .zip(esup)
+                .zip(var)
+                .filter(|((_, e), _)| *e >= self.threshold)
+                .map(|((c, e), v)| FrequentItemset {
+                    itemset: c.clone(),
+                    expected_support: e,
+                    variance: Some(v),
+                    frequent_prob: None,
+                })
+                .collect()
+        } else {
+            let esup = scan_esup(db, candidates, stats);
+            candidates
+                .iter()
+                .zip(esup)
+                .filter(|(_, e)| *e >= self.threshold)
+                .map(|(c, e)| FrequentItemset::with_esup(c.clone(), e))
+                .collect()
+        }
+    }
+}
+
+impl EsupEvaluator {
+    /// Decremental variant: processes transactions with a per-candidate
+    /// *optimistic remainder* — the expected support still attainable if the
+    /// candidate appeared with probability 1 in every remaining transaction.
+    /// Once `esup_so_far + remaining < threshold` the candidate can never be
+    /// frequent; it is dropped from the live set and the trie is rebuilt
+    /// without it, shrinking all later matching work. The bound is checked
+    /// once per chunk (rebuilding per transaction would cost more than it
+    /// saves).
+    fn evaluate_decremental(
+        &self,
+        db: &UncertainDatabase,
+        candidates: &[Itemset],
+        stats: &mut MinerStats,
+    ) -> Vec<FrequentItemset> {
+        use crate::common::trie::CandidateTrie;
+        let n = db.num_transactions();
+        let stride = (n / 16).max(1024);
+        let mut esup = vec![0.0f64; candidates.len()];
+        // `live[k]` maps the current trie's candidate index k to the
+        // original candidate slot.
+        let mut live: Vec<u32> = (0..candidates.len() as u32).collect();
+        let mut trie = CandidateTrie::build(candidates);
+        stats.scans += 1;
+
+        let mut processed = 0usize;
+        while processed < n && !live.is_empty() {
+            let chunk_end = (processed + stride).min(n);
+            for t in &db.transactions()[processed..chunk_end] {
+                trie.for_each_contained(t.items(), t.probs(), &mut |idx, q| {
+                    esup[live[idx as usize] as usize] += q;
+                });
+            }
+            processed = chunk_end;
+            if processed < n {
+                let remaining = (n - processed) as f64;
+                let before = live.len();
+                live.retain(|&orig| esup[orig as usize] + remaining >= self.threshold);
+                if live.len() != before {
+                    stats.candidates_pruned_structural += (before - live.len()) as u64;
+                    let live_sets: Vec<Itemset> = live
+                        .iter()
+                        .map(|&i| candidates[i as usize].clone())
+                        .collect();
+                    trie = CandidateTrie::build(&live_sets);
+                }
+            }
+        }
+        // Only candidates that stayed live have complete counts — and the
+        // pruned ones provably cannot reach the threshold anyway.
+        live.iter()
+            .filter(|&&orig| esup[orig as usize] >= self.threshold)
+            .map(|&orig| {
+                FrequentItemset::with_esup(
+                    candidates[orig as usize].clone(),
+                    esup[orig as usize],
+                )
+            })
+            .collect()
+    }
+}
+
+impl ExpectedSupportMiner for UApriori {
+    fn mine_expected(
+        &self,
+        db: &UncertainDatabase,
+        min_esup: Ratio,
+    ) -> Result<MiningResult, CoreError> {
+        let mut evaluator = EsupEvaluator {
+            threshold: min_esup.threshold_real(db.num_transactions()),
+            compute_variance: self.compute_variance,
+            decremental: self.decremental_pruning,
+        };
+        Ok(run_apriori(db, &mut evaluator))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use ufim_core::examples::{deterministic_small, paper_table1};
+
+    #[test]
+    fn example1_matches_paper() {
+        let db = paper_table1();
+        let r = UApriori::new().mine_expected_ratio(&db, 0.5).unwrap();
+        assert_eq!(
+            r.sorted_itemsets(),
+            vec![Itemset::singleton(0), Itemset::singleton(2)]
+        );
+        let a = r.get(&Itemset::singleton(0)).unwrap();
+        assert!((a.expected_support - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_paper_db() {
+        let db = paper_table1();
+        for min_esup in [0.1, 0.25, 0.3, 0.5, 0.75, 1.0] {
+            let fast = UApriori::new().mine_expected_ratio(&db, min_esup).unwrap();
+            let slow = BruteForce::new().mine_expected_ratio(&db, min_esup).unwrap();
+            assert_eq!(
+                fast.sorted_itemsets(),
+                slow.sorted_itemsets(),
+                "min_esup={min_esup}"
+            );
+        }
+    }
+
+    #[test]
+    fn variance_mode_matches_reference_moments() {
+        let db = paper_table1();
+        let r = UApriori::with_variance()
+            .mine_expected_ratio(&db, 0.25)
+            .unwrap();
+        for fi in &r.itemsets {
+            let (we, wv) = db.support_moments(fi.itemset.items());
+            assert!((fi.expected_support - we).abs() < 1e-12);
+            assert!((fi.variance.unwrap() - wv).abs() < 1e-12, "{}", fi.itemset);
+        }
+    }
+
+    #[test]
+    fn decremental_variant_agrees() {
+        let db = deterministic_small();
+        for min_esup in [0.2, 0.4, 0.6, 0.8] {
+            let plain = UApriori::new().mine_expected_ratio(&db, min_esup).unwrap();
+            let dec = UApriori::with_decremental_pruning()
+                .mine_expected_ratio(&db, min_esup)
+                .unwrap();
+            assert_eq!(
+                plain.sorted_itemsets(),
+                dec.sorted_itemsets(),
+                "min_esup={min_esup}"
+            );
+        }
+    }
+
+    #[test]
+    fn reports_scan_counters() {
+        let db = paper_table1();
+        let r = UApriori::new().mine_expected_ratio(&db, 0.25).unwrap();
+        assert!(r.stats.scans >= 2, "one scan per evaluated level");
+        assert!(r.stats.candidates_evaluated >= 6);
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = UncertainDatabase::from_transactions(vec![]);
+        assert!(UApriori::new().mine_expected_ratio(&db, 0.5).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,343 @@
+//! **UFP-growth** — expected-support mining with a UFP-tree
+//! (Leung et al. 2008; paper §3.1.2).
+//!
+//! The uncertain analog of FP-growth. The UFP-tree stores each node as the
+//! triple the paper describes — *(item label, appearance probability, shared
+//! count)* — and, crucially, two transactions may share a node **only when
+//! both the label and the probability match exactly**. Under continuous
+//! probability assignments that almost never happens, so the tree barely
+//! compresses; the recursive conditional-tree construction then touches many
+//! near-singleton paths. This implementation is deliberately faithful to
+//! that design (it is *the point* of the paper's comparison that UFP-growth
+//! pays for it; see Fig. 4), only generalizing the per-node count to an
+//! accumulated `weight` so conditional trees can carry path multipliers.
+//!
+//! Mining follows FP-growth: process header items bottom-up (least frequent
+//! first); for each item `y`, `esup(suffix ∪ {y})` is the weighted sum of
+//! `p(y)` over `y`'s node list; then a conditional tree is built from the
+//! prefix paths of those nodes, each path re-weighted by `w_node · p(y)`,
+//! and the procedure recurses.
+
+use crate::common::order::FrequencyOrder;
+use ufim_core::prelude::*;
+
+/// The UFP-growth miner.
+#[derive(Clone, Debug, Default)]
+pub struct UFPGrowth {
+    _private: (),
+}
+
+impl UFPGrowth {
+    /// Creates the miner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MinerInfo for UFPGrowth {
+    fn name(&self) -> &'static str {
+        "UFP-growth"
+    }
+    fn description(&self) -> &'static str {
+        "depth-first divide-and-conquer over a UFP-tree (nodes shared only on equal item AND probability)"
+    }
+}
+
+/// One UFP-tree node: `(item-rank, probability, weight)` plus tree links.
+/// `weight` generalizes the paper's count: at build time it is the number of
+/// transactions through the node; in conditional trees it carries the
+/// accumulated path multiplier mass.
+struct UfpNode {
+    rank: u32,
+    prob: f64,
+    weight: f64,
+    parent: u32,
+    /// Children sorted by `(rank, prob bits)` for binary-search insertion.
+    children: Vec<u32>,
+}
+
+/// A UFP-tree over rank-encoded items. `header[rank]` lists every node of
+/// that rank (the paper's horizontal item links).
+struct UfpTree {
+    nodes: Vec<UfpNode>,
+    header: Vec<Vec<u32>>,
+}
+
+const ROOT: u32 = 0;
+
+impl UfpTree {
+    fn new(num_ranks: usize) -> Self {
+        UfpTree {
+            nodes: vec![UfpNode {
+                rank: u32::MAX,
+                prob: 0.0,
+                weight: 0.0,
+                parent: u32::MAX,
+                children: Vec::new(),
+            }],
+            header: vec![Vec::new(); num_ranks],
+        }
+    }
+
+    /// Inserts one (rank-sorted) weighted path, sharing nodes only on exact
+    /// `(rank, probability)` matches — the defining UFP-tree rule.
+    fn insert(&mut self, path: &[(u32, f64)], weight: f64) {
+        let mut node = ROOT;
+        for &(rank, prob) in path {
+            let key = (rank, prob.to_bits());
+            let found = self.nodes[node as usize].children.binary_search_by(|&c| {
+                let cn = &self.nodes[c as usize];
+                (cn.rank, cn.prob.to_bits()).cmp(&key)
+            });
+            node = match found {
+                Ok(pos) => {
+                    let child = self.nodes[node as usize].children[pos];
+                    self.nodes[child as usize].weight += weight;
+                    child
+                }
+                Err(pos) => {
+                    let new_idx = self.nodes.len() as u32;
+                    self.nodes.push(UfpNode {
+                        rank,
+                        prob,
+                        weight,
+                        parent: node,
+                        children: Vec::new(),
+                    });
+                    self.nodes[node as usize].children.insert(pos, new_idx);
+                    self.header[rank as usize].push(new_idx);
+                    new_idx
+                }
+            };
+        }
+    }
+
+    /// The prefix path of a node (exclusive), root-to-parent order.
+    fn prefix_path(&self, mut node: u32) -> Vec<(u32, f64)> {
+        let mut path = Vec::new();
+        node = self.nodes[node as usize].parent;
+        while node != ROOT && node != u32::MAX {
+            let n = &self.nodes[node as usize];
+            path.push((n.rank, n.prob));
+            node = n.parent;
+        }
+        path.reverse();
+        path
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl UFPGrowth {
+    /// Recursive FP-growth-style mining.
+    ///
+    /// `suffix` holds the already-chosen items (original ids); `order` maps
+    /// ranks back to items for output.
+    #[allow(clippy::too_many_arguments)]
+    fn mine_tree(
+        &self,
+        tree: &UfpTree,
+        order: &FrequencyOrder,
+        threshold: f64,
+        suffix: &[ItemId],
+        suffix_esup: f64,
+        out: &mut MiningResult,
+        depth_budget: &mut u64,
+    ) {
+        out.stats.peak_structure_nodes = out
+            .stats
+            .peak_structure_nodes
+            .max(tree.num_nodes() as u64);
+        // Emit the suffix itself (the root call passes an empty suffix).
+        if !suffix.is_empty() {
+            out.itemsets.push(FrequentItemset::with_esup(
+                Itemset::from_items(suffix.iter().copied()),
+                suffix_esup,
+            ));
+        }
+        // Bottom-up over the header: rank r contributes suffix ∪ {item(r)}.
+        for rank in (0..tree.header.len() as u32).rev() {
+            let nodes = &tree.header[rank as usize];
+            if nodes.is_empty() {
+                continue;
+            }
+            out.stats.candidates_evaluated += 1;
+            let esup: f64 = nodes
+                .iter()
+                .map(|&n| {
+                    let node = &tree.nodes[n as usize];
+                    node.weight * node.prob
+                })
+                .sum();
+            if esup < threshold {
+                continue;
+            }
+            let mut new_suffix = Vec::with_capacity(suffix.len() + 1);
+            new_suffix.push(order.item(rank));
+            new_suffix.extend_from_slice(suffix);
+
+            // Conditional pattern base: prefix paths re-weighted by w·p(y).
+            let mut cond = UfpTree::new(rank as usize);
+            let mut inserted_any = false;
+            for &n in nodes {
+                let node = &tree.nodes[n as usize];
+                let path = tree.prefix_path(n);
+                if path.is_empty() {
+                    continue;
+                }
+                cond.insert(&path, node.weight * node.prob);
+                inserted_any = true;
+            }
+            *depth_budget = depth_budget.saturating_sub(1);
+            if inserted_any && *depth_budget > 0 {
+                self.mine_tree(&cond, order, threshold, &new_suffix, esup, out, depth_budget);
+            } else {
+                out.itemsets.push(FrequentItemset::with_esup(
+                    Itemset::from_items(new_suffix.iter().copied()),
+                    esup,
+                ));
+            }
+            out.stats.scans += 1; // each conditional build re-reads node lists
+        }
+    }
+}
+
+impl ExpectedSupportMiner for UFPGrowth {
+    fn mine_expected(
+        &self,
+        db: &UncertainDatabase,
+        min_esup: Ratio,
+    ) -> Result<MiningResult, CoreError> {
+        let mut result = MiningResult::default();
+        if db.is_empty() {
+            return Ok(result);
+        }
+        let threshold = min_esup.threshold_real(db.num_transactions());
+        let order = FrequencyOrder::build(db, threshold);
+        result.stats.scans += 1;
+        if order.is_empty() {
+            return Ok(result);
+        }
+
+        // Build the global UFP-tree: transactions projected onto frequent
+        // items, sorted by decreasing global expected support (Figure 1).
+        let mut tree = UfpTree::new(order.len());
+        for t in db.transactions() {
+            let path = order.project(t.items(), t.probs());
+            if !path.is_empty() {
+                tree.insert(&path, 1.0);
+            }
+        }
+        result.stats.scans += 1;
+
+        // An (ample) recursion budget guards pathological conditional
+        // explosions; it is never hit in the experiments but turns a
+        // hypothetical runaway into truncated-but-sound output.
+        let mut depth_budget = u64::MAX;
+        self.mine_tree(&tree, &order, threshold, &[], 0.0, &mut result, &mut depth_budget);
+        result.canonicalize();
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use ufim_core::examples::{deterministic_small, paper_table1};
+
+    #[test]
+    fn example1_matches_paper() {
+        let db = paper_table1();
+        let r = UFPGrowth::new().mine_expected_ratio(&db, 0.5).unwrap();
+        assert_eq!(
+            r.sorted_itemsets(),
+            vec![Itemset::singleton(0), Itemset::singleton(2)]
+        );
+    }
+
+    #[test]
+    fn figure1_tree_threshold() {
+        // min_esup = 0.25 is the Figure 1 setting: all 6 items frequent.
+        let db = paper_table1();
+        let r = UFPGrowth::new().mine_expected_ratio(&db, 0.25).unwrap();
+        let oracle = BruteForce::new().mine_expected_ratio(&db, 0.25).unwrap();
+        assert_eq!(r.sorted_itemsets(), oracle.sorted_itemsets());
+        // esup values carried through the tree must match the definition.
+        for fi in &r.itemsets {
+            let want = db.expected_support(fi.itemset.items());
+            assert!(
+                (fi.expected_support - want).abs() < 1e-9,
+                "{}: {} vs {}",
+                fi.itemset,
+                fi.expected_support,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_oracle_across_thresholds() {
+        let db = paper_table1();
+        for min_esup in [0.1, 0.2, 0.3, 0.45, 0.6, 0.9] {
+            let fast = UFPGrowth::new().mine_expected_ratio(&db, min_esup).unwrap();
+            let slow = BruteForce::new().mine_expected_ratio(&db, min_esup).unwrap();
+            assert_eq!(
+                fast.sorted_itemsets(),
+                slow.sorted_itemsets(),
+                "min_esup={min_esup}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_sharing_requires_equal_probability() {
+        // Two transactions, same item, different probabilities → two nodes.
+        let db = UncertainDatabase::from_transactions(vec![
+            Transaction::new([(0, 0.5)]).unwrap(),
+            Transaction::new([(0, 0.6)]).unwrap(),
+            Transaction::new([(0, 0.5)]).unwrap(), // shares with the first
+        ]);
+        let r = UFPGrowth::new().mine_expected_ratio(&db, 0.1).unwrap();
+        // esup(0) = 1.6; structure had root + 2 distinct (item,prob) nodes.
+        assert!((r.get(&Itemset::singleton(0)).unwrap().expected_support - 1.6).abs() < 1e-12);
+        assert_eq!(r.stats.peak_structure_nodes, 3);
+    }
+
+    #[test]
+    fn deterministic_compresses_like_fp_tree() {
+        // With all probabilities 1.0 sharing works, so identical
+        // transactions collapse into one path.
+        let db = UncertainDatabase::from_transactions(vec![
+            Transaction::certain([0, 1, 2]);
+            50
+        ]);
+        let r = UFPGrowth::new().mine_expected_ratio(&db, 0.5).unwrap();
+        assert_eq!(r.stats.peak_structure_nodes, 4); // root + one 3-node path
+        assert_eq!(r.len(), 7); // 2^3 - 1 itemsets all frequent
+    }
+
+    #[test]
+    fn deterministic_db_matches_oracle() {
+        let db = deterministic_small();
+        for min_esup in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let fast = UFPGrowth::new().mine_expected_ratio(&db, min_esup).unwrap();
+            let slow = BruteForce::new().mine_expected_ratio(&db, min_esup).unwrap();
+            assert_eq!(
+                fast.sorted_itemsets(),
+                slow.sorted_itemsets(),
+                "min_esup={min_esup}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_db_and_nothing_frequent() {
+        let db = UncertainDatabase::from_transactions(vec![]);
+        assert!(UFPGrowth::new().mine_expected_ratio(&db, 0.5).unwrap().is_empty());
+        let db = paper_table1();
+        assert!(UFPGrowth::new().mine_expected_ratio(&db, 1.0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! **UH-Mine** — expected-support mining over the UH-Struct hyper-structure
+//! (Aggarwal et al. 2009, extending H-Mine; paper §3.1.3).
+//!
+//! All frequent-item-filtered transactions are materialized once into a flat
+//! arena of `(item, probability)` cells, sorted per transaction by global
+//! frequency rank (the paper's Figure 2). Mining is depth-first: a *head
+//! table* for prefix `P` holds, per extension item `y`, the projected rows —
+//! pointers into the arena plus the accumulated prefix multiplier
+//! `m_t = Π_{x∈P} p_t(x)` — and the running expected support
+//! `Σ_t m_t · p_t(y)` (Figure 3). Recursing on `y` just advances each row's
+//! pointer and multiplies in `p_t(y)`; no structure is ever copied, which is
+//! why UH-Mine shines exactly where UFP-growth drowns (sparse data, low
+//! thresholds).
+//!
+//! The same walker accumulates the support *variance* `Σ q_t(1 − q_t)` on
+//! request — that switch is the entire structural difference between UH-Mine
+//! and the paper's novel NDUH-Mine (§3.3.3), which reuses this module.
+
+use crate::common::order::FrequencyOrder;
+use ufim_core::prelude::*;
+
+/// The UH-Mine miner.
+#[derive(Clone, Debug, Default)]
+pub struct UHMine {
+    /// Also accumulate per-itemset support variance (used by NDUH-Mine).
+    pub compute_variance: bool,
+}
+
+impl UHMine {
+    /// Plain UH-Mine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// UH-Mine recording each itemset's support variance.
+    pub fn with_variance() -> Self {
+        UHMine {
+            compute_variance: true,
+        }
+    }
+}
+
+impl MinerInfo for UHMine {
+    fn name(&self) -> &'static str {
+        "UH-Mine"
+    }
+    fn description(&self) -> &'static str {
+        "depth-first search over the UH-Struct (head tables + pointer arena)"
+    }
+}
+
+/// One arena cell: item (as frequency rank) and its probability.
+#[derive(Clone, Copy)]
+struct Cell {
+    rank: u32,
+    prob: f64,
+}
+
+/// A projected transaction row: the cells still ahead of the prefix, plus
+/// the prefix containment probability.
+#[derive(Clone, Copy)]
+pub(crate) struct Row {
+    /// Arena index of the first remaining cell.
+    next: u32,
+    /// Arena index one past the transaction's last cell.
+    end: u32,
+    /// `Π p_t(x)` over the prefix items.
+    mult: f64,
+}
+
+/// The shared mining engine. `judge(esup, var) -> bool` decides whether an
+/// itemset is output *and* expanded (both frequency measures used with this
+/// engine are anti-monotone, the Normal approximation by construction).
+pub(crate) struct UhEngine<'a, J: FnMut(f64, f64) -> bool> {
+    arena: Vec<Cell>,
+    order: &'a FrequencyOrder,
+    compute_variance: bool,
+    judge: J,
+}
+
+impl<'a, J: FnMut(f64, f64) -> bool> UhEngine<'a, J> {
+    /// Builds the UH-Struct and returns the engine plus the initial rows.
+    pub(crate) fn build(
+        db: &UncertainDatabase,
+        order: &'a FrequencyOrder,
+        compute_variance: bool,
+        judge: J,
+        stats: &mut MinerStats,
+    ) -> (Self, Vec<Row>) {
+        let mut arena = Vec::new();
+        let mut rows = Vec::new();
+        for t in db.transactions() {
+            let proj = order.project(t.items(), t.probs());
+            if proj.is_empty() {
+                continue;
+            }
+            let start = arena.len() as u32;
+            arena.extend(proj.iter().map(|&(rank, prob)| Cell { rank, prob }));
+            rows.push(Row {
+                next: start,
+                end: arena.len() as u32,
+                mult: 1.0,
+            });
+        }
+        stats.scans += 1;
+        stats.peak_structure_nodes = stats.peak_structure_nodes.max(arena.len() as u64);
+        (
+            UhEngine {
+                arena,
+                order,
+                compute_variance,
+                judge,
+            },
+            rows,
+        )
+    }
+
+    /// Depth-first expansion of `prefix` over `rows`.
+    pub(crate) fn mine(
+        &mut self,
+        prefix: &mut Vec<ItemId>,
+        rows: &[Row],
+        out: &mut MiningResult,
+    ) {
+        // Head table: per extension rank, accumulated (esup, var) and the
+        // projected rows. Rank-keyed dense storage would waste memory on
+        // wide vocabularies, so use a hash table (the paper's head tables
+        // are equally per-prefix structures).
+        let mut head: FxHashMap<u32, (f64, f64, Vec<Row>)> = FxHashMap::default();
+        for row in rows {
+            let mut pos = row.next;
+            while pos < row.end {
+                let cell = self.arena[pos as usize];
+                let q = row.mult * cell.prob;
+                let entry = head.entry(cell.rank).or_insert_with(|| {
+                    (0.0, 0.0, Vec::new())
+                });
+                entry.0 += q;
+                if self.compute_variance {
+                    entry.1 += q * (1.0 - q);
+                }
+                entry.2.push(Row {
+                    next: pos + 1,
+                    end: row.end,
+                    mult: q,
+                });
+                pos += 1;
+            }
+        }
+        out.stats.scans += 1;
+
+        // Deterministic order: ascending rank (descending global esup).
+        let mut ranks: Vec<u32> = head.keys().copied().collect();
+        ranks.sort_unstable();
+        for rank in ranks {
+            let (esup, var, next_rows) = head.remove(&rank).expect("present");
+            out.stats.candidates_evaluated += 1;
+            if !(self.judge)(esup, var) {
+                continue;
+            }
+            prefix.push(self.order.item(rank));
+            out.itemsets.push(FrequentItemset {
+                itemset: Itemset::from_items(prefix.iter().copied()),
+                expected_support: esup,
+                variance: self.compute_variance.then_some(var),
+                frequent_prob: None,
+            });
+            self.mine(prefix, &next_rows, out);
+            prefix.pop();
+        }
+    }
+}
+
+impl ExpectedSupportMiner for UHMine {
+    fn mine_expected(
+        &self,
+        db: &UncertainDatabase,
+        min_esup: Ratio,
+    ) -> Result<MiningResult, CoreError> {
+        let mut result = MiningResult::default();
+        if db.is_empty() {
+            return Ok(result);
+        }
+        let threshold = min_esup.threshold_real(db.num_transactions());
+        let order = FrequencyOrder::build(db, threshold);
+        result.stats.scans += 1;
+        if order.is_empty() {
+            return Ok(result);
+        }
+        let judge = move |esup: f64, _var: f64| esup >= threshold;
+        let (mut engine, rows) = UhEngine::build(
+            db,
+            &order,
+            self.compute_variance,
+            judge,
+            &mut result.stats,
+        );
+        let mut prefix = Vec::new();
+        engine.mine(&mut prefix, &rows, &mut result);
+        result.canonicalize();
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use ufim_core::examples::{deterministic_small, paper_table1};
+
+    #[test]
+    fn example1_matches_paper() {
+        let db = paper_table1();
+        let r = UHMine::new().mine_expected_ratio(&db, 0.5).unwrap();
+        assert_eq!(
+            r.sorted_itemsets(),
+            vec![Itemset::singleton(0), Itemset::singleton(2)]
+        );
+        assert!((r.get(&Itemset::singleton(2)).unwrap().expected_support - 2.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_oracle_across_thresholds() {
+        let db = paper_table1();
+        for min_esup in [0.1, 0.2, 0.25, 0.3, 0.45, 0.6, 0.9] {
+            let fast = UHMine::new().mine_expected_ratio(&db, min_esup).unwrap();
+            let slow = BruteForce::new().mine_expected_ratio(&db, min_esup).unwrap();
+            assert_eq!(
+                fast.sorted_itemsets(),
+                slow.sorted_itemsets(),
+                "min_esup={min_esup}"
+            );
+        }
+    }
+
+    #[test]
+    fn esup_values_match_definition() {
+        let db = paper_table1();
+        let r = UHMine::new().mine_expected_ratio(&db, 0.25).unwrap();
+        for fi in &r.itemsets {
+            let want = db.expected_support(fi.itemset.items());
+            assert!(
+                (fi.expected_support - want).abs() < 1e-9,
+                "{}: {} vs {}",
+                fi.itemset,
+                fi.expected_support,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn variance_mode_matches_definition() {
+        let db = paper_table1();
+        let r = UHMine::with_variance().mine_expected_ratio(&db, 0.25).unwrap();
+        for fi in &r.itemsets {
+            let (we, wv) = db.support_moments(fi.itemset.items());
+            assert!((fi.expected_support - we).abs() < 1e-9);
+            assert!(
+                (fi.variance.unwrap() - wv).abs() < 1e-9,
+                "{}: {} vs {}",
+                fi.itemset,
+                fi.variance.unwrap(),
+                wv
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_db_matches_oracle() {
+        let db = deterministic_small();
+        for min_esup in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let fast = UHMine::new().mine_expected_ratio(&db, min_esup).unwrap();
+            let slow = BruteForce::new().mine_expected_ratio(&db, min_esup).unwrap();
+            assert_eq!(fast.sorted_itemsets(), slow.sorted_itemsets());
+        }
+    }
+
+    #[test]
+    fn arena_size_tracks_filtered_units() {
+        let db = paper_table1();
+        // At threshold 2.0 only C and A are frequent: the arena holds only
+        // their cells (C in T1..T3, A in T1..T3 → 6 cells).
+        let r = UHMine::new().mine_expected_ratio(&db, 0.5).unwrap();
+        assert_eq!(r.stats.peak_structure_nodes, 6);
+    }
+
+    #[test]
+    fn empty_db_and_high_threshold() {
+        let db = UncertainDatabase::from_transactions(vec![]);
+        assert!(UHMine::new().mine_expected_ratio(&db, 0.5).unwrap().is_empty());
+        let db = paper_table1();
+        assert!(UHMine::new().mine_expected_ratio(&db, 1.0).unwrap().is_empty());
+    }
+}

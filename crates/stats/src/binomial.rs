@@ -1,0 +1,202 @@
+//! Binomial special case of the Poisson-Binomial distribution.
+//!
+//! When every transaction contains an itemset with the *same* probability
+//! `p` — exact for constant probability assignments, near-true for
+//! low-variance Gaussian assignments on uniform data — the support is
+//! Binomial(M, p) and its survival function has the closed form
+//! `Pr{sup ≥ k} = I_p(k, M−k+1)` (regularized incomplete beta), which this
+//! module evaluates through the incomplete gamma machinery already in the
+//! crate via the standard continued-fraction expansion.
+//!
+//! The mining engines use this as a fast path when a probability vector is
+//! detected (within tolerance) to be constant: `O(1)` after the scan
+//! instead of `O(M·msup)`.
+
+use crate::gamma::ln_gamma;
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "C({n},{k}) undefined");
+    ln_gamma((n + 1) as f64) - ln_gamma((k + 1) as f64) - ln_gamma((n - k + 1) as f64)
+}
+
+/// Binomial PMF `C(n,k) p^k (1-p)^{n-k}`, computed in log space.
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p out of range");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// Regularized incomplete beta `I_x(a, b)` via the Lentz continued fraction
+/// (Numerical Recipes `betai`), for `a, b > 0`, `x ∈ [0, 1]`.
+pub fn beta_reg(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta_reg domain: a={a}, b={b}");
+    assert!((0.0..=1.0).contains(&x), "x={x} outside [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Symmetry pick for fast CF convergence.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (front * beta_cf(a, b, x) / a).clamp(0.0, 1.0)
+    } else {
+        (1.0 - front * beta_cf(b, a, 1.0 - x) / b).clamp(0.0, 1.0)
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 400;
+    const EPS: f64 = 1e-15;
+    const FPMIN: f64 = f64::MIN_POSITIVE / EPS;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Binomial survival `Pr{Bin(n, p) ≥ k} = I_p(k, n−k+1)`.
+pub fn binomial_survival(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p out of range");
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    beta_reg(k as f64, (n - k + 1) as f64, p)
+}
+
+/// If `probs` is constant within `tolerance`, returns that probability.
+/// The miners use this to route to the `O(1)` binomial fast path.
+pub fn detect_constant(probs: &[f64], tolerance: f64) -> Option<f64> {
+    let (&first, rest) = probs.split_first()?;
+    rest.iter()
+        .all(|&q| (q - first).abs() <= tolerance)
+        .then_some(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pb::survival_dp;
+
+    #[test]
+    fn ln_choose_small_values() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(10, 0)).abs() < 1e-12);
+        assert!((ln_choose(20, 10) - 184_756f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn ln_choose_rejects_k_gt_n() {
+        ln_choose(3, 4);
+    }
+
+    #[test]
+    fn pmf_normalizes_and_handles_edges() {
+        let total: f64 = (0..=30).map(|k| binomial_pmf(30, k, 0.37)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(binomial_pmf(5, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(5, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(5, 5, 1.0), 1.0);
+        assert_eq!(binomial_pmf(5, 9, 0.5), 0.0);
+    }
+
+    #[test]
+    fn beta_reg_reference_points() {
+        // I_x(1, 1) = x (uniform CDF).
+        for x in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert!((beta_reg(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+        // I_x(2, 2) = 3x² - 2x³.
+        for x in [0.1, 0.4, 0.7] {
+            let want = 3.0 * x * x - 2.0 * x * x * x;
+            assert!((beta_reg(2.0, 2.0, x) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn survival_matches_pmf_sum() {
+        let (n, p) = (40u64, 0.3);
+        for k in 0..=n + 1 {
+            let direct: f64 = (k..=n).map(|j| binomial_pmf(n, j, p)).sum();
+            let closed = binomial_survival(n, k, p);
+            assert!((direct - closed).abs() < 1e-10, "k={k}: {direct} vs {closed}");
+        }
+    }
+
+    #[test]
+    fn survival_matches_poisson_binomial_dp() {
+        let p = 0.42;
+        let probs = vec![p; 64];
+        for msup in [1usize, 10, 27, 40, 64] {
+            let pb = survival_dp(&probs, msup);
+            let bin = binomial_survival(64, msup as u64, p);
+            assert!((pb - bin).abs() < 1e-10, "msup={msup}: {pb} vs {bin}");
+        }
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert_eq!(detect_constant(&[0.5, 0.5, 0.5], 0.0), Some(0.5));
+        assert_eq!(detect_constant(&[0.5, 0.5001], 1e-3), Some(0.5));
+        assert_eq!(detect_constant(&[0.5, 0.6], 1e-3), None);
+        assert_eq!(detect_constant(&[], 0.0), None);
+        assert_eq!(detect_constant(&[0.9], 0.0), Some(0.9));
+    }
+}

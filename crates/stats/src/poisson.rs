@@ -1,0 +1,203 @@
+//! The Poisson distribution and the threshold inversion used by PDUApriori.
+//!
+//! Le Cam's theorem lets the Poisson(λ = esup) distribution stand in for the
+//! Poisson-Binomial support when individual probabilities are small; the
+//! paper's PDUApriori (§3.3.1) exploits monotonicity of the Poisson CDF in λ
+//! to turn the probabilistic threshold `pft` into an *expected-support*
+//! threshold λ\*, then runs plain UApriori.
+
+use crate::gamma::gamma_p;
+
+/// Poisson PMF `e^{-λ} λ^k / k!`, computed in log space for large arguments.
+pub fn poisson_pmf(k: usize, lambda: f64) -> f64 {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    if lambda == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    let kf = k as f64;
+    let ln_p = -lambda + kf * lambda.ln() - crate::gamma::ln_gamma(kf + 1.0);
+    ln_p.exp()
+}
+
+/// Poisson CDF `Pr{X ≤ k}` via the regularized upper incomplete gamma:
+/// `Pr{X ≤ k} = Q(k+1, λ)`.
+pub fn poisson_cdf(k: usize, lambda: f64) -> f64 {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    if lambda == 0.0 {
+        return 1.0;
+    }
+    crate::gamma::gamma_q((k + 1) as f64, lambda)
+}
+
+/// Poisson survival `Pr{X ≥ k} = P(k, λ)` (regularized lower incomplete
+/// gamma), the quantity the paper writes as
+/// `1 − e^{-λ} Σ_{i<k} λ^i/i!`.
+pub fn poisson_survival(k: usize, lambda: f64) -> f64 {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    if k == 0 {
+        return 1.0;
+    }
+    if lambda == 0.0 {
+        return 0.0;
+    }
+    gamma_p(k as f64, lambda)
+}
+
+/// Direct-summation Poisson survival — `O(k)` but trivially correct; the
+/// oracle for [`poisson_survival`] in tests, and useful for very small `k`.
+pub fn poisson_survival_direct(k: usize, lambda: f64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if lambda == 0.0 {
+        return 0.0;
+    }
+    // Pr{X >= k} = 1 - Σ_{i=0}^{k-1} pmf(i); accumulate pmf iteratively.
+    let mut term = (-lambda).exp(); // pmf(0)
+    let mut cdf = term;
+    for i in 1..k {
+        term *= lambda / i as f64;
+        cdf += term;
+    }
+    (1.0 - cdf).clamp(0.0, 1.0)
+}
+
+/// Solves for the smallest λ\* with `Pr{Poisson(λ*) ≥ msup} ≥ pft`.
+///
+/// The survival function is continuous and strictly increasing in λ (for
+/// `msup ≥ 1`), so bisection converges; PDUApriori then mines with
+/// `min_esup = λ*/N`, accepting exactly those itemsets whose Poisson
+/// approximation clears `pft`.
+///
+/// # Panics
+/// Panics if `msup == 0` (every itemset trivially satisfies `sup ≥ 0`) or
+/// `pft` outside `(0, 1)`.
+pub fn poisson_lambda_for_survival(msup: usize, pft: f64) -> f64 {
+    assert!(msup >= 1, "msup must be at least 1");
+    assert!(pft > 0.0 && pft < 1.0, "pft must be in (0,1), got {pft}");
+    // Bracket: survival(msup, 0) = 0 < pft; grow hi until it clears pft.
+    let mut lo = 0.0f64;
+    let mut hi = (msup as f64).max(1.0);
+    while poisson_survival(msup, hi) < pft {
+        hi *= 2.0;
+        assert!(hi.is_finite());
+    }
+    // ~60 halvings reach f64 resolution on any practical bracket.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if poisson_survival(msup, mid) >= pft {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi - lo <= 1e-12 * hi.max(1.0) {
+            break;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_normalizes() {
+        let lambda = 3.7;
+        let total: f64 = (0..60).map(|k| poisson_pmf(k, lambda)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_zero_lambda() {
+        assert_eq!(poisson_pmf(0, 0.0), 1.0);
+        assert_eq!(poisson_pmf(3, 0.0), 0.0);
+        assert_eq!(poisson_cdf(5, 0.0), 1.0);
+        assert_eq!(poisson_survival(0, 0.0), 1.0);
+        assert_eq!(poisson_survival(2, 0.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_matches_direct_sum() {
+        for &lambda in &[0.5, 2.0, 10.0, 100.0] {
+            for &k in &[0usize, 1, 3, 9, 50, 120] {
+                let direct: f64 = (0..=k).map(|i| poisson_pmf(i, lambda)).sum();
+                let viagamma = poisson_cdf(k, lambda);
+                assert!(
+                    (direct - viagamma).abs() < 1e-10,
+                    "λ={lambda} k={k}: {direct} vs {viagamma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn survival_complements_cdf() {
+        for &lambda in &[0.1, 1.0, 7.3, 42.0] {
+            for k in 1..10usize {
+                let s = poisson_survival(k, lambda);
+                let c = poisson_cdf(k - 1, lambda);
+                assert!((s + c - 1.0).abs() < 1e-12, "λ={lambda} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn survival_matches_direct_oracle() {
+        for &lambda in &[0.2, 1.5, 8.0, 30.0] {
+            for &k in &[1usize, 2, 5, 12, 40] {
+                let fast = poisson_survival(k, lambda);
+                let slow = poisson_survival_direct(k, lambda);
+                assert!(
+                    (fast - slow).abs() < 1e-10,
+                    "λ={lambda} k={k}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn survival_monotone_in_lambda() {
+        let k = 7;
+        let mut prev = -1.0;
+        for i in 0..200 {
+            let s = poisson_survival(k, i as f64 * 0.1);
+            assert!(s >= prev - 1e-13);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn lambda_inversion_roundtrip() {
+        for &(msup, pft) in &[(1usize, 0.5), (5, 0.9), (50, 0.7), (500, 0.99), (10, 0.1)] {
+            let lambda = poisson_lambda_for_survival(msup, pft);
+            let s = poisson_survival(msup, lambda);
+            assert!(
+                (s - pft).abs() < 1e-9,
+                "msup={msup} pft={pft}: λ={lambda} gives survival {s}"
+            );
+            // Slightly smaller λ must fall below the threshold.
+            assert!(poisson_survival(msup, lambda * (1.0 - 1e-6)) < pft + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lambda_for_median_is_near_msup() {
+        // The Poisson median sits within ~0.7 of λ, so survival = 0.5 at
+        // msup ⇒ λ ≈ msup ± 1.
+        let lambda = poisson_lambda_for_survival(100, 0.5);
+        assert!((lambda - 100.0).abs() < 1.5, "λ = {lambda}");
+    }
+
+    #[test]
+    #[should_panic(expected = "msup must be at least 1")]
+    fn lambda_rejects_zero_msup() {
+        poisson_lambda_for_survival(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "pft must be in (0,1)")]
+    fn lambda_rejects_bad_pft() {
+        poisson_lambda_for_survival(5, 1.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Sensor-network monitoring — the paper's opening motivation: "due to the
+//! inherent uncertainty of sensors, the collected data are often inaccurate".
+//!
+//! A field of sensors reports discrete events (high temperature, vibration,
+//! voltage sag, …). Each reading carries a confidence derived from the
+//! sensor's noise model, so a day of telemetry is an uncertain transaction
+//! database: one transaction per time window, one `(event, confidence)`
+//! unit per report. Mining probabilistic frequent itemsets answers "which
+//! event combinations genuinely co-occur?" — with probabilistic guarantees,
+//! not just expectations.
+//!
+//! Run with: `cargo run --release --example sensor_network`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uncertain_fim::metrics::time::measure;
+use uncertain_fim::prelude::*;
+
+/// Synthesizes telemetry: `windows` time windows over `sensors` sensors.
+/// Three correlated event groups are planted; the mining should recover
+/// them despite per-reading noise.
+fn synthesize(windows: usize, sensors: u32, seed: u64) -> UncertainDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Planted co-occurrence groups (e.g. overheating: {0: high-temp,
+    // 1: fan-stall, 2: voltage-sag}).
+    let groups: &[&[u32]] = &[&[0, 1, 2], &[7, 8], &[12, 13, 14]];
+    let mut transactions = Vec::with_capacity(windows);
+    for _ in 0..windows {
+        let mut units: Vec<(u32, f64)> = Vec::new();
+        // Each group fires as a unit in 30% of windows; readings carry
+        // confidence 0.75–0.99 (sensor SNR).
+        for g in groups {
+            if rng.gen_bool(0.3) {
+                for &event in *g {
+                    units.push((event, rng.gen_range(0.75..0.99)));
+                }
+            }
+        }
+        // Background noise: spurious low-confidence reports.
+        for event in 0..sensors {
+            if units.iter().all(|&(e, _)| e != event) && rng.gen_bool(0.05) {
+                units.push((event, rng.gen_range(0.1..0.5)));
+            }
+        }
+        transactions.push(Transaction::new(units).expect("valid units"));
+    }
+    UncertainDatabase::with_num_items(transactions, sensors)
+}
+
+fn main() {
+    let db = synthesize(20_000, 24, 7);
+    println!(
+        "telemetry: {} windows, {} event types, {:.1} reports/window",
+        db.num_transactions(),
+        db.num_items(),
+        db.stats().avg_transaction_len
+    );
+
+    // Sparse data (density ~0.1) → the paper says UH-Mine-family wins there.
+    // 0.15 sits below the planted triple mass (0.3 firing rate × ~0.66
+    // three-reading confidence ≈ 0.2) with headroom for sampling noise.
+    let (min_sup, pft) = (0.15, 0.95);
+
+    // Exact answer via DCB (divide-and-conquer + Chernoff pruning).
+    let (exact, t_exact) = measure(|| {
+        DcMiner::with_pruning()
+            .mine_probabilistic_raw(&db, min_sup, pft)
+            .expect("valid parameters")
+    });
+
+    // Approximate answer via the paper's NDUH-Mine at esup cost.
+    let (approx, t_approx) = measure(|| {
+        NDUHMine::new()
+            .mine_probabilistic_raw(&db, min_sup, pft)
+            .expect("valid parameters")
+    });
+
+    let acc = uncertain_fim::metrics::accuracy::precision_recall(&approx, &exact);
+    println!(
+        "\nDCB (exact):      {:>6} itemsets in {:>8.2?}",
+        exact.len(),
+        t_exact
+    );
+    println!(
+        "NDUH-Mine (CLT):  {:>6} itemsets in {:>8.2?}   precision {:.3}, recall {:.3}",
+        approx.len(),
+        t_approx,
+        acc.precision,
+        acc.recall
+    );
+
+    println!("\nRecovered co-occurring event groups (maximal itemsets, exact Pr):");
+    let mut maximal = uncertain_fim::miners::postprocess::maximal(&exact);
+    maximal.sort_by_key(|fi| std::cmp::Reverse(fi.itemset.len()));
+    for fi in maximal.iter().take(8) {
+        println!(
+            "  {}  esup/N = {:.3}  Pr{{sup ≥ {}}} = {:.4}",
+            fi.itemset,
+            fi.expected_support / db.num_transactions() as f64,
+            (min_sup * db.num_transactions() as f64).ceil(),
+            fi.frequent_prob.unwrap()
+        );
+    }
+
+    // The planted groups must be among the maximal frequent itemsets.
+    let planted = Itemset::from_items([0, 1, 2]);
+    assert!(
+        exact.get(&planted).is_some(),
+        "planted overheating group was not recovered"
+    );
+    println!("\nplanted group {planted} recovered ✓");
+}

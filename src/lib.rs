@@ -1,0 +1,52 @@
+//! # uncertain-fim
+//!
+//! Facade crate for the workspace reproducing *Tong, Chen, Cheng, Yu:
+//! "Mining Frequent Itemsets over Uncertain Databases", PVLDB 5(11), 2012*.
+//!
+//! Re-exports the five member crates under stable module names so that
+//! downstream users (and this repo's examples and integration tests) need a
+//! single dependency:
+//!
+//! * [`core`] — data model: [`core::UncertainDatabase`], [`core::Itemset`],
+//!   miner traits, results;
+//! * [`stats`] — Poisson-Binomial support distributions, FFT, Normal /
+//!   Poisson approximations, Chernoff bounds;
+//! * [`data`] — dataset generators (Connect/Accident/Kosarak/Gazelle analogs,
+//!   IBM-Quest synthetic), probability assignment (Gaussian, Zipf), FIMI I/O;
+//! * [`miners`] — the eight algorithms of the paper plus a brute-force
+//!   oracle;
+//! * [`metrics`] — measurement utilities (peak-memory tracking allocator,
+//!   timers, precision/recall).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uncertain_fim::prelude::*;
+//!
+//! // The paper's Table 1 micro-database.
+//! let db = uncertain_fim::core::examples::paper_table1();
+//!
+//! // Definition 2: expected-support-based frequent itemsets.
+//! let esup_result = UApriori::default()
+//!     .mine_expected_ratio(&db, 0.5)
+//!     .unwrap();
+//! assert_eq!(esup_result.len(), 2); // {A} and {C} — Example 1
+//!
+//! // Definition 4: probabilistic frequent itemsets (exact, DC + Chernoff).
+//! let prob_result = DcMiner::with_pruning()
+//!     .mine_probabilistic_raw(&db, 0.5, 0.7)
+//!     .unwrap();
+//! assert!(prob_result.len() >= 1);
+//! ```
+
+pub use ufim_core as core;
+pub use ufim_data as data;
+pub use ufim_metrics as metrics;
+pub use ufim_miners as miners;
+pub use ufim_stats as stats;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use ufim_core::prelude::*;
+    pub use ufim_miners::prelude::*;
+}

@@ -1,0 +1,181 @@
+//! Cross-crate property-based tests (proptest): randomized invariants
+//! spanning the statistics substrate and the miners.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use uncertain_fim::miners::Algorithm;
+use uncertain_fim::prelude::*;
+use uncertain_fim::stats::chernoff::chernoff_upper_bound;
+use uncertain_fim::stats::pb::{
+    pmf_divide_conquer, pmf_exact, support_moments, survival_dp, survival_from_pmf,
+};
+
+/// Strategy: a probability strictly in (0, 1].
+fn prob() -> impl Strategy<Value = f64> {
+    (1u32..=1000).prop_map(|k| k as f64 / 1000.0)
+}
+
+/// Strategy: a small uncertain database (≤ 24 transactions over ≤ 5 items).
+fn small_db() -> impl Strategy<Value = UncertainDatabase> {
+    vec(vec((0u32..5, prob()), 0..5), 1..24).prop_map(|raw| {
+        let transactions = raw
+            .into_iter()
+            .map(|units| {
+                // Dedup items, keeping the first probability.
+                let mut seen = std::collections::BTreeMap::new();
+                for (i, p) in units {
+                    seen.entry(i).or_insert(p);
+                }
+                Transaction::new(seen.into_iter().collect::<Vec<_>>()).unwrap()
+            })
+            .collect();
+        UncertainDatabase::with_num_items(transactions, 5)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pmf_is_a_distribution(q in vec(prob(), 0..60)) {
+        let pmf = pmf_exact(&q);
+        prop_assert_eq!(pmf.len(), q.len() + 1);
+        let total: f64 = pmf.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(pmf.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
+    }
+
+    #[test]
+    fn three_exact_kernels_triangulate(q in vec(prob(), 0..80)) {
+        // Dense DP, divide-and-conquer + FFT, and characteristic-function
+        // DFT are independently derived; all three must agree everywhere.
+        let a = pmf_exact(&q);
+        let b = pmf_divide_conquer(&q, None);
+        let c = uncertain_fim::stats::dft_cf::pmf_dft_cf(&q);
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert_eq!(a.len(), c.len());
+        for ((x, y), z) in a.iter().zip(&b).zip(&c) {
+            prop_assert!((x - y).abs() < 1e-9, "dp {} vs dc {}", x, y);
+            prop_assert!((x - z).abs() < 1e-8, "dp {} vs cf {}", x, z);
+        }
+    }
+
+    #[test]
+    fn binomial_fast_path_matches_general_kernel(
+        p in (1u32..=99).prop_map(|k| k as f64 / 100.0),
+        n in 1usize..60,
+        msup in 0usize..65,
+    ) {
+        let q = vec![p; n];
+        let general = survival_dp(&q, msup);
+        let fast = uncertain_fim::stats::binomial::binomial_survival(
+            n as u64, msup as u64, p,
+        );
+        prop_assert!((general - fast).abs() < 1e-9, "{} vs {}", general, fast);
+        prop_assert_eq!(
+            uncertain_fim::stats::binomial::detect_constant(&q, 0.0),
+            Some(p)
+        );
+    }
+
+    #[test]
+    fn truncated_dp_matches_pmf_tail(q in vec(prob(), 0..50), msup in 0usize..55) {
+        let direct = survival_dp(&q, msup);
+        let via_pmf = survival_from_pmf(&pmf_exact(&q), msup);
+        prop_assert!((direct - via_pmf).abs() < 1e-9);
+        // And the saturated divide-and-conquer agrees too.
+        if msup >= 1 {
+            let capped = pmf_divide_conquer(&q, Some(msup));
+            let dc = if msup < capped.len() { capped[msup] } else { 0.0 };
+            prop_assert!((direct - dc).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn survival_is_monotone_in_threshold(q in vec(prob(), 0..40)) {
+        let mut prev = 1.0f64;
+        for msup in 0..=q.len() + 1 {
+            let s = survival_dp(&q, msup);
+            prop_assert!(s <= prev + 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn chernoff_dominates_exact_survival(q in vec(prob(), 1..50), msup in 1usize..55) {
+        let (mu, _) = support_moments(&q);
+        let exact = survival_dp(&q, msup);
+        let bound = chernoff_upper_bound(mu, msup as f64);
+        prop_assert!(bound >= exact - 1e-9, "bound {} < exact {}", bound, exact);
+    }
+
+    #[test]
+    fn moments_match_distribution(q in vec(prob(), 0..40)) {
+        let (mu, var) = support_moments(&q);
+        let pmf = pmf_exact(&q);
+        let mean: f64 = pmf.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+        let ex2: f64 = pmf.iter().enumerate().map(|(k, &p)| (k * k) as f64 * p).sum();
+        prop_assert!((mu - mean).abs() < 1e-8);
+        prop_assert!((var - (ex2 - mean * mean)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn all_esup_miners_agree_with_oracle(db in small_db(), min_esup in 1u32..=9) {
+        let ratio = min_esup as f64 / 10.0;
+        let oracle = BruteForce::new().mine_expected_ratio(&db, ratio).unwrap();
+        for algo in Algorithm::EXPECTED_SUPPORT {
+            let r = algo
+                .expected_support_miner()
+                .unwrap()
+                .mine_expected_ratio(&db, ratio)
+                .unwrap();
+            prop_assert_eq!(
+                r.sorted_itemsets(),
+                oracle.sorted_itemsets(),
+                "{} diverged",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_exact_prob_miners_agree_with_oracle(
+        db in small_db(),
+        min_sup in 1u32..=9,
+        pft in 1u32..=9,
+    ) {
+        let (ms, pf) = (min_sup as f64 / 10.0, pft as f64 / 10.0);
+        let oracle = BruteForce::new().mine_probabilistic_raw(&db, ms, pf).unwrap();
+        for algo in Algorithm::EXACT_PROBABILISTIC {
+            let r = algo
+                .probabilistic_miner()
+                .unwrap()
+                .mine_probabilistic_raw(&db, ms, pf)
+                .unwrap();
+            prop_assert_eq!(
+                r.sorted_itemsets(),
+                oracle.sorted_itemsets(),
+                "{} diverged",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn frequent_probability_is_antimonotone(db in small_db()) {
+        // Direct check of the theorem every miner's pruning rests on:
+        // X ⊆ Y ⇒ Pr{sup(X) ≥ k} ≥ Pr{sup(Y) ≥ k}.
+        let msup = (db.num_transactions() / 2).max(1);
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                if a == b { continue; }
+                let qa = db.itemset_prob_vector(&[a.min(b), a.max(b)][..1]);
+                let qab = db.itemset_prob_vector(&[a.min(b), a.max(b)]);
+                let pa = survival_dp(&qa, msup);
+                let pab = survival_dp(&qab, msup);
+                prop_assert!(pab <= pa + 1e-12);
+            }
+        }
+    }
+}
