@@ -39,18 +39,14 @@ fn bench_datasets(c: &mut Criterion) {
         };
         for algo in Algorithm::EXPECTED_SUPPORT {
             let miner = algo.expected_support_miner().unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), bench.name()),
-                &db,
-                |b, db| {
-                    b.iter(|| {
-                        miner
-                            .mine_expected_ratio(std::hint::black_box(db), min_esup)
-                            .unwrap()
-                            .len()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), bench.name()), &db, |b, db| {
+                b.iter(|| {
+                    miner
+                        .mine_expected_ratio(std::hint::black_box(db), min_esup)
+                        .unwrap()
+                        .len()
+                })
+            });
         }
     }
     group.finish();

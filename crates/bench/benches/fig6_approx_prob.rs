@@ -25,18 +25,14 @@ fn bench_approx_miners(c: &mut Criterion) {
         };
         for algo in Algorithm::APPROXIMATE {
             let miner = algo.probabilistic_miner().unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), bench.name()),
-                &db,
-                |b, db| {
-                    b.iter(|| {
-                        miner
-                            .mine_probabilistic_raw(std::hint::black_box(db), min_sup, pft)
-                            .unwrap()
-                            .len()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), bench.name()), &db, |b, db| {
+                b.iter(|| {
+                    miner
+                        .mine_probabilistic_raw(std::hint::black_box(db), min_sup, pft)
+                        .unwrap()
+                        .len()
+                })
+            });
         }
     }
     group.finish();

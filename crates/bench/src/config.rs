@@ -3,6 +3,7 @@
 
 use std::path::PathBuf;
 use std::time::Duration;
+use ufim_core::EngineKind;
 
 /// Configuration shared by all experiment subcommands.
 #[derive(Clone, Debug)]
@@ -18,6 +19,10 @@ pub struct HarnessConfig {
     pub timeout: Duration,
     /// Directory for CSV dumps (`None` = print only).
     pub csv_dir: Option<PathBuf>,
+    /// Support-computation backends to sweep. Every figure experiment runs
+    /// once per entry, so `--engine both` produces the apples-to-apples
+    /// backend comparison directly.
+    pub engines: Vec<EngineKind>,
 }
 
 impl Default for HarnessConfig {
@@ -27,6 +32,7 @@ impl Default for HarnessConfig {
             seed: 42,
             timeout: Duration::from_secs(60),
             csv_dir: None,
+            engines: vec![EngineKind::default()],
         }
     }
 }
@@ -68,6 +74,16 @@ impl HarnessConfig {
                 "--csv" => {
                     let v = it.next().ok_or("--csv needs a directory")?;
                     cfg.csv_dir = Some(PathBuf::from(v));
+                }
+                "--engine" => {
+                    let v = it.next().ok_or("--engine needs a value")?;
+                    cfg.engines = if v.eq_ignore_ascii_case("both") {
+                        EngineKind::ALL.to_vec()
+                    } else {
+                        vec![EngineKind::parse(v).ok_or_else(|| {
+                            format!("bad --engine value {v:?} (horizontal|vertical|both)")
+                        })?]
+                    };
                 }
                 other => rest.push(other.to_string()),
             }
@@ -139,6 +155,18 @@ mod tests {
         assert!(HarnessConfig::parse(&argv(&["--scale", "0"])).is_err());
         assert!(HarnessConfig::parse(&argv(&["--scale", "abc"])).is_err());
         assert!(HarnessConfig::parse(&argv(&["--seed"])).is_err());
+        assert!(HarnessConfig::parse(&argv(&["--engine", "sideways"])).is_err());
+    }
+
+    #[test]
+    fn parses_engine_selection() {
+        use ufim_core::EngineKind;
+        let (cfg, _) = HarnessConfig::parse(&[]).unwrap();
+        assert_eq!(cfg.engines, vec![EngineKind::Horizontal]);
+        let (cfg, _) = HarnessConfig::parse(&argv(&["--engine", "vertical"])).unwrap();
+        assert_eq!(cfg.engines, vec![EngineKind::Vertical]);
+        let (cfg, _) = HarnessConfig::parse(&argv(&["--engine", "both"])).unwrap();
+        assert_eq!(cfg.engines, EngineKind::ALL.to_vec());
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! * (k)–(l) Zipf probability model, skew 0.8 → 2.0 (dense dataset, as in
 //!   the paper: sparse data under Zipf yields no meaningful itemsets).
 
-use super::{fmt_x, Sweep};
+use super::{engine_algos, engine_tag, fmt_x, Sweep};
 use crate::config::HarnessConfig;
-use crate::runner::run_expected;
+use crate::runner::run_expected_with;
 use ufim_data::{Benchmark, ProbabilityModel};
 use ufim_miners::Algorithm;
 
@@ -50,7 +50,9 @@ pub enum Fig4Panel {
     All,
 }
 
-/// Runs the requested panel(s).
+/// Runs the requested panel(s). Datasets are generated once per panel and
+/// shared across the configured support backends (generation is seeded, so
+/// every backend sees the identical database).
 pub fn run(cfg: &HarnessConfig, panel: Fig4Panel) {
     if matches!(panel, Fig4Panel::MinEsup | Fig4Panel::All) {
         for (sub, b) in [
@@ -62,20 +64,27 @@ pub fn run(cfg: &HarnessConfig, panel: Fig4Panel) {
             let db = b.generate(cfg.scale, cfg.seed);
             let xs = min_esup_axis(b);
             let labels: Vec<String> = xs.iter().map(|&x| fmt_x(x)).collect();
-            let sweep = Sweep::execute(
-                format!(
-                    "Fig 4{sub}  {}: min_esup vs time/memory (N={}, scale={})",
-                    b.name(),
-                    db.num_transactions(),
-                    cfg.scale
-                ),
-                "min_esup",
-                &Algorithm::EXPECTED_SUPPORT,
-                &labels,
-                cfg,
-                |algo, xi| run_expected(algo, &db, xs[xi]),
-            );
-            sweep.report(cfg, &format!("fig4_minesup_{}", b.name().to_lowercase()));
+            for &engine in &cfg.engines {
+                let (ttag, ftag) = engine_tag(cfg, engine);
+                let algos = engine_algos(&Algorithm::EXPECTED_SUPPORT, engine);
+                let sweep = Sweep::execute(
+                    format!(
+                        "Fig 4{sub}  {}: min_esup vs time/memory (N={}, scale={}{ttag})",
+                        b.name(),
+                        db.num_transactions(),
+                        cfg.scale
+                    ),
+                    "min_esup",
+                    &algos,
+                    &labels,
+                    cfg,
+                    |algo, xi| run_expected_with(algo, &db, xs[xi], engine),
+                );
+                sweep.report(
+                    cfg,
+                    &format!("fig4_minesup_{}{ftag}", b.name().to_lowercase()),
+                );
+            }
         }
     }
 
@@ -89,21 +98,25 @@ pub fn run(cfg: &HarnessConfig, panel: Fig4Panel) {
             .map(|&k| ((k * 1000) as f64 * cfg.scale).round() as usize)
             .collect();
         let labels: Vec<String> = xs.iter().map(|&n| format!("{n}")).collect();
-        let sweep = Sweep::execute(
-            format!(
-                "Fig 4(i)+(j)  T25I15D320k scalability (min_esup={min_esup}, scale={})",
-                cfg.scale
-            ),
-            "#trans",
-            &Algorithm::EXPECTED_SUPPORT,
-            &labels,
-            cfg,
-            |algo, xi| {
-                let db = full.truncated(xs[xi]);
-                run_expected(algo, &db, min_esup)
-            },
-        );
-        sweep.report(cfg, "fig4_scalability");
+        for &engine in &cfg.engines {
+            let (ttag, ftag) = engine_tag(cfg, engine);
+            let algos = engine_algos(&Algorithm::EXPECTED_SUPPORT, engine);
+            let sweep = Sweep::execute(
+                format!(
+                    "Fig 4(i)+(j)  T25I15D320k scalability (min_esup={min_esup}, scale={}{ttag})",
+                    cfg.scale
+                ),
+                "#trans",
+                &algos,
+                &labels,
+                cfg,
+                |algo, xi| {
+                    let db = full.truncated(xs[xi]);
+                    run_expected_with(algo, &db, min_esup, engine)
+                },
+            );
+            sweep.report(cfg, &format!("fig4_scalability{ftag}"));
+        }
     }
 
     if matches!(panel, Fig4Panel::Zipf | Fig4Panel::All) {
@@ -115,19 +128,23 @@ pub fn run(cfg: &HarnessConfig, panel: Fig4Panel) {
             .iter()
             .map(|&skew| b.generate_with_model(cfg.scale, det_seed, &ProbabilityModel::zipf(skew)))
             .collect();
-        let sweep = Sweep::execute(
-            format!(
-                "Fig 4(k)+(l)  Zipf skew vs time/memory ({}, min_esup={ZIPF_MIN_ESUP}, scale={})",
-                b.name(),
-                cfg.scale
-            ),
-            "skew",
-            &Algorithm::EXPECTED_SUPPORT,
-            &labels,
-            cfg,
-            |algo, xi| run_expected(algo, &dbs[xi], ZIPF_MIN_ESUP),
-        );
-        sweep.report(cfg, "fig4_zipf");
+        for &engine in &cfg.engines {
+            let (ttag, ftag) = engine_tag(cfg, engine);
+            let algos = engine_algos(&Algorithm::EXPECTED_SUPPORT, engine);
+            let sweep = Sweep::execute(
+                format!(
+                    "Fig 4(k)+(l)  Zipf skew vs time/memory ({}, min_esup={ZIPF_MIN_ESUP}, scale={}{ttag})",
+                    b.name(),
+                    cfg.scale
+                ),
+                "skew",
+                &algos,
+                &labels,
+                cfg,
+                |algo, xi| run_expected_with(algo, &dbs[xi], ZIPF_MIN_ESUP, engine),
+            );
+            sweep.report(cfg, &format!("fig4_zipf{ftag}"));
+        }
     }
 }
 

@@ -8,9 +8,9 @@
 //! * (i)–(j) scalability (approximate algorithms only, as in the paper),
 //! * (k)–(l) Zipf skew (approximate algorithms only).
 
-use super::{fmt_x, Sweep};
+use super::{engine_algos, engine_tag, fmt_x, Sweep};
 use crate::config::HarnessConfig;
-use crate::runner::run_probabilistic;
+use crate::runner::run_probabilistic_with;
 use ufim_data::{Benchmark, ProbabilityModel};
 use ufim_miners::Algorithm;
 
@@ -56,49 +56,68 @@ pub enum Fig6Panel {
     All,
 }
 
-/// Runs the requested panel(s).
+/// Runs the requested panel(s). Datasets are generated once per panel and
+/// shared across the configured support backends (generation is seeded, so
+/// every backend sees the identical database).
 pub fn run(cfg: &HarnessConfig, panel: Fig6Panel) {
     if matches!(panel, Fig6Panel::MinSup | Fig6Panel::All) {
-        for (sub, b) in [("(a)+(b)", Benchmark::Accident), ("(c)+(d)", Benchmark::Kosarak)] {
+        for (sub, b) in [
+            ("(a)+(b)", Benchmark::Accident),
+            ("(c)+(d)", Benchmark::Kosarak),
+        ] {
             let db = b.generate(cfg.scale, cfg.seed);
             let pft = b.defaults().pft;
             let xs = min_sup_axis(b);
             let labels: Vec<String> = xs.iter().map(|&x| fmt_x(x)).collect();
-            let sweep = Sweep::execute(
-                format!(
-                    "Fig 6{sub}  {}: min_sup vs time/memory (pft={pft}, N={}, scale={})",
-                    b.name(),
-                    db.num_transactions(),
-                    cfg.scale
-                ),
-                "min_sup",
-                &Algorithm::APPROXIMATE,
-                &labels,
-                cfg,
-                |algo, xi| run_probabilistic(algo, &db, xs[xi], pft),
-            );
-            sweep.report(cfg, &format!("fig6_minsup_{}", b.name().to_lowercase()));
+            for &engine in &cfg.engines {
+                let (ttag, ftag) = engine_tag(cfg, engine);
+                let algos = engine_algos(&Algorithm::APPROXIMATE, engine);
+                let sweep = Sweep::execute(
+                    format!(
+                        "Fig 6{sub}  {}: min_sup vs time/memory (pft={pft}, N={}, scale={}{ttag})",
+                        b.name(),
+                        db.num_transactions(),
+                        cfg.scale
+                    ),
+                    "min_sup",
+                    &algos,
+                    &labels,
+                    cfg,
+                    |algo, xi| run_probabilistic_with(algo, &db, xs[xi], pft, engine),
+                );
+                sweep.report(
+                    cfg,
+                    &format!("fig6_minsup_{}{ftag}", b.name().to_lowercase()),
+                );
+            }
         }
     }
 
     if matches!(panel, Fig6Panel::Pft | Fig6Panel::All) {
-        for (sub, b) in [("(e)+(f)", Benchmark::Accident), ("(g)+(h)", Benchmark::Kosarak)] {
+        for (sub, b) in [
+            ("(e)+(f)", Benchmark::Accident),
+            ("(g)+(h)", Benchmark::Kosarak),
+        ] {
             let db = b.generate(cfg.scale, cfg.seed);
             let min_sup = b.defaults().min_sup;
             let labels: Vec<String> = PFT_AXIS.iter().map(|&x| fmt_x(x)).collect();
-            let sweep = Sweep::execute(
-                format!(
-                    "Fig 6{sub}  {}: pft vs time/memory (min_sup={min_sup}, scale={})",
-                    b.name(),
-                    cfg.scale
-                ),
-                "pft",
-                &Algorithm::APPROXIMATE,
-                &labels,
-                cfg,
-                |algo, xi| run_probabilistic(algo, &db, min_sup, PFT_AXIS[xi]),
-            );
-            sweep.report(cfg, &format!("fig6_pft_{}", b.name().to_lowercase()));
+            for &engine in &cfg.engines {
+                let (ttag, ftag) = engine_tag(cfg, engine);
+                let algos = engine_algos(&Algorithm::APPROXIMATE, engine);
+                let sweep = Sweep::execute(
+                    format!(
+                        "Fig 6{sub}  {}: pft vs time/memory (min_sup={min_sup}, scale={}{ttag})",
+                        b.name(),
+                        cfg.scale
+                    ),
+                    "pft",
+                    &algos,
+                    &labels,
+                    cfg,
+                    |algo, xi| run_probabilistic_with(algo, &db, min_sup, PFT_AXIS[xi], engine),
+                );
+                sweep.report(cfg, &format!("fig6_pft_{}{ftag}", b.name().to_lowercase()));
+            }
         }
     }
 
@@ -111,21 +130,25 @@ pub fn run(cfg: &HarnessConfig, panel: Fig6Panel) {
             .map(|&k| ((k * 1000) as f64 * cfg.scale).round() as usize)
             .collect();
         let labels: Vec<String> = xs.iter().map(|&n| format!("{n}")).collect();
-        let sweep = Sweep::execute(
-            format!(
-                "Fig 6(i)+(j)  T25I15D320k scalability (min_sup={}, pft={}, scale={})",
-                d.min_sup, d.pft, cfg.scale
-            ),
-            "#trans",
-            &APPROX_ONLY,
-            &labels,
-            cfg,
-            |algo, xi| {
-                let db = full.truncated(xs[xi]);
-                run_probabilistic(algo, &db, d.min_sup, d.pft)
-            },
-        );
-        sweep.report(cfg, "fig6_scalability");
+        for &engine in &cfg.engines {
+            let (ttag, ftag) = engine_tag(cfg, engine);
+            let algos = engine_algos(&APPROX_ONLY, engine);
+            let sweep = Sweep::execute(
+                format!(
+                    "Fig 6(i)+(j)  T25I15D320k scalability (min_sup={}, pft={}, scale={}{ttag})",
+                    d.min_sup, d.pft, cfg.scale
+                ),
+                "#trans",
+                &algos,
+                &labels,
+                cfg,
+                |algo, xi| {
+                    let db = full.truncated(xs[xi]);
+                    run_probabilistic_with(algo, &db, d.min_sup, d.pft, engine)
+                },
+            );
+            sweep.report(cfg, &format!("fig6_scalability{ftag}"));
+        }
     }
 
     if matches!(panel, Fig6Panel::Zipf | Fig6Panel::All) {
@@ -136,19 +159,23 @@ pub fn run(cfg: &HarnessConfig, panel: Fig6Panel) {
             .iter()
             .map(|&skew| b.generate_with_model(cfg.scale, cfg.seed, &ProbabilityModel::zipf(skew)))
             .collect();
-        let sweep = Sweep::execute(
+        for &engine in &cfg.engines {
+            let (ttag, ftag) = engine_tag(cfg, engine);
+            let algos = engine_algos(&APPROX_ONLY, engine);
+            let sweep = Sweep::execute(
             format!(
-                "Fig 6(k)+(l)  Zipf skew vs time/memory ({}, min_sup={ZIPF_MIN_SUP}, pft={pft}, scale={})",
+                "Fig 6(k)+(l)  Zipf skew vs time/memory ({}, min_sup={ZIPF_MIN_SUP}, pft={pft}, scale={}{ttag})",
                 b.name(),
                 cfg.scale
             ),
             "skew",
-            &APPROX_ONLY,
+            &algos,
             &labels,
             cfg,
-            |algo, xi| run_probabilistic(algo, &dbs[xi], ZIPF_MIN_SUP, pft),
+            |algo, xi| run_probabilistic_with(algo, &dbs[xi], ZIPF_MIN_SUP, pft, engine),
         );
-        sweep.report(cfg, "fig6_zipf");
+            sweep.report(cfg, &format!("fig6_zipf{ftag}"));
+        }
     }
 }
 

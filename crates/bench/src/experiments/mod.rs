@@ -7,9 +7,41 @@ pub mod tables;
 
 use crate::config::HarnessConfig;
 use crate::runner::MeasuredRun;
-use ufim_core::FxHashSet;
+use ufim_core::{EngineKind, FxHashSet};
 use ufim_metrics::table::{fmt_mb, fmt_secs, Table};
 use ufim_miners::Algorithm;
+
+/// Title and CSV-name suffixes naming the support backend, as
+/// `(title_tag, file_tag)`. Both empty for a plain default run so
+/// single-engine output keeps its historical names; always present when
+/// sweeping `--engine both` or a non-default backend.
+pub(crate) fn engine_tag(cfg: &HarnessConfig, engine: EngineKind) -> (String, String) {
+    if cfg.engines.len() == 1 && engine == EngineKind::default() {
+        (String::new(), String::new())
+    } else {
+        (
+            format!(", engine={}", engine.name()),
+            format!("_{}", engine.name()),
+        )
+    }
+}
+
+/// The subset of `all` to run on `engine`. On the default backend every
+/// miner runs (that is the paper's configuration); on any other backend
+/// only miners whose support computation actually goes through the engine
+/// seam are included — rerunning an engine-agnostic miner (UH-Mine,
+/// UFP-growth, NDUH-Mine) and labeling its unchanged run `engine=vertical`
+/// would corrupt the backend comparison.
+pub(crate) fn engine_algos(all: &[Algorithm], engine: EngineKind) -> Vec<Algorithm> {
+    if engine == EngineKind::default() {
+        all.to_vec()
+    } else {
+        all.iter()
+            .copied()
+            .filter(|a| a.supports_engine_selection())
+            .collect()
+    }
+}
 
 /// One measured curve family: for each x value, one optional run per
 /// algorithm (`None` = skipped after exceeding the time budget).
@@ -127,7 +159,10 @@ impl Sweep {
         }
         cfg.write_csv(
             csv_name,
-            &format!("{},algorithm,time_secs,peak_bytes,num_itemsets", self.x_name),
+            &format!(
+                "{},algorithm,time_secs,peak_bytes,num_itemsets",
+                self.x_name
+            ),
             &rows,
         );
     }
@@ -201,14 +236,9 @@ mod tests {
             ..Default::default()
         };
         let xs: Vec<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
-        let sweep = Sweep::execute(
-            "t",
-            "x",
-            &[Algorithm::UApriori],
-            &xs,
-            &cfg,
-            |algo, _| run_expected(algo, &db, 0.5),
-        );
+        let sweep = Sweep::execute("t", "x", &[Algorithm::UApriori], &xs, &cfg, |algo, _| {
+            run_expected(algo, &db, 0.5)
+        });
         // First point ran (then tripped the 0-second budget), second skipped.
         assert!(sweep.points[0].1[0].is_some());
         assert!(sweep.points[1].1[0].is_none());

@@ -27,16 +27,28 @@ pub fn table1_example() {
     println!("\n=== Example 1: expected-support-based frequent itemsets (min_esup = 0.5) ===");
     let r = UApriori::new().mine_expected_ratio(&db, 0.5).unwrap();
     for fi in &r.itemsets {
-        let label: Vec<&str> = fi.itemset.items().iter().map(|&i| names[i as usize]).collect();
+        let label: Vec<&str> = fi
+            .itemset
+            .items()
+            .iter()
+            .map(|&i| names[i as usize])
+            .collect();
         println!("{{{}}}  esup = {:.1}", label.join(","), fi.expected_support);
     }
 
-    println!("\n=== Example 2 style: probabilistic frequent itemsets (min_sup = 0.5, pft = 0.7) ===");
+    println!(
+        "\n=== Example 2 style: probabilistic frequent itemsets (min_sup = 0.5, pft = 0.7) ==="
+    );
     let r = DcMiner::with_pruning()
         .mine_probabilistic_raw(&db, 0.5, 0.7)
         .unwrap();
     for fi in &r.itemsets {
-        let label: Vec<&str> = fi.itemset.items().iter().map(|&i| names[i as usize]).collect();
+        let label: Vec<&str> = fi
+            .itemset
+            .items()
+            .iter()
+            .map(|&i| names[i as usize])
+            .collect();
         println!(
             "{{{}}}  esup = {:.2}  Pr{{sup ≥ 2}} = {:.4}",
             label.join(","),
@@ -191,7 +203,10 @@ pub fn table9(cfg: &HarnessConfig) {
 /// dense (Accident) and a sparse (Kosarak) dataset at high and low
 /// thresholds.
 pub fn table10(cfg: &HarnessConfig) {
-    println!("=== Table 10: winners by time and memory (measured, scale={}) ===", cfg.scale);
+    println!(
+        "=== Table 10: winners by time and memory (measured, scale={}) ===",
+        cfg.scale
+    );
     let dense = Benchmark::Accident.generate(cfg.scale, cfg.seed);
     let sparse = Benchmark::Kosarak.generate(cfg.scale, cfg.seed);
     let pft = 0.9;

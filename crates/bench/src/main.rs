@@ -34,6 +34,8 @@ OPTIONS (all subcommands):
     --timeout-secs S  per-point budget; harder points skipped after a miss
                       (default 60; paper used 3600)
     --csv DIR         also write CSV series into DIR
+    --engine E        support backend: horizontal (default), vertical, or
+                      both (runs every experiment once per backend)
 ";
 
 fn main() {

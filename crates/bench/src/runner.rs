@@ -1,6 +1,6 @@
 //! Measured execution of one mining run: wall time, peak heap, result size.
 
-use ufim_core::{MinerStats, UncertainDatabase};
+use ufim_core::{EngineKind, MinerStats, MiningParams, UncertainDatabase};
 use ufim_metrics::alloc::measure_peak;
 use ufim_metrics::time::Stopwatch;
 use ufim_miners::Algorithm;
@@ -30,8 +30,19 @@ pub struct MeasuredRun {
 /// Panics if `algo` is not an expected-support miner or parameters are
 /// invalid — the harness constructs both from trusted tables.
 pub fn run_expected(algo: Algorithm, db: &UncertainDatabase, min_esup: f64) -> MeasuredRun {
+    run_expected_with(algo, db, min_esup, EngineKind::default())
+}
+
+/// [`run_expected`] on an explicit support backend (ignored by miners
+/// outside the Apriori framework).
+pub fn run_expected_with(
+    algo: Algorithm,
+    db: &UncertainDatabase,
+    min_esup: f64,
+    engine: EngineKind,
+) -> MeasuredRun {
     let miner = algo
-        .expected_support_miner()
+        .expected_support_miner_with(engine)
         .unwrap_or_else(|| panic!("{} is not an expected-support miner", algo.name()));
     let sw = Stopwatch::start();
     let (result, peak) = measure_peak(|| {
@@ -59,13 +70,28 @@ pub fn run_probabilistic(
     min_sup: f64,
     pft: f64,
 ) -> MeasuredRun {
+    run_probabilistic_with(algo, db, min_sup, pft, EngineKind::default())
+}
+
+/// [`run_probabilistic`] on an explicit support backend (the backend rides
+/// in [`MiningParams::engine`]; non-Apriori-framework miners ignore it).
+pub fn run_probabilistic_with(
+    algo: Algorithm,
+    db: &UncertainDatabase,
+    min_sup: f64,
+    pft: f64,
+    engine: EngineKind,
+) -> MeasuredRun {
     let miner = algo
         .probabilistic_miner()
         .unwrap_or_else(|| panic!("{} is not a probabilistic miner", algo.name()));
+    let params = MiningParams::new(min_sup, pft)
+        .expect("valid parameters")
+        .with_engine(engine);
     let sw = Stopwatch::start();
     let (result, peak) = measure_peak(|| {
         miner
-            .mine_probabilistic_raw(db, min_sup, pft)
+            .mine_probabilistic(db, params)
             .expect("valid parameters")
     });
     MeasuredRun {

@@ -125,7 +125,11 @@ impl UncertainDatabase {
     pub fn stats(&self) -> DatabaseStats {
         let n = self.transactions.len();
         let total_units: usize = self.transactions.iter().map(Transaction::len).sum();
-        let avg_len = if n == 0 { 0.0 } else { total_units as f64 / n as f64 };
+        let avg_len = if n == 0 {
+            0.0
+        } else {
+            total_units as f64 / n as f64
+        };
         let density = if self.num_items == 0 {
             0.0
         } else {

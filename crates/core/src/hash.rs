@@ -141,6 +141,10 @@ mod tests {
             seen.insert(hash_of(&i) & 0xFFF);
         }
         // With 4096 buckets and 1024 keys, a decent mix keeps most distinct.
-        assert!(seen.len() > 900, "only {} distinct low-bit patterns", seen.len());
+        assert!(
+            seen.len() > 900,
+            "only {} distinct low-bit patterns",
+            seen.len()
+        );
     }
 }

@@ -16,13 +16,19 @@
 //!
 //! This crate provides the types every algorithm crate shares:
 //!
-//! * [`UncertainDatabase`] / [`Transaction`] — the probabilistic data model,
+//! * [`UncertainDatabase`] / [`Transaction`] — the probabilistic data model
+//!   (horizontal layout),
+//! * [`VerticalIndex`] / [`ProbVector`] — the columnar (tid-list) layout
+//!   behind the vertical support engine,
 //! * [`Itemset`] — a sorted, duplicate-free set of item ids,
-//! * [`MiningParams`], [`Ratio`] — validated threshold parameters,
+//! * [`MiningParams`], [`Ratio`], [`EngineKind`] — validated threshold
+//!   parameters and the support-backend selector,
 //! * [`FrequentItemset`], [`MiningResult`], [`MinerStats`] — outputs,
 //! * [`ExpectedSupportMiner`] / [`ProbabilisticMiner`] — the two algorithm
 //!   interfaces corresponding to the paper's two definitions,
-//! * [`hash`] — a fast FxHash-style hasher used throughout the workspace.
+//! * [`hash`] — a fast FxHash-style hasher used throughout the workspace,
+//! * [`parallel`] — scoped-thread data-parallel helpers used by the
+//!   support engines.
 //!
 //! The worked example from the paper (its Table 1) ships as
 //! [`examples::paper_table1`] and is pinned by tests across the workspace.
@@ -35,20 +41,23 @@ pub mod error;
 pub mod examples;
 pub mod hash;
 pub mod itemset;
+pub mod parallel;
 pub mod params;
 pub mod result;
 pub mod traits;
 pub mod transaction;
+pub mod vertical;
 pub mod vocab;
 
 pub use database::{DatabaseStats, UncertainDatabase, UncertainDatabaseBuilder};
 pub use error::CoreError;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use itemset::{ItemId, Itemset};
-pub use params::{MiningParams, Ratio};
+pub use params::{EngineKind, MiningParams, Ratio};
 pub use result::{FrequentItemset, MinerStats, MiningResult};
 pub use traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
 pub use transaction::Transaction;
+pub use vertical::{ProbVector, VerticalIndex};
 pub use vocab::Vocabulary;
 
 /// Convenient glob-import for downstream crates:
@@ -58,9 +67,10 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::hash::{FxHashMap, FxHashSet};
     pub use crate::itemset::{ItemId, Itemset};
-    pub use crate::params::{MiningParams, Ratio};
+    pub use crate::params::{EngineKind, MiningParams, Ratio};
     pub use crate::result::{FrequentItemset, MinerStats, MiningResult};
     pub use crate::traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
     pub use crate::transaction::Transaction;
+    pub use crate::vertical::{ProbVector, VerticalIndex};
     pub use crate::vocab::Vocabulary;
 }

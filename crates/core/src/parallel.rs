@@ -1,0 +1,114 @@
+//! Minimal data-parallel primitives on `std::thread::scope`.
+//!
+//! The sanctioned dependency set has no rayon, so the support engines
+//! parallelize through this module instead: [`par_map`] fans a slice out
+//! over a bounded number of scoped threads and returns results **in input
+//! order**, which keeps every floating-point reduction performed by callers
+//! deterministic for a fixed chunking.
+//!
+//! Threading is opt-out: `UFIM_THREADS=1` forces sequential execution, any
+//! other value caps the pool, and the default is
+//! [`std::thread::available_parallelism`]. Callers are expected to gate
+//! small inputs themselves (see [`par_map_min_len`]) — spawning threads for
+//! a four-transaction database costs more than it saves.
+
+use std::num::NonZeroUsize;
+
+/// Default work-size gate for [`par_map_min_len`] callers: below this many
+/// units of work, fanning out costs more than it saves. Shared by the
+/// support engines so both backends fan out at the same scale.
+pub const DEFAULT_MIN_WORK: usize = 1 << 15;
+
+/// Upper bound on worker threads: the `UFIM_THREADS` environment variable
+/// when set to a positive integer, else the machine's available parallelism.
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("UFIM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// The slice is split into at most [`max_threads`] contiguous chunks, one
+/// scoped thread each. With one item, one thread, or an empty slice the map
+/// runs inline on the caller's thread.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = max_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("par_map worker panicked"));
+        }
+        out
+    })
+}
+
+/// [`par_map`] gated on input size: runs sequentially unless `items.len() *
+/// weight` reaches `min_work`. `weight` lets callers fold per-item cost
+/// (e.g. transactions per candidate) into the threshold.
+pub fn par_map_min_len<T, R, F>(items: &[T], weight: usize, min_work: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.len().saturating_mul(weight.max(1)) < min_work {
+        items.iter().map(f).collect()
+    } else {
+        par_map(items, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out.len(), items.len());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(par_map(&[] as &[u32], |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn min_len_gate_runs_sequentially_but_identically() {
+        let items: Vec<u32> = (0..100).collect();
+        let seq = par_map_min_len(&items, 1, usize::MAX, |&x| x + 1);
+        let par = par_map(&items, |&x| x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn threads_env_is_respected() {
+        // max_threads is ≥ 1 whatever the environment says.
+        assert!(max_threads() >= 1);
+    }
+}

@@ -8,6 +8,56 @@
 
 use crate::error::CoreError;
 
+/// Which support-computation backend an Apriori-framework miner runs on.
+///
+/// The miners crate implements one `SupportEngine` per variant; this enum is
+/// the *selector* that travels through parameters, registries and the bench
+/// harness. The two backends are observationally equivalent (same itemsets,
+/// same statistics to fp precision) and differ only in data layout and cost:
+///
+/// * [`EngineKind::Horizontal`] — the paper's layout: one trie-guided scan
+///   over the transaction list per level (the reference backend);
+/// * [`EngineKind::Vertical`] — columnar tid-lists
+///   ([`crate::vertical::VerticalIndex`]): one database pass up front, then
+///   each candidate costs one sorted-merge intersection of its prefix's
+///   memoized [`crate::vertical::ProbVector`] with the last item's postings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Trie-guided horizontal database scans (reference backend).
+    #[default]
+    Horizontal,
+    /// Columnar tid-list intersection (U-Eclat style).
+    Vertical,
+}
+
+impl EngineKind {
+    /// Both backends, in presentation order.
+    pub const ALL: [EngineKind; 2] = [EngineKind::Horizontal, EngineKind::Vertical];
+
+    /// Stable lower-case name (used by CLIs and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Horizontal => "horizontal",
+            EngineKind::Vertical => "vertical",
+        }
+    }
+
+    /// Parses a case-insensitive backend name.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "horizontal" | "h" | "scan" => Some(EngineKind::Horizontal),
+            "vertical" | "v" | "tidlist" | "eclat" => Some(EngineKind::Vertical),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A ratio in the half-open interval `(0, 1]`.
 ///
 /// `0` is excluded: a zero minimum support would declare every itemset
@@ -57,15 +107,25 @@ pub struct MiningParams {
     /// Probabilistic frequent threshold (`pft`): an itemset is frequent iff
     /// `Pr{sup(X) ≥ msup} > pft`.
     pub pft: Ratio,
+    /// Support-computation backend to run on (defaults to
+    /// [`EngineKind::Horizontal`], the reference backend).
+    pub engine: EngineKind,
 }
 
 impl MiningParams {
-    /// Validates and constructs.
+    /// Validates and constructs (with the default backend).
     pub fn new(min_sup: f64, pft: f64) -> Result<Self, CoreError> {
         Ok(MiningParams {
             min_sup: Ratio::new("min_sup", min_sup)?,
             pft: Ratio::new("pft", pft)?,
+            engine: EngineKind::default(),
         })
+    }
+
+    /// Selects the support-computation backend.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The integer support threshold `msup = ⌈N·min_sup⌉` for a database of
@@ -125,7 +185,23 @@ mod tests {
         assert_eq!(p.msup(4), 2);
         assert_eq!(p.min_sup.get(), 0.5);
         assert_eq!(p.pft.get(), 0.9);
+        assert_eq!(p.engine, EngineKind::Horizontal);
         assert!(MiningParams::new(0.0, 0.9).is_err());
         assert!(MiningParams::new(0.5, 1.5).is_err());
+    }
+
+    #[test]
+    fn engine_selection() {
+        let p = MiningParams::new(0.5, 0.9)
+            .unwrap()
+            .with_engine(EngineKind::Vertical);
+        assert_eq!(p.engine, EngineKind::Vertical);
+        assert_eq!(EngineKind::parse("VERTICAL"), Some(EngineKind::Vertical));
+        assert_eq!(EngineKind::parse("h"), Some(EngineKind::Horizontal));
+        assert_eq!(EngineKind::parse("nope"), None);
+        for e in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(e.name()), Some(e));
+            assert_eq!(format!("{e}"), e.name());
+        }
     }
 }

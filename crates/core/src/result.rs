@@ -57,8 +57,13 @@ pub struct MinerStats {
     pub exact_evaluations: u64,
     /// Number of database or projection scans.
     pub scans: u64,
-    /// Peak number of tree/hyper-structure nodes, when the algorithm builds
-    /// one (UFP-tree nodes, UH-Struct cells).
+    /// Tid-list intersections performed (vertical backend only — the
+    /// vertical analog of `scans`).
+    pub intersections: u64,
+    /// Peak size of the algorithm's auxiliary structure, in that
+    /// structure's own units: UFP-tree nodes, UH-Struct cells, or — on the
+    /// vertical support engine — memoized `(tid, prob)` units. Comparable
+    /// within one algorithm/backend, not across them.
     pub peak_structure_nodes: u64,
 }
 
@@ -71,6 +76,7 @@ impl MinerStats {
         self.candidates_pruned_count += other.candidates_pruned_count;
         self.exact_evaluations += other.exact_evaluations;
         self.scans += other.scans;
+        self.intersections += other.intersections;
         self.peak_structure_nodes = self.peak_structure_nodes.max(other.peak_structure_nodes);
     }
 }
@@ -110,7 +116,11 @@ impl MiningResult {
 
     /// Largest cardinality among discovered itemsets (0 when empty).
     pub fn max_len(&self) -> usize {
-        self.itemsets.iter().map(|f| f.itemset.len()).max().unwrap_or(0)
+        self.itemsets
+            .iter()
+            .map(|f| f.itemset.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sorts records in place by itemset (stable canonical presentation).

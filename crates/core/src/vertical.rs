@@ -1,0 +1,595 @@
+//! Vertical (columnar) layout of an uncertain database: per-item tid-lists
+//! with existence probabilities.
+//!
+//! The horizontal layout ([`UncertainDatabase`]) answers "which items does
+//! transaction `t` contain?"; the vertical layout answers the converse —
+//! "which transactions contain item `i`, and with what probability?" — which
+//! is the question every support computation actually asks. A
+//! [`VerticalIndex`] is built in **one** database pass; afterwards, the
+//! nonzero containment-probability vector of a `k`-itemset is the
+//! intersection of its `(k−1)`-prefix's vector with the last item's
+//! postings (the U-Eclat recurrence):
+//!
+//! ```text
+//! vec(X ∪ {i})[t] = vec(X)[t] · P_t(i)      for t in tids(X) ∩ tids(i)
+//! ```
+//!
+//! Expected support, support variance, the nonzero-transaction count and
+//! the exact miners' DP/DC input all fall out of that one intersection —
+//! no re-scan of the database is ever needed.
+//!
+//! ## Adaptive representation
+//!
+//! A [`ProbVector`] stores its `(tid, prob)` pairs **sparsely** (two
+//! parallel sorted arrays) when few transactions are involved, and
+//! **densely** (one `f64` per transaction, `0.0` = absent) when at least
+//! [`DENSE_CUTOFF_DIVISOR`]⁻¹ of the database contains the itemset — the
+//! uncertain-data analog of bitset Eclat. Dense × dense intersections are
+//! branchless elementwise multiplies; sparse × dense are `O(nnz)` gathers;
+//! sparse × sparse fall back to a sorted merge. On dense benchmark-style
+//! databases this representation is what lets the vertical engine beat the
+//! trie-guided horizontal scan.
+//!
+//! Whatever the representation, probabilities are multiplied in ascending
+//! item order and enumerated in ascending transaction order, so results are
+//! bit-for-bit identical to a horizontal scan's.
+
+use crate::database::UncertainDatabase;
+use crate::itemset::ItemId;
+
+/// A vector whose nonzero count is at least `num_transactions /
+/// DENSE_CUTOFF_DIVISOR` is stored densely.
+pub const DENSE_CUTOFF_DIVISOR: usize = 4;
+
+#[derive(Clone, Debug)]
+enum Repr {
+    /// Parallel arrays sorted by tid; probs are all nonzero.
+    Sparse { tids: Vec<u32>, probs: Vec<f64> },
+    /// `probs[tid]` for every transaction (`0.0` = absent); `nnz` nonzeros.
+    Dense { probs: Vec<f64>, nnz: usize },
+}
+
+/// The nonzero containment probabilities of an itemset over a database,
+/// in an adaptive sparse/dense representation (see the module docs).
+///
+/// For a single item this is exactly the item's postings list, so the same
+/// type serves both as the column of a [`VerticalIndex`] and as the
+/// intersection state threaded through a mining run.
+#[derive(Clone, Debug)]
+pub struct ProbVector {
+    repr: Repr,
+}
+
+impl Default for ProbVector {
+    fn default() -> Self {
+        ProbVector {
+            repr: Repr::Sparse {
+                tids: Vec::new(),
+                probs: Vec::new(),
+            },
+        }
+    }
+}
+
+impl ProbVector {
+    /// An empty vector (an itemset contained in no transaction).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a sparse vector from parallel arrays. `tids` must be strictly
+    /// increasing and `probs` entries nonzero; checked in debug builds only.
+    pub fn from_parts(tids: Vec<u32>, probs: Vec<f64>) -> Self {
+        debug_assert_eq!(tids.len(), probs.len());
+        debug_assert!(tids.windows(2).all(|w| w[0] < w[1]), "tids not sorted");
+        debug_assert!(probs.iter().all(|&p| p > 0.0), "zero-prob entry");
+        ProbVector {
+            repr: Repr::Sparse { tids, probs },
+        }
+    }
+
+    /// Number of transactions with nonzero containment probability.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse { tids, .. } => tids.len(),
+            Repr::Dense { nnz, .. } => *nnz,
+        }
+    }
+
+    /// True when no transaction can contain the itemset.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when stored densely.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense { .. })
+    }
+
+    /// `f64` slots occupied in memory (diagnostic: `nnz` when sparse, the
+    /// database size when dense).
+    pub fn mem_units(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse { tids, .. } => tids.len(),
+            Repr::Dense { probs, .. } => probs.len(),
+        }
+    }
+
+    /// The nonzero `(tid, prob)` pairs in ascending tid order.
+    pub fn nonzero(&self) -> Vec<(u32, f64)> {
+        match &self.repr {
+            Repr::Sparse { tids, probs } => {
+                tids.iter().copied().zip(probs.iter().copied()).collect()
+            }
+            Repr::Dense { probs, nnz } => {
+                let mut out = Vec::with_capacity(*nnz);
+                for (tid, &q) in probs.iter().enumerate() {
+                    if q > 0.0 {
+                        out.push((tid as u32, q));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The nonzero probabilities in ascending tid order — exactly the input
+    /// the exact DP / divide-and-conquer kernels take.
+    pub fn nonzero_probs(&self) -> Vec<f64> {
+        match &self.repr {
+            Repr::Sparse { probs, .. } => probs.clone(),
+            Repr::Dense { probs, nnz } => {
+                let mut out = Vec::with_capacity(*nnz);
+                out.extend(probs.iter().copied().filter(|&q| q > 0.0));
+                out
+            }
+        }
+    }
+
+    /// Expected support: `Σ_t q_t`. Accumulated in ascending tid order
+    /// (dense zeros contribute exactly `0.0`), matching a horizontal scan
+    /// bit for bit.
+    pub fn esup(&self) -> f64 {
+        match &self.repr {
+            Repr::Sparse { probs, .. } => probs.iter().sum(),
+            Repr::Dense { probs, .. } => probs.iter().sum(),
+        }
+    }
+
+    /// Expected support and variance of `sup(X)` (`Σ q_t (1 − q_t)`), in
+    /// ascending tid order.
+    pub fn moments(&self) -> (f64, f64) {
+        let probs: &[f64] = match &self.repr {
+            Repr::Sparse { probs, .. } => probs,
+            Repr::Dense { probs, .. } => probs,
+        };
+        let mut esup = 0.0;
+        let mut var = 0.0;
+        for &q in probs {
+            esup += q;
+            var += q * (1.0 - q);
+        }
+        (esup, var)
+    }
+
+    /// Appends one entry (sparse representation only). `tid` must exceed
+    /// the current maximum.
+    #[inline]
+    pub fn push(&mut self, tid: u32, prob: f64) {
+        debug_assert!(prob > 0.0);
+        match &mut self.repr {
+            Repr::Sparse { tids, probs } => {
+                debug_assert!(tids.last().is_none_or(|&last| last < tid));
+                tids.push(tid);
+                probs.push(prob);
+            }
+            Repr::Dense { .. } => unreachable!("push on dense ProbVector"),
+        }
+    }
+
+    /// Releases excess capacity (intersection outputs reserve for the
+    /// worst case; long-lived memoized vectors should not keep it).
+    pub fn shrink_to_fit(&mut self) {
+        if let Repr::Sparse { tids, probs } = &mut self.repr {
+            tids.shrink_to_fit();
+            probs.shrink_to_fit();
+        }
+    }
+
+    /// Converts to the dense representation over `n` transactions when the
+    /// vector qualifies (nonzero count ≥ `n / DENSE_CUTOFF_DIVISOR`);
+    /// otherwise leaves it sparse.
+    pub fn maybe_densify(&mut self, n: usize) {
+        let Repr::Sparse { tids, probs } = &self.repr else {
+            return;
+        };
+        if n == 0 || tids.len() * DENSE_CUTOFF_DIVISOR < n {
+            return;
+        }
+        let mut dense = vec![0.0f64; n];
+        for (&tid, &q) in tids.iter().zip(probs.iter()) {
+            dense[tid as usize] = q;
+        }
+        self.repr = Repr::Dense {
+            nnz: tids.len(),
+            probs: dense,
+        };
+    }
+
+    /// The statistics of [`ProbVector::intersect`]'s result —
+    /// `(esup, variance, nonzero count)` — computed **without
+    /// materializing** the result: no allocation, no stores. Support
+    /// engines use this for candidates a pushdown threshold may rule out;
+    /// the values are bit-identical to `self.intersect(other).moments()`
+    /// (zero products contribute exactly `0.0` to either accumulator).
+    pub fn intersect_stats(&self, other: &ProbVector) -> (f64, f64, usize) {
+        let mut esup = 0.0f64;
+        let mut var = 0.0f64;
+        let mut count = 0usize;
+        let mut add = |q: f64| {
+            esup += q;
+            var += q * (1.0 - q);
+            count += (q > 0.0) as usize;
+        };
+        match (&self.repr, &other.repr) {
+            (
+                Repr::Sparse {
+                    tids: ta,
+                    probs: pa,
+                },
+                Repr::Sparse {
+                    tids: tb,
+                    probs: pb,
+                },
+            ) => {
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < ta.len() && j < tb.len() {
+                    match ta[i].cmp(&tb[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            add(pa[i] * pb[j]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
+            (Repr::Sparse { tids, probs }, Repr::Dense { probs: dense, .. })
+            | (Repr::Dense { probs: dense, .. }, Repr::Sparse { tids, probs }) => {
+                for (&tid, &p) in tids.iter().zip(probs.iter()) {
+                    add(p * dense[tid as usize]);
+                }
+            }
+            (Repr::Dense { probs: da, .. }, Repr::Dense { probs: db, .. }) => {
+                for (&a, &b) in da.iter().zip(db.iter()) {
+                    add(a * b);
+                }
+            }
+        }
+        (esup, var, count)
+    }
+
+    /// The U-Eclat step: intersects with another vector, multiplying
+    /// probabilities on matching tids (`self` is the prefix, `other` the
+    /// appended item's postings — multiplication order is prefix × item).
+    /// Representation of the result is chosen adaptively.
+    pub fn intersect(&self, other: &ProbVector) -> ProbVector {
+        match (&self.repr, &other.repr) {
+            (
+                Repr::Sparse {
+                    tids: ta,
+                    probs: pa,
+                },
+                Repr::Sparse {
+                    tids: tb,
+                    probs: pb,
+                },
+            ) => intersect_sparse_sparse(ta, pa, tb, pb),
+            // f64 multiplication is bitwise commutative, so the gather can
+            // run over whichever side is sparse without breaking the
+            // bit-for-bit match with horizontal scans.
+            (Repr::Sparse { tids, probs }, Repr::Dense { probs: dense, .. })
+            | (Repr::Dense { probs: dense, .. }, Repr::Sparse { tids, probs }) => {
+                intersect_sparse_dense(tids, probs, dense)
+            }
+            (Repr::Dense { probs: da, .. }, Repr::Dense { probs: db, .. }) => {
+                intersect_dense_dense(da, db)
+            }
+        }
+    }
+}
+
+impl PartialEq for ProbVector {
+    /// Semantic equality: same nonzero `(tid, prob)` pairs, regardless of
+    /// representation.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.nonzero() == other.nonzero()
+    }
+}
+
+fn intersect_sparse_sparse(ta: &[u32], pa: &[f64], tb: &[u32], pb: &[f64]) -> ProbVector {
+    let cap = ta.len().min(tb.len());
+    let mut tids = Vec::with_capacity(cap);
+    let mut probs = Vec::with_capacity(cap);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ta.len() && j < tb.len() {
+        match ta[i].cmp(&tb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                tids.push(ta[i]);
+                probs.push(pa[i] * pb[j]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    ProbVector {
+        repr: Repr::Sparse { tids, probs },
+    }
+}
+
+/// Gathers the sparse side through the dense side: `O(nnz)` lookups.
+///
+/// The survivor cursor `k` advances branchlessly — on the candidate-heavy
+/// last levels of a dense mining run (mostly misses) branch mispredictions
+/// would otherwise dominate the loop.
+fn intersect_sparse_dense(tids: &[u32], probs: &[f64], dense: &[f64]) -> ProbVector {
+    let n = tids.len();
+    let mut out_tids = vec![0u32; n];
+    let mut out_probs = vec![0.0f64; n];
+    let mut k = 0usize;
+    for i in 0..n {
+        let tid = tids[i];
+        let q = dense[tid as usize];
+        out_tids[k] = tid;
+        out_probs[k] = probs[i] * q;
+        k += (q > 0.0) as usize;
+    }
+    out_tids.truncate(k);
+    out_probs.truncate(k);
+    ProbVector {
+        repr: Repr::Sparse {
+            tids: out_tids,
+            probs: out_probs,
+        },
+    }
+}
+
+fn intersect_dense_dense(da: &[f64], db: &[f64]) -> ProbVector {
+    debug_assert_eq!(da.len(), db.len());
+    let n = da.len();
+    // Two branchless, autovectorizable passes: multiply, then count.
+    let probs: Vec<f64> = da.iter().zip(db.iter()).map(|(&a, &b)| a * b).collect();
+    let nnz = probs.iter().filter(|&&q| q > 0.0).count();
+    if nnz * DENSE_CUTOFF_DIVISOR >= n {
+        return ProbVector {
+            repr: Repr::Dense { probs, nnz },
+        };
+    }
+    // Too sparse to stay dense: extract (branchless cursor again).
+    let mut tids = vec![0u32; nnz];
+    let mut sparse = vec![0.0f64; nnz];
+    let mut k = 0usize;
+    for (tid, &q) in probs.iter().enumerate() {
+        if k < nnz {
+            tids[k] = tid as u32;
+            sparse[k] = q;
+        }
+        k += (q > 0.0) as usize;
+    }
+    ProbVector {
+        repr: Repr::Sparse {
+            tids,
+            probs: sparse,
+        },
+    }
+}
+
+/// One-pass columnar index over an [`UncertainDatabase`]: for every item, the
+/// sorted postings of `(tid, prob)` pairs in which it occurs, each stored
+/// sparsely or densely by the [`DENSE_CUTOFF_DIVISOR`] rule.
+#[derive(Clone, Debug, Default)]
+pub struct VerticalIndex {
+    postings: Vec<ProbVector>,
+    num_transactions: usize,
+}
+
+impl VerticalIndex {
+    /// Builds the index in a single pass over the database.
+    pub fn build(db: &UncertainDatabase) -> Self {
+        let n = db.num_transactions();
+        let mut postings = vec![ProbVector::new(); db.num_items() as usize];
+        for (tid, t) in db.transactions().iter().enumerate() {
+            for (item, p) in t.units() {
+                postings[item as usize].push(tid as u32, p);
+            }
+        }
+        for v in &mut postings {
+            v.maybe_densify(n);
+        }
+        VerticalIndex {
+            postings,
+            num_transactions: n,
+        }
+    }
+
+    /// Number of transactions in the indexed database.
+    #[inline]
+    pub fn num_transactions(&self) -> usize {
+        self.num_transactions
+    }
+
+    /// Vocabulary size.
+    #[inline]
+    pub fn num_items(&self) -> u32 {
+        self.postings.len() as u32
+    }
+
+    /// The postings of one item (its singleton prob-vector).
+    #[inline]
+    pub fn postings(&self, item: ItemId) -> &ProbVector {
+        &self.postings[item as usize]
+    }
+
+    /// Total nonzero `(tid, prob)` units — equals the database's total
+    /// units.
+    pub fn total_units(&self) -> usize {
+        self.postings.iter().map(ProbVector::len).sum()
+    }
+
+    /// Computes an arbitrary itemset's prob-vector from scratch by folding
+    /// postings left to right — `O(Σ |postings|)`. Miners avoid this via
+    /// prefix memoization; it anchors tests and serves cold lookups.
+    pub fn prob_vector(&self, itemset: &[ItemId]) -> ProbVector {
+        let Some((&first, rest)) = itemset.split_first() else {
+            return ProbVector::new();
+        };
+        let mut acc = self.postings(first).clone();
+        for &item in rest {
+            if acc.is_empty() {
+                break;
+            }
+            acc = acc.intersect(self.postings(item));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::paper_table1;
+    use crate::transaction::Transaction;
+
+    #[test]
+    fn index_matches_horizontal_reference() {
+        let db = paper_table1();
+        let idx = VerticalIndex::build(&db);
+        assert_eq!(idx.num_transactions(), 4);
+        assert_eq!(idx.num_items(), 6);
+        assert_eq!(idx.total_units(), db.stats().total_units);
+        for item in 0..6u32 {
+            let esup = idx.postings(item).esup();
+            let want = db.item_expected_supports()[item as usize];
+            assert!((esup - want).abs() < 1e-12, "item {item}");
+        }
+        // D appears in T1 (0.7) and T4 (0.5) only.
+        assert_eq!(idx.postings(3).nonzero(), vec![(0, 0.7), (3, 0.5)]);
+    }
+
+    #[test]
+    fn intersection_reproduces_itemset_prob_vectors() {
+        let db = paper_table1();
+        let idx = VerticalIndex::build(&db);
+        for a in 0..6u32 {
+            for b in a + 1..6u32 {
+                let vec2 = idx.postings(a).intersect(idx.postings(b));
+                let want = db.itemset_prob_vector(&[a, b]);
+                assert_eq!(vec2.nonzero_probs(), want, "{{{a},{b}}}");
+                let (esup, var) = vec2.moments();
+                let (we, wv) = db.support_moments(&[a, b]);
+                assert!((esup - we).abs() < 1e-12);
+                assert!((var - wv).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_recurrence_equals_scratch_fold() {
+        let db = paper_table1();
+        let idx = VerticalIndex::build(&db);
+        // {A, C, E}: prefix {A, C} extended by E.
+        let prefix = idx.postings(0).intersect(idx.postings(2));
+        let via_recurrence = prefix.intersect(idx.postings(4));
+        assert_eq!(via_recurrence, idx.prob_vector(&[0, 2, 4]));
+        assert_eq!(
+            via_recurrence.nonzero_probs(),
+            db.itemset_prob_vector(&[0, 2, 4])
+        );
+    }
+
+    #[test]
+    fn empty_cases() {
+        let db = paper_table1();
+        let idx = VerticalIndex::build(&db);
+        assert!(idx.prob_vector(&[]).is_empty());
+        // D and E never co-occur.
+        assert!(idx.prob_vector(&[3, 4]).is_empty());
+        assert_eq!(idx.prob_vector(&[3, 4]).esup(), 0.0);
+
+        let empty = UncertainDatabase::from_transactions(vec![]);
+        let idx = VerticalIndex::build(&empty);
+        assert_eq!(idx.num_items(), 0);
+        assert_eq!(idx.total_units(), 0);
+    }
+
+    #[test]
+    fn intersect_is_commutative_here() {
+        let db = paper_table1();
+        let idx = VerticalIndex::build(&db);
+        let ab = idx.postings(0).intersect(idx.postings(1));
+        let ba = idx.postings(1).intersect(idx.postings(0));
+        assert_eq!(ab, ba);
+    }
+
+    /// Exercises all four representation pairings of `intersect` against
+    /// the horizontal reference on a database whose items span the
+    /// dense/sparse cutoff.
+    #[test]
+    fn mixed_representations_agree_with_reference() {
+        // Item 0: every transaction (dense). Item 1: every other (dense).
+        // Item 2: every 10th (sparse). Item 3: every 16th (sparse).
+        let transactions: Vec<Transaction> = (0..320)
+            .map(|i| {
+                let mut units = vec![(0u32, 0.9)];
+                if i % 2 == 0 {
+                    units.push((1, 0.8));
+                }
+                if i % 10 == 0 {
+                    units.push((2, 0.7));
+                }
+                if i % 16 == 0 {
+                    units.push((3, 0.6));
+                }
+                Transaction::new(units).unwrap()
+            })
+            .collect();
+        let db = UncertainDatabase::with_num_items(transactions, 4);
+        let idx = VerticalIndex::build(&db);
+        assert!(idx.postings(0).is_dense());
+        assert!(idx.postings(1).is_dense());
+        assert!(!idx.postings(2).is_dense());
+        assert!(!idx.postings(3).is_dense());
+        for a in 0..4u32 {
+            for b in a + 1..4u32 {
+                let got = idx.postings(a).intersect(idx.postings(b));
+                let want = db.itemset_prob_vector(&[a, b]);
+                assert_eq!(got.nonzero_probs(), want, "{{{a},{b}}}");
+                assert_eq!(got.len(), want.len());
+            }
+        }
+        // Dense × dense that comes out sparse: {1, 2} hits every 10th-and-
+        // even transaction (1/10 < 1/4 of the database).
+        let v12 = idx.postings(1).intersect(idx.postings(2));
+        assert!(!v12.is_dense());
+        // Triple through the recurrence, mixing all reprs.
+        let v012 = idx.prob_vector(&[0, 1, 2]);
+        assert_eq!(v012.nonzero_probs(), db.itemset_prob_vector(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn densify_rules() {
+        let mut v = ProbVector::from_parts(vec![0, 2], vec![0.5, 0.5]);
+        v.maybe_densify(100); // 2/100 < 1/4: stays sparse
+        assert!(!v.is_dense());
+        v.maybe_densify(8); // 2/8 ≥ 1/4: densifies
+        assert!(v.is_dense());
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.mem_units(), 8);
+        assert_eq!(v.nonzero(), vec![(0, 0.5), (2, 0.5)]);
+    }
+}

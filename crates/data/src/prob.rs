@@ -167,7 +167,10 @@ mod tests {
         let at_min = samples.iter().filter(|&&p| p == GAUSSIAN_P_MIN).count();
         let at_max = samples.iter().filter(|&&p| p == 1.0).count();
         // σ ≈ 0.707: roughly a quarter of the mass clamps at each end.
-        assert!(at_min > 2_000 && at_max > 2_000, "min {at_min} max {at_max}");
+        assert!(
+            at_min > 2_000 && at_max > 2_000,
+            "min {at_min} max {at_max}"
+        );
     }
 
     #[test]
@@ -188,7 +191,10 @@ mod tests {
 
     #[test]
     fn zipf_levels_are_gridded() {
-        let m = ProbabilityModel::Zipf { skew: 1.0, levels: 4 };
+        let m = ProbabilityModel::Zipf {
+            skew: 1.0,
+            levels: 4,
+        };
         let mut r = rng();
         for _ in 0..1_000 {
             let p = m.sample(&mut r);

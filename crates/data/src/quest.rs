@@ -132,8 +132,7 @@ impl QuestConfig {
             // Exponential weight with unit mean; corruption level clamped
             // normal around the configured mean.
             let weight = sample_exponential(rng);
-            let corruption = (self.corruption_mean + 0.1 * sample_std_normal(rng))
-                .clamp(0.0, 0.95);
+            let corruption = (self.corruption_mean + 0.1 * sample_std_normal(rng)).clamp(0.0, 0.95);
             patterns.push(Pattern {
                 items,
                 weight,

@@ -197,7 +197,10 @@ mod tests {
         assert_eq!(shape.num_transactions, 990_002);
         assert_eq!(shape.num_items, 41_270);
         assert_eq!(Benchmark::Connect.paper_shape().avg_len, 43.0);
-        assert_eq!(Benchmark::T25I15D320k.paper_shape().num_transactions, 320_000);
+        assert_eq!(
+            Benchmark::T25I15D320k.paper_shape().num_transactions,
+            320_000
+        );
     }
 
     #[test]
@@ -240,9 +243,8 @@ mod tests {
     fn zipf_model_produces_sparser_data_at_high_skew() {
         let low = Benchmark::Connect.generate_with_model(0.005, 3, &ProbabilityModel::zipf(0.8));
         let high = Benchmark::Connect.generate_with_model(0.005, 3, &ProbabilityModel::zipf(2.0));
-        let units = |db: &UncertainDatabase| -> usize {
-            db.transactions().iter().map(|t| t.len()).sum()
-        };
+        let units =
+            |db: &UncertainDatabase| -> usize { db.transactions().iter().map(|t| t.len()).sum() };
         assert!(
             units(&high) < units(&low),
             "skew 2.0 should drop more units: {} vs {}",

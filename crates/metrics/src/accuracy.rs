@@ -35,8 +35,16 @@ pub fn precision_recall(approximate: &MiningResult, exact: &MiningResult) -> Acc
     let er: FxHashSet<&Itemset> = exact.itemsets.iter().map(|f| &f.itemset).collect();
     let inter = ar.intersection(&er).count() as f64;
     Accuracy {
-        precision: if ar.is_empty() { 1.0 } else { inter / ar.len() as f64 },
-        recall: if er.is_empty() { 1.0 } else { inter / er.len() as f64 },
+        precision: if ar.is_empty() {
+            1.0
+        } else {
+            inter / ar.len() as f64
+        },
+        recall: if er.is_empty() {
+            1.0
+        } else {
+            inter / er.len() as f64
+        },
     }
 }
 

@@ -75,7 +75,11 @@ impl AsciiChart {
             return out;
         }
         let lo = finite.iter().copied().fold(f64::INFINITY, f64::min).log10();
-        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max).log10();
+        let hi = finite
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .log10();
         let span = (hi - lo).max(1e-9);
         let rows = self.height;
         let col_width = 6usize;
@@ -176,7 +180,10 @@ mod tests {
     #[test]
     fn monotone_series_descends_visually() {
         let mut c = AsciiChart::new("m", (0..4).map(|i| i.to_string()).collect());
-        c.add_series("down", vec![Some(1000.0), Some(100.0), Some(10.0), Some(1.0)]);
+        c.add_series(
+            "down",
+            vec![Some(1000.0), Some(100.0), Some(10.0), Some(1.0)],
+        );
         let rendered = c.render();
         // First column's marker must appear on an earlier line than the last
         // column's.

@@ -77,7 +77,9 @@ impl ExpectedSupportMiner for BruteForce {
                     stack.push(itemset.with_item(next));
                 }
             }
-            result.itemsets.push(FrequentItemset::with_esup(itemset, esup));
+            result
+                .itemsets
+                .push(FrequentItemset::with_esup(itemset, esup));
         }
         result.canonicalize();
         Ok(result)
@@ -181,7 +183,7 @@ mod tests {
         let r = BruteForce::new().mine_expected_ratio(&db, 0.6).unwrap();
         assert!(r.get(&Itemset::from_items([0, 1])).is_some());
         assert!(r.get(&Itemset::from_items([0, 1, 2])).is_none()); // 2/5
-        // With certainty, probabilistic mining at any pft agrees.
+                                                                   // With certainty, probabilistic mining at any pft agrees.
         let rp = BruteForce::new()
             .mine_probabilistic_raw(&db, 0.6, 0.5)
             .unwrap();
@@ -201,7 +203,10 @@ mod tests {
     #[test]
     fn empty_db_yields_empty() {
         let db = UncertainDatabase::from_transactions(vec![]);
-        assert!(BruteForce::new().mine_expected_ratio(&db, 0.5).unwrap().is_empty());
+        assert!(BruteForce::new()
+            .mine_expected_ratio(&db, 0.5)
+            .unwrap()
+            .is_empty());
         assert!(BruteForce::new()
             .mine_probabilistic_raw(&db, 0.5, 0.9)
             .unwrap()

@@ -8,9 +8,7 @@
 //! the paper's observation that the four Apriori-framework algorithms differ
 //! only in how they evaluate a candidate's support random variable.
 
-use ufim_core::{
-    FrequentItemset, FxHashSet, Itemset, MinerStats, MiningResult, UncertainDatabase,
-};
+use ufim_core::{FrequentItemset, FxHashSet, Itemset, MinerStats, MiningResult, UncertainDatabase};
 
 /// Judges one level of candidates. Implementations scan the database however
 /// they need (once for expectation-based miners, twice for Chernoff-pruned
@@ -54,10 +52,7 @@ pub fn run_apriori<E: LevelEvaluator>(db: &UncertainDatabase, evaluator: &mut E)
 /// Apriori candidate generation: join frequent k-itemsets sharing a
 /// (k−1)-prefix, then prune candidates with any infrequent k-subset
 /// (downward closure, which holds for both frequency definitions).
-pub fn generate_candidates(
-    frequent: &[FrequentItemset],
-    stats: &mut MinerStats,
-) -> Vec<Itemset> {
+pub fn generate_candidates(frequent: &[FrequentItemset], stats: &mut MinerStats) -> Vec<Itemset> {
     let mut sorted: Vec<&Itemset> = frequent.iter().map(|f| &f.itemset).collect();
     sorted.sort();
     let frequent_set: FxHashSet<&Itemset> = sorted.iter().copied().collect();
@@ -112,8 +107,7 @@ mod tests {
                 .filter_map(|c| {
                     stats.candidates_evaluated += 1;
                     let esup = db.expected_support(c.items());
-                    (esup >= self.threshold)
-                        .then(|| FrequentItemset::with_esup(c.clone(), esup))
+                    (esup >= self.threshold).then(|| FrequentItemset::with_esup(c.clone(), esup))
                 })
                 .collect()
         }

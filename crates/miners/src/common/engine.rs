@@ -1,0 +1,555 @@
+//! The pluggable support-computation layer under the Apriori-framework
+//! miners.
+//!
+//! Every Apriori-framework miner (UApriori, PDUApriori, NDUApriori, and the
+//! exact DP/DC family) consumes per-candidate support statistics and — for
+//! the exact miners — the candidates' nonzero containment-probability
+//! vectors. [`SupportEngine`] abstracts *how* those are computed, so the
+//! algorithms above the seam stay byte-identical while the data layout and
+//! execution strategy below it swap freely:
+//!
+//! * [`HorizontalScan`] — the paper's layout: one trie-guided pass over the
+//!   transaction list per level ([`LevelScan`]), parallelized over
+//!   transaction chunks. The reference backend.
+//! * [`VerticalEngine`] — columnar tid-lists ([`VerticalIndex`]): one
+//!   database pass builds per-item postings; afterwards a `k`-candidate's
+//!   vector is the merge-intersection of its `(k−1)`-prefix's **memoized**
+//!   vector with the last item's postings (U-Eclat), parallelized over
+//!   candidates. `esup`, variance, count and the exact miners' DP/DC input
+//!   are all byproducts of that single intersection.
+//!
+//! Both backends produce equivalent results: per-transaction containment
+//! probabilities are multiplied in ascending item order and summed in
+//! ascending transaction order in both layouts, so sequential scans agree
+//! bit for bit (the cross-backend proptest suite pins this). The one
+//! caveat: on databases large enough that the horizontal backend reduces
+//! per-chunk partial sums (> [`LevelScan`]'s chunk size), its summation
+//! *association* differs and esups can drift by ulps — itemset sets only
+//! diverge if an esup lands within rounding distance of the threshold.
+//!
+//! Select a backend through [`EngineKind`] (on `MiningParams` or the miner
+//! builders) and instantiate per run with [`build_engine`]. Future backends
+//! (sharded, async, approximate-sketch) implement the same trait.
+
+use super::scan::LevelScan;
+use ufim_core::parallel::par_map_min_len;
+use ufim_core::{
+    EngineKind, FrequentItemset, FxHashMap, ItemId, Itemset, MinerStats, ProbVector,
+    UncertainDatabase, VerticalIndex,
+};
+
+/// Which optional statistics [`SupportEngine::evaluate`] must produce, plus
+/// optional *memoization pushdown* predicates.
+///
+/// The pushdown thresholds never change any reported statistic — they tell
+/// a memoizing engine which candidates provably cannot be frequent (esup or
+/// nonzero count below the miner's own cutoff) so their intersection state
+/// need not be retained. On candidate-heavy final levels, where nothing
+/// survives, this eliminates the memo entirely.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StatRequest {
+    /// Also accumulate the support variance `Σ q(1−q)` per candidate.
+    pub variance: bool,
+    /// Also count transactions with nonzero containment per candidate.
+    pub count: bool,
+    /// Candidates with `esup` below this can never be frequent.
+    pub min_esup: Option<f64>,
+    /// Candidates with fewer nonzero transactions can never be frequent.
+    pub min_count: Option<u64>,
+}
+
+impl StatRequest {
+    /// Expected support only.
+    pub const ESUP: StatRequest = StatRequest {
+        variance: false,
+        count: false,
+        min_esup: None,
+        min_count: None,
+    };
+    /// Expected support + variance (Normal-approximation miners).
+    pub const WITH_VARIANCE: StatRequest = StatRequest {
+        variance: true,
+        count: false,
+        min_esup: None,
+        min_count: None,
+    };
+    /// Expected support + nonzero count (exact miners' pruning phase).
+    pub const WITH_COUNT: StatRequest = StatRequest {
+        variance: false,
+        count: true,
+        min_esup: None,
+        min_count: None,
+    };
+
+    /// Adds an esup memoization-pushdown threshold.
+    pub fn with_min_esup(mut self, threshold: f64) -> Self {
+        self.min_esup = Some(threshold);
+        self
+    }
+
+    /// Adds a nonzero-count memoization-pushdown threshold.
+    pub fn with_min_count(mut self, threshold: u64) -> Self {
+        self.min_count = Some(threshold);
+        self
+    }
+}
+
+/// Per-candidate support statistics for one level.
+#[derive(Clone, Debug, Default)]
+pub struct LevelSupport {
+    /// Expected support per candidate.
+    pub esup: Vec<f64>,
+    /// Support variance per candidate (iff requested).
+    pub variance: Option<Vec<f64>>,
+    /// Nonzero-transaction count per candidate (iff requested).
+    pub count: Option<Vec<u64>>,
+}
+
+/// A support-computation backend, instantiated once per mining run.
+///
+/// The level-wise protocol is: `evaluate` once per level with all the
+/// level's candidates, optionally `prob_vectors` for a subset that needs
+/// exact distributions, then `finish_level` with the survivors so memoizing
+/// backends can retain exactly the state the next level will extend.
+pub trait SupportEngine {
+    /// Backend name (matches [`EngineKind::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Computes all requested statistics for every candidate in one logical
+    /// pass.
+    fn evaluate(
+        &mut self,
+        candidates: &[Itemset],
+        want: StatRequest,
+        stats: &mut MinerStats,
+    ) -> LevelSupport;
+
+    /// The nonzero containment-probability vectors (transaction order) of
+    /// `candidates` — the exact DP/DC kernels' input. Candidates must come
+    /// from the current level's `evaluate` call (memoizing backends serve
+    /// them from memo; the horizontal backend re-gathers in one scan).
+    fn prob_vectors(&mut self, candidates: &[Itemset], stats: &mut MinerStats) -> Vec<Vec<f64>>;
+
+    /// Declares which itemsets of the current level are frequent. Memoizing
+    /// backends keep exactly these as prefixes for the next level.
+    fn finish_level(&mut self, frequent: &[FrequentItemset]);
+}
+
+/// Builds the backend selected by `kind` over `db`.
+pub fn build_engine(kind: EngineKind, db: &UncertainDatabase) -> Box<dyn SupportEngine + '_> {
+    match kind {
+        EngineKind::Horizontal => Box::new(HorizontalScan::new(db)),
+        EngineKind::Vertical => Box::new(VerticalEngine::new(db)),
+    }
+}
+
+/// The reference backend: trie-guided horizontal scans (see [`LevelScan`]).
+pub struct HorizontalScan<'a> {
+    db: &'a UncertainDatabase,
+    /// The current level's scan state, so `prob_vectors` on the same
+    /// candidate list reuses the already-built trie.
+    current: Option<(Vec<Itemset>, LevelScan<'a>)>,
+}
+
+impl<'a> HorizontalScan<'a> {
+    /// New backend over `db`.
+    pub fn new(db: &'a UncertainDatabase) -> Self {
+        HorizontalScan { db, current: None }
+    }
+
+    fn scan_for(&mut self, candidates: &[Itemset]) -> &LevelScan<'a> {
+        // The cache key is a full clone of the candidate list: O(level) per
+        // level, small next to the scan it guards, and immune to the
+        // address-reuse hazards a pointer-based key would have for direct
+        // trait users who skip `finish_level`. The comparison short-circuits
+        // on length, so the Chernoff miners' survivor-subset `prob_vectors`
+        // call costs O(1) before rebuilding.
+        let reusable = matches!(&self.current, Some((c, _)) if c.as_slice() == candidates);
+        if !reusable {
+            self.current = Some((candidates.to_vec(), LevelScan::new(self.db, candidates)));
+        }
+        &self.current.as_ref().expect("just set").1
+    }
+}
+
+impl SupportEngine for HorizontalScan<'_> {
+    fn name(&self) -> &'static str {
+        EngineKind::Horizontal.name()
+    }
+
+    fn evaluate(
+        &mut self,
+        candidates: &[Itemset],
+        want: StatRequest,
+        stats: &mut MinerStats,
+    ) -> LevelSupport {
+        let acc = self
+            .scan_for(candidates)
+            .accumulate(want.variance, want.count, stats);
+        LevelSupport {
+            esup: acc.esup,
+            variance: acc.var,
+            count: acc.count,
+        }
+    }
+
+    fn prob_vectors(&mut self, candidates: &[Itemset], stats: &mut MinerStats) -> Vec<Vec<f64>> {
+        self.scan_for(candidates).prob_vectors(stats)
+    }
+
+    fn finish_level(&mut self, _frequent: &[FrequentItemset]) {
+        self.current = None;
+    }
+}
+
+/// Work-size threshold (candidates × mean tid-list length) below which the
+/// vertical backend stays sequential (shared with the horizontal scans).
+const PAR_MIN_WORK: usize = ufim_core::parallel::DEFAULT_MIN_WORK;
+
+/// The columnar backend: per-item postings + memoized prefix intersection.
+pub struct VerticalEngine {
+    index: VerticalIndex,
+    /// Prob-vectors of the previous level's *frequent* itemsets, keyed by
+    /// their item arrays — the prefixes the current level's candidates
+    /// extend. Singleton prefixes are served by the index itself.
+    prev: FxHashMap<Vec<ItemId>, ProbVector>,
+    /// Prob-vectors of every candidate evaluated in the current level.
+    current: FxHashMap<Vec<ItemId>, ProbVector>,
+    /// Whether the one-time index build has been charged to `stats.scans`.
+    scan_charged: bool,
+    /// Peak `(tid, prob)` units held in memo state (diagnostic).
+    peak_memo_units: u64,
+}
+
+impl VerticalEngine {
+    /// Builds the index (the run's single database pass) and an empty memo.
+    pub fn new(db: &UncertainDatabase) -> Self {
+        VerticalEngine {
+            index: VerticalIndex::build(db),
+            prev: FxHashMap::default(),
+            current: FxHashMap::default(),
+            scan_charged: false,
+            peak_memo_units: 0,
+        }
+    }
+
+    /// The candidate's prob-vector via the U-Eclat recurrence: prefix memo
+    /// (or postings, for singleton prefixes) intersected with the last
+    /// item's postings. Falls back to a from-scratch postings fold for
+    /// candidates whose prefix was never evaluated (direct trait users).
+    fn vector_for(&self, candidate: &Itemset) -> ProbVector {
+        vector_for(&self.index, &self.prev, candidate)
+    }
+
+    fn note_memo_peak(&mut self) {
+        let units: usize = self
+            .prev
+            .values()
+            .chain(self.current.values())
+            .map(ProbVector::mem_units)
+            .sum();
+        self.peak_memo_units = self.peak_memo_units.max(units as u64);
+    }
+}
+
+impl SupportEngine for VerticalEngine {
+    fn name(&self) -> &'static str {
+        EngineKind::Vertical.name()
+    }
+
+    fn evaluate(
+        &mut self,
+        candidates: &[Itemset],
+        want: StatRequest,
+        stats: &mut MinerStats,
+    ) -> LevelSupport {
+        if !self.scan_charged {
+            // The whole run costs one database pass: the index build.
+            stats.scans += 1;
+            self.scan_charged = true;
+        }
+        stats.intersections += candidates.iter().filter(|c| c.len() > 1).count() as u64;
+
+        let mut out = LevelSupport {
+            esup: Vec::with_capacity(candidates.len()),
+            variance: want.variance.then(|| Vec::with_capacity(candidates.len())),
+            count: want.count.then(|| Vec::with_capacity(candidates.len())),
+        };
+        let record = |out: &mut LevelSupport, vector: &ProbVector| {
+            let (esup, var) = vector.moments();
+            out.esup.push(esup);
+            if let Some(vs) = out.variance.as_mut() {
+                vs.push(var);
+            }
+            if let Some(cs) = out.count.as_mut() {
+                cs.push(vector.len() as u64);
+            }
+        };
+
+        // Singleton candidates read their postings in place — no
+        // intersection, no clone, no memo entry (pair prefixes resolve
+        // straight from the index).
+        if candidates.iter().all(|c| c.len() == 1) {
+            for c in candidates {
+                record(&mut out, self.index.postings(c.items()[0]));
+            }
+            return out;
+        }
+
+        // Parallel across candidates: each intersection reads only the
+        // index and the previous level's memo.
+        let mean_units = self
+            .index
+            .total_units()
+            .checked_div(self.index.num_items().max(1) as usize)
+            .unwrap_or(0);
+        let (index, prev) = (&self.index, &self.prev);
+
+        if want.min_esup.is_some() || want.min_count.is_some() {
+            // Pushdown strategy: a stats-only pass first (no allocation, no
+            // stores), then materialize and memoize only the candidates the
+            // thresholds keep alive. Survivors pay the intersection twice —
+            // a deliberate trade: mid-run levels where most candidates
+            // survive lose a cheap read-only pass, but the candidate-heavy
+            // final levels where (almost) nothing survives skip
+            // materialization entirely, which measures as a net win on
+            // dense workloads (see benches/bench_engines.rs).
+            let moments = par_map_min_len(candidates, mean_units.max(1), PAR_MIN_WORK, |c| {
+                stats_for(index, prev, c)
+            });
+            let mut survivors: Vec<&Itemset> = Vec::new();
+            for (candidate, (esup, var, count)) in candidates.iter().zip(moments) {
+                out.esup.push(esup);
+                if let Some(vs) = out.variance.as_mut() {
+                    vs.push(var);
+                }
+                if let Some(cs) = out.count.as_mut() {
+                    cs.push(count as u64);
+                }
+                let hopeless = want.min_esup.is_some_and(|t| esup < t)
+                    || want.min_count.is_some_and(|t| (count as u64) < t);
+                if !hopeless {
+                    survivors.push(candidate);
+                }
+            }
+            let vectors = par_map_min_len(&survivors, mean_units.max(1), PAR_MIN_WORK, |c| {
+                vector_for(index, prev, c)
+            });
+            for (candidate, mut vector) in survivors.into_iter().zip(vectors) {
+                vector.shrink_to_fit();
+                self.current.insert(candidate.items().to_vec(), vector);
+            }
+        } else {
+            let vectors = par_map_min_len(candidates, mean_units.max(1), PAR_MIN_WORK, |c| {
+                vector_for(index, prev, c)
+            });
+            for (candidate, mut vector) in candidates.iter().zip(vectors) {
+                record(&mut out, &vector);
+                vector.shrink_to_fit();
+                self.current.insert(candidate.items().to_vec(), vector);
+            }
+        }
+        self.note_memo_peak();
+        stats.peak_structure_nodes = stats.peak_structure_nodes.max(self.peak_memo_units);
+        out
+    }
+
+    fn prob_vectors(&mut self, candidates: &[Itemset], stats: &mut MinerStats) -> Vec<Vec<f64>> {
+        candidates
+            .iter()
+            .map(|c| match self.current.get(c.items()) {
+                Some(v) => v.nonzero_probs(),
+                None => {
+                    // Cold path (direct trait users): a from-scratch fold
+                    // costs `len − 1` intersections; charge them.
+                    stats.intersections += c.len().saturating_sub(1) as u64;
+                    self.vector_for(c).nonzero_probs()
+                }
+            })
+            .collect()
+    }
+
+    fn finish_level(&mut self, frequent: &[FrequentItemset]) {
+        let mut next = FxHashMap::default();
+        for f in frequent {
+            if let Some(v) = self.current.remove(f.itemset.items()) {
+                next.insert(f.itemset.items().to_vec(), v);
+            }
+        }
+        self.prev = next;
+        self.current = FxHashMap::default();
+    }
+}
+
+/// The U-Eclat recurrence as a free function, so the parallel candidate map
+/// can borrow the index and memo without aliasing `&mut VerticalEngine`.
+fn vector_for(
+    index: &VerticalIndex,
+    prev: &FxHashMap<Vec<ItemId>, ProbVector>,
+    candidate: &Itemset,
+) -> ProbVector {
+    let items = candidate.items();
+    match items.len() {
+        0 => ProbVector::new(),
+        1 => index.postings(items[0]).clone(),
+        k => {
+            let (prefix, last) = (&items[..k - 1], items[k - 1]);
+            let last_postings = index.postings(last);
+            if prefix.len() == 1 {
+                index.postings(prefix[0]).intersect(last_postings)
+            } else if let Some(v) = prev.get(prefix) {
+                v.intersect(last_postings)
+            } else {
+                index.prob_vector(items)
+            }
+        }
+    }
+}
+
+/// `(esup, variance, nonzero count)` of a candidate without materializing
+/// its vector — the stats-only twin of [`vector_for`].
+fn stats_for(
+    index: &VerticalIndex,
+    prev: &FxHashMap<Vec<ItemId>, ProbVector>,
+    candidate: &Itemset,
+) -> (f64, f64, usize) {
+    let items = candidate.items();
+    match items.len() {
+        0 => (0.0, 0.0, 0),
+        1 => {
+            let postings = index.postings(items[0]);
+            let (esup, var) = postings.moments();
+            (esup, var, postings.len())
+        }
+        k => {
+            let (prefix, last) = (&items[..k - 1], items[k - 1]);
+            let last_postings = index.postings(last);
+            if prefix.len() == 1 {
+                index.postings(prefix[0]).intersect_stats(last_postings)
+            } else if let Some(v) = prev.get(prefix) {
+                v.intersect_stats(last_postings)
+            } else {
+                let v = index.prob_vector(items);
+                let (esup, var) = v.moments();
+                (esup, var, v.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufim_core::examples::paper_table1;
+
+    fn pairs() -> Vec<Itemset> {
+        let mut v = Vec::new();
+        for a in 0..6u32 {
+            for b in a + 1..6u32 {
+                v.push(Itemset::from_items([a, b]));
+            }
+        }
+        v
+    }
+
+    /// Wraps itemsets as frequent records for `finish_level`.
+    fn as_frequent(sets: &[Itemset]) -> Vec<FrequentItemset> {
+        sets.iter()
+            .map(|s| FrequentItemset::with_esup(s.clone(), 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn backends_agree_on_every_statistic() {
+        let db = paper_table1();
+        let singletons: Vec<Itemset> = (0..6).map(Itemset::singleton).collect();
+        for kind in EngineKind::ALL {
+            let mut engine = build_engine(kind, &db);
+            assert_eq!(engine.name(), kind.name());
+            let mut stats = MinerStats::default();
+            let l1 = engine.evaluate(
+                &singletons,
+                StatRequest {
+                    variance: true,
+                    count: true,
+                    ..StatRequest::ESUP
+                },
+                &mut stats,
+            );
+            engine.finish_level(&as_frequent(&singletons));
+            let l2 = engine.evaluate(&pairs(), StatRequest::WITH_COUNT, &mut stats);
+            let qvecs = engine.prob_vectors(&pairs(), &mut stats);
+            for (i, c) in singletons.iter().enumerate() {
+                let (we, wv) = db.support_moments(c.items());
+                assert!((l1.esup[i] - we).abs() < 1e-12, "{kind:?} {c}");
+                assert!((l1.variance.as_ref().unwrap()[i] - wv).abs() < 1e-12);
+            }
+            for (i, c) in pairs().iter().enumerate() {
+                let want = db.itemset_prob_vector(c.items());
+                assert!((l2.esup[i] - db.expected_support(c.items())).abs() < 1e-12);
+                assert_eq!(l2.count.as_ref().unwrap()[i] as usize, want.len());
+                assert_eq!(qvecs[i], want, "{kind:?} {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_uses_one_scan_and_counts_intersections() {
+        let db = paper_table1();
+        let mut engine = VerticalEngine::new(&db);
+        let mut stats = MinerStats::default();
+        let singletons: Vec<Itemset> = (0..6).map(Itemset::singleton).collect();
+        engine.evaluate(&singletons, StatRequest::ESUP, &mut stats);
+        engine.finish_level(&as_frequent(&singletons));
+        engine.evaluate(&pairs(), StatRequest::ESUP, &mut stats);
+        assert_eq!(stats.scans, 1, "vertical pays exactly one database pass");
+        assert_eq!(stats.intersections, pairs().len() as u64);
+    }
+
+    #[test]
+    fn vertical_prefix_memo_survives_level_transition() {
+        let db = paper_table1();
+        let mut engine = VerticalEngine::new(&db);
+        let mut stats = MinerStats::default();
+        let singletons: Vec<Itemset> = (0..6).map(Itemset::singleton).collect();
+        engine.evaluate(&singletons, StatRequest::ESUP, &mut stats);
+        engine.finish_level(&as_frequent(&singletons));
+        let p = pairs();
+        engine.evaluate(&p, StatRequest::ESUP, &mut stats);
+        engine.finish_level(&as_frequent(&p));
+        // {A,C,E} extends prefix {A,C} from memo.
+        let triple = vec![Itemset::from_items([0, 2, 4])];
+        let sup = engine.evaluate(&triple, StatRequest::ESUP, &mut stats);
+        assert!((sup.esup[0] - db.expected_support(&[0, 2, 4])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertical_cold_lookup_falls_back_to_scratch_fold() {
+        let db = paper_table1();
+        let mut engine = VerticalEngine::new(&db);
+        let mut stats = MinerStats::default();
+        // No prior levels evaluated: a 3-itemset must still be correct.
+        let triple = vec![Itemset::from_items([0, 2, 4])];
+        let sup = engine.evaluate(&triple, StatRequest::WITH_COUNT, &mut stats);
+        assert!((sup.esup[0] - db.expected_support(&[0, 2, 4])).abs() < 1e-12);
+        assert_eq!(
+            sup.count.as_ref().unwrap()[0] as usize,
+            db.itemset_prob_vector(&[0, 2, 4]).len()
+        );
+    }
+
+    #[test]
+    fn horizontal_reuses_trie_between_evaluate_and_prob_vectors() {
+        let db = paper_table1();
+        let mut engine = HorizontalScan::new(&db);
+        let mut stats = MinerStats::default();
+        let p = pairs();
+        engine.evaluate(&p, StatRequest::WITH_COUNT, &mut stats);
+        let qvecs = engine.prob_vectors(&p, &mut stats);
+        // Two passes (stats + vectors), one trie build.
+        assert_eq!(stats.scans, 2);
+        for (i, c) in p.iter().enumerate() {
+            assert_eq!(qvecs[i], db.itemset_prob_vector(c.items()));
+        }
+    }
+}

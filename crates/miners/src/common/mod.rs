@@ -2,10 +2,15 @@
 //! the paper's uniform framework is built from.
 
 pub mod apriori;
+pub mod engine;
 pub mod order;
 pub mod scan;
 pub mod trie;
 
 pub use apriori::{run_apriori, LevelEvaluator};
+pub use engine::{
+    build_engine, HorizontalScan, LevelSupport, StatRequest, SupportEngine, VerticalEngine,
+};
 pub use order::FrequencyOrder;
+pub use scan::LevelScan;
 pub use trie::CandidateTrie;

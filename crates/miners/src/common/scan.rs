@@ -1,11 +1,29 @@
 //! Database-scan primitives over a candidate trie.
 //!
-//! Each function performs exactly one pass over the database, accumulating a
-//! different per-candidate statistic. Every Apriori-framework miner is a
-//! composition of these passes with a judgment rule.
+//! [`LevelScan`] packs one level's candidates into a [`CandidateTrie`]
+//! **once** and exposes every per-candidate statistic as a method over that
+//! shared trie — fixing the seed's pattern where `scan_esup`,
+//! `scan_esup_var` and `scan_esup_count` each rebuilt the trie from the same
+//! candidate list. The historical free functions remain as thin wrappers
+//! for callers that need a single statistic.
+//!
+//! Large scans are parallelized by splitting the transaction list into
+//! fixed-size chunks mapped across threads (`ufim_core::parallel`); partial
+//! accumulators are reduced in chunk order, so results are deterministic
+//! for a given database regardless of thread count.
 
 use super::trie::CandidateTrie;
-use ufim_core::{Itemset, MinerStats, UncertainDatabase};
+use ufim_core::parallel::par_map;
+use ufim_core::{Itemset, MinerStats, Transaction, UncertainDatabase};
+
+/// Transactions per parallel chunk. Chunk boundaries are a pure function of
+/// the database size, keeping floating-point reduction order — and thus
+/// results — independent of the worker count.
+const CHUNK: usize = 4096;
+
+/// Minimum `transactions × candidates` product before a scan fans out to
+/// threads (shared with the vertical backend's candidate fan-out).
+const PAR_MIN_WORK: usize = ufim_core::parallel::DEFAULT_MIN_WORK;
 
 /// Generic pass: calls `f(candidate_index, q)` for every
 /// (transaction, contained candidate) pair with containment probability `q`.
@@ -21,16 +39,158 @@ pub fn scan_with<F: FnMut(u32, f64)>(
     }
 }
 
+/// One level's candidates packed into a trie, reused across every statistic
+/// the level needs.
+pub struct LevelScan<'a> {
+    db: &'a UncertainDatabase,
+    trie: CandidateTrie,
+    num_candidates: usize,
+}
+
+/// Per-candidate accumulators of one scan pass. Which vectors are populated
+/// depends on the [`LevelScan`] method that produced it.
+#[derive(Clone, Debug, Default)]
+pub struct ScanAccumulators {
+    /// Expected supports, always populated.
+    pub esup: Vec<f64>,
+    /// Support variances (`Σ q(1−q)`), when requested.
+    pub var: Option<Vec<f64>>,
+    /// Nonzero-transaction counts, when requested.
+    pub count: Option<Vec<u64>>,
+}
+
+impl ScanAccumulators {
+    fn new(n: usize, want_var: bool, want_count: bool) -> Self {
+        ScanAccumulators {
+            esup: vec![0.0; n],
+            var: want_var.then(|| vec![0.0; n]),
+            count: want_count.then(|| vec![0u64; n]),
+        }
+    }
+
+    fn absorb(&mut self, other: &ScanAccumulators) {
+        for (a, b) in self.esup.iter_mut().zip(&other.esup) {
+            *a += b;
+        }
+        if let (Some(a), Some(b)) = (self.var.as_mut(), other.var.as_ref()) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        if let (Some(a), Some(b)) = (self.count.as_mut(), other.count.as_ref()) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+}
+
+impl<'a> LevelScan<'a> {
+    /// Builds the trie for this level — once.
+    pub fn new(db: &'a UncertainDatabase, candidates: &[Itemset]) -> Self {
+        LevelScan {
+            db,
+            trie: CandidateTrie::build(candidates),
+            num_candidates: candidates.len(),
+        }
+    }
+
+    /// The shared trie (for callers composing their own passes).
+    pub fn trie(&self) -> &CandidateTrie {
+        &self.trie
+    }
+
+    /// One pass accumulating every requested statistic. Parallel over
+    /// transaction chunks when the level is large enough.
+    pub fn accumulate(
+        &self,
+        want_var: bool,
+        want_count: bool,
+        stats: &mut MinerStats,
+    ) -> ScanAccumulators {
+        stats.scans += 1;
+        let transactions = self.db.transactions();
+        let work = transactions
+            .len()
+            .saturating_mul(self.num_candidates.max(1));
+        if work < PAR_MIN_WORK || transactions.len() <= CHUNK {
+            let mut acc = ScanAccumulators::new(self.num_candidates, want_var, want_count);
+            self.accumulate_into(transactions, &mut acc);
+            return acc;
+        }
+        let chunks: Vec<&[Transaction]> = transactions.chunks(CHUNK).collect();
+        let partials = par_map(&chunks, |part| {
+            let mut acc = ScanAccumulators::new(self.num_candidates, want_var, want_count);
+            self.accumulate_into(part, &mut acc);
+            acc
+        });
+        let mut total = ScanAccumulators::new(self.num_candidates, want_var, want_count);
+        for p in &partials {
+            total.absorb(p);
+        }
+        total
+    }
+
+    fn accumulate_into(&self, transactions: &[Transaction], acc: &mut ScanAccumulators) {
+        for t in transactions {
+            self.trie
+                .for_each_contained(t.items(), t.probs(), &mut |idx, q| {
+                    let i = idx as usize;
+                    acc.esup[i] += q;
+                    if let Some(var) = acc.var.as_mut() {
+                        var[i] += q * (1.0 - q);
+                    }
+                    if let Some(count) = acc.count.as_mut() {
+                        count[i] += 1;
+                    }
+                });
+        }
+    }
+
+    /// Gathers each candidate's nonzero containment-probability vector (in
+    /// transaction order) in one pass — the exact miners' phase-B input.
+    /// Parallel chunks concatenate in chunk order, preserving transaction
+    /// order within each vector.
+    pub fn prob_vectors(&self, stats: &mut MinerStats) -> Vec<Vec<f64>> {
+        stats.scans += 1;
+        let transactions = self.db.transactions();
+        let gather = |part: &[Transaction]| {
+            let mut vecs: Vec<Vec<f64>> = vec![Vec::new(); self.num_candidates];
+            for t in part {
+                self.trie
+                    .for_each_contained(t.items(), t.probs(), &mut |idx, q| {
+                        vecs[idx as usize].push(q);
+                    });
+            }
+            vecs
+        };
+        let work = transactions
+            .len()
+            .saturating_mul(self.num_candidates.max(1));
+        if work < PAR_MIN_WORK || transactions.len() <= CHUNK {
+            return gather(transactions);
+        }
+        let chunks: Vec<&[Transaction]> = transactions.chunks(CHUNK).collect();
+        let partials = par_map(&chunks, |part| gather(part));
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.num_candidates];
+        for mut p in partials {
+            for (dst, src) in out.iter_mut().zip(p.iter_mut()) {
+                dst.append(src);
+            }
+        }
+        out
+    }
+}
+
 /// One pass accumulating expected supports: `esup[i] = Σ_t q_t(i)`.
 pub fn scan_esup(
     db: &UncertainDatabase,
     candidates: &[Itemset],
     stats: &mut MinerStats,
 ) -> Vec<f64> {
-    let trie = CandidateTrie::build(candidates);
-    let mut esup = vec![0.0f64; candidates.len()];
-    scan_with(db, &trie, stats, |idx, q| esup[idx as usize] += q);
-    esup
+    LevelScan::new(db, candidates)
+        .accumulate(false, false, stats)
+        .esup
 }
 
 /// One pass accumulating expected supports and variances:
@@ -40,14 +200,8 @@ pub fn scan_esup_var(
     candidates: &[Itemset],
     stats: &mut MinerStats,
 ) -> (Vec<f64>, Vec<f64>) {
-    let trie = CandidateTrie::build(candidates);
-    let mut esup = vec![0.0f64; candidates.len()];
-    let mut var = vec![0.0f64; candidates.len()];
-    scan_with(db, &trie, stats, |idx, q| {
-        esup[idx as usize] += q;
-        var[idx as usize] += q * (1.0 - q);
-    });
-    (esup, var)
+    let acc = LevelScan::new(db, candidates).accumulate(true, false, stats);
+    (acc.esup, acc.var.expect("variance requested"))
 }
 
 /// One pass accumulating expected supports and nonzero-transaction counts —
@@ -57,14 +211,8 @@ pub fn scan_esup_count(
     candidates: &[Itemset],
     stats: &mut MinerStats,
 ) -> (Vec<f64>, Vec<u64>) {
-    let trie = CandidateTrie::build(candidates);
-    let mut esup = vec![0.0f64; candidates.len()];
-    let mut count = vec![0u64; candidates.len()];
-    scan_with(db, &trie, stats, |idx, q| {
-        esup[idx as usize] += q;
-        count[idx as usize] += 1;
-    });
-    (esup, count)
+    let acc = LevelScan::new(db, candidates).accumulate(false, true, stats);
+    (acc.esup, acc.count.expect("count requested"))
 }
 
 #[cfg(test)]
@@ -92,6 +240,59 @@ mod tests {
             assert!((esup3[i] - want_e).abs() < 1e-12);
             assert!((var[i] - want_v).abs() < 1e-12);
             assert_eq!(count[i] as usize, db.itemset_prob_vector(c.items()).len());
+        }
+    }
+
+    #[test]
+    fn level_scan_reuses_one_trie_for_all_statistics() {
+        let db = paper_table1();
+        let candidates: Vec<Itemset> = (0..6).map(Itemset::singleton).collect();
+        let scan = LevelScan::new(&db, &candidates);
+        let mut stats = MinerStats::default();
+        let all = scan.accumulate(true, true, &mut stats);
+        let qvecs = scan.prob_vectors(&mut stats);
+        assert_eq!(stats.scans, 2);
+        for (i, c) in candidates.iter().enumerate() {
+            let (we, wv) = db.support_moments(c.items());
+            assert!((all.esup[i] - we).abs() < 1e-12);
+            assert!((all.var.as_ref().unwrap()[i] - wv).abs() < 1e-12);
+            let want_vec = db.itemset_prob_vector(c.items());
+            assert_eq!(all.count.as_ref().unwrap()[i] as usize, want_vec.len());
+            assert_eq!(qvecs[i], want_vec);
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential() {
+        // Large enough to cross PAR_MIN_WORK and CHUNK: 3 candidates over
+        // ~13k transactions.
+        use ufim_core::Transaction;
+        let transactions: Vec<Transaction> = (0..13_000)
+            .map(|i| {
+                let p = 0.1 + 0.8 * ((i % 97) as f64 / 96.0);
+                Transaction::new([(0u32, p), (1, 0.5), (2, 0.9)]).unwrap()
+            })
+            .collect();
+        let db = UncertainDatabase::with_num_items(transactions, 3);
+        let candidates = vec![
+            Itemset::from_items([0]),
+            Itemset::from_items([0, 1]),
+            Itemset::from_items([0, 1, 2]),
+        ];
+        let scan = LevelScan::new(&db, &candidates);
+        let mut stats = MinerStats::default();
+        let acc = scan.accumulate(true, true, &mut stats);
+        let qvecs = scan.prob_vectors(&mut stats);
+        for (i, c) in candidates.iter().enumerate() {
+            let (we, wv) = db.support_moments(c.items());
+            assert!((acc.esup[i] - we).abs() < 1e-9, "esup {i}");
+            assert!((acc.var.as_ref().unwrap()[i] - wv).abs() < 1e-9, "var {i}");
+            let want = db.itemset_prob_vector(c.items());
+            assert_eq!(acc.count.as_ref().unwrap()[i] as usize, want.len());
+            assert_eq!(qvecs[i].len(), want.len());
+            for (a, b) in qvecs[i].iter().zip(&want) {
+                assert!((a - b).abs() < 1e-12);
+            }
         }
     }
 }

@@ -1,8 +1,7 @@
 //! The shared level-wise engine behind DP/DC ± Chernoff.
 
 use crate::common::apriori::{run_apriori, LevelEvaluator};
-use crate::common::scan::{scan_esup_count, scan_with};
-use crate::common::trie::CandidateTrie;
+use crate::common::engine::{build_engine, StatRequest, SupportEngine};
 use ufim_core::prelude::*;
 use ufim_stats::chernoff::chernoff_prunable;
 use ufim_stats::pb::{pmf_divide_conquer, survival_dp};
@@ -80,15 +79,16 @@ impl MinerInfo for DcMiner {
 
 /// Per-level evaluator implementing the two-phase (B) or single-phase (NB)
 /// exact evaluation.
-struct ExactEvaluator {
+struct ExactEvaluator<'e> {
     kernel: ExactKernel,
     chernoff: bool,
     msup: usize,
     msup_real: f64,
     pft: f64,
+    engine: Box<dyn SupportEngine + 'e>,
 }
 
-impl ExactEvaluator {
+impl ExactEvaluator<'_> {
     /// Exact survival for one candidate's probability vector.
     fn survival(&self, probs: &[f64], stats: &mut MinerStats) -> f64 {
         stats.exact_evaluations += 1;
@@ -107,20 +107,29 @@ impl ExactEvaluator {
     }
 }
 
-impl LevelEvaluator for ExactEvaluator {
+impl LevelEvaluator for ExactEvaluator<'_> {
     fn evaluate_level(
         &mut self,
-        db: &UncertainDatabase,
+        _db: &UncertainDatabase,
         _level: usize,
         candidates: &[Itemset],
         stats: &mut MinerStats,
     ) -> Vec<FrequentItemset> {
         stats.candidates_evaluated += candidates.len() as u64;
 
-        // Select survivors for the exact phase.
-        let (esup, survivors): (Vec<f64>, Vec<u32>) = if self.chernoff {
-            // Phase A (cheap scan): esup + nonzero count per candidate.
-            let (esup, count) = scan_esup_count(db, candidates, stats);
+        // Phase A: esup + nonzero count per candidate in one engine pass;
+        // under Chernoff pruning (B variants), hopeless candidates are
+        // dropped before any exact evaluation. The count threshold doubles
+        // as a memoization pushdown for the B variants (NB variants send
+        // every candidate to phase B, so everything must stay memoized).
+        let mut want = StatRequest::WITH_COUNT;
+        if self.chernoff {
+            want = want.with_min_count(self.msup as u64);
+        }
+        let sup = self.engine.evaluate(candidates, want, stats);
+        let esup = sup.esup;
+        let count = sup.count.expect("count requested");
+        let survivors: Vec<u32> = if self.chernoff {
             let mut survivors = Vec::new();
             for idx in 0..candidates.len() {
                 if (count[idx] as usize) < self.msup {
@@ -131,34 +140,24 @@ impl LevelEvaluator for ExactEvaluator {
                     survivors.push(idx as u32);
                 }
             }
-            (esup, survivors)
+            survivors
         } else {
-            // NB: everything goes to the exact phase; esup still accumulated
-            // (it is part of the reported record and costs the same scan).
-            let (esup, _count) = scan_esup_count(db, candidates, stats);
-            (esup, (0..candidates.len() as u32).collect())
+            (0..candidates.len() as u32).collect()
         };
 
         if survivors.is_empty() {
+            self.engine.finish_level(&[]);
             return Vec::new();
         }
 
-        // Phase B (exact): gather survivors' probability vectors in one
-        // scan, then run the kernel. A dense survivor-index map keeps the
-        // inner loop branch-free.
-        let mut slot_of = vec![u32::MAX; candidates.len()];
-        for (slot, &idx) in survivors.iter().enumerate() {
-            slot_of[idx as usize] = slot as u32;
-        }
+        // Phase B (exact): the survivors' probability vectors — a memo
+        // lookup on the vertical backend, one gather scan on the horizontal
+        // one — then the DP/DC kernel.
         let survivor_sets: Vec<Itemset> = survivors
             .iter()
             .map(|&i| candidates[i as usize].clone())
             .collect();
-        let trie = CandidateTrie::build(&survivor_sets);
-        let mut qvecs: Vec<Vec<f64>> = vec![Vec::new(); survivors.len()];
-        scan_with(db, &trie, stats, |slot, q| {
-            qvecs[slot as usize].push(q);
-        });
+        let qvecs = self.engine.prob_vectors(&survivor_sets, stats);
 
         let mut out = Vec::with_capacity(survivors.len());
         for (slot, &idx) in survivors.iter().enumerate() {
@@ -172,6 +171,7 @@ impl LevelEvaluator for ExactEvaluator {
                 });
             }
         }
+        self.engine.finish_level(&out);
         out
     }
 }
@@ -192,6 +192,7 @@ fn mine_exact(
         msup: params.msup(n),
         msup_real: params.min_sup.threshold_real(n),
         pft: params.pft.get(),
+        engine: build_engine(params.engine, db),
     };
     run_apriori(db, &mut evaluator)
 }
@@ -252,8 +253,13 @@ mod tests {
     #[test]
     fn all_variants_agree_with_oracle_on_paper_db() {
         let db = paper_table1();
-        for (min_sup, pft) in [(0.5, 0.7), (0.5, 0.85), (0.25, 0.5), (0.75, 0.3), (0.25, 0.9)]
-        {
+        for (min_sup, pft) in [
+            (0.5, 0.7),
+            (0.5, 0.85),
+            (0.25, 0.5),
+            (0.75, 0.3),
+            (0.25, 0.9),
+        ] {
             let oracle = BruteForce::new()
                 .mine_probabilistic_raw(&db, min_sup, pft)
                 .unwrap();

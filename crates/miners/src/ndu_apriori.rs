@@ -12,7 +12,7 @@
 //! per-itemset frequent probabilities.
 
 use crate::common::apriori::{run_apriori, LevelEvaluator};
-use crate::common::scan::scan_esup_var;
+use crate::common::engine::{build_engine, StatRequest, SupportEngine};
 use ufim_core::prelude::*;
 use ufim_stats::normal::normal_survival_with_continuity;
 
@@ -38,34 +38,40 @@ impl MinerInfo for NDUApriori {
     }
 }
 
-struct NormalEvaluator {
+struct NormalEvaluator<'e> {
     msup: usize,
     pft: f64,
+    engine: Box<dyn SupportEngine + 'e>,
 }
 
-impl LevelEvaluator for NormalEvaluator {
+impl LevelEvaluator for NormalEvaluator<'_> {
     fn evaluate_level(
         &mut self,
-        db: &UncertainDatabase,
+        _db: &UncertainDatabase,
         _level: usize,
         candidates: &[Itemset],
         stats: &mut MinerStats,
     ) -> Vec<FrequentItemset> {
         stats.candidates_evaluated += candidates.len() as u64;
-        let (esup, var) = scan_esup_var(db, candidates, stats);
-        candidates
+        let sup = self
+            .engine
+            .evaluate(candidates, StatRequest::WITH_VARIANCE, stats);
+        let var = sup.variance.expect("variance requested");
+        let frequent: Vec<FrequentItemset> = candidates
             .iter()
             .enumerate()
             .filter_map(|(i, c)| {
-                let pr = normal_survival_with_continuity(esup[i], var[i], self.msup);
+                let pr = normal_survival_with_continuity(sup.esup[i], var[i], self.msup);
                 (pr > self.pft).then(|| FrequentItemset {
                     itemset: c.clone(),
-                    expected_support: esup[i],
+                    expected_support: sup.esup[i],
                     variance: Some(var[i]),
                     frequent_prob: Some(pr),
                 })
             })
-            .collect()
+            .collect();
+        self.engine.finish_level(&frequent);
+        frequent
     }
 }
 
@@ -81,6 +87,7 @@ impl ProbabilisticMiner for NDUApriori {
         let mut evaluator = NormalEvaluator {
             msup: params.msup(db.num_transactions()),
             pft: params.pft.get(),
+            engine: build_engine(params.engine, db),
         };
         Ok(run_apriori(db, &mut evaluator))
     }
@@ -90,9 +97,9 @@ impl ProbabilisticMiner for NDUApriori {
 mod tests {
     use super::*;
     use crate::brute::BruteForce;
-    use ufim_core::examples::paper_table1;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use ufim_core::examples::paper_table1;
 
     #[test]
     fn reports_probabilities_and_moments() {

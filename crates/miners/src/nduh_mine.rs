@@ -80,11 +80,9 @@ impl ProbabilisticMiner for NDUHMine {
             return Ok(result);
         }
 
-        let judge = move |esup: f64, var: f64| {
-            normal_survival_with_continuity(esup, var, msup) > pft
-        };
-        let (mut engine, rows) =
-            UhEngine::build(db, &order, true, judge, &mut result.stats);
+        let judge =
+            move |esup: f64, var: f64| normal_survival_with_continuity(esup, var, msup) > pft;
+        let (mut engine, rows) = UhEngine::build(db, &order, true, judge, &mut result.stats);
         let mut prefix = Vec::new();
         engine.mine(&mut prefix, &rows, &mut result);
 

@@ -72,7 +72,7 @@ impl ProbabilisticMiner for PDUApriori {
         // λ*/N is a valid ratio by the guard above; Ratio requires > 0,
         // which poisson_lambda_for_survival guarantees (msup ≥ 1, pft < 1).
         let min_esup = Ratio::new("min_esup(λ*/N)", lambda / n as f64)?;
-        let mut result = UApriori::new().mine_expected(db, min_esup)?;
+        let mut result = UApriori::with_engine(params.engine).mine_expected(db, min_esup)?;
         // Membership-only semantics: strip nothing, add nothing — esup stays,
         // probabilities stay None.
         for fi in &mut result.itemsets {

@@ -153,7 +153,8 @@ mod tests {
         let max = maximal(&r);
         for fi in &r.itemsets {
             assert!(
-                max.iter().any(|m| fi.itemset.is_subset_of_sorted(m.itemset.items())),
+                max.iter()
+                    .any(|m| fi.itemset.is_subset_of_sorted(m.itemset.items())),
                 "{} not covered",
                 fi.itemset
             );
@@ -171,13 +172,20 @@ mod tests {
         // …whereas a constructed plateau collapses: {x} and {x,y} with the
         // same esup ⇒ {x} is not closed.
         let db = UncertainDatabase::from_transactions(vec![
-            Transaction::new([(0, 0.5), (1, 1.0)]).unwrap();
+            Transaction::new([(0, 0.5), (1, 1.0)])
+                .unwrap();
             4
         ]);
         let r2 = UApriori::new().mine_expected_ratio(&db, 0.25).unwrap();
-        let c2: Vec<_> = closed(&r2, 1e-9).iter().map(|f| f.itemset.clone()).collect();
+        let c2: Vec<_> = closed(&r2, 1e-9)
+            .iter()
+            .map(|f| f.itemset.clone())
+            .collect();
         assert!(c2.contains(&Itemset::from_items([0, 1])));
-        assert!(!c2.contains(&Itemset::singleton(0)), "esup({{0}}) == esup({{0,1}})");
+        assert!(
+            !c2.contains(&Itemset::singleton(0)),
+            "esup({{0}}) == esup({{0,1}})"
+        );
         assert!(c2.contains(&Itemset::singleton(1)), "esup({{1}}) = 4 > 2");
     }
 
@@ -198,7 +206,7 @@ mod tests {
         assert_eq!(top[0].itemset, Itemset::singleton(2)); // C: 2.6
         assert_eq!(top[1].itemset, Itemset::singleton(0)); // A: 2.1
         assert_eq!(top[2].itemset, Itemset::from_items([0, 2])); // {A,C}: 1.84
-        // Size restriction.
+                                                                 // Size restriction.
         let pairs = top_k_by_expected_support(&r, 10, 2);
         assert_eq!(pairs.len(), 2);
         // k larger than the result is fine.
@@ -208,9 +216,15 @@ mod tests {
     #[test]
     fn containing_filters_by_anchor() {
         let r = result();
-        let with_c: Vec<_> = containing(&r, &[2]).iter().map(|f| f.itemset.clone()).collect();
+        let with_c: Vec<_> = containing(&r, &[2])
+            .iter()
+            .map(|f| f.itemset.clone())
+            .collect();
         assert_eq!(with_c.len(), 3); // {C}, {A,C}, {C,E}
-        let with_ac: Vec<_> = containing(&r, &[0, 2]).iter().map(|f| f.itemset.clone()).collect();
+        let with_ac: Vec<_> = containing(&r, &[0, 2])
+            .iter()
+            .map(|f| f.itemset.clone())
+            .collect();
         assert_eq!(with_ac, vec![Itemset::from_items([0, 2])]);
         assert!(containing(&r, &[0, 3]).is_empty());
     }

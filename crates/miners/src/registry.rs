@@ -8,6 +8,7 @@ use crate::{
     BruteForce, DcMiner, DpMiner, NDUApriori, NDUHMine, PDUApriori, UApriori, UFPGrowth, UHMine,
 };
 use ufim_core::traits::{ExpectedSupportMiner, ProbabilisticMiner};
+use ufim_core::EngineKind;
 
 /// The paper's three algorithm groups (§3), plus the testing oracle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -109,15 +110,45 @@ impl Algorithm {
         }
     }
 
-    /// Instantiates the miner as an expected-support miner, if it is one.
+    /// Instantiates the miner as an expected-support miner, if it is one
+    /// (default backend).
     pub fn expected_support_miner(self) -> Option<Box<dyn ExpectedSupportMiner>> {
+        self.expected_support_miner_with(EngineKind::default())
+    }
+
+    /// Instantiates an expected-support miner on the given support backend.
+    ///
+    /// Only the Apriori-framework miners are backend-parameterized; the
+    /// depth-first miners (UFP-growth, UH-Mine) and the oracle carry their
+    /// own data structures and ignore the selection.
+    pub fn expected_support_miner_with(
+        self,
+        engine: EngineKind,
+    ) -> Option<Box<dyn ExpectedSupportMiner>> {
         match self {
-            Algorithm::UApriori => Some(Box::new(UApriori::new())),
+            Algorithm::UApriori => Some(Box::new(UApriori::with_engine(engine))),
             Algorithm::UFPGrowth => Some(Box::new(UFPGrowth::new())),
             Algorithm::UHMine => Some(Box::new(UHMine::new())),
             Algorithm::BruteForce => Some(Box::new(BruteForce::new())),
             _ => None,
         }
+    }
+
+    /// True when the algorithm's support computation runs over the
+    /// pluggable [`EngineKind`] seam (Apriori-framework miners). For the
+    /// probabilistic ones the backend travels in
+    /// [`ufim_core::MiningParams::engine`].
+    pub fn supports_engine_selection(self) -> bool {
+        matches!(
+            self,
+            Algorithm::UApriori
+                | Algorithm::PDUApriori
+                | Algorithm::NDUApriori
+                | Algorithm::DPB
+                | Algorithm::DPNB
+                | Algorithm::DCB
+                | Algorithm::DCNB
+        )
     }
 
     /// Instantiates the miner as a probabilistic miner, if it is one.
@@ -208,6 +239,28 @@ mod tests {
         }
         assert_eq!(Algorithm::parse("ufp-GROWTH"), Some(Algorithm::UFPGrowth));
         assert_eq!(Algorithm::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn engine_selection_reaches_apriori_framework_miners() {
+        let db = paper_table1();
+        for algo in [Algorithm::UApriori, Algorithm::UFPGrowth, Algorithm::UHMine] {
+            let h = algo
+                .expected_support_miner_with(EngineKind::Horizontal)
+                .unwrap()
+                .mine_expected_ratio(&db, 0.25)
+                .unwrap();
+            let v = algo
+                .expected_support_miner_with(EngineKind::Vertical)
+                .unwrap()
+                .mine_expected_ratio(&db, 0.25)
+                .unwrap();
+            assert_eq!(h.sorted_itemsets(), v.sorted_itemsets(), "{}", algo.name());
+        }
+        assert!(Algorithm::UApriori.supports_engine_selection());
+        assert!(Algorithm::DCB.supports_engine_selection());
+        assert!(!Algorithm::UHMine.supports_engine_selection());
+        assert!(!Algorithm::BruteForce.supports_engine_selection());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! and the `fig4` ablation bench quantifies it.
 
 use crate::common::apriori::{run_apriori, LevelEvaluator};
-use crate::common::scan::{scan_esup, scan_esup_var};
+use crate::common::engine::{build_engine, StatRequest, SupportEngine};
 use ufim_core::prelude::*;
 
 /// The UApriori miner. See the module docs.
@@ -28,7 +28,11 @@ pub struct UApriori {
     /// the engine of Normal-approximation miners).
     pub compute_variance: bool,
     /// Enable the decremental upper-bound pruning inside the counting scan.
+    /// Only meaningful on the horizontal backend (it streams transactions);
+    /// the vertical backend ignores it.
     pub decremental_pruning: bool,
+    /// Support-computation backend (see [`EngineKind`]).
+    pub engine: EngineKind,
 }
 
 impl UApriori {
@@ -52,6 +56,14 @@ impl UApriori {
             ..Self::default()
         }
     }
+
+    /// UApriori on the given support backend.
+    pub fn with_engine(engine: EngineKind) -> Self {
+        UApriori {
+            engine,
+            ..Self::default()
+        }
+    }
 }
 
 impl MinerInfo for UApriori {
@@ -63,13 +75,14 @@ impl MinerInfo for UApriori {
     }
 }
 
-struct EsupEvaluator {
+struct EsupEvaluator<'e> {
     threshold: f64,
     compute_variance: bool,
     decremental: bool,
+    engine: Box<dyn SupportEngine + 'e>,
 }
 
-impl LevelEvaluator for EsupEvaluator {
+impl LevelEvaluator for EsupEvaluator<'_> {
     fn evaluate_level(
         &mut self,
         db: &UncertainDatabase,
@@ -81,11 +94,17 @@ impl LevelEvaluator for EsupEvaluator {
         if self.decremental {
             return self.evaluate_decremental(db, candidates, stats);
         }
-        if self.compute_variance {
-            let (esup, var) = scan_esup_var(db, candidates, stats);
+        let want = StatRequest {
+            variance: self.compute_variance,
+            count: false,
+            min_esup: Some(self.threshold),
+            min_count: None,
+        };
+        let sup = self.engine.evaluate(candidates, want, stats);
+        let frequent: Vec<FrequentItemset> = if let Some(var) = sup.variance {
             candidates
                 .iter()
-                .zip(esup)
+                .zip(sup.esup)
                 .zip(var)
                 .filter(|((_, e), _)| *e >= self.threshold)
                 .map(|((c, e), v)| FrequentItemset {
@@ -96,18 +115,19 @@ impl LevelEvaluator for EsupEvaluator {
                 })
                 .collect()
         } else {
-            let esup = scan_esup(db, candidates, stats);
             candidates
                 .iter()
-                .zip(esup)
+                .zip(sup.esup)
                 .filter(|(_, e)| *e >= self.threshold)
                 .map(|(c, e)| FrequentItemset::with_esup(c.clone(), e))
                 .collect()
-        }
+        };
+        self.engine.finish_level(&frequent);
+        frequent
     }
 }
 
-impl EsupEvaluator {
+impl EsupEvaluator<'_> {
     /// Decremental variant: processes transactions with a per-candidate
     /// *optimistic remainder* — the expected support still attainable if the
     /// candidate appeared with probability 1 in every remaining transaction.
@@ -160,10 +180,7 @@ impl EsupEvaluator {
         live.iter()
             .filter(|&&orig| esup[orig as usize] >= self.threshold)
             .map(|&orig| {
-                FrequentItemset::with_esup(
-                    candidates[orig as usize].clone(),
-                    esup[orig as usize],
-                )
+                FrequentItemset::with_esup(candidates[orig as usize].clone(), esup[orig as usize])
             })
             .collect()
     }
@@ -178,7 +195,10 @@ impl ExpectedSupportMiner for UApriori {
         let mut evaluator = EsupEvaluator {
             threshold: min_esup.threshold_real(db.num_transactions()),
             compute_variance: self.compute_variance,
-            decremental: self.decremental_pruning,
+            // Decremental pruning streams over transactions; it only exists
+            // on the horizontal layout.
+            decremental: self.decremental_pruning && self.engine == EngineKind::Horizontal,
+            engine: build_engine(self.engine, db),
         };
         Ok(run_apriori(db, &mut evaluator))
     }
@@ -207,7 +227,9 @@ mod tests {
         let db = paper_table1();
         for min_esup in [0.1, 0.25, 0.3, 0.5, 0.75, 1.0] {
             let fast = UApriori::new().mine_expected_ratio(&db, min_esup).unwrap();
-            let slow = BruteForce::new().mine_expected_ratio(&db, min_esup).unwrap();
+            let slow = BruteForce::new()
+                .mine_expected_ratio(&db, min_esup)
+                .unwrap();
             assert_eq!(
                 fast.sorted_itemsets(),
                 slow.sorted_itemsets(),
@@ -246,6 +268,33 @@ mod tests {
     }
 
     #[test]
+    fn vertical_backend_agrees_with_horizontal_exactly() {
+        let db = paper_table1();
+        for min_esup in [0.1, 0.25, 0.3, 0.5, 0.75, 1.0] {
+            let h = UApriori::new().mine_expected_ratio(&db, min_esup).unwrap();
+            let v = UApriori::with_engine(EngineKind::Vertical)
+                .mine_expected_ratio(&db, min_esup)
+                .unwrap();
+            assert_eq!(h.sorted_itemsets(), v.sorted_itemsets(), "{min_esup}");
+            for fi in &v.itemsets {
+                let want = h.get(&fi.itemset).unwrap().expected_support;
+                // Same multiplication and summation order: bitwise equal.
+                assert_eq!(fi.expected_support, want, "{}", fi.itemset);
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_backend_pays_one_scan() {
+        let db = paper_table1();
+        let r = UApriori::with_engine(EngineKind::Vertical)
+            .mine_expected_ratio(&db, 0.25)
+            .unwrap();
+        assert_eq!(r.stats.scans, 1);
+        assert!(r.stats.intersections > 0);
+    }
+
+    #[test]
     fn reports_scan_counters() {
         let db = paper_table1();
         let r = UApriori::new().mine_expected_ratio(&db, 0.25).unwrap();
@@ -256,6 +305,9 @@ mod tests {
     #[test]
     fn empty_db() {
         let db = UncertainDatabase::from_transactions(vec![]);
-        assert!(UApriori::new().mine_expected_ratio(&db, 0.5).unwrap().is_empty());
+        assert!(UApriori::new()
+            .mine_expected_ratio(&db, 0.5)
+            .unwrap()
+            .is_empty());
     }
 }

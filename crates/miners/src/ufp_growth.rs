@@ -146,10 +146,8 @@ impl UFPGrowth {
         out: &mut MiningResult,
         depth_budget: &mut u64,
     ) {
-        out.stats.peak_structure_nodes = out
-            .stats
-            .peak_structure_nodes
-            .max(tree.num_nodes() as u64);
+        out.stats.peak_structure_nodes =
+            out.stats.peak_structure_nodes.max(tree.num_nodes() as u64);
         // Emit the suffix itself (the root call passes an empty suffix).
         if !suffix.is_empty() {
             out.itemsets.push(FrequentItemset::with_esup(
@@ -192,7 +190,15 @@ impl UFPGrowth {
             }
             *depth_budget = depth_budget.saturating_sub(1);
             if inserted_any && *depth_budget > 0 {
-                self.mine_tree(&cond, order, threshold, &new_suffix, esup, out, depth_budget);
+                self.mine_tree(
+                    &cond,
+                    order,
+                    threshold,
+                    &new_suffix,
+                    esup,
+                    out,
+                    depth_budget,
+                );
             } else {
                 out.itemsets.push(FrequentItemset::with_esup(
                     Itemset::from_items(new_suffix.iter().copied()),
@@ -236,7 +242,15 @@ impl ExpectedSupportMiner for UFPGrowth {
         // explosions; it is never hit in the experiments but turns a
         // hypothetical runaway into truncated-but-sound output.
         let mut depth_budget = u64::MAX;
-        self.mine_tree(&tree, &order, threshold, &[], 0.0, &mut result, &mut depth_budget);
+        self.mine_tree(
+            &tree,
+            &order,
+            threshold,
+            &[],
+            0.0,
+            &mut result,
+            &mut depth_budget,
+        );
         result.canonicalize();
         Ok(result)
     }
@@ -283,7 +297,9 @@ mod tests {
         let db = paper_table1();
         for min_esup in [0.1, 0.2, 0.3, 0.45, 0.6, 0.9] {
             let fast = UFPGrowth::new().mine_expected_ratio(&db, min_esup).unwrap();
-            let slow = BruteForce::new().mine_expected_ratio(&db, min_esup).unwrap();
+            let slow = BruteForce::new()
+                .mine_expected_ratio(&db, min_esup)
+                .unwrap();
             assert_eq!(
                 fast.sorted_itemsets(),
                 slow.sorted_itemsets(),
@@ -310,10 +326,7 @@ mod tests {
     fn deterministic_compresses_like_fp_tree() {
         // With all probabilities 1.0 sharing works, so identical
         // transactions collapse into one path.
-        let db = UncertainDatabase::from_transactions(vec![
-            Transaction::certain([0, 1, 2]);
-            50
-        ]);
+        let db = UncertainDatabase::from_transactions(vec![Transaction::certain([0, 1, 2]); 50]);
         let r = UFPGrowth::new().mine_expected_ratio(&db, 0.5).unwrap();
         assert_eq!(r.stats.peak_structure_nodes, 4); // root + one 3-node path
         assert_eq!(r.len(), 7); // 2^3 - 1 itemsets all frequent
@@ -324,7 +337,9 @@ mod tests {
         let db = deterministic_small();
         for min_esup in [0.2, 0.4, 0.6, 0.8, 1.0] {
             let fast = UFPGrowth::new().mine_expected_ratio(&db, min_esup).unwrap();
-            let slow = BruteForce::new().mine_expected_ratio(&db, min_esup).unwrap();
+            let slow = BruteForce::new()
+                .mine_expected_ratio(&db, min_esup)
+                .unwrap();
             assert_eq!(
                 fast.sorted_itemsets(),
                 slow.sorted_itemsets(),
@@ -336,8 +351,14 @@ mod tests {
     #[test]
     fn empty_db_and_nothing_frequent() {
         let db = UncertainDatabase::from_transactions(vec![]);
-        assert!(UFPGrowth::new().mine_expected_ratio(&db, 0.5).unwrap().is_empty());
+        assert!(UFPGrowth::new()
+            .mine_expected_ratio(&db, 0.5)
+            .unwrap()
+            .is_empty());
         let db = paper_table1();
-        assert!(UFPGrowth::new().mine_expected_ratio(&db, 1.0).unwrap().is_empty());
+        assert!(UFPGrowth::new()
+            .mine_expected_ratio(&db, 1.0)
+            .unwrap()
+            .is_empty());
     }
 }

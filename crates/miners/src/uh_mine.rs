@@ -116,12 +116,7 @@ impl<'a, J: FnMut(f64, f64) -> bool> UhEngine<'a, J> {
     }
 
     /// Depth-first expansion of `prefix` over `rows`.
-    pub(crate) fn mine(
-        &mut self,
-        prefix: &mut Vec<ItemId>,
-        rows: &[Row],
-        out: &mut MiningResult,
-    ) {
+    pub(crate) fn mine(&mut self, prefix: &mut Vec<ItemId>, rows: &[Row], out: &mut MiningResult) {
         // Head table: per extension rank, accumulated (esup, var) and the
         // projected rows. Rank-keyed dense storage would waste memory on
         // wide vocabularies, so use a hash table (the paper's head tables
@@ -132,9 +127,9 @@ impl<'a, J: FnMut(f64, f64) -> bool> UhEngine<'a, J> {
             while pos < row.end {
                 let cell = self.arena[pos as usize];
                 let q = row.mult * cell.prob;
-                let entry = head.entry(cell.rank).or_insert_with(|| {
-                    (0.0, 0.0, Vec::new())
-                });
+                let entry = head
+                    .entry(cell.rank)
+                    .or_insert_with(|| (0.0, 0.0, Vec::new()));
                 entry.0 += q;
                 if self.compute_variance {
                     entry.1 += q * (1.0 - q);
@@ -188,13 +183,8 @@ impl ExpectedSupportMiner for UHMine {
             return Ok(result);
         }
         let judge = move |esup: f64, _var: f64| esup >= threshold;
-        let (mut engine, rows) = UhEngine::build(
-            db,
-            &order,
-            self.compute_variance,
-            judge,
-            &mut result.stats,
-        );
+        let (mut engine, rows) =
+            UhEngine::build(db, &order, self.compute_variance, judge, &mut result.stats);
         let mut prefix = Vec::new();
         engine.mine(&mut prefix, &rows, &mut result);
         result.canonicalize();
@@ -224,7 +214,9 @@ mod tests {
         let db = paper_table1();
         for min_esup in [0.1, 0.2, 0.25, 0.3, 0.45, 0.6, 0.9] {
             let fast = UHMine::new().mine_expected_ratio(&db, min_esup).unwrap();
-            let slow = BruteForce::new().mine_expected_ratio(&db, min_esup).unwrap();
+            let slow = BruteForce::new()
+                .mine_expected_ratio(&db, min_esup)
+                .unwrap();
             assert_eq!(
                 fast.sorted_itemsets(),
                 slow.sorted_itemsets(),
@@ -252,7 +244,9 @@ mod tests {
     #[test]
     fn variance_mode_matches_definition() {
         let db = paper_table1();
-        let r = UHMine::with_variance().mine_expected_ratio(&db, 0.25).unwrap();
+        let r = UHMine::with_variance()
+            .mine_expected_ratio(&db, 0.25)
+            .unwrap();
         for fi in &r.itemsets {
             let (we, wv) = db.support_moments(fi.itemset.items());
             assert!((fi.expected_support - we).abs() < 1e-9);
@@ -271,7 +265,9 @@ mod tests {
         let db = deterministic_small();
         for min_esup in [0.2, 0.4, 0.6, 0.8, 1.0] {
             let fast = UHMine::new().mine_expected_ratio(&db, min_esup).unwrap();
-            let slow = BruteForce::new().mine_expected_ratio(&db, min_esup).unwrap();
+            let slow = BruteForce::new()
+                .mine_expected_ratio(&db, min_esup)
+                .unwrap();
             assert_eq!(fast.sorted_itemsets(), slow.sorted_itemsets());
         }
     }
@@ -288,8 +284,14 @@ mod tests {
     #[test]
     fn empty_db_and_high_threshold() {
         let db = UncertainDatabase::from_transactions(vec![]);
-        assert!(UHMine::new().mine_expected_ratio(&db, 0.5).unwrap().is_empty());
+        assert!(UHMine::new()
+            .mine_expected_ratio(&db, 0.5)
+            .unwrap()
+            .is_empty());
         let db = paper_table1();
-        assert!(UHMine::new().mine_expected_ratio(&db, 1.0).unwrap().is_empty());
+        assert!(UHMine::new()
+            .mine_expected_ratio(&db, 1.0)
+            .unwrap()
+            .is_empty());
     }
 }

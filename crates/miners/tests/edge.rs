@@ -14,7 +14,14 @@ fn all_expected() -> Vec<Box<dyn ExpectedSupportMiner>> {
 fn all_probabilistic() -> Vec<Box<dyn ProbabilisticMiner>> {
     Algorithm::EXACT_PROBABILISTIC
         .iter()
-        .chain([Algorithm::PDUApriori, Algorithm::NDUApriori, Algorithm::NDUHMine].iter())
+        .chain(
+            [
+                Algorithm::PDUApriori,
+                Algorithm::NDUApriori,
+                Algorithm::NDUHMine,
+            ]
+            .iter(),
+        )
         .map(|a| a.probabilistic_miner().unwrap())
         .collect()
 }
@@ -29,7 +36,11 @@ fn database_of_empty_transactions() {
         4,
     );
     for m in all_expected() {
-        assert!(m.mine_expected_ratio(&db, 0.5).unwrap().is_empty(), "{}", m.name());
+        assert!(
+            m.mine_expected_ratio(&db, 0.5).unwrap().is_empty(),
+            "{}",
+            m.name()
+        );
     }
     for m in all_probabilistic() {
         assert!(
@@ -42,15 +53,17 @@ fn database_of_empty_transactions() {
 
 #[test]
 fn single_transaction_database() {
-    let db = UncertainDatabase::from_transactions(vec![Transaction::new([
-        (0, 0.9),
-        (1, 0.4),
-    ])
-    .unwrap()]);
+    let db =
+        UncertainDatabase::from_transactions(vec![Transaction::new([(0, 0.9), (1, 0.4)]).unwrap()]);
     // min_esup = 0.5 over N = 1 ⇒ threshold 0.5: only item 0 qualifies.
     for m in all_expected() {
         let r = m.mine_expected_ratio(&db, 0.5).unwrap();
-        assert_eq!(r.sorted_itemsets(), vec![Itemset::singleton(0)], "{}", m.name());
+        assert_eq!(
+            r.sorted_itemsets(),
+            vec![Itemset::singleton(0)],
+            "{}",
+            m.name()
+        );
     }
     // Probabilistic with msup = 1: Pr{sup(0) ≥ 1} = 0.9 > 0.8.
     //
@@ -85,7 +98,12 @@ fn certainty_reduces_every_miner_to_classical_mining() {
     let classical = BruteForce::new().mine_expected_ratio(&db, 0.5).unwrap();
     for m in all_expected() {
         let r = m.mine_expected_ratio(&db, 0.5).unwrap();
-        assert_eq!(r.sorted_itemsets(), classical.sorted_itemsets(), "{}", m.name());
+        assert_eq!(
+            r.sorted_itemsets(),
+            classical.sorted_itemsets(),
+            "{}",
+            m.name()
+        );
     }
     for m in all_probabilistic() {
         let r = m.mine_probabilistic_raw(&db, 0.5, 0.5).unwrap();
@@ -108,7 +126,12 @@ fn threshold_one_requires_presence_everywhere() {
     // every transaction qualify.
     for m in all_expected() {
         let r = m.mine_expected_ratio(&db, 1.0).unwrap();
-        assert_eq!(r.sorted_itemsets(), vec![Itemset::singleton(0)], "{}", m.name());
+        assert_eq!(
+            r.sorted_itemsets(),
+            vec![Itemset::singleton(0)],
+            "{}",
+            m.name()
+        );
     }
 }
 
@@ -157,7 +180,10 @@ fn extreme_pft_values() {
         .unwrap();
     assert!(loose.len() >= r.len());
     for itemset in r.sorted_itemsets() {
-        assert!(loose.get(&itemset).is_some(), "{itemset} lost at looser pft");
+        assert!(
+            loose.get(&itemset).is_some(),
+            "{itemset} lost at looser pft"
+        );
     }
 }
 
@@ -186,7 +212,12 @@ fn probability_epsilon_units_do_not_break_counting() {
     ]);
     for m in all_expected() {
         let r = m.mine_expected_ratio(&db, 0.9).unwrap();
-        assert_eq!(r.sorted_itemsets(), vec![Itemset::singleton(1)], "{}", m.name());
+        assert_eq!(
+            r.sorted_itemsets(),
+            vec![Itemset::singleton(1)],
+            "{}",
+            m.name()
+        );
     }
     let r = DcMiner::with_pruning()
         .mine_probabilistic_raw(&db, 1.0, 0.5)
@@ -200,10 +231,7 @@ fn duplicate_probability_nodes_share_in_ufp_tree() {
     // bit-pattern probabilities must share; the structure statistic is the
     // observable.
     use ufim_miners::UFPGrowth;
-    let same = UncertainDatabase::from_transactions(vec![
-        Transaction::new([(0, 0.5)]).unwrap();
-        8
-    ]);
+    let same = UncertainDatabase::from_transactions(vec![Transaction::new([(0, 0.5)]).unwrap(); 8]);
     let r = UFPGrowth::new().mine_expected_ratio(&same, 0.1).unwrap();
     assert_eq!(r.stats.peak_structure_nodes, 2); // root + one shared node
 

@@ -46,8 +46,7 @@ pub fn beta_reg(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     // Symmetry pick for fast CF convergence.
     if x < (a + 1.0) / (a + b + 2.0) {
@@ -176,7 +175,10 @@ mod tests {
         for k in 0..=n + 1 {
             let direct: f64 = (k..=n).map(|j| binomial_pmf(n, j, p)).sum();
             let closed = binomial_survival(n, k, p);
-            assert!((direct - closed).abs() < 1e-10, "k={k}: {direct} vs {closed}");
+            assert!(
+                (direct - closed).abs() < 1e-10,
+                "k={k}: {direct} vs {closed}"
+            );
         }
     }
 

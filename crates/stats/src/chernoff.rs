@@ -118,7 +118,9 @@ mod tests {
 
     #[test]
     fn bound_dominates_exact_survival_mixed() {
-        let probs: Vec<f64> = (0..40).map(|i| ((i * 17 % 29) as f64 + 1.0) / 30.0).collect();
+        let probs: Vec<f64> = (0..40)
+            .map(|i| ((i * 17 % 29) as f64 + 1.0) / 30.0)
+            .collect();
         let mu: f64 = probs.iter().sum();
         for msup in 1..=probs.len() {
             let exact = survival_dp(&probs, msup);

@@ -113,7 +113,11 @@ mod tests {
     fn naive_small_cases() {
         assert_close(&convolve_naive(&[1.0], &[1.0]), &[1.0], 1e-15);
         // (1 + 2x)(3 + 4x) = 3 + 10x + 8x²
-        assert_close(&convolve_naive(&[1.0, 2.0], &[3.0, 4.0]), &[3.0, 10.0, 8.0], 1e-15);
+        assert_close(
+            &convolve_naive(&[1.0, 2.0], &[3.0, 4.0]),
+            &[3.0, 10.0, 8.0],
+            1e-15,
+        );
         assert!(convolve_naive(&[], &[1.0]).is_empty());
     }
 
@@ -131,7 +135,11 @@ mod tests {
         assert_close(&convolve(&a, &b), &convolve_naive(&a, &b), 1e-12);
         let big_a = vec![0.01; 300];
         let big_b = vec![0.02; 200];
-        assert_close(&convolve(&big_a, &big_b), &convolve_naive(&big_a, &big_b), 1e-8);
+        assert_close(
+            &convolve(&big_a, &big_b),
+            &convolve_naive(&big_a, &big_b),
+            1e-8,
+        );
     }
 
     #[test]

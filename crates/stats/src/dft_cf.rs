@@ -139,14 +139,18 @@ mod tests {
 
     #[test]
     fn matches_dense_dp_medium() {
-        let probs: Vec<f64> = (0..200).map(|i| ((i * 29 % 97) as f64 + 1.0) / 98.0).collect();
+        let probs: Vec<f64> = (0..200)
+            .map(|i| ((i * 29 % 97) as f64 + 1.0) / 98.0)
+            .collect();
         assert_pmf_close(&pmf_dft_cf(&probs), &pmf_exact(&probs), 1e-9);
     }
 
     #[test]
     fn matches_dense_dp_large_fft_path() {
         // > 512 trials exercises the padded-FFT branch.
-        let probs: Vec<f64> = (0..700).map(|i| ((i * 13 % 89) as f64 + 1.0) / 90.0).collect();
+        let probs: Vec<f64> = (0..700)
+            .map(|i| ((i * 13 % 89) as f64 + 1.0) / 90.0)
+            .collect();
         // Log-polar phase accumulation over 700 terms costs a few digits;
         // 1e-7 absolute is still far below any mining threshold.
         assert_pmf_close(&pmf_dft_cf(&probs), &pmf_exact(&probs), 1e-7);
@@ -154,7 +158,9 @@ mod tests {
 
     #[test]
     fn survival_agrees_with_dp() {
-        let probs: Vec<f64> = (0..90).map(|i| ((i * 7 % 31) as f64 + 1.0) / 32.0).collect();
+        let probs: Vec<f64> = (0..90)
+            .map(|i| ((i * 7 % 31) as f64 + 1.0) / 32.0)
+            .collect();
         for msup in [0usize, 1, 10, 45, 90, 91] {
             let a = survival_dft_cf(&probs, msup);
             let b = survival_dp(&probs, msup);

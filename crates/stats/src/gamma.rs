@@ -134,11 +134,7 @@ mod tests {
         let facts: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
         for (n, &f) in facts.iter().enumerate() {
             let lg = ln_gamma((n + 1) as f64);
-            assert!(
-                (lg - f.ln()).abs() < 1e-10,
-                "ln_gamma({}) = {lg}",
-                n + 1
-            );
+            assert!((lg - f.ln()).abs() < 1e-10, "ln_gamma({}) = {lg}", n + 1);
         }
     }
 
@@ -154,8 +150,8 @@ mod tests {
     fn ln_gamma_large_argument() {
         // Stirling cross-check at x = 1000.
         let x: f64 = 1000.0;
-        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
-            + 1.0 / (12.0 * x);
+        let stirling =
+            (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x);
         assert!((ln_gamma(x) - stirling).abs() < 1e-6);
     }
 

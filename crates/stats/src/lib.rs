@@ -39,8 +39,8 @@ pub mod poisson;
 
 pub use binomial::{binomial_survival, detect_constant};
 pub use chernoff::{chernoff_prunable, chernoff_upper_bound};
-pub use dft_cf::{pmf_dft_cf, survival_dft_cf};
 pub use complex::Complex64;
+pub use dft_cf::{pmf_dft_cf, survival_dft_cf};
 pub use normal::{normal_cdf, normal_survival_with_continuity};
 pub use pb::{
     pmf_divide_conquer, pmf_exact, support_moments, survival_dp, survival_from_pmf,

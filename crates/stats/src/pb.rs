@@ -14,7 +14,7 @@
 //! plus the two-moment summary [`support_moments`] feeding the Normal
 //! approximation.
 
-use crate::conv::{convolve_saturating, fold_tail, convolve};
+use crate::conv::{convolve, convolve_saturating, fold_tail};
 
 /// Mean and variance of the Poisson-Binomial variable:
 /// `μ = Σ q_t`, `σ² = Σ q_t (1 − q_t)`.
@@ -265,7 +265,9 @@ mod tests {
     #[test]
     fn divide_conquer_matches_exact_large() {
         // Big enough to force recursion and the FFT convolution path.
-        let probs: Vec<f64> = (0..700).map(|i| ((i * 37 % 100) as f64 + 1.0) / 101.0).collect();
+        let probs: Vec<f64> = (0..700)
+            .map(|i| ((i * 37 % 100) as f64 + 1.0) / 101.0)
+            .collect();
         let dc = pmf_divide_conquer(&probs, None);
         let exact = pmf_exact(&probs);
         for (k, (a, b)) in dc.iter().zip(&exact).enumerate() {
@@ -275,7 +277,9 @@ mod tests {
 
     #[test]
     fn divide_conquer_saturated_matches_survival() {
-        let probs: Vec<f64> = (0..300).map(|i| ((i * 13 % 37) as f64 + 1.0) / 38.0).collect();
+        let probs: Vec<f64> = (0..300)
+            .map(|i| ((i * 13 % 37) as f64 + 1.0) / 38.0)
+            .collect();
         for &msup in &[1usize, 5, 50, 150] {
             let capped = pmf_divide_conquer(&probs, Some(msup));
             assert_eq!(capped.len(), msup + 1);

@@ -60,10 +60,11 @@ fn main() {
     }
 
     // Definition 4 miners (exact + approximate) at (min_sup, pft).
-    for algo in Algorithm::EXACT_PROBABILISTIC
-        .into_iter()
-        .chain([Algorithm::PDUApriori, Algorithm::NDUApriori, Algorithm::NDUHMine])
-    {
+    for algo in Algorithm::EXACT_PROBABILISTIC.into_iter().chain([
+        Algorithm::PDUApriori,
+        Algorithm::NDUApriori,
+        Algorithm::NDUHMine,
+    ]) {
         let miner = algo.probabilistic_miner().unwrap();
         let (r, t) = measure(|| miner.mine_probabilistic_raw(&db, d.min_sup, d.pft).unwrap());
         let group = match algo.group() {

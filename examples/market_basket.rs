@@ -22,7 +22,11 @@ fn main() {
     let det = Benchmark::Gazelle.generate_deterministic(0.2, 2024);
     let (min_sup, pft) = (0.01, 0.9);
 
-    println!("sessions={}  products={}", det.num_transactions(), det.num_items());
+    println!(
+        "sessions={}  products={}",
+        det.num_transactions(),
+        det.num_items()
+    );
     println!("min_sup={min_sup}, pft={pft}\n");
     println!(
         "{:>8}  {:>6} {:>6} {:>9} {:>9}  {:>9}",

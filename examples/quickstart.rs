@@ -40,7 +40,11 @@ fn main() {
         .mine_expected_ratio(&db, 0.5)
         .expect("valid parameters");
     for fi in &result.itemsets {
-        println!("  {{{}}}  esup = {:.1}", label(&fi.itemset), fi.expected_support);
+        println!(
+            "  {{{}}}  esup = {:.1}",
+            label(&fi.itemset),
+            fi.expected_support
+        );
     }
     assert_eq!(result.len(), 2); // {A}: 2.1 and {C}: 2.6 — the paper's Example 1
 

@@ -8,7 +8,9 @@
 //! single dependency:
 //!
 //! * [`core`] — data model: [`core::UncertainDatabase`], [`core::Itemset`],
-//!   miner traits, results;
+//!   miner traits, results, plus the columnar layout
+//!   ([`core::VerticalIndex`], [`core::ProbVector`]) and the
+//!   [`core::EngineKind`] backend selector;
 //! * [`stats`] — Poisson-Binomial support distributions, FFT, Normal /
 //!   Poisson approximations, Chernoff bounds;
 //! * [`data`] — dataset generators (Connect/Accident/Kosarak/Gazelle analogs,
@@ -37,6 +39,38 @@
 //!     .mine_probabilistic_raw(&db, 0.5, 0.7)
 //!     .unwrap();
 //! assert!(prob_result.len() >= 1);
+//! ```
+//!
+//! ## Support backends
+//!
+//! The Apriori-framework miners (UApriori, PDUApriori, NDUApriori and the
+//! exact DP/DC family) compute per-candidate support statistics through a
+//! pluggable engine selected by [`core::EngineKind`]:
+//!
+//! * `Horizontal` (default) — trie-guided scans over the transaction list,
+//!   one pass per level (the paper's layout);
+//! * `Vertical` — a columnar tid-list index built in one pass, after which
+//!   each candidate costs one intersection of its prefix's memoized
+//!   probability vector with the last item's postings (U-Eclat).
+//!
+//! Both are observationally identical; see `tests/engine_equivalence.rs`.
+//!
+//! ```
+//! use uncertain_fim::core::EngineKind;
+//! use uncertain_fim::prelude::*;
+//!
+//! let db = uncertain_fim::core::examples::paper_table1();
+//! let v = UApriori::with_engine(EngineKind::Vertical)
+//!     .mine_expected_ratio(&db, 0.5)
+//!     .unwrap();
+//! assert_eq!(v.len(), 2); // same answer, one database pass total
+//! assert_eq!(v.stats.scans, 1);
+//!
+//! // Probabilistic miners take the selector through their params:
+//! let params = MiningParams::new(0.5, 0.7)
+//!     .unwrap()
+//!     .with_engine(EngineKind::Vertical);
+//! assert!(!DcMiner::with_pruning().mine_probabilistic(&db, params).unwrap().is_empty());
 //! ```
 
 pub use ufim_core as core;

@@ -34,7 +34,9 @@ fn expected_support_miners_match_oracle_on_many_random_dbs() {
     for seed in 0..12u64 {
         let db = random_db(seed, 40, 7, 0.45);
         for &min_esup in &[0.05, 0.15, 0.3, 0.6] {
-            let oracle = BruteForce::new().mine_expected_ratio(&db, min_esup).unwrap();
+            let oracle = BruteForce::new()
+                .mine_expected_ratio(&db, min_esup)
+                .unwrap();
             for algo in Algorithm::EXPECTED_SUPPORT {
                 let r = algo
                     .expected_support_miner()
@@ -110,10 +112,11 @@ fn downward_closure_holds_in_every_result() {
             .unwrap();
         results.push((algo.name().to_string(), r));
     }
-    for algo in Algorithm::EXACT_PROBABILISTIC
-        .into_iter()
-        .chain([Algorithm::NDUApriori, Algorithm::NDUHMine, Algorithm::PDUApriori])
-    {
+    for algo in Algorithm::EXACT_PROBABILISTIC.into_iter().chain([
+        Algorithm::NDUApriori,
+        Algorithm::NDUHMine,
+        Algorithm::PDUApriori,
+    ]) {
         let r = algo
             .probabilistic_miner()
             .unwrap()

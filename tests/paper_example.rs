@@ -9,7 +9,10 @@ use uncertain_fim::prelude::*;
 fn example1_every_expected_support_miner() {
     let db = paper_table1();
     let want = vec![Itemset::singleton(0), Itemset::singleton(2)];
-    for algo in Algorithm::EXPECTED_SUPPORT.into_iter().chain([Algorithm::BruteForce]) {
+    for algo in Algorithm::EXPECTED_SUPPORT
+        .into_iter()
+        .chain([Algorithm::BruteForce])
+    {
         let r = algo
             .expected_support_miner()
             .unwrap()
@@ -103,7 +106,11 @@ fn approximate_miners_run_on_the_micro_example() {
     // approximate miners run, report sane probabilities, and include every
     // itemset whose exact probability is overwhelming.
     let db = paper_table1();
-    for algo in [Algorithm::PDUApriori, Algorithm::NDUApriori, Algorithm::NDUHMine] {
+    for algo in [
+        Algorithm::PDUApriori,
+        Algorithm::NDUApriori,
+        Algorithm::NDUHMine,
+    ] {
         let r = algo
             .probabilistic_miner()
             .unwrap()

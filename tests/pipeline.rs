@@ -81,7 +81,10 @@ fn three_groups_are_consistent_on_a_generated_benchmark() {
         .collect();
     assert_eq!(esup_sets[0], esup_sets[1]);
     assert_eq!(esup_sets[0], esup_sets[2]);
-    assert!(!esup_sets[0].is_empty(), "degenerate test: nothing frequent");
+    assert!(
+        !esup_sets[0].is_empty(),
+        "degenerate test: nothing frequent"
+    );
 
     let exact_sets: Vec<_> = Algorithm::EXACT_PROBABILISTIC
         .iter()
@@ -97,7 +100,11 @@ fn three_groups_are_consistent_on_a_generated_benchmark() {
     }
 
     let exact = &exact_sets[0];
-    for algo in [Algorithm::NDUApriori, Algorithm::NDUHMine, Algorithm::PDUApriori] {
+    for algo in [
+        Algorithm::NDUApriori,
+        Algorithm::NDUHMine,
+        Algorithm::PDUApriori,
+    ] {
         let approx = algo
             .probabilistic_miner()
             .unwrap()
@@ -108,7 +115,11 @@ fn three_groups_are_consistent_on_a_generated_benchmark() {
         // one is visibly coarser at small supports — the paper's own §4.4
         // finding ("Normal distribution-based approximation algorithms can
         // get better approximation effect than the Poisson").
-        let bar = if algo == Algorithm::PDUApriori { 0.7 } else { 0.9 };
+        let bar = if algo == Algorithm::PDUApriori {
+            0.7
+        } else {
+            0.9
+        };
         assert!(
             acc.precision > bar && acc.recall > bar,
             "{}: precision {:.3} recall {:.3}",
@@ -166,11 +177,8 @@ fn zipf_skew_shrinks_the_frequent_set() {
     let counts: Vec<usize> = [0.8, 1.4, 2.0]
         .iter()
         .map(|&skew| {
-            let db = Benchmark::Connect.generate_with_model(
-                0.003,
-                9,
-                &ProbabilityModel::zipf(skew),
-            );
+            let db =
+                Benchmark::Connect.generate_with_model(0.003, 9, &ProbabilityModel::zipf(skew));
             UApriori::new()
                 .mine_expected_ratio(&db, 0.05)
                 .unwrap()
@@ -181,7 +189,10 @@ fn zipf_skew_shrinks_the_frequent_set() {
         counts[0] >= counts[1] && counts[1] >= counts[2],
         "frequent counts should shrink with skew: {counts:?}"
     );
-    assert!(counts[0] > counts[2], "skew must have an effect: {counts:?}");
+    assert!(
+        counts[0] > counts[2],
+        "skew must have an effect: {counts:?}"
+    );
 }
 
 #[test]

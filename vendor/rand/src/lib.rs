@@ -1,0 +1,345 @@
+//! Offline in-tree shim for the subset of the `rand` 0.8 API used by this
+//! workspace: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_bool`] / [`Rng::gen_range`], and
+//! [`distributions::WeightedIndex`].
+//!
+//! The build environment has no registry access, so this crate stands in for
+//! crates.io `rand`. The generator is xoshiro256++ seeded through SplitMix64
+//! — not the real `StdRng` (ChaCha12), but a high-quality PRNG whose
+//! statistical behavior satisfies every sampling test in the workspace.
+//! Streams are deterministic per seed but *not* byte-compatible with
+//! crates.io `rand`; nothing in the workspace depends on specific streams.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding, reduced to the one constructor the workspace calls.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Uniform sample from a range (half-open or inclusive; see
+    /// [`SampleRange`]).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Samples from a distribution (mirrors `Rng::sample`).
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, dist: D) -> T
+    where
+        Self: Sized,
+    {
+        dist.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        let u = unit_f64(rng.next_u64());
+        let v = self.start + u * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 range");
+        let u = unit_f64(rng.next_u64());
+        lo + u * (hi - lo)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end - self.start) as u64;
+                self.start + (reduce(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (reduce(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + reduce(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + reduce(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_sample_range!(i8, i16, i32, i64, isize);
+
+/// Unbiased `[0, span)` by rejection sampling (Lemire-style threshold).
+fn reduce<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — stands in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions (only what the workspace samples).
+pub mod distributions {
+    use super::{unit_f64, RngCore};
+
+    /// A value-producing distribution.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Error from [`WeightedIndex::new`].
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum WeightedError {
+        /// No weights were provided.
+        NoItem,
+        /// A weight was negative or not finite.
+        InvalidWeight,
+        /// All weights are zero.
+        AllWeightsZero,
+    }
+
+    impl std::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                WeightedError::NoItem => write!(f, "no items"),
+                WeightedError::InvalidWeight => write!(f, "invalid weight"),
+                WeightedError::AllWeightsZero => write!(f, "all weights zero"),
+            }
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Sampling of indices `0..n` proportional to a weight list, by
+    /// cumulative sums + binary search.
+    #[derive(Clone, Debug)]
+    pub struct WeightedIndex<X> {
+        cumulative: Vec<f64>,
+        total: f64,
+        _weight: std::marker::PhantomData<X>,
+    }
+
+    impl<X: Into<f64> + Copy> WeightedIndex<X> {
+        /// Validates weights (non-negative, finite, not all zero) and builds
+        /// the sampler.
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator<Item = X>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w: f64 = w.into();
+                if !(w.is_finite() && w >= 0.0) {
+                    return Err(WeightedError::InvalidWeight);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            if total <= 0.0 {
+                return Err(WeightedError::AllWeightsZero);
+            }
+            Ok(WeightedIndex {
+                cumulative,
+                total,
+                _weight: std::marker::PhantomData,
+            })
+        }
+    }
+
+    impl<X> Distribution<usize> for WeightedIndex<X> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            let u = unit_f64(rng.next_u64()) * self.total;
+            // partition_point: first index whose cumulative weight exceeds u.
+            let idx = self.cumulative.partition_point(|&c| c <= u);
+            idx.min(self.cumulative.len() - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, WeightedIndex};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3u32..7);
+            assert!((3..7).contains(&x));
+            let y = rng.gen_range(0.25f64..=0.5);
+            assert!((0.25..=0.5).contains(&y));
+            let z = rng.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn uniform_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let total: f64 = (0..100_000).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = total / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_index_proportions() {
+        let w = WeightedIndex::new([1.0f64, 3.0, 6.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 3];
+        for _ in 0..100_000 {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        assert!((counts[0] as f64 / 100_000.0 - 0.1).abs() < 0.01);
+        assert!((counts[2] as f64 / 100_000.0 - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_weights() {
+        assert!(WeightedIndex::new(Vec::<f64>::new()).is_err());
+        assert!(WeightedIndex::new([0.0f64, 0.0]).is_err());
+        assert!(WeightedIndex::new([1.0f64, -2.0]).is_err());
+    }
+}
