@@ -3,6 +3,7 @@
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod matrix;
 pub mod tables;
 
 use crate::config::HarnessConfig;

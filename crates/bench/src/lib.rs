@@ -35,4 +35,4 @@ pub mod experiments;
 pub mod runner;
 
 pub use config::HarnessConfig;
-pub use runner::{run_expected, run_probabilistic, MeasuredRun};
+pub use runner::{run_expected, run_matrix, run_probabilistic, MeasuredRun};

@@ -1,8 +1,9 @@
 //! `ufim-bench` — the experiment harness binary. See crate docs
 //! (`cargo doc -p ufim-bench`) and `ufim-bench help` for usage.
 
-use ufim_bench::experiments::{fig4, fig5, fig6, tables};
+use ufim_bench::experiments::{fig4, fig5, fig6, matrix, tables};
 use ufim_bench::HarnessConfig;
+use ufim_core::{MeasureKind, TraversalKind};
 
 /// The paper's memory metric needs a counting allocator installed in the
 /// process that runs the miners.
@@ -22,6 +23,9 @@ SUBCOMMANDS:
     fig4 [--panel P]  expected-support miners   (P: minesup|scale|zipf|all)
     fig5 [--panel P]  exact probabilistic miners (P: minsup|pft|scale|zipf|all)
     fig6 [--panel P]  approximate miners         (P: minsup|pft|scale|zipf|all)
+    matrix            measure × traversal × engine grid (beyond Table 10);
+                      restrict with --measure esup|poisson|normal|exact-dp|
+                      exact-dc and/or --traversal level-wise|hyper|tree
     table8            precision/recall on Accident
     table9            precision/recall on Kosarak
     table10           winner summary grid
@@ -91,6 +95,29 @@ fn main() {
             };
             fig6::run(&cfg, panel);
         }
+        "matrix" => {
+            let measure = match flag_value(&rest, "--measure") {
+                Some(v) => match MeasureKind::parse(v) {
+                    Some(m) => Some(m),
+                    None => {
+                        eprintln!("error: unknown --measure {v:?}\n\n{HELP}");
+                        std::process::exit(2);
+                    }
+                },
+                None => None,
+            };
+            let traversal = match flag_value(&rest, "--traversal") {
+                Some(v) => match TraversalKind::parse(v) {
+                    Some(t) => Some(t),
+                    None => {
+                        eprintln!("error: unknown --traversal {v:?}\n\n{HELP}");
+                        std::process::exit(2);
+                    }
+                },
+                None => None,
+            };
+            matrix::run(&cfg, measure, traversal);
+        }
         "table8" => tables::table8(&cfg),
         "table9" => tables::table9(&cfg),
         "table10" => tables::table10(&cfg),
@@ -109,6 +136,8 @@ fn main() {
             tables::table9(&cfg);
             println!();
             tables::table10(&cfg);
+            println!();
+            matrix::run(&cfg, None, None);
         }
         "help" | "--help" | "-h" => print!("{HELP}"),
         other => {
@@ -121,4 +150,17 @@ fn main() {
 fn bad_panel(p: &str) {
     eprintln!("error: unknown --panel {p:?}\n\n{HELP}");
     std::process::exit(2);
+}
+
+/// The value following a `--flag` in the unconsumed argument list. A flag
+/// present without a value is a usage error (exit 2), not an absent flag.
+fn flag_value<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
+    let i = rest.iter().position(|a| a == flag)?;
+    match rest.get(i + 1) {
+        Some(v) => Some(v.as_str()),
+        None => {
+            eprintln!("error: {flag} needs a value\n\n{HELP}");
+            std::process::exit(2);
+        }
+    }
 }

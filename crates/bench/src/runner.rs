@@ -1,9 +1,10 @@
 //! Measured execution of one mining run: wall time, peak heap, result size.
 
+use ufim_core::traits::ProbabilisticMiner;
 use ufim_core::{EngineKind, MinerStats, MiningParams, UncertainDatabase};
 use ufim_metrics::alloc::measure_peak;
 use ufim_metrics::time::Stopwatch;
-use ufim_miners::Algorithm;
+use ufim_miners::{Algorithm, MatrixMiner};
 
 /// The measurements of a single `(algorithm, database, parameters)` run —
 /// one point of one curve in the paper's figures.
@@ -104,6 +105,38 @@ pub fn run_probabilistic_with(
     }
 }
 
+/// Runs one measure × traversal × engine matrix cell measured.
+///
+/// # Panics
+/// Panics on unsupported cells (exact × tree) or invalid parameters — the
+/// harness filters cells through [`MatrixMiner::supported`] first.
+pub fn run_matrix(
+    cell: MatrixMiner,
+    db: &UncertainDatabase,
+    min_sup: f64,
+    pft: f64,
+    engine: EngineKind,
+) -> MeasuredRun {
+    // The cell itself selects measure and traversal; the params only need
+    // to carry the thresholds and the support backend.
+    let params = MiningParams::new(min_sup, pft)
+        .expect("valid parameters")
+        .with_engine(engine);
+    let sw = Stopwatch::start();
+    let (result, peak) = measure_peak(|| {
+        cell.mine_probabilistic(db, params)
+            .expect("supported matrix cell")
+    });
+    MeasuredRun {
+        algorithm: ufim_core::traits::MinerInfo::name(&cell),
+        time_secs: sw.elapsed_secs(),
+        peak_bytes: peak,
+        num_itemsets: result.len(),
+        max_len: result.max_len(),
+        stats: result.stats,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +165,16 @@ mod tests {
     fn wrong_interface_panics() {
         let db = paper_table1();
         run_expected(Algorithm::DCB, &db, 0.5);
+    }
+
+    #[test]
+    fn matrix_run_measures() {
+        use ufim_core::{MeasureKind, TraversalKind};
+        let db = paper_table1();
+        let cell = MatrixMiner::new(MeasureKind::ExactDp, TraversalKind::HyperStructure);
+        let run = run_matrix(cell, &db, 0.5, 0.7, EngineKind::default());
+        assert_eq!(run.algorithm, "exact-dp×hyper");
+        assert!(run.num_itemsets >= 1);
+        assert!(run.time_secs >= 0.0);
     }
 }

@@ -36,6 +36,16 @@ pub enum CoreError {
         /// Description of the problem.
         message: String,
     },
+    /// A measure × traversal combination that cannot exist: the traversal's
+    /// data structure does not supply the statistics the measure judges on
+    /// (e.g. exact measures need per-transaction probability vectors, which
+    /// the UFP-tree's node aggregation destroys).
+    UnsupportedCombination {
+        /// The measure's stable name.
+        measure: &'static str,
+        /// The traversal's stable name.
+        traversal: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -53,6 +63,12 @@ impl fmt::Display for CoreError {
             CoreError::EmptyDatabase => write!(f, "operation requires a non-empty database"),
             CoreError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            CoreError::UnsupportedCombination { measure, traversal } => {
+                write!(
+                    f,
+                    "the {measure} measure cannot run on the {traversal} traversal"
+                )
             }
         }
     }
@@ -81,6 +97,12 @@ mod tests {
         };
         assert!(e.to_string().contains("line 3"));
         assert!(CoreError::EmptyDatabase.to_string().contains("non-empty"));
+        let e = CoreError::UnsupportedCombination {
+            measure: "exact-dp",
+            traversal: "tree",
+        };
+        assert!(e.to_string().contains("exact-dp"));
+        assert!(e.to_string().contains("tree"));
     }
 
     #[test]

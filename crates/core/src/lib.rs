@@ -53,7 +53,7 @@ pub use database::{DatabaseStats, UncertainDatabase, UncertainDatabaseBuilder};
 pub use error::CoreError;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use itemset::{ItemId, Itemset};
-pub use params::{EngineKind, MiningParams, Ratio};
+pub use params::{EngineKind, MeasureKind, MiningParams, Ratio, TraversalKind};
 pub use result::{FrequentItemset, MinerStats, MiningResult};
 pub use traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
 pub use transaction::Transaction;
@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::hash::{FxHashMap, FxHashSet};
     pub use crate::itemset::{ItemId, Itemset};
-    pub use crate::params::{EngineKind, MiningParams, Ratio};
+    pub use crate::params::{EngineKind, MeasureKind, MiningParams, Ratio, TraversalKind};
     pub use crate::result::{FrequentItemset, MinerStats, MiningResult};
     pub use crate::traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
     pub use crate::transaction::Transaction;

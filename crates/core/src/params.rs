@@ -58,6 +58,140 @@ impl std::fmt::Display for EngineKind {
     }
 }
 
+/// Which *frequentness measure* judges whether a candidate itemset is
+/// frequent — the first axis of the paper's taxonomy (Definition 2 vs.
+/// Definition 4, exactly or approximately).
+///
+/// This enum is the cheap *selector*; the judgment logic itself lives behind
+/// the `FrequentnessMeasure` trait in the miners crate. Crossing a selector
+/// with a [`TraversalKind`] and an [`EngineKind`] names one cell of the
+/// measure × traversal × engine matrix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MeasureKind {
+    /// Definition 2: `esup(X) ≥ N · min_sup` (UApriori, UFP-growth, UH-Mine).
+    #[default]
+    ExpectedSupport,
+    /// Poisson (Le Cam) approximation of Definition 4, folded into an
+    /// expected-support threshold `λ*` (PDUApriori). Membership only — no
+    /// frequent probabilities are reported.
+    Poisson,
+    /// Normal (CLT) approximation of Definition 4 from `(esup, Var)`
+    /// (NDUApriori, NDUH-Mine).
+    Normal,
+    /// Exact Definition 4 via `O(N·msup)` dynamic programming (DP miners).
+    ExactDp,
+    /// Exact Definition 4 via divide-and-conquer + FFT (DC miners).
+    ExactDc,
+}
+
+impl MeasureKind {
+    /// Every measure, in presentation order (paper §3.1 → §3.2 → §3.3).
+    pub const ALL: [MeasureKind; 5] = [
+        MeasureKind::ExpectedSupport,
+        MeasureKind::Poisson,
+        MeasureKind::Normal,
+        MeasureKind::ExactDp,
+        MeasureKind::ExactDc,
+    ];
+
+    /// Stable lower-case name (used by CLIs and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            MeasureKind::ExpectedSupport => "esup",
+            MeasureKind::Poisson => "poisson",
+            MeasureKind::Normal => "normal",
+            MeasureKind::ExactDp => "exact-dp",
+            MeasureKind::ExactDc => "exact-dc",
+        }
+    }
+
+    /// True for the exact Definition 4 measures.
+    pub fn is_exact(self) -> bool {
+        matches!(self, MeasureKind::ExactDp | MeasureKind::ExactDc)
+    }
+
+    /// Parses a case-insensitive measure name.
+    pub fn parse(s: &str) -> Option<MeasureKind> {
+        let norm: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Some(match norm.as_str() {
+            "esup" | "expectedsupport" | "expected" => MeasureKind::ExpectedSupport,
+            "poisson" => MeasureKind::Poisson,
+            "normal" => MeasureKind::Normal,
+            "exactdp" | "dp" => MeasureKind::ExactDp,
+            "exactdc" | "dc" => MeasureKind::ExactDc,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for MeasureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which *exploration strategy* enumerates the itemset lattice — the second
+/// axis of the paper's taxonomy (level-wise generate-and-test vs. depth-first
+/// pattern growth).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TraversalKind {
+    /// Breadth-first Apriori scaffold over a pluggable [`EngineKind`]
+    /// support backend (UApriori framework).
+    #[default]
+    LevelWise,
+    /// Depth-first walk over the UH-Struct pointer arena + head tables
+    /// (UH-Mine framework). Supplies per-transaction probability vectors,
+    /// so every measure runs on it.
+    HyperStructure,
+    /// Depth-first divide-and-conquer over a UFP-tree (UFP-growth
+    /// framework). Tree nodes aggregate transactions, so only measures that
+    /// judge from `(esup, Var, count)` run on it — not the exact ones.
+    TreeGrowth,
+}
+
+impl TraversalKind {
+    /// Every traversal, in presentation order.
+    pub const ALL: [TraversalKind; 3] = [
+        TraversalKind::LevelWise,
+        TraversalKind::HyperStructure,
+        TraversalKind::TreeGrowth,
+    ];
+
+    /// Stable lower-case name (used by CLIs and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraversalKind::LevelWise => "level-wise",
+            TraversalKind::HyperStructure => "hyper",
+            TraversalKind::TreeGrowth => "tree",
+        }
+    }
+
+    /// Parses a case-insensitive traversal name.
+    pub fn parse(s: &str) -> Option<TraversalKind> {
+        let norm: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Some(match norm.as_str() {
+            "levelwise" | "apriori" | "bfs" => TraversalKind::LevelWise,
+            "hyper" | "hyperstructure" | "uhmine" | "uhstruct" => TraversalKind::HyperStructure,
+            "tree" | "treegrowth" | "ufptree" | "fpgrowth" => TraversalKind::TreeGrowth,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for TraversalKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A ratio in the half-open interval `(0, 1]`.
 ///
 /// `0` is excluded: a zero minimum support would declare every itemset
@@ -110,6 +244,13 @@ pub struct MiningParams {
     /// Support-computation backend to run on (defaults to
     /// [`EngineKind::Horizontal`], the reference backend).
     pub engine: EngineKind,
+    /// Frequentness-measure override for matrix-aware entry points (the
+    /// miners crate's `MatrixMiner`); the paper's named miners carry their
+    /// measure in their identity and ignore this field.
+    pub measure: Option<MeasureKind>,
+    /// Traversal override for matrix-aware entry points; ignored by the
+    /// paper's named miners, like [`MiningParams::measure`].
+    pub traversal: Option<TraversalKind>,
 }
 
 impl MiningParams {
@@ -119,12 +260,26 @@ impl MiningParams {
             min_sup: Ratio::new("min_sup", min_sup)?,
             pft: Ratio::new("pft", pft)?,
             engine: EngineKind::default(),
+            measure: None,
+            traversal: None,
         })
     }
 
     /// Selects the support-computation backend.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Selects the frequentness measure for matrix-aware entry points.
+    pub fn with_measure(mut self, measure: MeasureKind) -> Self {
+        self.measure = Some(measure);
+        self
+    }
+
+    /// Selects the traversal for matrix-aware entry points.
+    pub fn with_traversal(mut self, traversal: TraversalKind) -> Self {
+        self.traversal = Some(traversal);
         self
     }
 
@@ -188,6 +343,45 @@ mod tests {
         assert_eq!(p.engine, EngineKind::Horizontal);
         assert!(MiningParams::new(0.0, 0.9).is_err());
         assert!(MiningParams::new(0.5, 1.5).is_err());
+    }
+
+    #[test]
+    fn measure_and_traversal_selectors_roundtrip() {
+        for m in MeasureKind::ALL {
+            assert_eq!(MeasureKind::parse(m.name()), Some(m), "{m}");
+            assert_eq!(format!("{m}"), m.name());
+        }
+        for t in TraversalKind::ALL {
+            assert_eq!(TraversalKind::parse(t.name()), Some(t), "{t}");
+            assert_eq!(format!("{t}"), t.name());
+        }
+        assert_eq!(MeasureKind::parse("DP"), Some(MeasureKind::ExactDp));
+        assert_eq!(
+            MeasureKind::parse("Expected-Support"),
+            Some(MeasureKind::ExpectedSupport)
+        );
+        assert_eq!(MeasureKind::parse("nonsense"), None);
+        assert_eq!(
+            TraversalKind::parse("Apriori"),
+            Some(TraversalKind::LevelWise)
+        );
+        assert_eq!(
+            TraversalKind::parse("UH-Mine"),
+            Some(TraversalKind::HyperStructure)
+        );
+        assert_eq!(TraversalKind::parse("nonsense"), None);
+        assert!(MeasureKind::ExactDc.is_exact());
+        assert!(!MeasureKind::Normal.is_exact());
+
+        let p = MiningParams::new(0.5, 0.9)
+            .unwrap()
+            .with_measure(MeasureKind::Poisson)
+            .with_traversal(TraversalKind::TreeGrowth);
+        assert_eq!(p.measure, Some(MeasureKind::Poisson));
+        assert_eq!(p.traversal, Some(TraversalKind::TreeGrowth));
+        let q = MiningParams::new(0.5, 0.9).unwrap();
+        assert_eq!(q.measure, None);
+        assert_eq!(q.traversal, None);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 pub mod apriori;
 pub mod engine;
+pub mod measure;
 pub mod order;
 pub mod scan;
 pub mod trie;
@@ -10,6 +11,11 @@ pub mod trie;
 pub use apriori::{run_apriori, LevelEvaluator};
 pub use engine::{
     build_engine, HorizontalScan, LevelSupport, StatRequest, SupportEngine, VerticalEngine,
+};
+pub use measure::{
+    mine_level_wise, CandidateStats, ExactKernel, ExactMeasure, ExpectedSupport,
+    FrequentnessMeasure, Judgment, MeasureEvaluator, NormalApprox, PoissonApprox, Screen,
+    StatNeeds,
 };
 pub use order::FrequencyOrder;
 pub use scan::LevelScan;

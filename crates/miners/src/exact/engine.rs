@@ -1,19 +1,13 @@
-//! The shared level-wise engine behind DP/DC ± Chernoff.
+//! The exact DP/DC ± Chernoff miner family, instantiated from the shared
+//! measure × traversal machinery: an
+//! [`ExactMeasure`](crate::common::measure::ExactMeasure) judged level-wise
+//! through the generic
+//! [`MeasureEvaluator`](crate::common::measure::MeasureEvaluator).
 
-use crate::common::apriori::{run_apriori, LevelEvaluator};
-use crate::common::engine::{build_engine, StatRequest, SupportEngine};
+use crate::common::measure::{mine_level_wise, ExactMeasure};
 use ufim_core::prelude::*;
-use ufim_stats::chernoff::chernoff_prunable;
-use ufim_stats::pb::{pmf_divide_conquer, survival_dp};
 
-/// Which exact frequent-probability kernel a miner uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ExactKernel {
-    /// Threshold-truncated dynamic programming, `O(N·msup)` per itemset.
-    DynamicProgramming,
-    /// Divide-and-conquer PMF with FFT convolution, `O(N log N)` per itemset.
-    DivideConquer,
-}
+pub use crate::common::measure::ExactKernel;
 
 /// The **DP** miner family (paper §3.2.1): `DpMiner::with_pruning()` is DPB,
 /// `DpMiner::without_pruning()` is DPNB.
@@ -77,105 +71,6 @@ impl MinerInfo for DcMiner {
     }
 }
 
-/// Per-level evaluator implementing the two-phase (B) or single-phase (NB)
-/// exact evaluation.
-struct ExactEvaluator<'e> {
-    kernel: ExactKernel,
-    chernoff: bool,
-    msup: usize,
-    msup_real: f64,
-    pft: f64,
-    engine: Box<dyn SupportEngine + 'e>,
-}
-
-impl ExactEvaluator<'_> {
-    /// Exact survival for one candidate's probability vector.
-    fn survival(&self, probs: &[f64], stats: &mut MinerStats) -> f64 {
-        stats.exact_evaluations += 1;
-        match self.kernel {
-            ExactKernel::DynamicProgramming => survival_dp(probs, self.msup),
-            ExactKernel::DivideConquer => {
-                // Saturated PMF: index msup is Pr{sup ≥ msup}.
-                let pmf = pmf_divide_conquer(probs, Some(self.msup));
-                if self.msup < pmf.len() {
-                    pmf[self.msup]
-                } else {
-                    0.0
-                }
-            }
-        }
-    }
-}
-
-impl LevelEvaluator for ExactEvaluator<'_> {
-    fn evaluate_level(
-        &mut self,
-        _db: &UncertainDatabase,
-        _level: usize,
-        candidates: &[Itemset],
-        stats: &mut MinerStats,
-    ) -> Vec<FrequentItemset> {
-        stats.candidates_evaluated += candidates.len() as u64;
-
-        // Phase A: esup + nonzero count per candidate in one engine pass;
-        // under Chernoff pruning (B variants), hopeless candidates are
-        // dropped before any exact evaluation. The count threshold doubles
-        // as a memoization pushdown for the B variants (NB variants send
-        // every candidate to phase B, so everything must stay memoized).
-        let mut want = StatRequest::WITH_COUNT;
-        if self.chernoff {
-            want = want.with_min_count(self.msup as u64);
-        }
-        let sup = self.engine.evaluate(candidates, want, stats);
-        let esup = sup.esup;
-        let count = sup.count.expect("count requested");
-        let survivors: Vec<u32> = if self.chernoff {
-            let mut survivors = Vec::new();
-            for idx in 0..candidates.len() {
-                if (count[idx] as usize) < self.msup {
-                    stats.candidates_pruned_count += 1;
-                } else if chernoff_prunable(esup[idx], self.msup_real, self.pft) {
-                    stats.candidates_pruned_chernoff += 1;
-                } else {
-                    survivors.push(idx as u32);
-                }
-            }
-            survivors
-        } else {
-            (0..candidates.len() as u32).collect()
-        };
-
-        if survivors.is_empty() {
-            self.engine.finish_level(&[]);
-            return Vec::new();
-        }
-
-        // Phase B (exact): the survivors' probability vectors — a memo
-        // lookup on the vertical backend, one gather scan on the horizontal
-        // one — then the DP/DC kernel.
-        let survivor_sets: Vec<Itemset> = survivors
-            .iter()
-            .map(|&i| candidates[i as usize].clone())
-            .collect();
-        let qvecs = self.engine.prob_vectors(&survivor_sets, stats);
-
-        let mut out = Vec::with_capacity(survivors.len());
-        for (slot, &idx) in survivors.iter().enumerate() {
-            let pr = self.survival(&qvecs[slot], stats);
-            if pr > self.pft {
-                out.push(FrequentItemset {
-                    itemset: candidates[idx as usize].clone(),
-                    expected_support: esup[idx as usize],
-                    variance: None,
-                    frequent_prob: Some(pr),
-                });
-            }
-        }
-        self.engine.finish_level(&out);
-        out
-    }
-}
-
 fn mine_exact(
     kernel: ExactKernel,
     chernoff: bool,
@@ -185,16 +80,8 @@ fn mine_exact(
     if db.is_empty() {
         return MiningResult::default();
     }
-    let n = db.num_transactions();
-    let mut evaluator = ExactEvaluator {
-        kernel,
-        chernoff,
-        msup: params.msup(n),
-        msup_real: params.min_sup.threshold_real(n),
-        pft: params.pft.get(),
-        engine: build_engine(params.engine, db),
-    };
-    run_apriori(db, &mut evaluator)
+    let measure = ExactMeasure::new(kernel, chernoff, db.num_transactions(), &params);
+    mine_level_wise(db, measure, params.engine)
 }
 
 impl ProbabilisticMiner for DpMiner {

@@ -21,9 +21,14 @@
 //! miners. [`BruteForce`] evaluates every itemset directly from the
 //! definitions and anchors the test suites.
 //!
-//! The shared substrate lives in [`common`]: frequency ordering, the
+//! The shared substrate lives in [`common`]: the
+//! [`FrequentnessMeasure`](common::measure::FrequentnessMeasure) trait that
+//! factors the judgment axis out of every miner, frequency ordering, the
 //! candidate prefix-trie used by every Apriori-framework miner, and the
-//! level-wise scaffold.
+//! level-wise scaffold. Each miner in the table is one *named cell* of the
+//! measure × traversal × engine matrix; [`matrix::MatrixMiner`] runs any
+//! cell, including the five the paper never built (exact DP/DC on UH-Mine,
+//! Poisson on UH-Mine/UFP-growth, Normal on UFP-growth).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +36,7 @@
 pub mod brute;
 pub mod common;
 pub mod exact;
+pub mod matrix;
 pub mod ndu_apriori;
 pub mod nduh_mine;
 pub mod pdu_apriori;
@@ -42,6 +48,7 @@ pub mod uh_mine;
 
 pub use brute::BruteForce;
 pub use exact::{DcMiner, DpMiner};
+pub use matrix::MatrixMiner;
 pub use ndu_apriori::NDUApriori;
 pub use nduh_mine::NDUHMine;
 pub use pdu_apriori::PDUApriori;
@@ -55,6 +62,7 @@ pub use uh_mine::UHMine;
 pub mod prelude {
     pub use crate::brute::BruteForce;
     pub use crate::exact::{DcMiner, DpMiner};
+    pub use crate::matrix::MatrixMiner;
     pub use crate::ndu_apriori::NDUApriori;
     pub use crate::nduh_mine::NDUHMine;
     pub use crate::pdu_apriori::PDUApriori;

@@ -1,0 +1,381 @@
+//! The measure × traversal × engine **matrix**: every frequentness measure
+//! crossed with every lattice traversal, one entry point.
+//!
+//! The paper studies eight named algorithms; under the
+//! [`FrequentnessMeasure`] decomposition they are just the named cells of a
+//! larger grid:
+//!
+//! | measure \ traversal | `level-wise` | `hyper` | `tree` |
+//! |---|---|---|---|
+//! | `esup` | UApriori | UH-Mine | UFP-growth |
+//! | `poisson` | PDUApriori | *new* | *new* |
+//! | `normal` | NDUApriori | NDUH-Mine | *new* |
+//! | `exact-dp` | DP(B/NB) | *new* | — |
+//! | `exact-dc` | DC(B/NB) | *new* | — |
+//!
+//! The two `—` cells are the matrix's principled hole: UFP-tree nodes
+//! aggregate transactions, which destroys the per-transaction probability
+//! vectors the exact kernels consume (see the [`crate::ufp_growth`] module
+//! docs). Every other cell runs — including the five the seed codebase
+//! could not build — and the level-wise column additionally runs on either
+//! [`ufim_core::EngineKind`] support backend.
+//!
+//! [`MatrixMiner`] is the uniform entry point: a [`ProbabilisticMiner`]
+//! whose measure is built from the run's [`MiningParams`]. The
+//! [`MeasureKind::ExpectedSupport`] row reads `min_sup` as Definition 2's
+//! `min_esup` (and ignores `pft`), so one interface sweeps the whole grid.
+
+use crate::common::measure::{
+    ExactKernel, ExactMeasure, ExpectedSupport, FrequentnessMeasure, NormalApprox, PoissonApprox,
+};
+use crate::{ufp_growth, uh_mine};
+use ufim_core::prelude::*;
+
+/// One cell of the measure × traversal matrix, runnable on any database
+/// through the standard [`ProbabilisticMiner`] interface.
+///
+/// ```
+/// use ufim_core::{MeasureKind, MiningParams, TraversalKind};
+/// use ufim_miners::matrix::MatrixMiner;
+/// use ufim_miners::prelude::*;
+///
+/// let db = ufim_core::examples::paper_table1();
+/// // Exact DP judgment on the UH-Mine traversal — a cell no paper
+/// // algorithm occupies.
+/// let miner = MatrixMiner::new(MeasureKind::ExactDp, TraversalKind::HyperStructure);
+/// let r = miner.mine_probabilistic_raw(&db, 0.5, 0.7).unwrap();
+/// assert!(!r.is_empty());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatrixMiner {
+    /// The frequentness judgment.
+    pub measure: MeasureKind,
+    /// The lattice exploration strategy.
+    pub traversal: TraversalKind,
+    /// Chernoff + count screening for the exact measures (the paper's `B`
+    /// variants; ignored by the others). Defaults to on.
+    pub chernoff: bool,
+}
+
+impl MatrixMiner {
+    /// The cell `(measure, traversal)`, with Chernoff screening on for
+    /// exact measures (the `B` variants — the paper's recommended default).
+    pub fn new(measure: MeasureKind, traversal: TraversalKind) -> Self {
+        MatrixMiner {
+            measure,
+            traversal,
+            chernoff: true,
+        }
+    }
+
+    /// Disables the Chernoff/count screen (the `NB` variants).
+    pub fn without_chernoff(mut self) -> Self {
+        self.chernoff = false;
+        self
+    }
+
+    /// The cell selected by a parameter bundle's
+    /// [`measure`](MiningParams::measure) /
+    /// [`traversal`](MiningParams::traversal) overrides; unset axes default
+    /// to the classical UApriori cell (expected support, level-wise).
+    pub fn from_params(params: &MiningParams) -> Self {
+        MatrixMiner::new(
+            params.measure.unwrap_or_default(),
+            params.traversal.unwrap_or_default(),
+        )
+    }
+
+    /// Whether a cell exists: every measure runs on every traversal except
+    /// the exact measures on tree growth, whose node aggregation cannot
+    /// serve per-transaction probability vectors.
+    pub fn supported(measure: MeasureKind, traversal: TraversalKind) -> bool {
+        !(measure.is_exact() && traversal == TraversalKind::TreeGrowth)
+    }
+
+    /// Every buildable cell, row-major (measure-major) order.
+    pub fn all_supported() -> Vec<MatrixMiner> {
+        let mut cells = Vec::new();
+        for measure in MeasureKind::ALL {
+            for traversal in TraversalKind::ALL {
+                if Self::supported(measure, traversal) {
+                    cells.push(MatrixMiner::new(measure, traversal));
+                }
+            }
+        }
+        cells
+    }
+
+    fn dispatch<M: FrequentnessMeasure>(
+        &self,
+        db: &UncertainDatabase,
+        measure: M,
+        engine: EngineKind,
+    ) -> MiningResult {
+        match self.traversal {
+            TraversalKind::LevelWise => {
+                crate::common::measure::mine_level_wise(db, measure, engine)
+            }
+            TraversalKind::HyperStructure => uh_mine::mine_hyper(db, &measure),
+            TraversalKind::TreeGrowth => ufp_growth::mine_tree(db, &measure),
+        }
+    }
+}
+
+impl MinerInfo for MatrixMiner {
+    fn name(&self) -> &'static str {
+        // A static table so the name stays `&'static str` across all 15
+        // cells (including the unsupported ones, which error at mine time).
+        match (self.measure, self.traversal) {
+            (MeasureKind::ExpectedSupport, TraversalKind::LevelWise) => "esup×level-wise",
+            (MeasureKind::ExpectedSupport, TraversalKind::HyperStructure) => "esup×hyper",
+            (MeasureKind::ExpectedSupport, TraversalKind::TreeGrowth) => "esup×tree",
+            (MeasureKind::Poisson, TraversalKind::LevelWise) => "poisson×level-wise",
+            (MeasureKind::Poisson, TraversalKind::HyperStructure) => "poisson×hyper",
+            (MeasureKind::Poisson, TraversalKind::TreeGrowth) => "poisson×tree",
+            (MeasureKind::Normal, TraversalKind::LevelWise) => "normal×level-wise",
+            (MeasureKind::Normal, TraversalKind::HyperStructure) => "normal×hyper",
+            (MeasureKind::Normal, TraversalKind::TreeGrowth) => "normal×tree",
+            (MeasureKind::ExactDp, TraversalKind::LevelWise) => "exact-dp×level-wise",
+            (MeasureKind::ExactDp, TraversalKind::HyperStructure) => "exact-dp×hyper",
+            (MeasureKind::ExactDp, TraversalKind::TreeGrowth) => "exact-dp×tree",
+            (MeasureKind::ExactDc, TraversalKind::LevelWise) => "exact-dc×level-wise",
+            (MeasureKind::ExactDc, TraversalKind::HyperStructure) => "exact-dc×hyper",
+            (MeasureKind::ExactDc, TraversalKind::TreeGrowth) => "exact-dc×tree",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        "one measure × traversal cell of the mining matrix"
+    }
+}
+
+impl ProbabilisticMiner for MatrixMiner {
+    /// Mines the cell. [`MeasureKind::ExpectedSupport`] reads
+    /// `params.min_sup` as Definition 2's `min_esup` ratio and ignores
+    /// `pft`; the level-wise traversal honors `params.engine`.
+    ///
+    /// # Errors
+    /// [`CoreError::UnsupportedCombination`] for the exact × tree cells;
+    /// otherwise propagates parameter validation.
+    fn mine_probabilistic(
+        &self,
+        db: &UncertainDatabase,
+        params: MiningParams,
+    ) -> Result<MiningResult, CoreError> {
+        if !Self::supported(self.measure, self.traversal) {
+            return Err(CoreError::UnsupportedCombination {
+                measure: self.measure.name(),
+                traversal: self.traversal.name(),
+            });
+        }
+        if db.is_empty() {
+            return Ok(MiningResult::default());
+        }
+        let n = db.num_transactions();
+        let engine = params.engine;
+        Ok(match self.measure {
+            MeasureKind::ExpectedSupport => self.dispatch(
+                db,
+                ExpectedSupport::new(params.min_sup.threshold_real(n)),
+                engine,
+            ),
+            MeasureKind::Poisson => match PoissonApprox::from_params(n, &params)? {
+                None => MiningResult::default(),
+                Some(measure) => self.dispatch(db, measure, engine),
+            },
+            MeasureKind::Normal => self.dispatch(
+                db,
+                NormalApprox::new(params.msup(n), params.pft.get()),
+                engine,
+            ),
+            MeasureKind::ExactDp => self.dispatch(
+                db,
+                ExactMeasure::new(ExactKernel::DynamicProgramming, self.chernoff, n, &params),
+                engine,
+            ),
+            MeasureKind::ExactDc => self.dispatch(
+                db,
+                ExactMeasure::new(ExactKernel::DivideConquer, self.chernoff, n, &params),
+                engine,
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use ufim_core::examples::paper_table1;
+
+    #[test]
+    fn the_matrix_has_thirteen_cells() {
+        let cells = MatrixMiner::all_supported();
+        assert_eq!(cells.len(), 13);
+        assert!(!MatrixMiner::supported(
+            MeasureKind::ExactDp,
+            TraversalKind::TreeGrowth
+        ));
+        assert!(!MatrixMiner::supported(
+            MeasureKind::ExactDc,
+            TraversalKind::TreeGrowth
+        ));
+        // Names are unique across the grid.
+        let mut names: Vec<&str> = cells.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn unsupported_cells_error_cleanly() {
+        let db = paper_table1();
+        let miner = MatrixMiner::new(MeasureKind::ExactDp, TraversalKind::TreeGrowth);
+        let err = miner.mine_probabilistic_raw(&db, 0.5, 0.7).unwrap_err();
+        assert!(matches!(err, CoreError::UnsupportedCombination { .. }));
+    }
+
+    #[test]
+    fn every_supported_cell_runs_on_table1() {
+        let db = paper_table1();
+        for cell in MatrixMiner::all_supported() {
+            let r = cell.mine_probabilistic_raw(&db, 0.5, 0.7).unwrap();
+            assert!(!r.is_empty(), "{} found nothing", cell.name());
+        }
+    }
+
+    #[test]
+    fn paper_cells_match_their_named_miners_exactly() {
+        let db = paper_table1();
+        let params = MiningParams::new(0.5, 0.7).unwrap();
+
+        // Expected support row ↔ UApriori / UH-Mine / UFP-growth at the
+        // matching min_esup.
+        for (traversal, algo) in [
+            (TraversalKind::LevelWise, Algorithm::UApriori),
+            (TraversalKind::HyperStructure, Algorithm::UHMine),
+            (TraversalKind::TreeGrowth, Algorithm::UFPGrowth),
+        ] {
+            let cell = MatrixMiner::new(MeasureKind::ExpectedSupport, traversal)
+                .mine_probabilistic(&db, params)
+                .unwrap();
+            let named = algo
+                .expected_support_miner()
+                .unwrap()
+                .mine_expected_ratio(&db, 0.5)
+                .unwrap();
+            assert_eq!(cell.sorted_itemsets(), named.sorted_itemsets());
+            assert_eq!(cell.stats, named.stats, "{}", algo.name());
+        }
+
+        // Probabilistic cells ↔ their named miners (bit-identical records).
+        for (cell, algo) in [
+            (
+                MatrixMiner::new(MeasureKind::Poisson, TraversalKind::LevelWise),
+                Algorithm::PDUApriori,
+            ),
+            (
+                MatrixMiner::new(MeasureKind::Normal, TraversalKind::LevelWise),
+                Algorithm::NDUApriori,
+            ),
+            (
+                MatrixMiner::new(MeasureKind::Normal, TraversalKind::HyperStructure),
+                Algorithm::NDUHMine,
+            ),
+            (
+                MatrixMiner::new(MeasureKind::ExactDp, TraversalKind::LevelWise),
+                Algorithm::DPB,
+            ),
+            (
+                MatrixMiner::new(MeasureKind::ExactDc, TraversalKind::LevelWise),
+                Algorithm::DCB,
+            ),
+            (
+                MatrixMiner::new(MeasureKind::ExactDp, TraversalKind::LevelWise).without_chernoff(),
+                Algorithm::DPNB,
+            ),
+            (
+                MatrixMiner::new(MeasureKind::ExactDc, TraversalKind::LevelWise).without_chernoff(),
+                Algorithm::DCNB,
+            ),
+        ] {
+            let got = cell.mine_probabilistic(&db, params).unwrap();
+            let want = algo
+                .probabilistic_miner()
+                .unwrap()
+                .mine_probabilistic(&db, params)
+                .unwrap();
+            assert_eq!(
+                got.sorted_itemsets(),
+                want.sorted_itemsets(),
+                "{}",
+                algo.name()
+            );
+            for fi in &got.itemsets {
+                let w = want.get(&fi.itemset).unwrap();
+                assert_eq!(fi.expected_support, w.expected_support, "{}", algo.name());
+                assert_eq!(fi.frequent_prob, w.frequent_prob, "{}", algo.name());
+                assert_eq!(fi.variance, w.variance, "{}", algo.name());
+            }
+            assert_eq!(got.stats, want.stats, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn new_cells_agree_with_their_level_wise_reference() {
+        // The previously unbuildable cells, judged against the same
+        // measure's level-wise instantiation: same semantics ⇒ same sets.
+        let db = paper_table1();
+        for (min_sup, pft) in [(0.5, 0.7), (0.25, 0.5), (0.25, 0.9)] {
+            for measure in MeasureKind::ALL {
+                let reference = MatrixMiner::new(measure, TraversalKind::LevelWise)
+                    .mine_probabilistic_raw(&db, min_sup, pft)
+                    .unwrap();
+                for traversal in [TraversalKind::HyperStructure, TraversalKind::TreeGrowth] {
+                    if !MatrixMiner::supported(measure, traversal) {
+                        continue;
+                    }
+                    let got = MatrixMiner::new(measure, traversal)
+                        .mine_probabilistic_raw(&db, min_sup, pft)
+                        .unwrap();
+                    assert_eq!(
+                        got.sorted_itemsets(),
+                        reference.sorted_itemsets(),
+                        "{measure}×{traversal} at ({min_sup}, {pft})"
+                    );
+                    for fi in &got.itemsets {
+                        let w = reference.get(&fi.itemset).unwrap();
+                        assert!(
+                            (fi.expected_support - w.expected_support).abs() < 1e-9,
+                            "{measure}×{traversal}: esup of {}",
+                            fi.itemset
+                        );
+                        match (fi.frequent_prob, w.frequent_prob) {
+                            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+                            (None, None) => {}
+                            other => panic!("{measure}×{traversal}: Pr presence {other:?}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_params_reads_the_overrides() {
+        let params = MiningParams::new(0.5, 0.7)
+            .unwrap()
+            .with_measure(MeasureKind::ExactDc)
+            .with_traversal(TraversalKind::HyperStructure);
+        let m = MatrixMiner::from_params(&params);
+        assert_eq!(m.measure, MeasureKind::ExactDc);
+        assert_eq!(m.traversal, TraversalKind::HyperStructure);
+        let defaults = MatrixMiner::from_params(&MiningParams::new(0.5, 0.7).unwrap());
+        assert_eq!(defaults.measure, MeasureKind::ExpectedSupport);
+        assert_eq!(defaults.traversal, TraversalKind::LevelWise);
+        // And the selected cell actually mines.
+        let db = paper_table1();
+        let r = m.mine_probabilistic(&db, params).unwrap();
+        assert!(!r.is_empty());
+    }
+}

@@ -11,10 +11,8 @@
 //! itemset definitions. Unlike PDUApriori, NDUApriori *does* report
 //! per-itemset frequent probabilities.
 
-use crate::common::apriori::{run_apriori, LevelEvaluator};
-use crate::common::engine::{build_engine, StatRequest, SupportEngine};
+use crate::common::measure::{mine_level_wise, NormalApprox};
 use ufim_core::prelude::*;
-use ufim_stats::normal::normal_survival_with_continuity;
 
 /// The NDUApriori miner.
 #[derive(Clone, Debug, Default)]
@@ -38,43 +36,6 @@ impl MinerInfo for NDUApriori {
     }
 }
 
-struct NormalEvaluator<'e> {
-    msup: usize,
-    pft: f64,
-    engine: Box<dyn SupportEngine + 'e>,
-}
-
-impl LevelEvaluator for NormalEvaluator<'_> {
-    fn evaluate_level(
-        &mut self,
-        _db: &UncertainDatabase,
-        _level: usize,
-        candidates: &[Itemset],
-        stats: &mut MinerStats,
-    ) -> Vec<FrequentItemset> {
-        stats.candidates_evaluated += candidates.len() as u64;
-        let sup = self
-            .engine
-            .evaluate(candidates, StatRequest::WITH_VARIANCE, stats);
-        let var = sup.variance.expect("variance requested");
-        let frequent: Vec<FrequentItemset> = candidates
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| {
-                let pr = normal_survival_with_continuity(sup.esup[i], var[i], self.msup);
-                (pr > self.pft).then(|| FrequentItemset {
-                    itemset: c.clone(),
-                    expected_support: sup.esup[i],
-                    variance: Some(var[i]),
-                    frequent_prob: Some(pr),
-                })
-            })
-            .collect();
-        self.engine.finish_level(&frequent);
-        frequent
-    }
-}
-
 impl ProbabilisticMiner for NDUApriori {
     fn mine_probabilistic(
         &self,
@@ -84,12 +45,10 @@ impl ProbabilisticMiner for NDUApriori {
         if db.is_empty() {
             return Ok(MiningResult::default());
         }
-        let mut evaluator = NormalEvaluator {
-            msup: params.msup(db.num_transactions()),
-            pft: params.pft.get(),
-            engine: build_engine(params.engine, db),
-        };
-        Ok(run_apriori(db, &mut evaluator))
+        // The measure carries the Normal-tail min_esup bound, so the
+        // engine-level threshold pushdown fires for this miner too.
+        let measure = NormalApprox::new(params.msup(db.num_transactions()), params.pft.get());
+        Ok(mine_level_wise(db, measure, params.engine))
     }
 }
 

@@ -9,13 +9,13 @@
 //! in sparse uncertain databases".
 //!
 //! Implementation note: this module is intentionally thin. The whole
-//! algorithm is [`crate::uh_mine`]'s engine with a different judgment
-//! closure — precisely mirroring how the paper derives it from UH-Mine.
+//! algorithm is the depth-first hyper-structure traversal judged by the
+//! [`NormalApprox`] measure — literally `DepthFirst<NormalApprox>`, exactly
+//! as the paper derives it from UH-Mine.
 
-use crate::common::order::FrequencyOrder;
-use crate::uh_mine::UhEngine;
+use crate::common::measure::NormalApprox;
+use crate::uh_mine::mine_hyper;
 use ufim_core::prelude::*;
-use ufim_stats::normal::normal_survival_with_continuity;
 
 /// The NDUH-Mine miner.
 #[derive(Clone, Debug, Default)]
@@ -45,59 +45,11 @@ impl ProbabilisticMiner for NDUHMine {
         db: &UncertainDatabase,
         params: MiningParams,
     ) -> Result<MiningResult, CoreError> {
-        let mut result = MiningResult::default();
         if db.is_empty() {
-            return Ok(result);
+            return Ok(MiningResult::default());
         }
-        let n = db.num_transactions();
-        let msup = params.msup(n);
-        let pft = params.pft.get();
-
-        // Level-1 filtering, exactly as NDUApriori prunes items: one scan
-        // accumulates each item's (esup, var); only items whose
-        // Normal-approximated frequent probability clears pft enter the
-        // UH-Struct. The true frequent probability is anti-monotone, so
-        // dropping failing items loses nothing within the approximation —
-        // and keeps the structure proportional to the *frequent* item mass,
-        // which is the whole point of UH-Mine on sparse data.
-        let mut esup = vec![0.0f64; db.num_items() as usize];
-        let mut var = vec![0.0f64; db.num_items() as usize];
-        for t in db.transactions() {
-            for (item, p) in t.units() {
-                esup[item as usize] += p;
-                var[item as usize] += p * (1.0 - p);
-            }
-        }
-        result.stats.scans += 1;
-        let selection: Vec<(ItemId, f64)> = (0..db.num_items())
-            .filter(|&i| {
-                normal_survival_with_continuity(esup[i as usize], var[i as usize], msup) > pft
-            })
-            .map(|i| (i, esup[i as usize]))
-            .collect();
-        let order = FrequencyOrder::from_selection(db.num_items(), selection);
-        if order.is_empty() {
-            return Ok(result);
-        }
-
-        let judge =
-            move |esup: f64, var: f64| normal_survival_with_continuity(esup, var, msup) > pft;
-        let (mut engine, rows) = UhEngine::build(db, &order, true, judge, &mut result.stats);
-        let mut prefix = Vec::new();
-        engine.mine(&mut prefix, &rows, &mut result);
-
-        // Fill in the probabilities the judgment computed from each
-        // itemset's recorded moments.
-        for fi in &mut result.itemsets {
-            let pr = normal_survival_with_continuity(
-                fi.expected_support,
-                fi.variance.expect("variance accumulation is on"),
-                msup,
-            );
-            fi.frequent_prob = Some(pr);
-        }
-        result.canonicalize();
-        Ok(result)
+        let measure = NormalApprox::new(params.msup(db.num_transactions()), params.pft.get());
+        Ok(mine_hyper(db, &measure))
     }
 }
 

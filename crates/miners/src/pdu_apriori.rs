@@ -15,7 +15,7 @@
 //! As the paper notes, PDUApriori "cannot return the frequent probability
 //! values": it reports membership only (`frequent_prob = None`).
 
-use crate::uapriori::UApriori;
+use crate::common::measure::{mine_level_wise, PoissonApprox};
 use ufim_core::prelude::*;
 use ufim_stats::poisson::poisson_lambda_for_survival;
 
@@ -63,22 +63,13 @@ impl ProbabilisticMiner for PDUApriori {
         if db.is_empty() {
             return Ok(MiningResult::default());
         }
-        let n = db.num_transactions();
-        let lambda = Self::lambda_star(n, params);
-        if lambda > n as f64 {
-            // esup(X) ≤ N for every itemset: nothing can qualify.
-            return Ok(MiningResult::default());
+        // The whole probabilistic semantics lives in the measure's one-time
+        // λ* inversion; the traversal is a plain expected-support run.
+        match PoissonApprox::from_params(db.num_transactions(), &params)? {
+            // λ* > N: esup(X) ≤ N for every itemset, nothing can qualify.
+            None => Ok(MiningResult::default()),
+            Some(measure) => Ok(mine_level_wise(db, measure, params.engine)),
         }
-        // λ*/N is a valid ratio by the guard above; Ratio requires > 0,
-        // which poisson_lambda_for_survival guarantees (msup ≥ 1, pft < 1).
-        let min_esup = Ratio::new("min_esup(λ*/N)", lambda / n as f64)?;
-        let mut result = UApriori::with_engine(params.engine).mine_expected(db, min_esup)?;
-        // Membership-only semantics: strip nothing, add nothing — esup stays,
-        // probabilities stay None.
-        for fi in &mut result.itemsets {
-            debug_assert!(fi.frequent_prob.is_none());
-        }
-        Ok(result)
     }
 }
 
@@ -86,6 +77,7 @@ impl ProbabilisticMiner for PDUApriori {
 mod tests {
     use super::*;
     use crate::brute::BruteForce;
+    use crate::uapriori::UApriori;
     use ufim_core::examples::paper_table1;
     use ufim_stats::poisson::poisson_survival;
 

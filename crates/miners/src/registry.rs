@@ -4,11 +4,12 @@
 //! expected-support miners" or "all approximate miners" exactly as the
 //! paper's Section 4 groups them.
 
+use crate::matrix::MatrixMiner;
 use crate::{
     BruteForce, DcMiner, DpMiner, NDUApriori, NDUHMine, PDUApriori, UApriori, UFPGrowth, UHMine,
 };
 use ufim_core::traits::{ExpectedSupportMiner, ProbabilisticMiner};
-use ufim_core::EngineKind;
+use ufim_core::{EngineKind, MeasureKind, TraversalKind};
 
 /// The paper's three algorithm groups (§3), plus the testing oracle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -33,6 +34,17 @@ impl AlgorithmGroup {
                 "Approximate Probabilistic Frequent Algorithms"
             }
             AlgorithmGroup::Oracle => "Oracle",
+        }
+    }
+
+    /// The group a frequentness measure belongs to — the paper's §3
+    /// classification is a function of the measure alone, never of the
+    /// traversal.
+    pub fn of_measure(measure: MeasureKind) -> Self {
+        match measure {
+            MeasureKind::ExpectedSupport => AlgorithmGroup::ExpectedSupport,
+            MeasureKind::ExactDp | MeasureKind::ExactDc => AlgorithmGroup::ExactProbabilistic,
+            MeasureKind::Poisson | MeasureKind::Normal => AlgorithmGroup::ApproximateProbabilistic,
         }
     }
 }
@@ -94,19 +106,84 @@ impl Algorithm {
         }
     }
 
-    /// The group the algorithm belongs to.
-    pub fn group(self) -> AlgorithmGroup {
-        match self {
+    /// The frequentness measure the algorithm judges by (`None` for the
+    /// oracle, which evaluates both definitions directly).
+    pub fn measure(self) -> Option<MeasureKind> {
+        Some(match self {
             Algorithm::UApriori | Algorithm::UFPGrowth | Algorithm::UHMine => {
-                AlgorithmGroup::ExpectedSupport
+                MeasureKind::ExpectedSupport
             }
-            Algorithm::DPB | Algorithm::DPNB | Algorithm::DCB | Algorithm::DCNB => {
-                AlgorithmGroup::ExactProbabilistic
-            }
-            Algorithm::PDUApriori | Algorithm::NDUApriori | Algorithm::NDUHMine => {
-                AlgorithmGroup::ApproximateProbabilistic
-            }
-            Algorithm::BruteForce => AlgorithmGroup::Oracle,
+            Algorithm::DPB | Algorithm::DPNB => MeasureKind::ExactDp,
+            Algorithm::DCB | Algorithm::DCNB => MeasureKind::ExactDc,
+            Algorithm::PDUApriori => MeasureKind::Poisson,
+            Algorithm::NDUApriori | Algorithm::NDUHMine => MeasureKind::Normal,
+            Algorithm::BruteForce => return None,
+        })
+    }
+
+    /// The traversal strategy the algorithm explores the lattice with
+    /// (`None` for the oracle, which enumerates the lattice directly).
+    pub fn traversal(self) -> Option<TraversalKind> {
+        Some(match self {
+            Algorithm::UApriori
+            | Algorithm::DPB
+            | Algorithm::DPNB
+            | Algorithm::DCB
+            | Algorithm::DCNB
+            | Algorithm::PDUApriori
+            | Algorithm::NDUApriori => TraversalKind::LevelWise,
+            Algorithm::UHMine | Algorithm::NDUHMine => TraversalKind::HyperStructure,
+            Algorithm::UFPGrowth => TraversalKind::TreeGrowth,
+            Algorithm::BruteForce => return None,
+        })
+    }
+
+    /// Whether the algorithm runs the Chernoff/count screen (`None` when
+    /// the knob does not apply — only the exact miners have `B`/`NB`
+    /// variants).
+    pub fn chernoff(self) -> Option<bool> {
+        match self {
+            Algorithm::DPB | Algorithm::DCB => Some(true),
+            Algorithm::DPNB | Algorithm::DCNB => Some(false),
+            _ => None,
+        }
+    }
+
+    /// The algorithm's cell in the measure × traversal matrix (`None` for
+    /// the oracle). The returned [`MatrixMiner`] produces identical results
+    /// to the named miner — the registry test pins this.
+    pub fn matrix_cell(self) -> Option<MatrixMiner> {
+        let mut cell = MatrixMiner::new(self.measure()?, self.traversal()?);
+        if self.chernoff() == Some(false) {
+            cell = cell.without_chernoff();
+        }
+        Some(cell)
+    }
+
+    /// The named paper algorithm occupying a matrix cell, if any (with the
+    /// Chernoff screen on for exact measures — the `B` variants).
+    pub fn from_cell(measure: MeasureKind, traversal: TraversalKind) -> Option<Algorithm> {
+        use MeasureKind as M;
+        use TraversalKind as T;
+        Some(match (measure, traversal) {
+            (M::ExpectedSupport, T::LevelWise) => Algorithm::UApriori,
+            (M::ExpectedSupport, T::HyperStructure) => Algorithm::UHMine,
+            (M::ExpectedSupport, T::TreeGrowth) => Algorithm::UFPGrowth,
+            (M::Poisson, T::LevelWise) => Algorithm::PDUApriori,
+            (M::Normal, T::LevelWise) => Algorithm::NDUApriori,
+            (M::Normal, T::HyperStructure) => Algorithm::NDUHMine,
+            (M::ExactDp, T::LevelWise) => Algorithm::DPB,
+            (M::ExactDc, T::LevelWise) => Algorithm::DCB,
+            _ => return None,
+        })
+    }
+
+    /// The group the algorithm belongs to — derived from its measure, never
+    /// hand-maintained per variant.
+    pub fn group(self) -> AlgorithmGroup {
+        match self.measure() {
+            Some(m) => AlgorithmGroup::of_measure(m),
+            None => AlgorithmGroup::Oracle,
         }
     }
 
@@ -282,5 +359,82 @@ mod tests {
     fn group_names() {
         assert!(AlgorithmGroup::ExpectedSupport.name().contains("Expected"));
         assert!(AlgorithmGroup::Oracle.name().contains("Oracle"));
+    }
+
+    const ALL: [Algorithm; 11] = [
+        Algorithm::UApriori,
+        Algorithm::UFPGrowth,
+        Algorithm::UHMine,
+        Algorithm::DPB,
+        Algorithm::DPNB,
+        Algorithm::DCB,
+        Algorithm::DCNB,
+        Algorithm::PDUApriori,
+        Algorithm::NDUApriori,
+        Algorithm::NDUHMine,
+        Algorithm::BruteForce,
+    ];
+
+    #[test]
+    fn groups_derive_from_measures() {
+        for a in ALL {
+            match a.measure() {
+                Some(m) => assert_eq!(a.group(), AlgorithmGroup::of_measure(m), "{}", a.name()),
+                None => assert_eq!(a.group(), AlgorithmGroup::Oracle),
+            }
+        }
+        // Exactly the oracle lacks a matrix position.
+        assert!(Algorithm::BruteForce.measure().is_none());
+        assert!(Algorithm::BruteForce.traversal().is_none());
+        assert!(Algorithm::BruteForce.matrix_cell().is_none());
+        // The Chernoff knob exists only on the exact miners.
+        assert_eq!(Algorithm::DPB.chernoff(), Some(true));
+        assert_eq!(Algorithm::DCNB.chernoff(), Some(false));
+        assert_eq!(Algorithm::UApriori.chernoff(), None);
+    }
+
+    #[test]
+    fn from_cell_inverts_matrix_cell_for_the_paper_eight() {
+        let mut named = 0;
+        for m in MeasureKind::ALL {
+            for t in TraversalKind::ALL {
+                if let Some(a) = Algorithm::from_cell(m, t) {
+                    named += 1;
+                    assert_eq!(a.measure(), Some(m), "{}", a.name());
+                    assert_eq!(a.traversal(), Some(t), "{}", a.name());
+                }
+            }
+        }
+        assert_eq!(named, 8, "the paper's Table 10 names eight cells");
+        // NB variants map onto the same cells with the screen off.
+        let dpnb = Algorithm::DPNB.matrix_cell().unwrap();
+        assert!(!dpnb.chernoff);
+        assert_eq!(
+            Algorithm::from_cell(dpnb.measure, dpnb.traversal),
+            Some(Algorithm::DPB)
+        );
+    }
+
+    #[test]
+    fn matrix_cells_reproduce_named_probabilistic_miners() {
+        let db = paper_table1();
+        let params = ufim_core::MiningParams::new(0.5, 0.7).unwrap();
+        for a in ALL {
+            let (Some(cell), Some(miner)) = (a.matrix_cell(), a.probabilistic_miner()) else {
+                continue;
+            };
+            if a.measure() == Some(MeasureKind::ExpectedSupport) {
+                continue; // named interface is ExpectedSupportMiner
+            }
+            let got = cell.mine_probabilistic(&db, params).unwrap();
+            let want = miner.mine_probabilistic(&db, params).unwrap();
+            assert_eq!(
+                got.sorted_itemsets(),
+                want.sorted_itemsets(),
+                "{}",
+                a.name()
+            );
+            assert_eq!(got.stats, want.stats, "{}", a.name());
+        }
     }
 }

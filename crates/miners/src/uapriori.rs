@@ -17,7 +17,7 @@
 //! and the `fig4` ablation bench quantifies it.
 
 use crate::common::apriori::{run_apriori, LevelEvaluator};
-use crate::common::engine::{build_engine, StatRequest, SupportEngine};
+use crate::common::measure::{mine_level_wise, ExpectedSupport};
 use ufim_core::prelude::*;
 
 /// The UApriori miner. See the module docs.
@@ -75,14 +75,16 @@ impl MinerInfo for UApriori {
     }
 }
 
-struct EsupEvaluator<'e> {
+/// The decremental-pruning variant's evaluator. The plain (non-decremental)
+/// path is the generic measure pipeline —
+/// [`MeasureEvaluator`](crate::common::measure::MeasureEvaluator)`<`[`ExpectedSupport`]`>`
+/// — shared with every other level-wise miner; only this streaming variant
+/// needs bespoke scan control.
+struct DecrementalEvaluator {
     threshold: f64,
-    compute_variance: bool,
-    decremental: bool,
-    engine: Box<dyn SupportEngine + 'e>,
 }
 
-impl LevelEvaluator for EsupEvaluator<'_> {
+impl LevelEvaluator for DecrementalEvaluator {
     fn evaluate_level(
         &mut self,
         db: &UncertainDatabase,
@@ -91,43 +93,11 @@ impl LevelEvaluator for EsupEvaluator<'_> {
         stats: &mut MinerStats,
     ) -> Vec<FrequentItemset> {
         stats.candidates_evaluated += candidates.len() as u64;
-        if self.decremental {
-            return self.evaluate_decremental(db, candidates, stats);
-        }
-        let want = StatRequest {
-            variance: self.compute_variance,
-            count: false,
-            min_esup: Some(self.threshold),
-            min_count: None,
-        };
-        let sup = self.engine.evaluate(candidates, want, stats);
-        let frequent: Vec<FrequentItemset> = if let Some(var) = sup.variance {
-            candidates
-                .iter()
-                .zip(sup.esup)
-                .zip(var)
-                .filter(|((_, e), _)| *e >= self.threshold)
-                .map(|((c, e), v)| FrequentItemset {
-                    itemset: c.clone(),
-                    expected_support: e,
-                    variance: Some(v),
-                    frequent_prob: None,
-                })
-                .collect()
-        } else {
-            candidates
-                .iter()
-                .zip(sup.esup)
-                .filter(|(_, e)| *e >= self.threshold)
-                .map(|(c, e)| FrequentItemset::with_esup(c.clone(), e))
-                .collect()
-        };
-        self.engine.finish_level(&frequent);
-        frequent
+        self.evaluate_decremental(db, candidates, stats)
     }
 }
 
-impl EsupEvaluator<'_> {
+impl DecrementalEvaluator {
     /// Decremental variant: processes transactions with a per-candidate
     /// *optimistic remainder* — the expected support still attainable if the
     /// candidate appeared with probability 1 in every remaining transaction.
@@ -192,15 +162,19 @@ impl ExpectedSupportMiner for UApriori {
         db: &UncertainDatabase,
         min_esup: Ratio,
     ) -> Result<MiningResult, CoreError> {
-        let mut evaluator = EsupEvaluator {
-            threshold: min_esup.threshold_real(db.num_transactions()),
-            compute_variance: self.compute_variance,
-            // Decremental pruning streams over transactions; it only exists
-            // on the horizontal layout.
-            decremental: self.decremental_pruning && self.engine == EngineKind::Horizontal,
-            engine: build_engine(self.engine, db),
+        let threshold = min_esup.threshold_real(db.num_transactions());
+        // Decremental pruning streams over transactions; it only exists on
+        // the horizontal layout.
+        if self.decremental_pruning && self.engine == EngineKind::Horizontal {
+            let mut evaluator = DecrementalEvaluator { threshold };
+            return Ok(run_apriori(db, &mut evaluator));
+        }
+        let measure = if self.compute_variance {
+            ExpectedSupport::with_variance(threshold)
+        } else {
+            ExpectedSupport::new(threshold)
         };
-        Ok(run_apriori(db, &mut evaluator))
+        Ok(mine_level_wise(db, measure, self.engine))
     }
 }
 

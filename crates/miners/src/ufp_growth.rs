@@ -1,5 +1,6 @@
-//! **UFP-growth** — expected-support mining with a UFP-tree
-//! (Leung et al. 2008; paper §3.1.2).
+//! **UFP-growth** — depth-first tree-growth mining over a UFP-tree
+//! (Leung et al. 2008; paper §3.1.2), generalized over the frequentness
+//! measure.
 //!
 //! The uncertain analog of FP-growth. The UFP-tree stores each node as the
 //! triple the paper describes — *(item label, appearance probability, shared
@@ -9,15 +10,29 @@
 //! compresses; the recursive conditional-tree construction then touches many
 //! near-singleton paths. This implementation is deliberately faithful to
 //! that design (it is *the point* of the paper's comparison that UFP-growth
-//! pays for it; see Fig. 4), only generalizing the per-node count to an
-//! accumulated `weight` so conditional trees can carry path multipliers.
+//! pays for it; see Fig. 4), only generalizing the per-node count to
+//! accumulated weights so conditional trees can carry path multipliers.
 //!
 //! Mining follows FP-growth: process header items bottom-up (least frequent
-//! first); for each item `y`, `esup(suffix ∪ {y})` is the weighted sum of
-//! `p(y)` over `y`'s node list; then a conditional tree is built from the
-//! prefix paths of those nodes, each path re-weighted by `w_node · p(y)`,
-//! and the procedure recurses.
+//! first); for each item `y`, the statistics of `suffix ∪ {y}` are weighted
+//! sums over `y`'s node list; then a conditional tree is built from the
+//! prefix paths of those nodes, each path re-weighted by the node's own
+//! contribution, and the procedure recurses.
+//!
+//! **The measure axis.** Because node sharing requires *exact* probability
+//! equality along the whole path, every transaction through a node carries
+//! the same per-node probability — so the node can accumulate not just
+//! `w = Σ_t m_t` (the paper's count, generalized) but also `w₂ = Σ_t m_t²`
+//! and the plain transaction count. That is enough to reconstruct, exactly,
+//! the expected support `Σ q_t`, the support variance
+//! `Σ q_t(1 − q_t) = esup − Σ q_t²`, and the nonzero count of every
+//! extension — i.e. everything a moment-based [`FrequentnessMeasure`]
+//! (expected support, Poisson, Normal) judges on. What aggregation *does*
+//! destroy is the per-transaction probability vector, which is why the
+//! exact DP/DC measures cannot run on this traversal (the matrix's one
+//! principled hole).
 
+use crate::common::measure::{select_items, CandidateStats, FrequentnessMeasure, Screen};
 use crate::common::order::FrequencyOrder;
 use ufim_core::prelude::*;
 
@@ -43,14 +58,18 @@ impl MinerInfo for UFPGrowth {
     }
 }
 
-/// One UFP-tree node: `(item-rank, probability, weight)` plus tree links.
-/// `weight` generalizes the paper's count: at build time it is the number of
-/// transactions through the node; in conditional trees it carries the
-/// accumulated path multiplier mass.
+/// One UFP-tree node: `(item-rank, probability)` plus the accumulated path
+/// weights and tree links. `weight` generalizes the paper's count: at build
+/// time it is the number of transactions through the node; in conditional
+/// trees it carries the accumulated path multiplier mass `Σ_t m_t`.
+/// `weight_sq` (`Σ_t m_t²`) and `count` ride along so moment-based measures
+/// can reconstruct variance and nonzero counts exactly (see module docs).
 struct UfpNode {
     rank: u32,
     prob: f64,
     weight: f64,
+    weight_sq: f64,
+    count: u64,
     parent: u32,
     /// Children sorted by `(rank, prob bits)` for binary-search insertion.
     children: Vec<u32>,
@@ -72,6 +91,8 @@ impl UfpTree {
                 rank: u32::MAX,
                 prob: 0.0,
                 weight: 0.0,
+                weight_sq: 0.0,
+                count: 0,
                 parent: u32::MAX,
                 children: Vec::new(),
             }],
@@ -81,7 +102,7 @@ impl UfpTree {
 
     /// Inserts one (rank-sorted) weighted path, sharing nodes only on exact
     /// `(rank, probability)` matches — the defining UFP-tree rule.
-    fn insert(&mut self, path: &[(u32, f64)], weight: f64) {
+    fn insert(&mut self, path: &[(u32, f64)], weight: f64, weight_sq: f64, count: u64) {
         let mut node = ROOT;
         for &(rank, prob) in path {
             let key = (rank, prob.to_bits());
@@ -92,7 +113,10 @@ impl UfpTree {
             node = match found {
                 Ok(pos) => {
                     let child = self.nodes[node as usize].children[pos];
-                    self.nodes[child as usize].weight += weight;
+                    let n = &mut self.nodes[child as usize];
+                    n.weight += weight;
+                    n.weight_sq += weight_sq;
+                    n.count += count;
                     child
                 }
                 Err(pos) => {
@@ -101,6 +125,8 @@ impl UfpTree {
                         rank,
                         prob,
                         weight,
+                        weight_sq,
+                        count,
                         parent: node,
                         children: Vec::new(),
                     });
@@ -130,84 +156,138 @@ impl UfpTree {
     }
 }
 
-impl UFPGrowth {
-    /// Recursive FP-growth-style mining.
-    ///
-    /// `suffix` holds the already-chosen items (original ids); `order` maps
-    /// ranks back to items for output.
-    #[allow(clippy::too_many_arguments)]
-    fn mine_tree(
-        &self,
-        tree: &UfpTree,
-        order: &FrequencyOrder,
-        threshold: f64,
-        suffix: &[ItemId],
-        suffix_esup: f64,
-        out: &mut MiningResult,
-        depth_budget: &mut u64,
-    ) {
-        out.stats.peak_structure_nodes =
-            out.stats.peak_structure_nodes.max(tree.num_nodes() as u64);
-        // Emit the suffix itself (the root call passes an empty suffix).
-        if !suffix.is_empty() {
-            out.itemsets.push(FrequentItemset::with_esup(
-                Itemset::from_items(suffix.iter().copied()),
-                suffix_esup,
-            ));
+/// Recursive FP-growth-style mining: each extension of `suffix` is judged
+/// by the measure from the moments its node list reconstructs, and only
+/// judged-frequent extensions are emitted and recursed into.
+fn mine_tree_rec<M: FrequentnessMeasure>(
+    tree: &UfpTree,
+    order: &FrequencyOrder,
+    measure: &M,
+    suffix: &[ItemId],
+    out: &mut MiningResult,
+    depth_budget: &mut u64,
+) {
+    let needs = measure.needs();
+    out.stats.peak_structure_nodes = out.stats.peak_structure_nodes.max(tree.num_nodes() as u64);
+    // Bottom-up over the header: rank r contributes suffix ∪ {item(r)}.
+    for rank in (0..tree.header.len() as u32).rev() {
+        let nodes = &tree.header[rank as usize];
+        if nodes.is_empty() {
+            continue;
         }
-        // Bottom-up over the header: rank r contributes suffix ∪ {item(r)}.
-        for rank in (0..tree.header.len() as u32).rev() {
-            let nodes = &tree.header[rank as usize];
-            if nodes.is_empty() {
+        out.stats.candidates_evaluated += 1;
+        let mut esup = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut count = 0u64;
+        for &n in nodes.iter() {
+            let node = &tree.nodes[n as usize];
+            esup += node.weight * node.prob;
+            if needs.variance {
+                sum_sq += node.weight_sq * node.prob * node.prob;
+            }
+            count += node.count;
+        }
+        match measure.screen(esup, count) {
+            Screen::Keep => {}
+            Screen::PruneCount => {
+                out.stats.candidates_pruned_count += 1;
                 continue;
             }
-            out.stats.candidates_evaluated += 1;
-            let esup: f64 = nodes
-                .iter()
-                .map(|&n| {
-                    let node = &tree.nodes[n as usize];
-                    node.weight * node.prob
-                })
-                .sum();
-            if esup < threshold {
+            Screen::PruneBound => {
+                out.stats.candidates_pruned_chernoff += 1;
                 continue;
             }
-            let mut new_suffix = Vec::with_capacity(suffix.len() + 1);
-            new_suffix.push(order.item(rank));
-            new_suffix.extend_from_slice(suffix);
+        }
+        let c = CandidateStats {
+            esup,
+            // Σ q_t(1 − q_t) = esup − Σ q_t², reconstructed exactly from the
+            // per-node second-moment weights.
+            variance: esup - sum_sq,
+            count,
+            probs: None,
+        };
+        let Some(j) = measure.judge(&c, &mut out.stats) else {
+            continue;
+        };
+        let mut new_suffix = Vec::with_capacity(suffix.len() + 1);
+        new_suffix.push(order.item(rank));
+        new_suffix.extend_from_slice(suffix);
+        out.itemsets.push(FrequentItemset {
+            itemset: Itemset::from_items(new_suffix.iter().copied()),
+            expected_support: j.expected_support,
+            variance: j.variance,
+            frequent_prob: j.frequent_prob,
+        });
 
-            // Conditional pattern base: prefix paths re-weighted by w·p(y).
-            let mut cond = UfpTree::new(rank as usize);
-            let mut inserted_any = false;
-            for &n in nodes {
-                let node = &tree.nodes[n as usize];
-                let path = tree.prefix_path(n);
-                if path.is_empty() {
-                    continue;
-                }
-                cond.insert(&path, node.weight * node.prob);
-                inserted_any = true;
+        // Conditional pattern base: prefix paths re-weighted by the node's
+        // own contribution (w·p, w₂·p², count carried through).
+        let mut cond = UfpTree::new(rank as usize);
+        let mut inserted_any = false;
+        for &n in nodes.iter() {
+            let node = &tree.nodes[n as usize];
+            let path = tree.prefix_path(n);
+            if path.is_empty() {
+                continue;
             }
-            *depth_budget = depth_budget.saturating_sub(1);
-            if inserted_any && *depth_budget > 0 {
-                self.mine_tree(
-                    &cond,
-                    order,
-                    threshold,
-                    &new_suffix,
-                    esup,
-                    out,
-                    depth_budget,
-                );
-            } else {
-                out.itemsets.push(FrequentItemset::with_esup(
-                    Itemset::from_items(new_suffix.iter().copied()),
-                    esup,
-                ));
-            }
-            out.stats.scans += 1; // each conditional build re-reads node lists
+            cond.insert(
+                &path,
+                node.weight * node.prob,
+                node.weight_sq * node.prob * node.prob,
+                node.count,
+            );
+            inserted_any = true;
+        }
+        *depth_budget = depth_budget.saturating_sub(1);
+        if inserted_any && *depth_budget > 0 {
+            mine_tree_rec(&cond, order, measure, &new_suffix, out, depth_budget);
+        }
+        out.stats.scans += 1; // each conditional build re-reads node lists
+    }
+}
+
+/// Runs the depth-first tree-growth traversal of `measure` — the
+/// `TreeGrowth` column of the matrix as one function.
+///
+/// The caller guarantees the measure judges from moments only
+/// (`!needs().prob_vector`); the UFP-tree's node aggregation cannot serve
+/// per-transaction probability vectors.
+pub(crate) fn mine_tree<M: FrequentnessMeasure>(
+    db: &UncertainDatabase,
+    measure: &M,
+) -> MiningResult {
+    debug_assert!(
+        !measure.needs().prob_vector,
+        "tree growth cannot serve probability vectors"
+    );
+    let mut result = MiningResult::default();
+    if db.is_empty() {
+        return result;
+    }
+    // Level-1 filtering (one scan), then transactions are projected onto
+    // the surviving items sorted by decreasing global expected support
+    // (the paper's Figure 1).
+    let selection = select_items(db, measure, &mut result.stats);
+    let order = FrequencyOrder::from_selection(db.num_items(), selection);
+    if order.is_empty() {
+        return result;
+    }
+
+    let mut tree = UfpTree::new(order.len());
+    for t in db.transactions() {
+        let path = order.project(t.items(), t.probs());
+        if !path.is_empty() {
+            tree.insert(&path, 1.0, 1.0, 1);
         }
     }
+    result.stats.scans += 1;
+
+    // An (ample) recursion budget guards pathological conditional
+    // explosions; it is never hit in the experiments but turns a
+    // hypothetical runaway into truncated-but-sound output.
+    let mut depth_budget = u64::MAX;
+    mine_tree_rec(&tree, &order, measure, &[], &mut result, &mut depth_budget);
+    result.canonicalize();
+    result
 }
 
 impl ExpectedSupportMiner for UFPGrowth {
@@ -216,43 +296,9 @@ impl ExpectedSupportMiner for UFPGrowth {
         db: &UncertainDatabase,
         min_esup: Ratio,
     ) -> Result<MiningResult, CoreError> {
-        let mut result = MiningResult::default();
-        if db.is_empty() {
-            return Ok(result);
-        }
         let threshold = min_esup.threshold_real(db.num_transactions());
-        let order = FrequencyOrder::build(db, threshold);
-        result.stats.scans += 1;
-        if order.is_empty() {
-            return Ok(result);
-        }
-
-        // Build the global UFP-tree: transactions projected onto frequent
-        // items, sorted by decreasing global expected support (Figure 1).
-        let mut tree = UfpTree::new(order.len());
-        for t in db.transactions() {
-            let path = order.project(t.items(), t.probs());
-            if !path.is_empty() {
-                tree.insert(&path, 1.0);
-            }
-        }
-        result.stats.scans += 1;
-
-        // An (ample) recursion budget guards pathological conditional
-        // explosions; it is never hit in the experiments but turns a
-        // hypothetical runaway into truncated-but-sound output.
-        let mut depth_budget = u64::MAX;
-        self.mine_tree(
-            &tree,
-            &order,
-            threshold,
-            &[],
-            0.0,
-            &mut result,
-            &mut depth_budget,
-        );
-        result.canonicalize();
-        Ok(result)
+        let measure = crate::common::measure::ExpectedSupport::new(threshold);
+        Ok(mine_tree(db, &measure))
     }
 }
 
@@ -344,6 +390,29 @@ mod tests {
                 fast.sorted_itemsets(),
                 slow.sorted_itemsets(),
                 "min_esup={min_esup}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_reconstructs_variance_and_count_exactly() {
+        // The (w, w₂, count) accumulation must reproduce the reference
+        // moments for every frequent itemset — the property that makes the
+        // Normal measure runnable on this traversal.
+        use crate::common::measure::ExpectedSupport;
+        let db = paper_table1();
+        let measure = ExpectedSupport::with_variance(1.0);
+        let r = mine_tree(&db, &measure);
+        assert!(!r.is_empty());
+        for fi in &r.itemsets {
+            let (we, wv) = db.support_moments(fi.itemset.items());
+            assert!((fi.expected_support - we).abs() < 1e-9, "{}", fi.itemset);
+            assert!(
+                (fi.variance.unwrap() - wv).abs() < 1e-9,
+                "{}: {} vs {}",
+                fi.itemset,
+                fi.variance.unwrap(),
+                wv
             );
         }
     }

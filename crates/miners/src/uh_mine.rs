@@ -12,10 +12,16 @@
 //! why UH-Mine shines exactly where UFP-growth drowns (sparse data, low
 //! thresholds).
 //!
-//! The same walker accumulates the support *variance* `Σ q_t(1 − q_t)` on
-//! request — that switch is the entire structural difference between UH-Mine
-//! and the paper's novel NDUH-Mine (§3.3.3), which reuses this module.
+//! The walker accumulates whatever statistics the active
+//! [`FrequentnessMeasure`] requests — expected support always, the variance
+//! `Σ q_t(1 − q_t)` for Normal-approximation measures, and (because each
+//! head-table row's multiplier *is* the prefix's containment probability in
+//! that transaction) the full per-transaction probability vector for the
+//! exact measures. Swapping the measure is the entire difference between
+//! UH-Mine, the paper's novel NDUH-Mine (§3.3.3), and the previously
+//! unbuildable exact-DP/DC-on-UH-Mine cells of the matrix.
 
+use crate::common::measure::{select_items, CandidateStats, FrequentnessMeasure, Screen};
 use crate::common::order::FrequencyOrder;
 use ufim_core::prelude::*;
 
@@ -68,23 +74,22 @@ pub(crate) struct Row {
     mult: f64,
 }
 
-/// The shared mining engine. `judge(esup, var) -> bool` decides whether an
-/// itemset is output *and* expanded (both frequency measures used with this
-/// engine are anti-monotone, the Normal approximation by construction).
-pub(crate) struct UhEngine<'a, J: FnMut(f64, f64) -> bool> {
+/// The shared mining engine. The measure decides whether an extension is
+/// output *and* expanded — every measure in the matrix is anti-monotone
+/// under its own semantics (the approximations by construction), so a
+/// failing prefix never hides a passing extension.
+pub(crate) struct UhEngine<'a, M: FrequentnessMeasure> {
     arena: Vec<Cell>,
     order: &'a FrequencyOrder,
-    compute_variance: bool,
-    judge: J,
+    measure: &'a M,
 }
 
-impl<'a, J: FnMut(f64, f64) -> bool> UhEngine<'a, J> {
+impl<'a, M: FrequentnessMeasure> UhEngine<'a, M> {
     /// Builds the UH-Struct and returns the engine plus the initial rows.
     pub(crate) fn build(
         db: &UncertainDatabase,
         order: &'a FrequencyOrder,
-        compute_variance: bool,
-        judge: J,
+        measure: &'a M,
         stats: &mut MinerStats,
     ) -> (Self, Vec<Row>) {
         let mut arena = Vec::new();
@@ -108,8 +113,7 @@ impl<'a, J: FnMut(f64, f64) -> bool> UhEngine<'a, J> {
             UhEngine {
                 arena,
                 order,
-                compute_variance,
-                judge,
+                measure,
             },
             rows,
         )
@@ -117,6 +121,7 @@ impl<'a, J: FnMut(f64, f64) -> bool> UhEngine<'a, J> {
 
     /// Depth-first expansion of `prefix` over `rows`.
     pub(crate) fn mine(&mut self, prefix: &mut Vec<ItemId>, rows: &[Row], out: &mut MiningResult) {
+        let needs = self.measure.needs();
         // Head table: per extension rank, accumulated (esup, var) and the
         // projected rows. Rank-keyed dense storage would waste memory on
         // wide vocabularies, so use a hash table (the paper's head tables
@@ -131,7 +136,7 @@ impl<'a, J: FnMut(f64, f64) -> bool> UhEngine<'a, J> {
                     .entry(cell.rank)
                     .or_insert_with(|| (0.0, 0.0, Vec::new()));
                 entry.0 += q;
-                if self.compute_variance {
+                if needs.variance {
                     entry.1 += q * (1.0 - q);
                 }
                 entry.2.push(Row {
@@ -150,20 +155,72 @@ impl<'a, J: FnMut(f64, f64) -> bool> UhEngine<'a, J> {
         for rank in ranks {
             let (esup, var, next_rows) = head.remove(&rank).expect("present");
             out.stats.candidates_evaluated += 1;
-            if !(self.judge)(esup, var) {
-                continue;
+            match self.measure.screen(esup, next_rows.len() as u64) {
+                Screen::Keep => {}
+                Screen::PruneCount => {
+                    out.stats.candidates_pruned_count += 1;
+                    continue;
+                }
+                Screen::PruneBound => {
+                    out.stats.candidates_pruned_chernoff += 1;
+                    continue;
+                }
             }
+            // Each projected row's multiplier is exactly the candidate's
+            // containment probability in that transaction, in transaction
+            // order — the exact kernels' input, gathered for free.
+            let qs: Option<Vec<f64>> = needs
+                .prob_vector
+                .then(|| next_rows.iter().map(|r| r.mult).collect());
+            let c = CandidateStats {
+                esup,
+                variance: var,
+                count: next_rows.len() as u64,
+                probs: qs.as_deref(),
+            };
+            let Some(j) = self.measure.judge(&c, &mut out.stats) else {
+                continue;
+            };
             prefix.push(self.order.item(rank));
             out.itemsets.push(FrequentItemset {
                 itemset: Itemset::from_items(prefix.iter().copied()),
-                expected_support: esup,
-                variance: self.compute_variance.then_some(var),
-                frequent_prob: None,
+                expected_support: j.expected_support,
+                variance: j.variance,
+                frequent_prob: j.frequent_prob,
             });
             self.mine(prefix, &next_rows, out);
             prefix.pop();
         }
     }
+}
+
+/// Runs the depth-first hyper-structure traversal of `measure` — the
+/// `HyperStructure` column of the matrix as one function. Item-level
+/// selection, the UH-Struct build, and the recursive walk all consult the
+/// same measure, exactly as UH-Mine (expected support) and NDUH-Mine
+/// (Normal approximation) always did.
+pub(crate) fn mine_hyper<M: FrequentnessMeasure>(
+    db: &UncertainDatabase,
+    measure: &M,
+) -> MiningResult {
+    let mut result = MiningResult::default();
+    if db.is_empty() {
+        return result;
+    }
+    // Level-1 filtering: one scan judges every item; only survivors enter
+    // the structure, which keeps it proportional to the frequent item mass
+    // (the whole point of UH-Mine on sparse data). Sound because every
+    // measure is anti-monotone under its own semantics.
+    let selection = select_items(db, measure, &mut result.stats);
+    let order = FrequencyOrder::from_selection(db.num_items(), selection);
+    if order.is_empty() {
+        return result;
+    }
+    let (mut engine, rows) = UhEngine::build(db, &order, measure, &mut result.stats);
+    let mut prefix = Vec::new();
+    engine.mine(&mut prefix, &rows, &mut result);
+    result.canonicalize();
+    result
 }
 
 impl ExpectedSupportMiner for UHMine {
@@ -172,23 +229,13 @@ impl ExpectedSupportMiner for UHMine {
         db: &UncertainDatabase,
         min_esup: Ratio,
     ) -> Result<MiningResult, CoreError> {
-        let mut result = MiningResult::default();
-        if db.is_empty() {
-            return Ok(result);
-        }
         let threshold = min_esup.threshold_real(db.num_transactions());
-        let order = FrequencyOrder::build(db, threshold);
-        result.stats.scans += 1;
-        if order.is_empty() {
-            return Ok(result);
-        }
-        let judge = move |esup: f64, _var: f64| esup >= threshold;
-        let (mut engine, rows) =
-            UhEngine::build(db, &order, self.compute_variance, judge, &mut result.stats);
-        let mut prefix = Vec::new();
-        engine.mine(&mut prefix, &rows, &mut result);
-        result.canonicalize();
-        Ok(result)
+        let measure = if self.compute_variance {
+            crate::common::measure::ExpectedSupport::with_variance(threshold)
+        } else {
+            crate::common::measure::ExpectedSupport::new(threshold)
+        };
+        Ok(mine_hyper(db, &measure))
     }
 }
 

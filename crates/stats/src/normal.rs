@@ -167,6 +167,48 @@ pub fn normal_survival_with_continuity(mean: f64, var: f64, msup: usize) -> f64 
     normal_sf((threshold - mean) / var.sqrt())
 }
 
+/// The largest expected support `μ*` such that **every** itemset with
+/// `esup(X) < μ*` is judged infrequent by the continuity-corrected Normal
+/// approximation at `(msup, pft)`, whatever its variance.
+///
+/// Soundness: the support variance of an itemset is `Σ q_t(1 − q_t) ≤
+/// Σ q_t = esup(X)`, and for `esup < msup − 0.5` the approximated survival
+/// `1 − Φ((msup − 0.5 − esup)/σ)` is increasing in `σ`, so
+/// `σ² = esup` maximizes it. That envelope
+/// `f(μ) = 1 − Φ((msup − 0.5 − μ)/√μ)` is strictly increasing on
+/// `(0, msup − 0.5)` from 0 to ½; `μ*` is its crossing with `pft`
+/// (bisection), or the whole interval when `pft ≥ ½`. The degenerate
+/// zero-variance case is a step at `msup − 0.5` and never exceeds the
+/// envelope's verdict below it.
+///
+/// This is the bound NDUApriori pushes into the support engine
+/// (`StatRequest::min_esup`): candidates below it can never clear `pft`, so
+/// a memoizing engine need not retain their intersection state. It never
+/// changes which itemsets are reported.
+pub fn normal_esup_lower_bound(msup: usize, pft: f64) -> f64 {
+    let threshold = msup as f64 - 0.5;
+    if threshold <= 0.0 {
+        return 0.0;
+    }
+    // The envelope tops out just below ½ as μ → threshold.
+    if pft >= 0.5 {
+        return threshold;
+    }
+    let envelope = |mu: f64| normal_sf((threshold - mu) / mu.sqrt());
+    let (mut lo, mut hi) = (0.0f64, threshold);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if envelope(mid) <= pft {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // `lo` still satisfies envelope(lo) ≤ pft: strictly below it the
+    // envelope (and hence the true approximate survival) stays ≤ pft.
+    lo
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +319,52 @@ mod tests {
             assert!(s >= prev - 1e-14);
             prev = s;
         }
+    }
+
+    #[test]
+    fn esup_lower_bound_is_sound_for_every_variance() {
+        // Any (mean, var) with mean below the bound and var ≤ mean must be
+        // judged infrequent; grid-check the whole admissible region.
+        for msup in [1usize, 3, 10, 50, 200] {
+            for pft in [0.01, 0.1, 0.3, 0.49, 0.5, 0.9] {
+                let bound = normal_esup_lower_bound(msup, pft);
+                assert!(bound >= 0.0 && bound <= msup as f64 - 0.5 + 1e-12);
+                for frac_mu in [0.01, 0.3, 0.7, 0.99, 0.999999] {
+                    let mean = bound * frac_mu;
+                    for frac_var in [0.0, 0.2, 0.9, 1.0] {
+                        let var = mean * frac_var;
+                        let pr = normal_survival_with_continuity(mean, var, msup);
+                        assert!(
+                            pr <= pft + 1e-12,
+                            "msup={msup} pft={pft}: mean={mean} var={var} → Pr={pr} > pft"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn esup_lower_bound_is_tight_at_the_envelope() {
+        // Just above the bound, the maximal-variance survival must exceed
+        // pft — otherwise the bound is leaving pruning power on the table.
+        for (msup, pft) in [(10usize, 0.1), (50, 0.3), (200, 0.05)] {
+            let bound = normal_esup_lower_bound(msup, pft);
+            let mean = bound * 1.001;
+            let pr = normal_survival_with_continuity(mean, mean, msup);
+            assert!(
+                pr > pft,
+                "msup={msup} pft={pft}: bound {bound} not tight (Pr={pr})"
+            );
+        }
+    }
+
+    #[test]
+    fn esup_lower_bound_saturates_at_half() {
+        // pft ≥ ½ dominates the whole sub-threshold range.
+        assert_eq!(normal_esup_lower_bound(10, 0.5), 9.5);
+        assert_eq!(normal_esup_lower_bound(10, 0.9), 9.5);
+        assert_eq!(normal_esup_lower_bound(1, 0.7), 0.5);
     }
 
     #[test]

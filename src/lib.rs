@@ -41,6 +41,35 @@
 //! assert!(prob_result.len() >= 1);
 //! ```
 //!
+//! ## The measure × traversal × engine matrix
+//!
+//! The paper's taxonomy is two-dimensional — a *frequentness measure*
+//! (expected support, Poisson/Normal approximations, exact DP/DC) crossed
+//! with a *traversal* (level-wise Apriori, depth-first UH-Struct, UFP-tree
+//! growth). Every miner above is a named cell of that grid; `MatrixMiner`
+//! runs **any** cell, including combinations the paper never built:
+//!
+//! ```
+//! use uncertain_fim::core::{MeasureKind, TraversalKind};
+//! use uncertain_fim::miners::MatrixMiner;
+//! use uncertain_fim::prelude::*;
+//!
+//! let db = uncertain_fim::core::examples::paper_table1();
+//!
+//! // Exact dynamic programming judged on UH-Mine's depth-first walk —
+//! // same answers as DPB, different exploration strategy.
+//! let cell = MatrixMiner::new(MeasureKind::ExactDp, TraversalKind::HyperStructure);
+//! let novel = cell.mine_probabilistic_raw(&db, 0.5, 0.7).unwrap();
+//! let dpb = DpMiner::with_pruning().mine_probabilistic_raw(&db, 0.5, 0.7).unwrap();
+//! assert_eq!(novel.sorted_itemsets(), dpb.sorted_itemsets());
+//!
+//! // The one principled hole: UFP-tree nodes aggregate transactions, so
+//! // exact measures (which need per-transaction probability vectors)
+//! // cannot run on tree growth.
+//! let hole = MatrixMiner::new(MeasureKind::ExactDp, TraversalKind::TreeGrowth);
+//! assert!(hole.mine_probabilistic_raw(&db, 0.5, 0.7).is_err());
+//! ```
+//!
 //! ## Support backends
 //!
 //! The Apriori-framework miners (UApriori, PDUApriori, NDUApriori and the

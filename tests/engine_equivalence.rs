@@ -12,8 +12,8 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use uncertain_fim::core::EngineKind;
-use uncertain_fim::miners::Algorithm;
+use uncertain_fim::core::{EngineKind, MeasureKind, TraversalKind};
+use uncertain_fim::miners::{Algorithm, MatrixMiner};
 use uncertain_fim::prelude::*;
 
 /// Strategy: a probability strictly in (0, 1].
@@ -157,6 +157,133 @@ proptest! {
             ndua.sorted_itemsets(),
             "NDUH-Mine vs vertical NDUApriori"
         );
+    }
+
+    // Every measure × traversal × engine matrix cell, pinned against the
+    // BruteForce oracle. The exact and expected-support rows compare to the
+    // oracle *directly* (same semantics); the approximate rows are pinned
+    // cell-to-cell against their own level-wise×horizontal instantiation —
+    // a measure is one semantics, so every traversal and engine must
+    // produce the same itemsets, esups and probabilities — while the
+    // fidelity of that instantiation to the oracle is covered by the seeded
+    // CLT/Poisson tests (tiny random databases are exactly where those
+    // approximations are *supposed* to deviate).
+    #[test]
+    fn exact_matrix_cells_agree_with_the_oracle(
+        db in small_db(),
+        min_sup in 1u32..=9,
+        pft in 1u32..=9,
+    ) {
+        let params = MiningParams::new(min_sup as f64 / 10.0, pft as f64 / 10.0).unwrap();
+        let oracle = BruteForce::new().mine_probabilistic(&db, params).unwrap();
+        for measure in [MeasureKind::ExactDp, MeasureKind::ExactDc] {
+            for traversal in [TraversalKind::LevelWise, TraversalKind::HyperStructure] {
+                for engine in EngineKind::ALL {
+                    let r = MatrixMiner::new(measure, traversal)
+                        .mine_probabilistic(&db, params.with_engine(engine))
+                        .unwrap();
+                    let label = format!("{measure}×{traversal}×{engine}");
+                    prop_assert_eq!(
+                        r.sorted_itemsets(),
+                        oracle.sorted_itemsets(),
+                        "{} diverges from the oracle",
+                        &label
+                    );
+                    for fi in &r.itemsets {
+                        let want = oracle.get(&fi.itemset).expect("same sets");
+                        prop_assert!(
+                            (fi.expected_support - want.expected_support).abs() < 1e-9,
+                            "{}: esup of {}", &label, fi.itemset
+                        );
+                        prop_assert!(
+                            (fi.frequent_prob.unwrap() - want.frequent_prob.unwrap()).abs() < 1e-9,
+                            "{}: Pr of {}", &label, fi.itemset
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expected_support_matrix_cells_agree_with_the_oracle(
+        db in small_db(),
+        min_esup in 1u32..=9,
+    ) {
+        let ratio = min_esup as f64 / 10.0;
+        // pft is ignored by the expected-support row.
+        let params = MiningParams::new(ratio, 0.5).unwrap();
+        let oracle = BruteForce::new().mine_expected_ratio(&db, ratio).unwrap();
+        for traversal in TraversalKind::ALL {
+            for engine in EngineKind::ALL {
+                let r = MatrixMiner::new(MeasureKind::ExpectedSupport, traversal)
+                    .mine_probabilistic(&db, params.with_engine(engine))
+                    .unwrap();
+                let label = format!("esup×{traversal}×{engine}");
+                prop_assert_eq!(
+                    r.sorted_itemsets(),
+                    oracle.sorted_itemsets(),
+                    "{} diverges from the oracle",
+                    &label
+                );
+                for fi in &r.itemsets {
+                    let want = oracle.get(&fi.itemset).expect("same sets");
+                    prop_assert!(
+                        (fi.expected_support - want.expected_support).abs() < 1e-9,
+                        "{}: esup of {}", &label, fi.itemset
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_matrix_cells_agree_with_their_level_wise_reference(
+        db in small_db(),
+        min_sup in 1u32..=9,
+        pft in 1u32..=8,
+    ) {
+        let params = MiningParams::new(min_sup as f64 / 10.0, pft as f64 / 10.0).unwrap();
+        for measure in [MeasureKind::Poisson, MeasureKind::Normal] {
+            let reference = MatrixMiner::new(measure, TraversalKind::LevelWise)
+                .mine_probabilistic(&db, params)
+                .unwrap();
+            for traversal in TraversalKind::ALL {
+                for engine in EngineKind::ALL {
+                    if !MatrixMiner::supported(measure, traversal) {
+                        continue;
+                    }
+                    let r = MatrixMiner::new(measure, traversal)
+                        .mine_probabilistic(&db, params.with_engine(engine))
+                        .unwrap();
+                    let label = format!("{measure}×{traversal}×{engine}");
+                    prop_assert_eq!(
+                        r.sorted_itemsets(),
+                        reference.sorted_itemsets(),
+                        "{} diverges from the level-wise reference",
+                        &label
+                    );
+                    for fi in &r.itemsets {
+                        let want = reference.get(&fi.itemset).expect("same sets");
+                        prop_assert!(
+                            (fi.expected_support - want.expected_support).abs() < 1e-9,
+                            "{}: esup of {}", &label, fi.itemset
+                        );
+                        match (fi.frequent_prob, want.frequent_prob) {
+                            (Some(a), Some(b)) => prop_assert!(
+                                (a - b).abs() < 1e-9,
+                                "{}: Pr of {}", &label, fi.itemset
+                            ),
+                            (None, None) => {}
+                            (a, b) => prop_assert!(
+                                false,
+                                "{}: Pr presence diverges: {:?} vs {:?}", &label, a, b
+                            ),
+                        }
+                    }
+                }
+            }
+        }
     }
 
     // The vertical backend's statistics (esup, variance, prob-vectors)
