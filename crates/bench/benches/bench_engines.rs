@@ -90,7 +90,7 @@ fn bench_exact_backends(c: &mut Criterion) {
     group.finish();
 }
 
-/// Sanity companion to the timing: the two backends must return identical
+/// Sanity companion to the timing: all backends must return identical
 /// results on the benchmarked workloads (checked once, outside timing).
 fn bench_equivalence_guard(c: &mut Criterion) {
     let db = dense_db(2_000, 16, 0.4, 7);
@@ -101,6 +101,10 @@ fn bench_equivalence_guard(c: &mut Criterion) {
         .mine_expected_ratio(&db, 0.02)
         .unwrap();
     assert_eq!(h.sorted_itemsets(), v.sorted_itemsets());
+    let d = UApriori::with_engine(EngineKind::Diffset)
+        .mine_expected_ratio(&db, 0.02)
+        .unwrap();
+    assert_eq!(h.sorted_itemsets(), d.sorted_itemsets());
     let mut group = c.benchmark_group("engines_guard");
     group
         .sample_size(2)

@@ -20,9 +20,14 @@ pub struct HarnessConfig {
     /// Directory for CSV dumps (`None` = print only).
     pub csv_dir: Option<PathBuf>,
     /// Support-computation backends to sweep. Every figure experiment runs
-    /// once per entry, so `--engine both` produces the apples-to-apples
-    /// backend comparison directly.
+    /// once per entry, so `--engine both` (or `all`) produces the
+    /// apples-to-apples backend comparison directly.
     pub engines: Vec<EngineKind>,
+    /// Add the auxiliary-structure peak column (`MinerStats::
+    /// peak_structure_nodes` — the support engine's memo footprint on
+    /// level-wise runs) next to the allocator-level `mem` column that
+    /// `ufim_metrics::alloc::measure_peak` always provides.
+    pub mem: bool,
 }
 
 impl Default for HarnessConfig {
@@ -33,6 +38,7 @@ impl Default for HarnessConfig {
             timeout: Duration::from_secs(60),
             csv_dir: None,
             engines: vec![EngineKind::default()],
+            mem: false,
         }
     }
 }
@@ -77,14 +83,18 @@ impl HarnessConfig {
                 }
                 "--engine" => {
                     let v = it.next().ok_or("--engine needs a value")?;
-                    cfg.engines = if v.eq_ignore_ascii_case("both") {
+                    cfg.engines = if v.eq_ignore_ascii_case("both") || v.eq_ignore_ascii_case("all")
+                    {
                         EngineKind::ALL.to_vec()
                     } else {
                         vec![EngineKind::parse(v).ok_or_else(|| {
-                            format!("bad --engine value {v:?} (horizontal|vertical|both)")
+                            format!(
+                                "bad --engine value {v:?} (horizontal|vertical|diffset|both|all)"
+                            )
                         })?]
                     };
                 }
+                "--mem" => cfg.mem = true,
                 other => rest.push(other.to_string()),
             }
         }
@@ -165,8 +175,21 @@ mod tests {
         assert_eq!(cfg.engines, vec![EngineKind::Horizontal]);
         let (cfg, _) = HarnessConfig::parse(&argv(&["--engine", "vertical"])).unwrap();
         assert_eq!(cfg.engines, vec![EngineKind::Vertical]);
-        let (cfg, _) = HarnessConfig::parse(&argv(&["--engine", "both"])).unwrap();
-        assert_eq!(cfg.engines, EngineKind::ALL.to_vec());
+        let (cfg, _) = HarnessConfig::parse(&argv(&["--engine", "diffset"])).unwrap();
+        assert_eq!(cfg.engines, vec![EngineKind::Diffset]);
+        for sweep in ["both", "all"] {
+            let (cfg, _) = HarnessConfig::parse(&argv(&["--engine", sweep])).unwrap();
+            assert_eq!(cfg.engines, EngineKind::ALL.to_vec());
+        }
+    }
+
+    #[test]
+    fn parses_mem_flag() {
+        let (cfg, _) = HarnessConfig::parse(&[]).unwrap();
+        assert!(!cfg.mem);
+        let (cfg, rest) = HarnessConfig::parse(&argv(&["matrix", "--mem"])).unwrap();
+        assert!(cfg.mem);
+        assert_eq!(rest, argv(&["matrix"]));
     }
 
     #[test]

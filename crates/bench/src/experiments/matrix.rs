@@ -55,6 +55,10 @@ pub fn run(
         for t in &traversals {
             header.push(format!("{t} time"));
             header.push(format!("{t} mem"));
+            if cfg.mem {
+                header.push(format!("{t} struct"));
+                header.push(format!("{t} memo"));
+            }
             header.push(format!("{t} #freq"));
         }
         let mut table = Table::new(header);
@@ -67,6 +71,9 @@ pub fn run(
             for &traversal in &traversals {
                 if !MatrixMiner::supported(measure, traversal) {
                     row.extend(["—".into(), "—".into(), "—".into()]);
+                    if cfg.mem {
+                        row.extend(["—".into(), "—".into()]);
+                    }
                     continue;
                 }
                 // Depth-first traversals own their structures and ignore
@@ -75,6 +82,9 @@ pub fn run(
                 // `--engine both` sweep never mislabels identical runs.
                 if traversal != TraversalKind::LevelWise && engine != cfg.engines[0] {
                     row.extend(["(=)".into(), "(=)".into(), "(=)".into()]);
+                    if cfg.mem {
+                        row.extend(["(=)".into(), "(=)".into()]);
+                    }
                     continue;
                 }
                 let cell = MatrixMiner::new(measure, traversal);
@@ -86,6 +96,14 @@ pub fn run(
                 };
                 row.push(format!("{}{tag}", fmt_secs(m.time_secs)));
                 row.push(fmt_mb(m.peak_bytes));
+                if cfg.mem {
+                    // Structure units (within-backend) and engine memo
+                    // bytes (cross-backend comparable): memo units on
+                    // level-wise cells, UFP-tree nodes / UH-Struct cells
+                    // on the depth-first traversals (memo reads 0 there).
+                    row.push(m.stats.peak_structure_nodes.to_string());
+                    row.push(fmt_mb(m.stats.peak_memo_bytes as usize));
+                }
                 row.push(m.num_itemsets.to_string());
                 // Depth-first rows carry "n/a" — they never touch the
                 // engine seam, whatever the sweep configuration.
@@ -95,11 +113,13 @@ pub fn run(
                     "n/a"
                 };
                 csv_rows.push(format!(
-                    "{},{},{engine_label},{:.6},{},{}",
+                    "{},{},{engine_label},{:.6},{},{},{},{}",
                     measure.name(),
                     traversal.name(),
                     m.time_secs,
                     m.peak_bytes,
+                    m.stats.peak_structure_nodes,
+                    m.stats.peak_memo_bytes,
                     m.num_itemsets
                 ));
             }
@@ -119,7 +139,7 @@ pub fn run(
         }
         cfg.write_csv(
             &format!("matrix_{}", engine.name()),
-            "measure,traversal,engine,time_secs,peak_bytes,num_itemsets",
+            "measure,traversal,engine,time_secs,peak_bytes,peak_structure_nodes,peak_memo_bytes,num_itemsets",
             &csv_rows,
         );
     }
@@ -143,5 +163,13 @@ mod tests {
             Some(MeasureKind::Poisson),
             Some(TraversalKind::TreeGrowth),
         );
+        // The diffset backend with the structure-memory column engaged.
+        let cfg = HarnessConfig {
+            scale: 0.001,
+            mem: true,
+            engines: vec![ufim_core::EngineKind::Diffset],
+            ..Default::default()
+        };
+        run(&cfg, Some(MeasureKind::ExpectedSupport), None);
     }
 }

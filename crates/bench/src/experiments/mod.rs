@@ -102,6 +102,14 @@ impl Sweep {
         for a in &self.algorithms {
             header.push(format!("{} time", a.name()));
             header.push(format!("{} mem", a.name()));
+            if cfg.mem {
+                // The auxiliary-structure peak (support-engine memo, UFP
+                // tree, UH-Struct) in its own units, plus the byte-accurate
+                // engine memo peak (cross-backend comparable), next to the
+                // allocator-level `mem` column measure_peak always fills.
+                header.push(format!("{} struct", a.name()));
+                header.push(format!("{} memo", a.name()));
+            }
             header.push(format!("{} #freq", a.name()));
         }
         let mut table = Table::new(header);
@@ -112,11 +120,19 @@ impl Sweep {
                     Some(m) => {
                         row.push(fmt_secs(m.time_secs));
                         row.push(fmt_mb(m.peak_bytes));
+                        if cfg.mem {
+                            row.push(m.stats.peak_structure_nodes.to_string());
+                            row.push(fmt_mb(m.stats.peak_memo_bytes as usize));
+                        }
                         row.push(m.num_itemsets.to_string());
                     }
                     None => {
                         row.push(">budget".into());
                         row.push("-".into());
+                        if cfg.mem {
+                            row.push("-".into());
+                            row.push("-".into());
+                        }
                         row.push("-".into());
                     }
                 }
@@ -148,20 +164,22 @@ impl Sweep {
             for (a, r) in self.algorithms.iter().zip(runs) {
                 match r {
                     Some(m) => rows.push(format!(
-                        "{x},{},{:.6},{},{}",
+                        "{x},{},{:.6},{},{},{},{}",
                         a.name(),
                         m.time_secs,
                         m.peak_bytes,
+                        m.stats.peak_structure_nodes,
+                        m.stats.peak_memo_bytes,
                         m.num_itemsets
                     )),
-                    None => rows.push(format!("{x},{},timeout,,", a.name())),
+                    None => rows.push(format!("{x},{},timeout,,,,", a.name())),
                 }
             }
         }
         cfg.write_csv(
             csv_name,
             &format!(
-                "{},algorithm,time_secs,peak_bytes,num_itemsets",
+                "{},algorithm,time_secs,peak_bytes,peak_structure_nodes,peak_memo_bytes,num_itemsets",
                 self.x_name
             ),
             &rows,

@@ -23,9 +23,25 @@
 //! not report the running time over 1 hour"), and `--csv DIR` to dump
 //! machine-readable series next to the printed tables.
 //!
+//! ## Memory accounting
+//!
 //! Memory numbers come from the [`ufim_metrics::CountingAllocator`]
-//! installed as the binary's global allocator; Criterion benches (time only)
-//! live under `benches/`.
+//! installed as the binary's global allocator: every measured run goes
+//! through `ufim_metrics::alloc::measure_peak`, whose peak-heap delta is
+//! the `mem` column of every report and the `peak_bytes` CSV column. Two
+//! complementary instruments refine that process-level number:
+//!
+//! * `--mem` adds two per-run columns: the *auxiliary-structure* peak
+//!   (`MinerStats::peak_structure_nodes`, in the structure's own units)
+//!   and the byte-accurate engine memo peak
+//!   (`MinerStats::peak_memo_bytes`), which is exactly where the
+//!   `--engine vertical` and `--engine diffset` backends differ and the
+//!   number to compare across them;
+//! * the Criterion harness `benches/bench_memory.rs` compares the
+//!   backends' allocator-level and memo-level peaks head to head on a
+//!   dense workload (the diffset backend's target regime).
+//!
+//! Criterion benches live under `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

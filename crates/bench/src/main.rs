@@ -38,8 +38,12 @@ OPTIONS (all subcommands):
     --timeout-secs S  per-point budget; harder points skipped after a miss
                       (default 60; paper used 3600)
     --csv DIR         also write CSV series into DIR
-    --engine E        support backend: horizontal (default), vertical, or
-                      both (runs every experiment once per backend)
+    --engine E        support backend: horizontal (default), vertical,
+                      diffset (memory-optimized delta memo), or both/all
+                      (runs every experiment once per backend)
+    --mem             add auxiliary-structure peak columns (struct units +
+                      engine memo bytes) next to the allocator-level mem
+                      column in reports and CSV
 ";
 
 fn main() {

@@ -3,8 +3,23 @@
 //! The sanctioned dependency set has no rayon, so the support engines
 //! parallelize through this module instead: [`par_map`] fans a slice out
 //! over a bounded number of scoped threads and returns results **in input
-//! order**, which keeps every floating-point reduction performed by callers
-//! deterministic for a fixed chunking.
+//! order**.
+//!
+//! ## Determinism
+//!
+//! Worker threads claim small chunks (at most [`PAR_CHUNK`] items) from a
+//! shared atomic queue, and results are reassembled in **input order**.
+//! Because `f` is applied per item and the output order is fixed, both the
+//! per-item outputs and any caller-side reduction over them are
+//! bit-for-bit identical whatever `UFIM_THREADS` says — a pool of 1 and a
+//! pool of 64 produce the same floating-point sums; scheduling granularity
+//! can never leak into results. Callers that *reduce across blocks of
+//! work* (the horizontal scan's per-chunk partial sums) make each block an
+//! item with their own fixed block size, keeping that association a pure
+//! function of the database, never of the pool. The queue doubles as
+//! dynamic load balancing: a thread that draws cheap candidates simply
+//! claims more chunks, which matters for the skewed per-candidate costs of
+//! the exact miners.
 //!
 //! Threading is opt-out: `UFIM_THREADS=1` forces sequential execution, any
 //! other value caps the pool, and the default is
@@ -13,11 +28,21 @@
 //! a four-transaction database costs more than it saves.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default work-size gate for [`par_map_min_len`] callers: below this many
 /// units of work, fanning out costs more than it saves. Shared by the
-/// support engines so both backends fan out at the same scale.
+/// support engines so all backends fan out at the same scale.
 pub const DEFAULT_MIN_WORK: usize = 1 << 15;
+
+/// Upper bound on items per scheduling chunk. The effective chunk size
+/// shrinks (down to 1) when there are fewer than `PAR_CHUNK × threads`
+/// items, so a handful of heavy items — e.g. the horizontal scan's
+/// 4096-transaction blocks — still fans out across the whole pool. Chunk
+/// granularity affects scheduling only, never results (see the module
+/// docs). Small enough to load-balance skewed per-item costs; large
+/// enough that the one atomic claim per chunk is noise.
+pub const PAR_CHUNK: usize = 8;
 
 /// Upper bound on worker threads: the `UFIM_THREADS` environment variable
 /// when set to a positive integer, else the machine's available parallelism.
@@ -34,32 +59,72 @@ pub fn max_threads() -> usize {
 
 /// Maps `f` over `items` in parallel, returning results in input order.
 ///
-/// The slice is split into at most [`max_threads`] contiguous chunks, one
-/// scoped thread each. With one item, one thread, or an empty slice the map
-/// runs inline on the caller's thread.
+/// Threads claim chunks of at most [`PAR_CHUNK`] items from an atomic
+/// queue (see the module docs on determinism). With one item, one thread,
+/// or an empty slice the map runs inline on the caller's thread —
+/// producing, like every other pool size, exactly the sequential result.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = max_threads().min(items.len());
+    par_map_threads(items, max_threads(), f)
+}
+
+/// [`par_map`] with an explicit thread cap — the testable core. Results
+/// must not depend on `threads`; the determinism tests pin this.
+fn par_map_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.min(items.len());
     if threads <= 1 {
         return items.iter().map(f).collect();
     }
-    let chunk = items.len().div_ceil(threads);
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+    // Shrink the chunk when items are few so every thread gets work: a
+    // 5-item map over heavy items must not collapse onto one thread. The
+    // chunk size affects scheduling only — per-item outputs reassembled in
+    // input order are identical whatever the granularity.
+    let chunk_size = PAR_CHUNK.min(items.len().div_ceil(threads)).max(1);
+    let num_chunks = items.len().div_ceil(chunk_size);
+    let next = AtomicUsize::new(0);
+    let (next, f) = (&next, &f);
+    let claimed: Vec<Vec<(usize, Vec<R>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut got: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let chunk = next.fetch_add(1, Ordering::Relaxed);
+                        let start = chunk * chunk_size;
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk_size).min(items.len());
+                        got.push((chunk, items[start..end].iter().map(f).collect()));
+                    }
+                    got
+                })
+            })
             .collect();
-        let mut out = Vec::with_capacity(items.len());
-        for h in handles {
-            out.extend(h.join().expect("par_map worker panicked"));
-        }
-        out
-    })
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    // Reassemble in input order: chunk index → slot.
+    let mut slots: Vec<Option<Vec<R>>> = (0..num_chunks).map(|_| None).collect();
+    for (chunk, results) in claimed.into_iter().flatten() {
+        slots[chunk] = Some(results);
+    }
+    let mut out = Vec::with_capacity(items.len());
+    for s in slots {
+        out.extend(s.expect("every chunk claimed exactly once"));
+    }
+    out
 }
 
 /// [`par_map`] gated on input size: runs sequentially unless `items.len() *
@@ -110,5 +175,42 @@ mod tests {
     fn threads_env_is_respected() {
         // max_threads is ≥ 1 whatever the environment says.
         assert!(max_threads() >= 1);
+    }
+
+    /// The determinism contract: a floating-point reduction over the
+    /// ordered results is bit-identical for every pool size, including
+    /// awkward ones that don't divide the chunk count.
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        let items: Vec<f64> = (0..1000).map(|i| 0.1 + (i % 97) as f64 / 96.0).collect();
+        let f = |&x: &f64| x * 1.000000001 + x * x;
+        let reference: Vec<f64> = items.iter().map(f).collect();
+        let ref_sum: f64 = reference.iter().sum();
+        for threads in [1usize, 2, 3, 4, 7, 16, 64] {
+            let out = par_map_threads(&items, threads, f);
+            for (a, b) in out.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+            let sum: f64 = out.iter().sum();
+            assert_eq!(sum.to_bits(), ref_sum.to_bits(), "threads={threads}");
+        }
+    }
+
+    /// Every chunk is claimed exactly once even when the item count is not
+    /// a multiple of the chunk size.
+    #[test]
+    fn ragged_tail_is_covered() {
+        for n in [
+            0usize,
+            1,
+            PAR_CHUNK - 1,
+            PAR_CHUNK,
+            PAR_CHUNK + 1,
+            5 * PAR_CHUNK + 3,
+        ] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = par_map_threads(&items, 3, |&x| x);
+            assert_eq!(out, items, "n={n}");
+        }
     }
 }

@@ -12,7 +12,7 @@ use crate::error::CoreError;
 ///
 /// The miners crate implements one `SupportEngine` per variant; this enum is
 /// the *selector* that travels through parameters, registries and the bench
-/// harness. The two backends are observationally equivalent (same itemsets,
+/// harness. The backends are observationally equivalent (same itemsets,
 /// same statistics to fp precision) and differ only in data layout and cost:
 ///
 /// * [`EngineKind::Horizontal`] — the paper's layout: one trie-guided scan
@@ -20,7 +20,12 @@ use crate::error::CoreError;
 /// * [`EngineKind::Vertical`] — columnar tid-lists
 ///   ([`crate::vertical::VerticalIndex`]): one database pass up front, then
 ///   each candidate costs one sorted-merge intersection of its prefix's
-///   memoized [`crate::vertical::ProbVector`] with the last item's postings.
+///   memoized [`crate::vertical::ProbVector`] with the last item's postings;
+/// * [`EngineKind::Diffset`] — the dEclat analog of the vertical backend:
+///   the prefix memo stores [`crate::vertical::DiffVector`] deltas (the
+///   tids each extension dropped) instead of whole vectors, cutting memo
+///   memory on dense data where almost every tid survives. Each memo node
+///   adaptively keeps whichever of tidset/diffset is smaller.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// Trie-guided horizontal database scans (reference backend).
@@ -28,17 +33,24 @@ pub enum EngineKind {
     Horizontal,
     /// Columnar tid-list intersection (U-Eclat style).
     Vertical,
+    /// Columnar delta-memo intersection (dEclat style, memory-optimized).
+    Diffset,
 }
 
 impl EngineKind {
-    /// Both backends, in presentation order.
-    pub const ALL: [EngineKind; 2] = [EngineKind::Horizontal, EngineKind::Vertical];
+    /// Every backend, in presentation order.
+    pub const ALL: [EngineKind; 3] = [
+        EngineKind::Horizontal,
+        EngineKind::Vertical,
+        EngineKind::Diffset,
+    ];
 
     /// Stable lower-case name (used by CLIs and reports).
     pub fn name(self) -> &'static str {
         match self {
             EngineKind::Horizontal => "horizontal",
             EngineKind::Vertical => "vertical",
+            EngineKind::Diffset => "diffset",
         }
     }
 
@@ -47,6 +59,7 @@ impl EngineKind {
         match s.to_ascii_lowercase().as_str() {
             "horizontal" | "h" | "scan" => Some(EngineKind::Horizontal),
             "vertical" | "v" | "tidlist" | "eclat" => Some(EngineKind::Vertical),
+            "diffset" | "d" | "diff" | "declat" => Some(EngineKind::Diffset),
             _ => None,
         }
     }
@@ -392,7 +405,10 @@ mod tests {
         assert_eq!(p.engine, EngineKind::Vertical);
         assert_eq!(EngineKind::parse("VERTICAL"), Some(EngineKind::Vertical));
         assert_eq!(EngineKind::parse("h"), Some(EngineKind::Horizontal));
+        assert_eq!(EngineKind::parse("dEclat"), Some(EngineKind::Diffset));
+        assert_eq!(EngineKind::parse("Diffset"), Some(EngineKind::Diffset));
         assert_eq!(EngineKind::parse("nope"), None);
+        assert_eq!(EngineKind::ALL.len(), 3);
         for e in EngineKind::ALL {
             assert_eq!(EngineKind::parse(e.name()), Some(e));
             assert_eq!(format!("{e}"), e.name());

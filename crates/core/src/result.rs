@@ -62,9 +62,16 @@ pub struct MinerStats {
     pub intersections: u64,
     /// Peak size of the algorithm's auxiliary structure, in that
     /// structure's own units: UFP-tree nodes, UH-Struct cells, or — on the
-    /// vertical support engine — memoized `(tid, prob)` units. Comparable
-    /// within one algorithm/backend, not across them.
+    /// columnar support engines — memoized `(tid, prob)` units (vertical)
+    /// or dropped tids (diffset). Comparable within one algorithm/backend,
+    /// not across them.
     pub peak_structure_nodes: u64,
+    /// Peak **bytes** of a memoizing support engine's prefix memo
+    /// (level-wise runs only; 0 elsewhere). Unlike
+    /// [`MinerStats::peak_structure_nodes`], this is byte-accurate and
+    /// directly comparable across backends — the vertical-vs-diffset
+    /// memory axis.
+    pub peak_memo_bytes: u64,
 }
 
 impl MinerStats {
@@ -78,6 +85,7 @@ impl MinerStats {
         self.scans += other.scans;
         self.intersections += other.intersections;
         self.peak_structure_nodes = self.peak_structure_nodes.max(other.peak_structure_nodes);
+        self.peak_memo_bytes = self.peak_memo_bytes.max(other.peak_memo_bytes);
     }
 }
 

@@ -32,7 +32,20 @@
 //!
 //! Whatever the representation, probabilities are multiplied in ascending
 //! item order and enumerated in ascending transaction order, so results are
-//! bit-for-bit identical to a horizontal scan's.
+//! bit-for-bit identical to a horizontal scan's. Products that underflow to
+//! exactly `0.0` (possible for deep itemsets of tiny probabilities) are
+//! dropped by every materializing path, keeping the sparse nonzero
+//! invariant and the `len()` / [`ProbVector::intersect_stats`] agreement.
+//!
+//! ## Delta representation
+//!
+//! [`DiffVector`] is the uncertain-data analog of a dEclat diffset: it
+//! records only the prefix tids an extension *dropped*, because the
+//! survivors' probabilities are recomputable from the appended item's
+//! postings. [`ProbVector::diff_extend`] produces the delta plus the
+//! child's `(esup, var, count)` in one pass; [`ProbVector::apply_diff`]
+//! reconstructs the full child vector. The diffset support engine builds
+//! its low-memory prefix memo out of these.
 
 use crate::database::UncertainDatabase;
 use crate::itemset::ItemId;
@@ -114,6 +127,19 @@ impl ProbVector {
         match &self.repr {
             Repr::Sparse { tids, .. } => tids.len(),
             Repr::Dense { probs, .. } => probs.len(),
+        }
+    }
+
+    /// Heap bytes occupied by the payload arrays: `nnz × (4 + 8)` when
+    /// sparse (tid + prob), `N × 8` when dense. The memory-accounting
+    /// counterpart of [`ProbVector::mem_units`], comparable with
+    /// [`DiffVector::mem_bytes`].
+    pub fn mem_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse { tids, .. } => {
+                tids.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<f64>())
+            }
+            Repr::Dense { probs, .. } => probs.len() * std::mem::size_of::<f64>(),
         }
     }
 
@@ -310,6 +336,211 @@ impl PartialEq for ProbVector {
     }
 }
 
+/// The uncertain-data analog of a dEclat **diffset**: the delta of an
+/// itemset's prob-vector against its own prefix's.
+///
+/// Extending a prefix `X` by an item `i` keeps a tid `t` iff
+/// `vec(X)[t] · P_t(i) > 0`; the survivors' probabilities are reproducible
+/// by gathering `P_t(i)` from the item's postings, so the only information
+/// the extension *destroys* is which tids were dropped. A `DiffVector`
+/// stores exactly that — the dropped tids — at 4 bytes each, versus 12
+/// bytes per *kept* entry for a sparse [`ProbVector`] (or `8 · N` dense).
+/// On dense data, where almost every tid survives every extension, the
+/// delta is a small fraction of the tidset.
+///
+/// Produced by [`ProbVector::diff_extend`]; the full child vector is
+/// recovered (bit-for-bit equal to [`ProbVector::intersect`]) with
+/// [`ProbVector::apply_diff`] given the same prefix vector and postings.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DiffVector {
+    /// Prefix tids that do not survive the extension, ascending.
+    dropped: Vec<u32>,
+}
+
+impl DiffVector {
+    /// The dropped tids, ascending.
+    pub fn dropped(&self) -> &[u32] {
+        &self.dropped
+    }
+
+    /// Number of prefix tids the extension dropped.
+    pub fn len(&self) -> usize {
+        self.dropped.len()
+    }
+
+    /// True when every prefix tid survived the extension.
+    pub fn is_empty(&self) -> bool {
+        self.dropped.is_empty()
+    }
+
+    /// Heap bytes of the delta (4 per dropped tid) — comparable with
+    /// [`ProbVector::mem_bytes`] when choosing the smaller representation
+    /// per memo node, as dEclat does.
+    pub fn mem_bytes(&self) -> usize {
+        self.dropped.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Releases excess capacity (the delta is push-grown; long-lived
+    /// memoized deltas should hold exactly the bytes
+    /// [`DiffVector::mem_bytes`] reports).
+    pub fn shrink_to_fit(&mut self) {
+        self.dropped.shrink_to_fit();
+    }
+}
+
+impl ProbVector {
+    /// The dEclat-style extension step: computes, in **one** pass and
+    /// without materializing the child vector, the child's statistics
+    /// `(esup, variance, nonzero count)` — bit-identical to
+    /// `self.intersect(other).moments()` and to
+    /// [`ProbVector::intersect_stats`] — plus the [`DiffVector`] of prefix
+    /// tids that did not survive (`other` absent, or the product
+    /// underflowed to zero).
+    pub fn diff_extend(&self, other: &ProbVector) -> (DiffVector, f64, f64, usize) {
+        let mut esup = 0.0f64;
+        let mut var = 0.0f64;
+        let mut count = 0usize;
+        let mut dropped: Vec<u32> = Vec::new();
+        // Visits every nonzero prefix entry in ascending tid order with the
+        // paired item probability (0.0 = absent). Accumulation order and
+        // multiplication order (prefix × item) match `intersect_stats`
+        // exactly; products of 0.0 contribute exactly 0.0 to either
+        // accumulator, so the sums are bit-identical.
+        let mut visit = |tid: u32, p: f64, q: f64| {
+            let prod = p * q;
+            if prod > 0.0 {
+                esup += prod;
+                var += prod * (1.0 - prod);
+                count += 1;
+            } else {
+                dropped.push(tid);
+            }
+        };
+        match (&self.repr, &other.repr) {
+            (
+                Repr::Sparse {
+                    tids: ta,
+                    probs: pa,
+                },
+                Repr::Sparse {
+                    tids: tb,
+                    probs: pb,
+                },
+            ) => {
+                let mut j = 0usize;
+                for (i, &tid) in ta.iter().enumerate() {
+                    while j < tb.len() && tb[j] < tid {
+                        j += 1;
+                    }
+                    let q = if j < tb.len() && tb[j] == tid {
+                        pb[j]
+                    } else {
+                        0.0
+                    };
+                    visit(tid, pa[i], q);
+                }
+            }
+            (Repr::Sparse { tids, probs }, Repr::Dense { probs: dense, .. }) => {
+                for (&tid, &p) in tids.iter().zip(probs.iter()) {
+                    visit(tid, p, dense[tid as usize]);
+                }
+            }
+            (
+                Repr::Dense { probs: da, .. },
+                Repr::Sparse {
+                    tids: tb,
+                    probs: pb,
+                },
+            ) => {
+                let mut j = 0usize;
+                for (t, &p) in da.iter().enumerate() {
+                    if p > 0.0 {
+                        let tid = t as u32;
+                        while j < tb.len() && tb[j] < tid {
+                            j += 1;
+                        }
+                        let q = if j < tb.len() && tb[j] == tid {
+                            pb[j]
+                        } else {
+                            0.0
+                        };
+                        visit(tid, p, q);
+                    }
+                }
+            }
+            (Repr::Dense { probs: da, .. }, Repr::Dense { probs: db, .. }) => {
+                for (t, (&p, &q)) in da.iter().zip(db.iter()).enumerate() {
+                    if p > 0.0 {
+                        visit(t as u32, p, q);
+                    }
+                }
+            }
+        }
+        (DiffVector { dropped }, esup, var, count)
+    }
+
+    /// Reconstructs the child vector a [`ProbVector::diff_extend`] call
+    /// summarized: `self` must be the same prefix vector and `other` the
+    /// same appended item's postings. The result is bit-for-bit equal to
+    /// `self.intersect(other)` (sparse representation; callers densify via
+    /// [`ProbVector::maybe_densify`] when appropriate).
+    pub fn apply_diff(&self, diff: &DiffVector, other: &ProbVector) -> ProbVector {
+        let survivors = self.len().saturating_sub(diff.len());
+        let mut tids = Vec::with_capacity(survivors);
+        let mut probs = Vec::with_capacity(survivors);
+        let dropped = &diff.dropped;
+        let mut d = 0usize;
+        let mut j = 0usize; // cursor when `other` is sparse
+        let mut visit = |tid: u32, p: f64, other: &ProbVector| {
+            if d < dropped.len() && dropped[d] == tid {
+                d += 1;
+                return;
+            }
+            let q = match &other.repr {
+                Repr::Dense { probs, .. } => probs[tid as usize],
+                Repr::Sparse {
+                    tids: tb,
+                    probs: pb,
+                } => {
+                    while j < tb.len() && tb[j] < tid {
+                        j += 1;
+                    }
+                    if j < tb.len() && tb[j] == tid {
+                        pb[j]
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            let prod = p * q;
+            debug_assert!(prod > 0.0, "surviving tid {tid} has a zero product");
+            tids.push(tid);
+            probs.push(prod);
+        };
+        match &self.repr {
+            Repr::Sparse {
+                tids: ta,
+                probs: pa,
+            } => {
+                for (&tid, &p) in ta.iter().zip(pa.iter()) {
+                    visit(tid, p, other);
+                }
+            }
+            Repr::Dense { probs: da, .. } => {
+                for (t, &p) in da.iter().enumerate() {
+                    if p > 0.0 {
+                        visit(t as u32, p, other);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(d, dropped.len(), "dropped tid absent from prefix");
+        ProbVector {
+            repr: Repr::Sparse { tids, probs },
+        }
+    }
+}
+
 fn intersect_sparse_sparse(ta: &[u32], pa: &[f64], tb: &[u32], pb: &[f64]) -> ProbVector {
     let cap = ta.len().min(tb.len());
     let mut tids = Vec::with_capacity(cap);
@@ -320,8 +551,15 @@ fn intersect_sparse_sparse(ta: &[u32], pa: &[f64], tb: &[u32], pb: &[f64]) -> Pr
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                tids.push(ta[i]);
-                probs.push(pa[i] * pb[j]);
+                // Deep itemsets can underflow the product to exactly 0.0;
+                // keeping such an entry would violate the sparse nonzero
+                // invariant and make `len()` disagree with `intersect_stats`
+                // (which counts products, not items).
+                let q = pa[i] * pb[j];
+                if q > 0.0 {
+                    tids.push(ta[i]);
+                    probs.push(q);
+                }
                 i += 1;
                 j += 1;
             }
@@ -344,9 +582,13 @@ fn intersect_sparse_dense(tids: &[u32], probs: &[f64], dense: &[f64]) -> ProbVec
     let mut k = 0usize;
     for i in 0..n {
         let tid = tids[i];
-        let q = dense[tid as usize];
+        let q = probs[i] * dense[tid as usize];
         out_tids[k] = tid;
-        out_probs[k] = probs[i] * q;
+        out_probs[k] = q;
+        // The cursor advances on the *product*, not the item probability: a
+        // product that underflows to 0.0 must be dropped like a miss, or the
+        // nonzero invariant breaks and `len()` diverges from
+        // `intersect_stats`'s count.
         k += (q > 0.0) as usize;
     }
     out_tids.truncate(k);
@@ -439,6 +681,15 @@ impl VerticalIndex {
     /// units.
     pub fn total_units(&self) -> usize {
         self.postings.iter().map(ProbVector::len).sum()
+    }
+
+    /// Mean nonzero units per posting (0 for an empty vocabulary) — the
+    /// per-candidate work estimate the support engines share when gating
+    /// their parallel fan-out.
+    pub fn mean_posting_units(&self) -> usize {
+        self.total_units()
+            .checked_div(self.num_items().max(1) as usize)
+            .unwrap_or(0)
     }
 
     /// Computes an arbitrary itemset's prob-vector from scratch by folding
@@ -579,6 +830,137 @@ mod tests {
         // Triple through the recurrence, mixing all reprs.
         let v012 = idx.prob_vector(&[0, 1, 2]);
         assert_eq!(v012.nonzero_probs(), db.itemset_prob_vector(&[0, 1, 2]));
+    }
+
+    /// Builds a sparse or (force-)dense vector for the representation
+    /// sweep tests below.
+    fn vector(pairs: &[(u32, f64)], dense_over: Option<usize>) -> ProbVector {
+        let (tids, probs): (Vec<u32>, Vec<f64>) = pairs.iter().copied().unzip();
+        let mut v = ProbVector::from_parts(tids, probs);
+        if let Some(n) = dense_over {
+            v.maybe_densify(n);
+            assert!(v.is_dense(), "fixture must cross the dense cutoff");
+        }
+        v
+    }
+
+    /// f64 underflow regime: products of these hit exact 0.0 (1e-200 ×
+    /// 1e-200 = 1e-400 < the smallest subnormal) or the subnormal range.
+    const TINY: f64 = 1e-200;
+    const SUBNORMAL_EDGE: f64 = 1e-160; // squared → 1e-320, subnormal
+
+    /// All four representation pairings must drop zero products from the
+    /// materialized result, and `len()`/`moments()` must agree with
+    /// `intersect_stats` bit for bit — the invariant the `WITH_COUNT`
+    /// pushdown path relies on.
+    #[test]
+    fn underflow_products_are_dropped_consistently() {
+        let pairs_a = [(0u32, TINY), (1, 0.5), (2, SUBNORMAL_EDGE), (3, 0.9)];
+        let pairs_b = [(0u32, TINY), (1, 0.5), (2, SUBNORMAL_EDGE), (3, 1e-320)];
+        for a_dense in [None, Some(8)] {
+            for b_dense in [None, Some(8)] {
+                let a = vector(&pairs_a, a_dense);
+                let b = vector(&pairs_b, b_dense);
+                let got = a.intersect(&b);
+                let (esup, var, count) = a.intersect_stats(&b);
+                // tid 0: 1e-400 → 0.0, dropped. tid 1: 0.25 kept. tid 2:
+                // subnormal 1e-320 > 0 kept. tid 3: 0.9·1e-320 kept.
+                assert_eq!(got.len(), 3, "{a_dense:?}×{b_dense:?}");
+                assert_eq!(count, got.len(), "{a_dense:?}×{b_dense:?}");
+                let (ge, gv) = got.moments();
+                assert_eq!(ge.to_bits(), esup.to_bits(), "{a_dense:?}×{b_dense:?}");
+                assert_eq!(gv.to_bits(), var.to_bits(), "{a_dense:?}×{b_dense:?}");
+                // The nonzero invariant holds on the materialized vector.
+                assert!(got.nonzero().iter().all(|&(_, q)| q > 0.0));
+            }
+        }
+    }
+
+    /// A fully-underflowing intersection materializes as empty and reports
+    /// zero stats — `len()`, `moments()` and `intersect_stats` all agree.
+    #[test]
+    fn total_underflow_yields_empty_vector() {
+        let a = vector(&[(0, TINY), (5, TINY)], None);
+        let b = vector(&[(0, TINY), (5, TINY)], None);
+        let got = a.intersect(&b);
+        assert!(got.is_empty());
+        let (esup, var, count) = a.intersect_stats(&b);
+        assert_eq!((esup, var, count), (0.0, 0.0, 0));
+        assert_eq!(got.moments(), (0.0, 0.0));
+    }
+
+    /// Chains deep enough that products underflow step by step: the
+    /// recurrence must keep dropping newly-zero entries at every level.
+    #[test]
+    fn deep_chain_underflow() {
+        // 8 items all present in the same 3 transactions with tiny probs:
+        // products vanish after ⌈300/200⌉ = 2 steps for the 1e-200 tids.
+        let transactions: Vec<Transaction> = (0..3)
+            .map(|t| {
+                let p = if t == 0 { 0.5 } else { TINY };
+                Transaction::new((0..8u32).map(|i| (i, p)).collect::<Vec<_>>()).unwrap()
+            })
+            .collect();
+        let db = UncertainDatabase::with_num_items(transactions, 8);
+        let idx = VerticalIndex::build(&db);
+        let items: Vec<u32> = (0..8).collect();
+        let mut acc = idx.postings(items[0]).clone();
+        for &i in &items[1..] {
+            let (esup, var, count) = acc.intersect_stats(idx.postings(i));
+            acc = acc.intersect(idx.postings(i));
+            assert_eq!(acc.len(), count);
+            let (ge, gv) = acc.moments();
+            assert_eq!(ge.to_bits(), esup.to_bits());
+            assert_eq!(gv.to_bits(), var.to_bits());
+            assert!(acc.nonzero().iter().all(|&(_, q)| q > 0.0));
+        }
+        // Only the p=0.5 transaction survives all 8 items (0.5^8).
+        assert_eq!(acc.nonzero(), vec![(0, 0.5f64.powi(8))]);
+    }
+
+    /// `diff_extend` + `apply_diff` reproduce `intersect`/`intersect_stats`
+    /// exactly, across all representation pairings — including dropped
+    /// entries caused by underflow, not just by absence.
+    #[test]
+    fn diff_roundtrip_matches_intersect() {
+        let pairs_a = [(0u32, 0.9), (1, TINY), (3, 0.5), (5, 0.7), (7, 0.2)];
+        let pairs_b = [(0u32, 0.8), (1, TINY), (2, 0.4), (5, 0.6), (7, 0.1)];
+        for a_dense in [None, Some(12)] {
+            for b_dense in [None, Some(12)] {
+                let a = vector(&pairs_a, a_dense);
+                let b = vector(&pairs_b, b_dense);
+                let (diff, esup, var, count) = a.diff_extend(&b);
+                let want = a.intersect(&b);
+                let (we, wv, wc) = a.intersect_stats(&b);
+                assert_eq!(esup.to_bits(), we.to_bits());
+                assert_eq!(var.to_bits(), wv.to_bits());
+                assert_eq!(count, wc);
+                // Dropped: tid 1 (underflow) and tid 3 (absent from b).
+                assert_eq!(diff.dropped(), &[1, 3], "{a_dense:?}×{b_dense:?}");
+                let rebuilt = a.apply_diff(&diff, &b);
+                assert_eq!(rebuilt, want, "{a_dense:?}×{b_dense:?}");
+                assert_eq!(rebuilt.len(), count);
+            }
+        }
+    }
+
+    /// Delta chains over the Table 1 example equal the scratch fold.
+    #[test]
+    fn diff_chain_reconstruction() {
+        let db = paper_table1();
+        let idx = VerticalIndex::build(&db);
+        // Chain {A} → {A,C} → {A,C,E} entirely through deltas.
+        let a = idx.postings(0);
+        let (d_ac, ..) = a.diff_extend(idx.postings(2));
+        let ac = a.apply_diff(&d_ac, idx.postings(2));
+        let (d_ace, esup, _, count) = ac.diff_extend(idx.postings(4));
+        let ace = ac.apply_diff(&d_ace, idx.postings(4));
+        assert_eq!(ace, idx.prob_vector(&[0, 2, 4]));
+        assert_eq!(ace.len(), count);
+        assert!((esup - db.expected_support(&[0, 2, 4])).abs() < 1e-12);
+        // Memory accounting: deltas are 4 bytes per dropped tid.
+        assert_eq!(d_ac.mem_bytes(), d_ac.len() * 4);
+        assert_eq!(ac.mem_bytes(), ac.len() * 12);
     }
 
     #[test]

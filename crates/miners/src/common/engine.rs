@@ -17,15 +17,30 @@
 //!   vector with the last item's postings (U-Eclat), parallelized over
 //!   candidates. `esup`, variance, count and the exact miners' DP/DC input
 //!   are all byproducts of that single intersection.
+//! * [`DiffsetEngine`] — the dEclat analog of the vertical backend,
+//!   optimized for **memory** rather than time: the prefix memo stores
+//!   each frequent itemset as a [`DiffVector`] *delta* against its own
+//!   prefix (only the tids the extension dropped; survivors gather the
+//!   appended item's postings along the prefix chain), with the node's
+//!   `(esup, var, count)` cached so `evaluate` under pushdown never
+//!   materializes a vector. Each memo node adaptively keeps whichever of
+//!   tidset/diffset is smaller — exactly dEclat's per-node choice — so on
+//!   dense data, where almost every tid survives every extension, the memo
+//!   shrinks from O(level width × N) to the sum of the (small) deltas.
 //!
-//! Both backends produce equivalent results: per-transaction containment
+//! All backends produce equivalent results: per-transaction containment
 //! probabilities are multiplied in ascending item order and summed in
-//! ascending transaction order in both layouts, so sequential scans agree
-//! bit for bit (the cross-backend proptest suite pins this). The one
-//! caveat: on databases large enough that the horizontal backend reduces
-//! per-chunk partial sums (> [`LevelScan`]'s chunk size), its summation
-//! *association* differs and esups can drift by ulps — itemset sets only
-//! diverge if an esup lands within rounding distance of the threshold.
+//! ascending transaction order in every layout, and the horizontal
+//! backend's chunk-reduction uses a fixed chunk size ([`LevelScan`]'s 4096
+//! transactions) with an order-preserving `par_map`, so
+//! results are **deterministic for a given database regardless of
+//! `UFIM_THREADS`**. Sequential-association caveat: once a database
+//! exceeds one horizontal chunk, the chunked summation *association*
+//! (partial sums per 4096-transaction chunk) differs from the columnar
+//! backends' straight-line sums, so esups can drift by ulps between
+//! *backends* — never between pool sizes — and itemset sets only diverge
+//! if an esup lands within rounding distance of the threshold. The
+//! cross-backend proptest suite pins all of this.
 //!
 //! Select a backend through [`EngineKind`] (on `MiningParams` or the miner
 //! builders) and instantiate per run with [`build_engine`]. Future backends
@@ -34,7 +49,7 @@
 use super::scan::LevelScan;
 use ufim_core::parallel::par_map_min_len;
 use ufim_core::{
-    EngineKind, FrequentItemset, FxHashMap, ItemId, Itemset, MinerStats, ProbVector,
+    DiffVector, EngineKind, FrequentItemset, FxHashMap, ItemId, Itemset, MinerStats, ProbVector,
     UncertainDatabase, VerticalIndex,
 };
 
@@ -133,6 +148,15 @@ pub trait SupportEngine {
     /// Declares which itemsets of the current level are frequent. Memoizing
     /// backends keep exactly these as prefixes for the next level.
     fn finish_level(&mut self, frequent: &[FrequentItemset]);
+
+    /// Peak bytes of memoized prefix state held so far (0 for backends
+    /// that memoize nothing, like the horizontal scan, whose per-level
+    /// trie is transient). The memory-accounting axis of the backend
+    /// comparison; the allocator-level `ufim_metrics::alloc::measure_peak`
+    /// number additionally includes transient buffers.
+    fn peak_memo_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// Builds the backend selected by `kind` over `db`.
@@ -140,6 +164,7 @@ pub fn build_engine(kind: EngineKind, db: &UncertainDatabase) -> Box<dyn Support
     match kind {
         EngineKind::Horizontal => Box::new(HorizontalScan::new(db)),
         EngineKind::Vertical => Box::new(VerticalEngine::new(db)),
+        EngineKind::Diffset => Box::new(DiffsetEngine::new(db)),
     }
 }
 
@@ -219,6 +244,8 @@ pub struct VerticalEngine {
     scan_charged: bool,
     /// Peak `(tid, prob)` units held in memo state (diagnostic).
     peak_memo_units: u64,
+    /// Peak bytes of the same memo state ([`SupportEngine::peak_memo_bytes`]).
+    peak_memo_bytes: u64,
 }
 
 impl VerticalEngine {
@@ -230,6 +257,7 @@ impl VerticalEngine {
             current: FxHashMap::default(),
             scan_charged: false,
             peak_memo_units: 0,
+            peak_memo_bytes: 0,
         }
     }
 
@@ -242,13 +270,13 @@ impl VerticalEngine {
     }
 
     fn note_memo_peak(&mut self) {
-        let units: usize = self
-            .prev
-            .values()
-            .chain(self.current.values())
-            .map(ProbVector::mem_units)
-            .sum();
+        let (mut units, mut bytes) = (0usize, 0usize);
+        for v in self.prev.values().chain(self.current.values()) {
+            units += v.mem_units();
+            bytes += v.mem_bytes();
+        }
         self.peak_memo_units = self.peak_memo_units.max(units as u64);
+        self.peak_memo_bytes = self.peak_memo_bytes.max(bytes as u64);
     }
 }
 
@@ -298,11 +326,7 @@ impl SupportEngine for VerticalEngine {
 
         // Parallel across candidates: each intersection reads only the
         // index and the previous level's memo.
-        let mean_units = self
-            .index
-            .total_units()
-            .checked_div(self.index.num_items().max(1) as usize)
-            .unwrap_or(0);
+        let mean_units = self.index.mean_posting_units();
         let (index, prev) = (&self.index, &self.prev);
 
         if want.min_esup.is_some() || want.min_count.is_some() {
@@ -332,6 +356,9 @@ impl SupportEngine for VerticalEngine {
                     survivors.push(candidate);
                 }
             }
+            // Survivors are intersected a second time to materialize; the
+            // counter must reflect both passes, not one per candidate.
+            stats.intersections += survivors.iter().filter(|c| c.len() > 1).count() as u64;
             let vectors = par_map_min_len(&survivors, mean_units.max(1), PAR_MIN_WORK, |c| {
                 vector_for(index, prev, c)
             });
@@ -351,6 +378,7 @@ impl SupportEngine for VerticalEngine {
         }
         self.note_memo_peak();
         stats.peak_structure_nodes = stats.peak_structure_nodes.max(self.peak_memo_units);
+        stats.peak_memo_bytes = stats.peak_memo_bytes.max(self.peak_memo_bytes);
         out
     }
 
@@ -378,6 +406,409 @@ impl SupportEngine for VerticalEngine {
         }
         self.prev = next;
         self.current = FxHashMap::default();
+    }
+
+    fn peak_memo_bytes(&self) -> u64 {
+        self.peak_memo_bytes
+    }
+}
+
+/// One entry of the [`DiffsetEngine`] memo: a frequent itemset's cached
+/// statistics plus whichever representation of its prob-vector is smaller —
+/// the full tidset, or the delta against its own prefix.
+struct MemoNode {
+    repr: NodeRepr,
+    esup: f64,
+    var: f64,
+    count: usize,
+}
+
+enum NodeRepr {
+    /// Materialized vector (chosen when it is smaller than the delta —
+    /// the sparse-child regime, and the chain terminator for resolution).
+    Tidset(ProbVector),
+    /// Delta against the prefix node (`items[..k-1]`); survivors gather
+    /// `postings(items[k-1])` through [`ProbVector::apply_diff`].
+    Diff(DiffVector),
+}
+
+impl MemoNode {
+    fn mem_bytes(&self) -> usize {
+        match &self.repr {
+            NodeRepr::Tidset(v) => v.mem_bytes(),
+            NodeRepr::Diff(d) => d.mem_bytes(),
+        }
+    }
+}
+
+/// The memory-optimized columnar backend: per-item postings + a delta-chain
+/// prefix memo (dEclat for uncertain data). See the module docs.
+///
+/// Unlike [`VerticalEngine`], which keeps whole prob-vectors for one full
+/// level of frequent prefixes, this memo retains **every** frequent itemset
+/// seen so far — but (on dense data) each as a small [`DiffVector`]. The
+/// chain bottoms out at the index's own postings (or at a node that chose
+/// the tidset representation), so reconstruction never rescans the
+/// database. Reconstruction is amortized per *prefix group*: candidates of
+/// a level share `(k−1)`-prefixes, and each group resolves its prefix
+/// vector once, transiently.
+pub struct DiffsetEngine {
+    index: VerticalIndex,
+    /// Every retained frequent itemset, keyed by its item array. Ancestors
+    /// of any retained delta node are themselves retained (Apriori
+    /// closure: every prefix of a frequent itemset is frequent).
+    memo: FxHashMap<Vec<ItemId>, MemoNode>,
+    /// Nodes for the current level's candidates, pending `finish_level`.
+    current: FxHashMap<Vec<ItemId>, MemoNode>,
+    /// Whether the one-time index build has been charged to `stats.scans`.
+    scan_charged: bool,
+    /// Peak memo bytes ([`SupportEngine::peak_memo_bytes`]).
+    peak_memo_bytes: u64,
+    /// Peak memo units (a dropped tid or a `(tid, prob)` entry each count
+    /// one), reported through `MinerStats::peak_structure_nodes`.
+    peak_memo_units: u64,
+}
+
+/// A resolved prefix vector: borrowed straight from the index or a tidset
+/// node when possible, owned when reconstructed through a delta chain.
+enum Resolved<'a> {
+    Borrowed(&'a ProbVector),
+    Owned(ProbVector),
+}
+
+impl Resolved<'_> {
+    fn get(&self) -> &ProbVector {
+        match self {
+            Resolved::Borrowed(v) => v,
+            Resolved::Owned(v) => v,
+        }
+    }
+}
+
+/// Reconstructs the prob-vector of `items` from the delta-chain memo,
+/// counting each `apply_diff` step into `applies` (they are
+/// intersection-equivalent work). Falls back to a from-scratch postings
+/// fold for itemsets the memo never saw (direct trait users).
+fn resolve<'a>(
+    index: &'a VerticalIndex,
+    memo: &'a FxHashMap<Vec<ItemId>, MemoNode>,
+    items: &[ItemId],
+    applies: &mut u64,
+) -> Resolved<'a> {
+    match items.len() {
+        0 => Resolved::Owned(ProbVector::new()),
+        1 => Resolved::Borrowed(index.postings(items[0])),
+        k => match memo.get(items) {
+            Some(node) => match &node.repr {
+                NodeRepr::Tidset(v) => Resolved::Borrowed(v),
+                NodeRepr::Diff(d) => {
+                    let parent = resolve(index, memo, &items[..k - 1], applies);
+                    *applies += 1;
+                    let mut v = parent.get().apply_diff(d, index.postings(items[k - 1]));
+                    v.maybe_densify(index.num_transactions());
+                    Resolved::Owned(v)
+                }
+            },
+            None => {
+                // Cold fallback (direct trait users): a from-scratch fold
+                // costs `len − 1` intersections; charge them.
+                *applies += items.len().saturating_sub(1) as u64;
+                Resolved::Owned(index.prob_vector(items))
+            }
+        },
+    }
+}
+
+/// Per-candidate output of one prefix group's evaluation.
+struct DiffEval {
+    esup: f64,
+    var: f64,
+    count: usize,
+    /// `None` when pushdown ruled the candidate out (nothing memoized).
+    node: Option<MemoNode>,
+}
+
+impl DiffsetEngine {
+    /// Builds the index (the run's single database pass) and empty memos.
+    pub fn new(db: &UncertainDatabase) -> Self {
+        DiffsetEngine {
+            index: VerticalIndex::build(db),
+            memo: FxHashMap::default(),
+            current: FxHashMap::default(),
+            scan_charged: false,
+            peak_memo_bytes: 0,
+            peak_memo_units: 0,
+        }
+    }
+
+    /// Longest run a single group may span. Longer same-prefix runs are
+    /// split so one giant group (a candidate-heavy final level with few
+    /// prefixes) cannot serialize the parallel map; each extra split only
+    /// re-resolves the shared prefix once.
+    const MAX_GROUP: usize = 64;
+
+    /// Splits `candidates` into runs (of at most [`Self::MAX_GROUP`])
+    /// sharing length and `(k−1)`-prefix. Apriori's join emits same-prefix
+    /// candidates contiguously, so this is a single linear pass;
+    /// non-contiguous repeats merely resolve their prefix more than once.
+    fn prefix_groups(candidates: &[Itemset]) -> Vec<(usize, usize)> {
+        let mut groups = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=candidates.len() {
+            let split = i == candidates.len() || i - start >= Self::MAX_GROUP || {
+                let (a, b) = (&candidates[i - 1], &candidates[i]);
+                a.len() != b.len()
+                    || a.len() <= 1
+                    || a.items()[..a.len() - 1] != b.items()[..b.len() - 1]
+            };
+            if split {
+                groups.push((start, i));
+                start = i;
+            }
+        }
+        groups
+    }
+
+    /// Evaluates one prefix group: resolves the shared prefix vector once,
+    /// then runs `diff_extend` per candidate, choosing the smaller memo
+    /// representation per surviving node. Returns the per-candidate
+    /// results plus the intersection-equivalent work performed (one per
+    /// `diff_extend` or `apply_diff`; cached hits cost none).
+    fn evaluate_group(&self, candidates: &[Itemset], want: StatRequest) -> (Vec<DiffEval>, u64) {
+        let mut work = 0u64;
+        let n = self.index.num_transactions();
+        let mut out = Vec::with_capacity(candidates.len());
+        // All group members share a length and (for k > 1) a prefix.
+        let k = candidates[0].len();
+        if k <= 1 {
+            for c in candidates {
+                let (esup, var, count, node) = match c.items().first() {
+                    Some(&item) => {
+                        let postings = self.index.postings(item);
+                        let (esup, var) = postings.moments();
+                        // Singletons live in the index; no memo entry.
+                        (esup, var, postings.len(), None)
+                    }
+                    None => (0.0, 0.0, 0, None),
+                };
+                out.push(DiffEval {
+                    esup,
+                    var,
+                    count,
+                    node,
+                });
+            }
+            return (out, work);
+        }
+        // Re-evaluated itemsets (direct trait users, repeated runs) are
+        // served wholly from the cached per-node statistics.
+        if let Some(cached) = candidates
+            .iter()
+            .map(|c| {
+                self.current
+                    .get(c.items())
+                    .or_else(|| self.memo.get(c.items()))
+            })
+            .collect::<Option<Vec<&MemoNode>>>()
+        {
+            for node in cached {
+                out.push(DiffEval {
+                    esup: node.esup,
+                    var: node.var,
+                    count: node.count,
+                    node: None,
+                });
+            }
+            return (out, work);
+        }
+        let prefix = resolve(
+            &self.index,
+            &self.memo,
+            &candidates[0].items()[..k - 1],
+            &mut work,
+        );
+        let prefix = prefix.get();
+        for c in candidates {
+            let last = c.items()[k - 1];
+            let postings = self.index.postings(last);
+            work += 1;
+            let (diff, esup, var, count) = prefix.diff_extend(postings);
+            let hopeless = want.min_esup.is_some_and(|t| esup < t)
+                || want.min_count.is_some_and(|t| (count as u64) < t);
+            let node = if hopeless {
+                None
+            } else {
+                // dEclat's per-node choice: keep whichever representation
+                // is smaller. The tidset costs 12 bytes per survivor
+                // sparse, or 8·N once dense; the diffset 4 per dropped tid.
+                let tidset_bytes = if count * ufim_core::vertical::DENSE_CUTOFF_DIVISOR >= n {
+                    n * 8
+                } else {
+                    count * 12
+                };
+                if diff.mem_bytes() <= tidset_bytes {
+                    let mut diff = diff;
+                    diff.shrink_to_fit();
+                    Some(MemoNode {
+                        repr: NodeRepr::Diff(diff),
+                        esup,
+                        var,
+                        count,
+                    })
+                } else {
+                    work += 1;
+                    let mut v = prefix.apply_diff(&diff, postings);
+                    v.maybe_densify(n);
+                    v.shrink_to_fit();
+                    Some(MemoNode {
+                        repr: NodeRepr::Tidset(v),
+                        esup,
+                        var,
+                        count,
+                    })
+                }
+            };
+            out.push(DiffEval {
+                esup,
+                var,
+                count,
+                node,
+            });
+        }
+        (out, work)
+    }
+
+    fn note_memo_peak(&mut self) {
+        let (mut units, mut bytes) = (0usize, 0usize);
+        for node in self.memo.values().chain(self.current.values()) {
+            bytes += node.mem_bytes();
+            units += match &node.repr {
+                NodeRepr::Tidset(v) => v.mem_units(),
+                NodeRepr::Diff(d) => d.len(),
+            };
+        }
+        self.peak_memo_bytes = self.peak_memo_bytes.max(bytes as u64);
+        self.peak_memo_units = self.peak_memo_units.max(units as u64);
+    }
+}
+
+impl SupportEngine for DiffsetEngine {
+    fn name(&self) -> &'static str {
+        EngineKind::Diffset.name()
+    }
+
+    fn evaluate(
+        &mut self,
+        candidates: &[Itemset],
+        want: StatRequest,
+        stats: &mut MinerStats,
+    ) -> LevelSupport {
+        if !self.scan_charged {
+            // The whole run costs one database pass: the index build.
+            stats.scans += 1;
+            self.scan_charged = true;
+        }
+        // Intersection-equivalent work (one diff_extend per non-singleton
+        // candidate — stats + delta in a single pass, so pushdown never
+        // pays a second intersection — plus apply_diff chain resolution
+        // and tidset materialization) is counted per group below.
+
+        let n = candidates.len();
+        let mut out = LevelSupport {
+            esup: vec![0.0; n],
+            variance: want.variance.then(|| vec![0.0; n]),
+            count: want.count.then(|| vec![0u64; n]),
+        };
+
+        let groups = Self::prefix_groups(candidates);
+        // Gate and balance on *candidates*, not groups: the weight folds
+        // the mean group size back in so this backend fans out at the same
+        // scale as the vertical engine, and `prefix_groups` splits long
+        // runs so one giant final-level group cannot serialize the map.
+        let mean_units = self.index.mean_posting_units();
+        let mean_group = candidates.len().div_ceil(groups.len().max(1));
+        let weight = mean_units.max(1).saturating_mul(mean_group.max(1));
+        let results = par_map_min_len(&groups, weight, PAR_MIN_WORK, |&(s, e)| {
+            self.evaluate_group(&candidates[s..e], want)
+        });
+
+        for (&(s, _), (evals, work)) in groups.iter().zip(results) {
+            stats.intersections += work;
+            for (offset, eval) in evals.into_iter().enumerate() {
+                let i = s + offset;
+                out.esup[i] = eval.esup;
+                if let Some(vs) = out.variance.as_mut() {
+                    vs[i] = eval.var;
+                }
+                if let Some(cs) = out.count.as_mut() {
+                    cs[i] = eval.count as u64;
+                }
+                if let Some(node) = eval.node {
+                    self.current.insert(candidates[i].items().to_vec(), node);
+                }
+            }
+        }
+        self.note_memo_peak();
+        stats.peak_structure_nodes = stats.peak_structure_nodes.max(self.peak_memo_units);
+        stats.peak_memo_bytes = stats.peak_memo_bytes.max(self.peak_memo_bytes);
+        out
+    }
+
+    fn prob_vectors(&mut self, candidates: &[Itemset], stats: &mut MinerStats) -> Vec<Vec<f64>> {
+        let mut extra = 0u64;
+        // Candidates arrive sorted, so same-prefix runs are contiguous: a
+        // one-entry cache amortizes the chain walk per prefix group like
+        // `evaluate` does, instead of re-resolving it per candidate.
+        let mut cached: Option<(Vec<ItemId>, ProbVector)> = None;
+        let out = candidates
+            .iter()
+            .map(|c| match self.current.get(c.items()) {
+                Some(node) => match &node.repr {
+                    NodeRepr::Tidset(v) => v.nonzero_probs(),
+                    NodeRepr::Diff(d) => {
+                        let k = c.len();
+                        let prefix_items = &c.items()[..k - 1];
+                        if cached.as_ref().is_none_or(|(p, _)| p != prefix_items) {
+                            let resolved =
+                                resolve(&self.index, &self.memo, prefix_items, &mut extra)
+                                    .get()
+                                    .clone();
+                            cached = Some((prefix_items.to_vec(), resolved));
+                        }
+                        let (_, prefix) = cached.as_ref().expect("just cached");
+                        extra += 1;
+                        prefix
+                            .apply_diff(d, self.index.postings(c.items()[k - 1]))
+                            .nonzero_probs()
+                    }
+                },
+                None => {
+                    // Cold path (direct trait users): a from-scratch fold
+                    // costs `len − 1` intersections; charge them.
+                    extra += c.len().saturating_sub(1) as u64;
+                    self.index.prob_vector(c.items()).nonzero_probs()
+                }
+            })
+            .collect();
+        stats.intersections += extra;
+        out
+    }
+
+    fn finish_level(&mut self, frequent: &[FrequentItemset]) {
+        // Frequent nodes join the persistent delta-chain memo; the rest of
+        // the level is dropped. Every ancestor a retained delta needs is
+        // already in the memo (each prefix of a frequent itemset was itself
+        // frequent on an earlier level).
+        for f in frequent {
+            if let Some(node) = self.current.remove(f.itemset.items()) {
+                self.memo.insert(f.itemset.items().to_vec(), node);
+            }
+        }
+        self.current = FxHashMap::default();
+    }
+
+    fn peak_memo_bytes(&self) -> u64 {
+        self.peak_memo_bytes
     }
 }
 
@@ -535,6 +966,151 @@ mod tests {
         assert_eq!(
             sup.count.as_ref().unwrap()[0] as usize,
             db.itemset_prob_vector(&[0, 2, 4]).len()
+        );
+    }
+
+    #[test]
+    fn vertical_pushdown_charges_both_intersection_passes() {
+        let db = paper_table1();
+        let mut engine = VerticalEngine::new(&db);
+        let mut stats = MinerStats::default();
+        let singletons: Vec<Itemset> = (0..6).map(Itemset::singleton).collect();
+        engine.evaluate(&singletons, StatRequest::ESUP, &mut stats);
+        engine.finish_level(&as_frequent(&singletons));
+        // A threshold low enough that every pair survives: each of the 15
+        // pairs pays the stats pass AND the materialization pass.
+        let p = pairs();
+        engine.evaluate(&p, StatRequest::ESUP.with_min_esup(0.0), &mut stats);
+        assert_eq!(stats.intersections, 2 * p.len() as u64);
+
+        // A threshold nothing survives: only the stats pass is charged.
+        let mut engine = VerticalEngine::new(&db);
+        let mut stats = MinerStats::default();
+        engine.evaluate(&singletons, StatRequest::ESUP, &mut stats);
+        engine.finish_level(&as_frequent(&singletons));
+        engine.evaluate(&p, StatRequest::ESUP.with_min_esup(1e9), &mut stats);
+        assert_eq!(stats.intersections, p.len() as u64);
+    }
+
+    #[test]
+    fn diffset_agrees_with_vertical_across_levels() {
+        let db = paper_table1();
+        let mut v = VerticalEngine::new(&db);
+        let mut d = DiffsetEngine::new(&db);
+        let mut vs = MinerStats::default();
+        let mut ds = MinerStats::default();
+        let singletons: Vec<Itemset> = (0..6).map(Itemset::singleton).collect();
+        let want = StatRequest {
+            variance: true,
+            count: true,
+            ..StatRequest::ESUP
+        };
+        for level in [singletons, pairs()] {
+            let lv = v.evaluate(&level, want, &mut vs);
+            let ld = d.evaluate(&level, want, &mut ds);
+            for (i, c) in level.iter().enumerate() {
+                assert_eq!(lv.esup[i].to_bits(), ld.esup[i].to_bits(), "{c}");
+                assert_eq!(
+                    lv.variance.as_ref().unwrap()[i].to_bits(),
+                    ld.variance.as_ref().unwrap()[i].to_bits()
+                );
+                assert_eq!(lv.count.as_ref().unwrap()[i], ld.count.as_ref().unwrap()[i]);
+            }
+            assert_eq!(
+                v.prob_vectors(&level, &mut vs),
+                d.prob_vectors(&level, &mut ds)
+            );
+            v.finish_level(&as_frequent(&level));
+            d.finish_level(&as_frequent(&level));
+        }
+        // Level 3 extends memoized pair prefixes through the delta chain.
+        let triple = vec![Itemset::from_items([0, 2, 4])];
+        let lv = v.evaluate(&triple, want, &mut vs);
+        let ld = d.evaluate(&triple, want, &mut ds);
+        assert_eq!(lv.esup[0].to_bits(), ld.esup[0].to_bits());
+        assert!((ld.esup[0] - db.expected_support(&[0, 2, 4])).abs() < 1e-12);
+        assert_eq!(
+            v.prob_vectors(&triple, &mut vs),
+            d.prob_vectors(&triple, &mut ds)
+        );
+    }
+
+    #[test]
+    fn diffset_pushdown_skips_memoization_but_reports_stats() {
+        let db = paper_table1();
+        let mut engine = DiffsetEngine::new(&db);
+        let mut stats = MinerStats::default();
+        let singletons: Vec<Itemset> = (0..6).map(Itemset::singleton).collect();
+        engine.evaluate(&singletons, StatRequest::ESUP, &mut stats);
+        engine.finish_level(&as_frequent(&singletons));
+        let p = pairs();
+        let sup = engine.evaluate(&p, StatRequest::ESUP.with_min_esup(1e9), &mut stats);
+        // Statistics are still exact for every candidate…
+        for (i, c) in p.iter().enumerate() {
+            assert!((sup.esup[i] - db.expected_support(c.items())).abs() < 1e-12);
+        }
+        // …but nothing was memoized (and nothing materialized: one
+        // diff_extend per pair, no apply_diff).
+        assert!(engine.current.is_empty());
+        assert_eq!(stats.intersections, p.len() as u64);
+    }
+
+    #[test]
+    fn diffset_cold_lookup_falls_back_to_scratch_fold() {
+        let db = paper_table1();
+        let mut engine = DiffsetEngine::new(&db);
+        let mut stats = MinerStats::default();
+        let triple = vec![Itemset::from_items([0, 2, 4])];
+        let sup = engine.evaluate(&triple, StatRequest::WITH_COUNT, &mut stats);
+        assert!((sup.esup[0] - db.expected_support(&[0, 2, 4])).abs() < 1e-12);
+        assert_eq!(
+            sup.count.as_ref().unwrap()[0] as usize,
+            db.itemset_prob_vector(&[0, 2, 4]).len()
+        );
+    }
+
+    /// A dense fixture on which the delta memo must be strictly smaller
+    /// than the vertical backend's whole-vector memo — the tentpole's
+    /// reason to exist.
+    #[test]
+    fn diffset_memo_is_smaller_on_dense_data() {
+        use ufim_core::Transaction;
+        // 400 transactions, 8 items, ~every item in every transaction with
+        // high probability: every extension keeps almost every tid, so
+        // deltas are tiny while whole vectors stay ~N long.
+        let transactions: Vec<Transaction> = (0..400)
+            .map(|t| {
+                let units: Vec<(u32, f64)> = (0..8u32)
+                    .filter(|i| !(t + *i as usize).is_multiple_of(11))
+                    .map(|i| (i, 0.6 + 0.05 * (i as f64)))
+                    .collect();
+                Transaction::new(units).unwrap()
+            })
+            .collect();
+        let db = UncertainDatabase::with_num_items(transactions, 8);
+        let singletons: Vec<Itemset> = (0..8).map(Itemset::singleton).collect();
+        let mut all_pairs = Vec::new();
+        for a in 0..8u32 {
+            for b in a + 1..8u32 {
+                all_pairs.push(Itemset::from_items([a, b]));
+            }
+        }
+
+        let mut v = VerticalEngine::new(&db);
+        let mut d = DiffsetEngine::new(&db);
+        let mut stats = MinerStats::default();
+        for engine in [&mut v as &mut dyn SupportEngine, &mut d] {
+            let l1 = engine.evaluate(&singletons, StatRequest::ESUP, &mut stats);
+            assert!(l1.esup.iter().all(|&e| e > 0.0));
+            engine.finish_level(&as_frequent(&singletons));
+            engine.evaluate(&all_pairs, StatRequest::ESUP, &mut stats);
+            engine.finish_level(&as_frequent(&all_pairs));
+        }
+        let (vb, db_) = (v.peak_memo_bytes(), d.peak_memo_bytes());
+        assert!(vb > 0 && db_ > 0);
+        assert!(
+            db_ < vb,
+            "diffset memo ({db_} B) must undercut tidset memo ({vb} B) on dense data"
         );
     }
 

@@ -327,12 +327,19 @@ mod tests {
                 .unwrap()
                 .mine_expected_ratio(&db, 0.25)
                 .unwrap();
-            let v = algo
-                .expected_support_miner_with(EngineKind::Vertical)
-                .unwrap()
-                .mine_expected_ratio(&db, 0.25)
-                .unwrap();
-            assert_eq!(h.sorted_itemsets(), v.sorted_itemsets(), "{}", algo.name());
+            for engine in [EngineKind::Vertical, EngineKind::Diffset] {
+                let v = algo
+                    .expected_support_miner_with(engine)
+                    .unwrap()
+                    .mine_expected_ratio(&db, 0.25)
+                    .unwrap();
+                assert_eq!(
+                    h.sorted_itemsets(),
+                    v.sorted_itemsets(),
+                    "{} ({engine})",
+                    algo.name()
+                );
+            }
         }
         assert!(Algorithm::UApriori.supports_engine_selection());
         assert!(Algorithm::DCB.supports_engine_selection());

@@ -80,9 +80,14 @@
 //!   one pass per level (the paper's layout);
 //! * `Vertical` — a columnar tid-list index built in one pass, after which
 //!   each candidate costs one intersection of its prefix's memoized
-//!   probability vector with the last item's postings (U-Eclat).
+//!   probability vector with the last item's postings (U-Eclat);
+//! * `Diffset` — the dEclat analog of `Vertical`, optimized for peak
+//!   memory: the prefix memo stores deltas (the tids each extension
+//!   dropped) instead of whole vectors, trading some reconstruction time
+//!   for a much smaller memo on dense data.
 //!
-//! Both are observationally identical; see `tests/engine_equivalence.rs`.
+//! All three are observationally identical; see
+//! `tests/engine_equivalence.rs`.
 //!
 //! ```
 //! use uncertain_fim::core::EngineKind;

@@ -1,13 +1,14 @@
-//! Cross-backend equivalence suite: the vertical tid-list engine and the
-//! horizontal scan engine must be observationally identical under **all
-//! eight** of the paper's miners (plus the unpruned exact variants), on
-//! random uncertain databases and on the paper's Table 1 example.
+//! Cross-backend equivalence suite: every support engine — horizontal
+//! scan, vertical tid-list, and diffset delta-memo — must be
+//! observationally identical under **all eight** of the paper's miners
+//! (plus the unpruned exact variants), on random uncertain databases and
+//! on the paper's Table 1 example.
 //!
 //! For the Apriori-framework miners (UApriori, PDUApriori, NDUApriori,
 //! DP/DC ± Chernoff) the backend is actually swapped and compared head to
 //! head. The depth-first miners (UFP-growth, UH-Mine, NDUH-Mine) own their
 //! data structures and ignore the selector; they are held to the same
-//! standard by comparing their output against both backends of their
+//! standard by comparing their output against every backend of their
 //! Apriori-framework counterpart.
 
 use proptest::collection::vec;
@@ -94,6 +95,10 @@ proptest! {
             .mine_expected_ratio(&db, ratio)
             .unwrap();
         assert_equivalent(&h, &v, "UApriori")?;
+        let d = UApriori::with_engine(EngineKind::Diffset)
+            .mine_expected_ratio(&db, ratio)
+            .unwrap();
+        assert_equivalent(&h, &d, "UApriori-diffset")?;
         for algo in [Algorithm::UFPGrowth, Algorithm::UHMine] {
             let r = algo
                 .expected_support_miner()
@@ -122,10 +127,12 @@ proptest! {
             let h = miner
                 .mine_probabilistic(&db, params.with_engine(EngineKind::Horizontal))
                 .unwrap();
-            let v = miner
-                .mine_probabilistic(&db, params.with_engine(EngineKind::Vertical))
-                .unwrap();
-            assert_equivalent(&h, &v, algo.name())?;
+            for engine in [EngineKind::Vertical, EngineKind::Diffset] {
+                let v = miner
+                    .mine_probabilistic(&db, params.with_engine(engine))
+                    .unwrap();
+                assert_equivalent(&h, &v, &format!("{}-{}", algo.name(), engine))?;
+            }
         }
     }
 
@@ -143,10 +150,12 @@ proptest! {
             let h = miner
                 .mine_probabilistic(&db, params.with_engine(EngineKind::Horizontal))
                 .unwrap();
-            let v = miner
-                .mine_probabilistic(&db, params.with_engine(EngineKind::Vertical))
-                .unwrap();
-            assert_equivalent(&h, &v, algo.name())?;
+            for engine in [EngineKind::Vertical, EngineKind::Diffset] {
+                let v = miner
+                    .mine_probabilistic(&db, params.with_engine(engine))
+                    .unwrap();
+                assert_equivalent(&h, &v, &format!("{}-{}", algo.name(), engine))?;
+            }
         }
         let ndua = NDUApriori::new()
             .mine_probabilistic(&db, params.with_engine(EngineKind::Vertical))
@@ -307,7 +316,7 @@ proptest! {
     }
 }
 
-/// The paper's worked example must come out identically on both backends,
+/// The paper's worked example must come out identically on every backend,
 /// for every miner in the study.
 #[test]
 fn paper_table1_identical_across_backends() {
@@ -328,7 +337,7 @@ fn paper_table1_identical_across_backends() {
         assert!((a.expected_support - 2.1).abs() < 1e-12);
     }
 
-    // Definition 4 on every probabilistic miner, both backends.
+    // Definition 4 on every probabilistic miner, every backend.
     let params = MiningParams::new(0.5, 0.7).unwrap();
     for algo in [
         Algorithm::DPB,
@@ -343,18 +352,20 @@ fn paper_table1_identical_across_backends() {
         let h = miner
             .mine_probabilistic(&db, params.with_engine(EngineKind::Horizontal))
             .unwrap();
-        let v = miner
-            .mine_probabilistic(&db, params.with_engine(EngineKind::Vertical))
-            .unwrap();
-        assert_eq!(
-            h.sorted_itemsets(),
-            v.sorted_itemsets(),
-            "{} diverges on Table 1",
-            algo.name()
-        );
-        for fi in &v.itemsets {
-            let want = h.get(&fi.itemset).unwrap();
-            assert!((fi.expected_support - want.expected_support).abs() < 1e-9);
+        for engine in [EngineKind::Vertical, EngineKind::Diffset] {
+            let v = miner
+                .mine_probabilistic(&db, params.with_engine(engine))
+                .unwrap();
+            assert_eq!(
+                h.sorted_itemsets(),
+                v.sorted_itemsets(),
+                "{} diverges on Table 1 ({engine})",
+                algo.name()
+            );
+            for fi in &v.itemsets {
+                let want = h.get(&fi.itemset).unwrap();
+                assert!((fi.expected_support - want.expected_support).abs() < 1e-9);
+            }
         }
     }
 }
@@ -385,23 +396,25 @@ fn backends_agree_on_large_parallel_workload() {
     let h = UApriori::with_engine(EngineKind::Horizontal)
         .mine_expected_ratio(&db, 0.02)
         .unwrap();
-    let v = UApriori::with_engine(EngineKind::Vertical)
-        .mine_expected_ratio(&db, 0.02)
-        .unwrap();
-    assert_eq!(h.sorted_itemsets(), v.sorted_itemsets());
     assert!(
         h.len() > 50,
         "workload should mine several levels: {}",
         h.len()
     );
-    for fi in &v.itemsets {
-        let want = h.get(&fi.itemset).unwrap().expected_support;
-        assert!(
-            (fi.expected_support - want).abs() < 1e-9,
-            "{}: {} vs {}",
-            fi.itemset,
-            fi.expected_support,
-            want
-        );
+    for engine in [EngineKind::Vertical, EngineKind::Diffset] {
+        let v = UApriori::with_engine(engine)
+            .mine_expected_ratio(&db, 0.02)
+            .unwrap();
+        assert_eq!(h.sorted_itemsets(), v.sorted_itemsets(), "{engine}");
+        for fi in &v.itemsets {
+            let want = h.get(&fi.itemset).unwrap().expected_support;
+            assert!(
+                (fi.expected_support - want).abs() < 1e-9,
+                "{engine} {}: {} vs {}",
+                fi.itemset,
+                fi.expected_support,
+                want
+            );
+        }
     }
 }
