@@ -1,0 +1,211 @@
+//! The parallel pattern-growth benchmark: the issue's three headline
+//! workloads — UApriori on a dense database (level-wise, scratch-space
+//! intersection kernels), NDUH-Mine (hyper-structure first-level fan-out),
+//! and UFP-growth (tree-growth first-level fan-out) — swept over worker
+//! pool sizes through `ufim_core::parallel::with_thread_override`.
+//!
+//! On a multi-core host the `threads=N` rows show the fan-out speedup; on
+//! a single-core container they bound the scheduling overhead instead
+//! (`threads=1` must not regress against the pre-parallel sequential
+//! code — results are bit-identical by construction, pinned by
+//! `tests/thread_determinism.rs`). The `parallel_guard` group is the CI
+//! smoke: it asserts cross-pool-size result identity on the benchmarked
+//! workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+use ufim_core::parallel::with_thread_override;
+use ufim_core::prelude::*;
+use ufim_miners::{NDUHMine, UApriori, UFPGrowth};
+
+/// Dense synthetic uncertain database (same generator family as
+/// `bench_engines`): every item appears in `density` of the transactions
+/// with a high existence probability.
+fn dense_db(transactions: usize, items: u32, density: f64, seed: u64) -> UncertainDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = (0..transactions)
+        .map(|_| {
+            let units: Vec<(u32, f64)> = (0..items)
+                .filter_map(|i| {
+                    if rng.gen_bool(density) {
+                        Some((i, rng.gen_range(0.5..=1.0)))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            Transaction::new(units).unwrap()
+        })
+        .collect();
+    UncertainDatabase::with_num_items(t, items)
+}
+
+/// Sparser mixed database — the depth-first miners' home regime.
+fn sparse_db(transactions: usize, items: u32, seed: u64) -> UncertainDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = (0..transactions)
+        .map(|_| {
+            let units: Vec<(u32, f64)> = (0..items)
+                .filter_map(|i| {
+                    // Zipf-flavored inclusion: low ids common, tail rare.
+                    let p_incl = 0.6 / (1.0 + i as f64 * 0.35);
+                    if rng.gen_bool(p_incl) {
+                        Some((i, rng.gen_range(0.3..=1.0)))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            Transaction::new(units).unwrap()
+        })
+        .collect();
+    UncertainDatabase::with_num_items(t, items)
+}
+
+/// Pool sizes to sweep: sequential, two workers, and the host's
+/// parallelism — deduplicated so 1- and 2-core hosts never register the
+/// same benchmark id twice.
+fn pools() -> Vec<usize> {
+    let max = ufim_core::parallel::max_threads();
+    let mut pools = vec![1, 2.min(max), max];
+    pools.dedup();
+    pools
+}
+
+fn bench_uapriori_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_uapriori_dense");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    let db = dense_db(20_000, 24, 0.4, 7);
+    for threads in pools() {
+        group.bench_with_input(
+            BenchmarkId::new(format!("threads={threads}"), "N=20k,I=24,d=0.4"),
+            &db,
+            |b, db| {
+                let miner = UApriori::with_engine(EngineKind::Vertical);
+                b.iter(|| {
+                    with_thread_override(threads, || {
+                        miner
+                            .mine_expected_ratio(std::hint::black_box(db), 0.02)
+                            .unwrap()
+                            .len()
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_nduh_mine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_nduh_mine");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    let db = sparse_db(30_000, 24, 13);
+    for threads in pools() {
+        group.bench_with_input(
+            BenchmarkId::new(format!("threads={threads}"), "N=30k,I=24,zipfish"),
+            &db,
+            |b, db| {
+                let miner = NDUHMine::new();
+                b.iter(|| {
+                    with_thread_override(threads, || {
+                        miner
+                            .mine_probabilistic_raw(std::hint::black_box(db), 0.05, 0.5)
+                            .unwrap()
+                            .len()
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ufp_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_ufp_growth");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    let db = dense_db(4_000, 20, 0.3, 21);
+    for threads in pools() {
+        group.bench_with_input(
+            BenchmarkId::new(format!("threads={threads}"), "N=4k,I=20,d=0.3"),
+            &db,
+            |b, db| {
+                let miner = UFPGrowth::new();
+                b.iter(|| {
+                    with_thread_override(threads, || {
+                        miner
+                            .mine_expected_ratio(std::hint::black_box(db), 0.05)
+                            .unwrap()
+                            .len()
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// CI smoke: the three benchmarked miners must produce identical results
+/// at every pool size (checked once, outside timing).
+fn bench_parallel_guard(c: &mut Criterion) {
+    let dense = dense_db(4_000, 16, 0.4, 7);
+    let sparse = sparse_db(4_000, 16, 13);
+    let reference_u = with_thread_override(1, || {
+        UApriori::with_engine(EngineKind::Vertical)
+            .mine_expected_ratio(&dense, 0.02)
+            .unwrap()
+    });
+    let reference_n = with_thread_override(1, || {
+        NDUHMine::new()
+            .mine_probabilistic_raw(&sparse, 0.05, 0.5)
+            .unwrap()
+    });
+    let reference_t = with_thread_override(1, || {
+        UFPGrowth::new().mine_expected_ratio(&dense, 0.05).unwrap()
+    });
+    for threads in [2usize, 8] {
+        with_thread_override(threads, || {
+            let u = UApriori::with_engine(EngineKind::Vertical)
+                .mine_expected_ratio(&dense, 0.02)
+                .unwrap();
+            assert_eq!(u.sorted_itemsets(), reference_u.sorted_itemsets());
+            assert_eq!(u.stats, reference_u.stats, "UApriori stats @ {threads}");
+            let n = NDUHMine::new()
+                .mine_probabilistic_raw(&sparse, 0.05, 0.5)
+                .unwrap();
+            assert_eq!(n.sorted_itemsets(), reference_n.sorted_itemsets());
+            assert_eq!(n.stats, reference_n.stats, "NDUH-Mine stats @ {threads}");
+            let t = UFPGrowth::new().mine_expected_ratio(&dense, 0.05).unwrap();
+            assert_eq!(t.sorted_itemsets(), reference_t.sorted_itemsets());
+            assert_eq!(t.stats, reference_t.stats, "UFP-growth stats @ {threads}");
+        });
+    }
+    let mut group = c.benchmark_group("parallel_guard");
+    group
+        .sample_size(2)
+        .warm_up_time(Duration::from_millis(10))
+        .measurement_time(Duration::from_millis(50));
+    group.bench_function("pool_sizes_identical", |b| {
+        b.iter(|| reference_u.len() + reference_n.len() + reference_t.len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_uapriori_dense,
+    bench_nduh_mine,
+    bench_ufp_growth,
+    bench_parallel_guard
+);
+criterion_main!(benches);

@@ -19,6 +19,9 @@ pub struct HarnessConfig {
     pub timeout: Duration,
     /// Directory for CSV dumps (`None` = print only).
     pub csv_dir: Option<PathBuf>,
+    /// Directory for `BENCH_<experiment>.json` performance snapshots
+    /// (`None` = none written). See [`crate::json`].
+    pub json_dir: Option<PathBuf>,
     /// Support-computation backends to sweep. Every figure experiment runs
     /// once per entry, so `--engine both` (or `all`) produces the
     /// apples-to-apples backend comparison directly.
@@ -37,6 +40,7 @@ impl Default for HarnessConfig {
             seed: 42,
             timeout: Duration::from_secs(60),
             csv_dir: None,
+            json_dir: None,
             engines: vec![EngineKind::default()],
             mem: false,
         }
@@ -81,6 +85,10 @@ impl HarnessConfig {
                     let v = it.next().ok_or("--csv needs a directory")?;
                     cfg.csv_dir = Some(PathBuf::from(v));
                 }
+                "--json" => {
+                    let v = it.next().ok_or("--json needs a directory")?;
+                    cfg.json_dir = Some(PathBuf::from(v));
+                }
                 "--engine" => {
                     let v = it.next().ok_or("--engine needs a value")?;
                     cfg.engines = if v.eq_ignore_ascii_case("both") || v.eq_ignore_ascii_case("all")
@@ -99,6 +107,17 @@ impl HarnessConfig {
             }
         }
         Ok((cfg, rest))
+    }
+
+    /// Writes one `BENCH_<experiment>.json` snapshot if `--json` was
+    /// given. Like [`HarnessConfig::write_csv`], failures warn but never
+    /// abort an experiment.
+    pub fn write_json(&self, snapshot: &crate::json::JsonSnapshot) {
+        if let Some(dir) = &self.json_dir {
+            if let Some(path) = snapshot.write(dir) {
+                println!("wrote {}", path.display());
+            }
+        }
     }
 
     /// Writes one CSV series if `--csv` was given. Errors are reported to
@@ -181,6 +200,16 @@ mod tests {
             let (cfg, _) = HarnessConfig::parse(&argv(&["--engine", sweep])).unwrap();
             assert_eq!(cfg.engines, EngineKind::ALL.to_vec());
         }
+    }
+
+    #[test]
+    fn parses_json_flag() {
+        let (cfg, _) = HarnessConfig::parse(&[]).unwrap();
+        assert!(cfg.json_dir.is_none());
+        let (cfg, rest) = HarnessConfig::parse(&argv(&["fig4", "--json", "out"])).unwrap();
+        assert_eq!(cfg.json_dir.as_deref(), Some(std::path::Path::new("out")));
+        assert_eq!(rest, argv(&["fig4"]));
+        assert!(HarnessConfig::parse(&argv(&["--json"])).is_err());
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub fn run(cfg: &HarnessConfig, panel: Fig4Panel) {
                 sweep.report(
                     cfg,
                     &format!("fig4_minesup_{}{ftag}", b.name().to_lowercase()),
+                    engine,
                 );
             }
         }
@@ -115,7 +116,7 @@ pub fn run(cfg: &HarnessConfig, panel: Fig4Panel) {
                     run_expected_with(algo, &db, min_esup, engine)
                 },
             );
-            sweep.report(cfg, &format!("fig4_scalability{ftag}"));
+            sweep.report(cfg, &format!("fig4_scalability{ftag}"), engine);
         }
     }
 
@@ -143,7 +144,7 @@ pub fn run(cfg: &HarnessConfig, panel: Fig4Panel) {
                 cfg,
                 |algo, xi| run_expected_with(algo, &dbs[xi], ZIPF_MIN_ESUP, engine),
             );
-            sweep.report(cfg, &format!("fig4_zipf{ftag}"));
+            sweep.report(cfg, &format!("fig4_zipf{ftag}"), engine);
         }
     }
 }

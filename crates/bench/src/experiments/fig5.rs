@@ -81,6 +81,7 @@ pub fn run(cfg: &HarnessConfig, panel: Fig5Panel) {
                 sweep.report(
                     cfg,
                     &format!("fig5_minsup_{}{ftag}", b.name().to_lowercase()),
+                    engine,
                 );
             }
         }
@@ -108,7 +109,11 @@ pub fn run(cfg: &HarnessConfig, panel: Fig5Panel) {
                     cfg,
                     |algo, xi| run_probabilistic_with(algo, &db, min_sup, PFT_AXIS[xi], engine),
                 );
-                sweep.report(cfg, &format!("fig5_pft_{}{ftag}", b.name().to_lowercase()));
+                sweep.report(
+                    cfg,
+                    &format!("fig5_pft_{}{ftag}", b.name().to_lowercase()),
+                    engine,
+                );
             }
         }
     }
@@ -138,7 +143,7 @@ pub fn run(cfg: &HarnessConfig, panel: Fig5Panel) {
                     run_probabilistic_with(algo, &db, d.min_sup, d.pft, engine)
                 },
             );
-            sweep.report(cfg, &format!("fig5_scalability{ftag}"));
+            sweep.report(cfg, &format!("fig5_scalability{ftag}"), engine);
         }
     }
 
@@ -164,7 +169,7 @@ pub fn run(cfg: &HarnessConfig, panel: Fig5Panel) {
             cfg,
             |algo, xi| run_probabilistic_with(algo, &dbs[xi], ZIPF_MIN_SUP, pft, engine),
         );
-            sweep.report(cfg, &format!("fig5_zipf{ftag}"));
+            sweep.report(cfg, &format!("fig5_zipf{ftag}"), engine);
         }
     }
 }

@@ -88,6 +88,7 @@ pub fn run(cfg: &HarnessConfig, panel: Fig6Panel) {
                 sweep.report(
                     cfg,
                     &format!("fig6_minsup_{}{ftag}", b.name().to_lowercase()),
+                    engine,
                 );
             }
         }
@@ -116,7 +117,11 @@ pub fn run(cfg: &HarnessConfig, panel: Fig6Panel) {
                     cfg,
                     |algo, xi| run_probabilistic_with(algo, &db, min_sup, PFT_AXIS[xi], engine),
                 );
-                sweep.report(cfg, &format!("fig6_pft_{}{ftag}", b.name().to_lowercase()));
+                sweep.report(
+                    cfg,
+                    &format!("fig6_pft_{}{ftag}", b.name().to_lowercase()),
+                    engine,
+                );
             }
         }
     }
@@ -147,7 +152,7 @@ pub fn run(cfg: &HarnessConfig, panel: Fig6Panel) {
                     run_probabilistic_with(algo, &db, d.min_sup, d.pft, engine)
                 },
             );
-            sweep.report(cfg, &format!("fig6_scalability{ftag}"));
+            sweep.report(cfg, &format!("fig6_scalability{ftag}"), engine);
         }
     }
 
@@ -174,7 +179,7 @@ pub fn run(cfg: &HarnessConfig, panel: Fig6Panel) {
             cfg,
             |algo, xi| run_probabilistic_with(algo, &dbs[xi], ZIPF_MIN_SUP, pft, engine),
         );
-            sweep.report(cfg, &format!("fig6_zipf{ftag}"));
+            sweep.report(cfg, &format!("fig6_zipf{ftag}"), engine);
         }
     }
 }

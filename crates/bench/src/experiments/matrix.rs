@@ -64,6 +64,11 @@ pub fn run(
         let mut table = Table::new(header);
         let mut csv_rows = Vec::new();
         let mut inconsistent = Vec::new();
+        let mut snapshot = crate::json::JsonSnapshot::new(
+            format!("matrix_{}", engine.name()),
+            cfg.scale,
+            cfg.seed,
+        );
 
         for &measure in &measures {
             let mut row = vec![measure.name().to_string()];
@@ -122,6 +127,16 @@ pub fn run(
                     m.stats.peak_memo_bytes,
                     m.num_itemsets
                 ));
+                snapshot.runs.push(crate::json::JsonRun {
+                    workload: format!("{}@scale={}", b.name(), cfg.scale),
+                    algorithm: format!("{}×{}", measure.name(), traversal.name()),
+                    engine: engine_label.to_string(),
+                    wall_ms: m.time_secs * 1e3,
+                    peak_bytes: m.peak_bytes as u64,
+                    peak_memo_bytes: m.stats.peak_memo_bytes,
+                    intersections: m.stats.intersections,
+                    num_itemsets: m.num_itemsets as u64,
+                });
             }
             counts.dedup();
             if counts.len() > 1 {
@@ -142,6 +157,7 @@ pub fn run(
             "measure,traversal,engine,time_secs,peak_bytes,peak_structure_nodes,peak_memo_bytes,num_itemsets",
             &csv_rows,
         );
+        cfg.write_json(&snapshot);
     }
 }
 

@@ -95,8 +95,11 @@ impl Sweep {
     }
 
     /// Renders the paper-figure-shaped tables (one row per x, one column
-    /// pair per algorithm) and dumps CSV when configured.
-    pub fn report(&self, cfg: &HarnessConfig, csv_name: &str) {
+    /// pair per algorithm) and dumps CSV/JSON when configured. `engine` is
+    /// the support backend this sweep ran on — recorded per run in the
+    /// JSON snapshot (as `n/a` for miners outside the engine seam, which
+    /// ignore the selector).
+    pub fn report(&self, cfg: &HarnessConfig, csv_name: &str, engine: EngineKind) {
         println!("\n=== {} ===", self.title);
         let mut header = vec![self.x_name.clone()];
         for a in &self.algorithms {
@@ -184,6 +187,31 @@ impl Sweep {
             ),
             &rows,
         );
+
+        // The machine-readable performance snapshot (`--json`): every run
+        // that finished, skipped points omitted.
+        let mut snapshot = crate::json::JsonSnapshot::new(csv_name, cfg.scale, cfg.seed);
+        for (x, runs) in &self.points {
+            for (a, r) in self.algorithms.iter().zip(runs) {
+                let Some(m) = r else { continue };
+                let engine_label = if a.supports_engine_selection() {
+                    engine.name()
+                } else {
+                    "n/a" // owns its structures; the selector is ignored
+                };
+                snapshot.runs.push(crate::json::JsonRun {
+                    workload: format!("{}={x}", self.x_name),
+                    algorithm: a.name().to_string(),
+                    engine: engine_label.to_string(),
+                    wall_ms: m.time_secs * 1e3,
+                    peak_bytes: m.peak_bytes as u64,
+                    peak_memo_bytes: m.stats.peak_memo_bytes,
+                    intersections: m.stats.intersections,
+                    num_itemsets: m.num_itemsets as u64,
+                });
+            }
+        }
+        cfg.write_json(&snapshot);
     }
 
     /// The fastest algorithm at a given point (by index), if any ran.

@@ -1,0 +1,525 @@
+//! Machine-readable `BENCH_<experiment>.json` performance snapshots.
+//!
+//! Every experiment can dump its measured runs as one JSON file per
+//! experiment (`--json DIR`), so the repo's performance trajectory is
+//! diffable across PRs: a snapshot records the workload label, wall-clock
+//! milliseconds, allocator peak, engine-memo peak and intersection count
+//! of every run, plus the configuration that produced them (scale, seed,
+//! thread cap). `crates/bench/baselines/` keeps checked-in snapshots from
+//! past PRs as the comparison anchor.
+//!
+//! The sanctioned dependency set has no serde, so this module hand-rolls
+//! the (tiny) writer and a strict reader. The reader is a real JSON
+//! parser — `ufim-bench json-check` uses it in CI to prove the emitted
+//! snapshots are actually machine-readable, not just string-shaped.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One measured run inside a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonRun {
+    /// Workload label — the x-axis point of the sweep (e.g. `min_esup=0.5`)
+    /// or a dataset tag.
+    pub workload: String,
+    /// Algorithm (or matrix-cell) name.
+    pub algorithm: String,
+    /// Support backend, `n/a` for miners outside the engine seam.
+    pub engine: String,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Allocator-level peak heap growth in bytes (0 without the counting
+    /// allocator).
+    pub peak_bytes: u64,
+    /// Engine memo peak in bytes ([`ufim_core::MinerStats::peak_memo_bytes`]).
+    pub peak_memo_bytes: u64,
+    /// Tid-list intersections performed
+    /// ([`ufim_core::MinerStats::intersections`]).
+    pub intersections: u64,
+    /// Number of frequent itemsets found.
+    pub num_itemsets: u64,
+}
+
+/// One experiment's snapshot: configuration + measured runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonSnapshot {
+    /// Experiment name (becomes the `BENCH_<experiment>.json` file name).
+    pub experiment: String,
+    /// `--scale` the runs used.
+    pub scale: f64,
+    /// `--seed` the runs used.
+    pub seed: u64,
+    /// Worker-thread cap the runs used
+    /// ([`ufim_core::parallel::max_threads`]).
+    pub threads: u64,
+    /// The measured runs, in execution order.
+    pub runs: Vec<JsonRun>,
+}
+
+impl JsonSnapshot {
+    /// An empty snapshot for `experiment` under the current configuration.
+    pub fn new(experiment: impl Into<String>, scale: f64, seed: u64) -> Self {
+        JsonSnapshot {
+            experiment: experiment.into(),
+            scale,
+            seed,
+            threads: ufim_core::parallel::max_threads() as u64,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Serializes the snapshot as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.runs.len() * 192);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"experiment\": {},", quote(&self.experiment));
+        let _ = writeln!(s, "  \"scale\": {},", fmt_f64(self.scale));
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        s.push_str("  \"runs\": [");
+        for (i, r) in self.runs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            let _ = write!(
+                s,
+                "\"workload\": {}, \"algorithm\": {}, \"engine\": {}, \
+                 \"wall_ms\": {}, \"peak_bytes\": {}, \"peak_memo_bytes\": {}, \
+                 \"intersections\": {}, \"num_itemsets\": {}",
+                quote(&r.workload),
+                quote(&r.algorithm),
+                quote(&r.engine),
+                fmt_f64(r.wall_ms),
+                r.peak_bytes,
+                r.peak_memo_bytes,
+                r.intersections,
+                r.num_itemsets
+            );
+            s.push('}');
+        }
+        if !self.runs.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Writes `BENCH_<experiment>.json` into `dir` (created if needed).
+    /// Errors are reported to stderr but never abort an experiment, like
+    /// the CSV writer.
+    pub fn write(&self, dir: &Path) -> Option<PathBuf> {
+        if self.runs.is_empty() {
+            return None;
+        }
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    /// Parses and validates a snapshot produced by [`JsonSnapshot::write`].
+    ///
+    /// # Errors
+    /// A message naming the malformed construct (JSON syntax, a missing or
+    /// mistyped field) — suitable for printing from `json-check`.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let (value, rest) = Value::parse(text.trim_start())?;
+        if !rest.trim_start().is_empty() {
+            return Err("trailing content after the top-level object".into());
+        }
+        let top = value.object("top level")?;
+        let runs_value = top_field(&top, "runs")?;
+        let mut runs = Vec::new();
+        for (i, rv) in runs_value.array("runs")?.iter().enumerate() {
+            let r = rv.object(&format!("runs[{i}]"))?;
+            runs.push(JsonRun {
+                workload: top_field(&r, "workload")?.string("workload")?,
+                algorithm: top_field(&r, "algorithm")?.string("algorithm")?,
+                engine: top_field(&r, "engine")?.string("engine")?,
+                wall_ms: top_field(&r, "wall_ms")?.number("wall_ms")?,
+                peak_bytes: top_field(&r, "peak_bytes")?.unsigned("peak_bytes")?,
+                peak_memo_bytes: top_field(&r, "peak_memo_bytes")?.unsigned("peak_memo_bytes")?,
+                intersections: top_field(&r, "intersections")?.unsigned("intersections")?,
+                num_itemsets: top_field(&r, "num_itemsets")?.unsigned("num_itemsets")?,
+            });
+        }
+        Ok(JsonSnapshot {
+            experiment: top_field(&top, "experiment")?.string("experiment")?,
+            scale: top_field(&top, "scale")?.number("scale")?,
+            seed: top_field(&top, "seed")?.unsigned("seed")?,
+            threads: top_field(&top, "threads")?.unsigned("threads")?,
+            runs,
+        })
+    }
+}
+
+/// Validates one snapshot file, returning a one-line summary.
+///
+/// # Errors
+/// Propagates I/O and [`JsonSnapshot::from_json`] failures with the path
+/// prepended.
+pub fn check_file(path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    let snap = JsonSnapshot::from_json(&text)
+        .map_err(|e| format!("{}: invalid snapshot: {e}", path.display()))?;
+    Ok(format!(
+        "{}: ok — experiment {:?}, {} runs, scale {}, threads {}",
+        path.display(),
+        snap.experiment,
+        snap.runs.len(),
+        snap.scale,
+        snap.threads,
+    ))
+}
+
+/// Validates a path: one `BENCH_*.json` file, or a directory of them
+/// (at least one required).
+///
+/// # Errors
+/// The first file-level failure, or a complaint about an empty directory.
+pub fn check_path(path: &Path) -> Result<Vec<String>, String> {
+    if path.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("{}: cannot read dir: {e}", path.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect();
+        entries.sort();
+        if entries.is_empty() {
+            return Err(format!(
+                "{}: no BENCH_*.json snapshots found",
+                path.display()
+            ));
+        }
+        entries.iter().map(|p| check_file(p)).collect()
+    } else {
+        Ok(vec![check_file(path)?])
+    }
+}
+
+/// JSON-escapes and quotes a string (the labels this crate emits are
+/// ASCII, but escape defensively).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an f64 so it round-trips as a JSON number (never NaN/inf —
+/// measurements are finite; clamp defensively).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` prints integral floats without a dot; keep them numbers
+        // either way (JSON has one number type), nothing to fix.
+        s
+    } else {
+        "0".into()
+    }
+}
+
+/// A parsed JSON value — the minimal model the snapshot reader needs.
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// Looks a field up in a parsed object.
+fn top_field<'a>(obj: &'a [(String, Value)], name: &str) -> Result<&'a Value, String> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {name:?}"))
+}
+
+impl Value {
+    fn object(&self, ctx: &str) -> Result<Vec<(String, Value)>, String> {
+        match self {
+            Value::Object(fields) => Ok(fields.clone()),
+            other => Err(format!("{ctx}: expected an object, got {other:?}")),
+        }
+    }
+
+    fn array(&self, ctx: &str) -> Result<&[Value], String> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(format!("{ctx}: expected an array, got {other:?}")),
+        }
+    }
+
+    fn string(&self, ctx: &str) -> Result<String, String> {
+        match self {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(format!("{ctx}: expected a string, got {other:?}")),
+        }
+    }
+
+    fn number(&self, ctx: &str) -> Result<f64, String> {
+        match self {
+            Value::Number(n) => Ok(*n),
+            other => Err(format!("{ctx}: expected a number, got {other:?}")),
+        }
+    }
+
+    fn unsigned(&self, ctx: &str) -> Result<u64, String> {
+        let n = self.number(ctx)?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
+            Ok(n as u64)
+        } else {
+            Err(format!("{ctx}: expected an unsigned integer, got {n}"))
+        }
+    }
+
+    /// Recursive-descent parse of one value; returns the remainder.
+    fn parse(s: &str) -> Result<(Value, &str), String> {
+        let s = s.trim_start();
+        let mut chars = s.chars();
+        match chars.next() {
+            None => Err("unexpected end of input".into()),
+            Some('n') => s
+                .strip_prefix("null")
+                .map(|r| (Value::Null, r))
+                .ok_or_else(|| "bad literal (expected null)".into()),
+            Some('t') => s
+                .strip_prefix("true")
+                .map(|r| (Value::Bool(true), r))
+                .ok_or_else(|| "bad literal (expected true)".into()),
+            Some('f') => s
+                .strip_prefix("false")
+                .map(|r| (Value::Bool(false), r))
+                .ok_or_else(|| "bad literal (expected false)".into()),
+            Some('"') => Self::parse_string(&s[1..]),
+            Some('[') => {
+                let mut rest = s[1..].trim_start();
+                let mut items = Vec::new();
+                if let Some(r) = rest.strip_prefix(']') {
+                    return Ok((Value::Array(items), r));
+                }
+                loop {
+                    let (v, r) = Self::parse(rest)?;
+                    items.push(v);
+                    rest = r.trim_start();
+                    if let Some(r) = rest.strip_prefix(',') {
+                        rest = r;
+                    } else if let Some(r) = rest.strip_prefix(']') {
+                        return Ok((Value::Array(items), r));
+                    } else {
+                        return Err("expected ',' or ']' in array".into());
+                    }
+                }
+            }
+            Some('{') => {
+                let mut rest = s[1..].trim_start();
+                let mut fields = Vec::new();
+                if let Some(r) = rest.strip_prefix('}') {
+                    return Ok((Value::Object(fields), r));
+                }
+                loop {
+                    rest = rest.trim_start();
+                    let Some(r) = rest.strip_prefix('"') else {
+                        return Err("expected a quoted object key".into());
+                    };
+                    let (key, r) = Self::parse_string(r)?;
+                    let Value::String(key) = key else {
+                        unreachable!("parse_string returns strings")
+                    };
+                    let r = r.trim_start();
+                    let Some(r) = r.strip_prefix(':') else {
+                        return Err(format!("expected ':' after key {key:?}"));
+                    };
+                    let (v, r) = Self::parse(r)?;
+                    fields.push((key, v));
+                    rest = r.trim_start();
+                    if let Some(r) = rest.strip_prefix(',') {
+                        rest = r;
+                    } else if let Some(r) = rest.strip_prefix('}') {
+                        return Ok((Value::Object(fields), r));
+                    } else {
+                        return Err("expected ',' or '}' in object".into());
+                    }
+                }
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => {
+                let end = s
+                    .char_indices()
+                    .find(|&(_, c)| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+                    .map_or(s.len(), |(i, _)| i);
+                let (num, rest) = s.split_at(end);
+                num.parse::<f64>()
+                    .map(|n| (Value::Number(n), rest))
+                    .map_err(|_| format!("bad number {num:?}"))
+            }
+            Some(c) => Err(format!("unexpected character {c:?}")),
+        }
+    }
+
+    /// Parses the remainder of a string literal (the opening quote is
+    /// consumed by the caller).
+    fn parse_string(s: &str) -> Result<(Value, &str), String> {
+        let mut out = String::new();
+        let mut chars = s.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok((Value::String(out), &s[i + 1..])),
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((j, 'u')) => {
+                        let hex = s.get(j + 1..j + 5).ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        // Skip the 4 hex digits.
+                        for _ in 0..4 {
+                            chars.next();
+                        }
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JsonSnapshot {
+        JsonSnapshot {
+            experiment: "fig4_zipf".into(),
+            scale: 0.01,
+            seed: 42,
+            threads: 4,
+            runs: vec![
+                JsonRun {
+                    workload: "skew=0.8".into(),
+                    algorithm: "UApriori".into(),
+                    engine: "vertical".into(),
+                    wall_ms: 12.625,
+                    peak_bytes: 1_048_576,
+                    peak_memo_bytes: 65_536,
+                    intersections: 1234,
+                    num_itemsets: 31,
+                },
+                JsonRun {
+                    workload: "skew=1.2".into(),
+                    algorithm: "UH-Mine \"quoted\"".into(),
+                    engine: "n/a".into(),
+                    wall_ms: 0.5,
+                    peak_bytes: 0,
+                    peak_memo_bytes: 0,
+                    intersections: 0,
+                    num_itemsets: 7,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let snap = sample();
+        let parsed = JsonSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn empty_runs_roundtrip_but_do_not_write() {
+        let snap = JsonSnapshot::new("empty", 0.5, 7);
+        let parsed = JsonSnapshot::from_json(&snap.to_json()).unwrap();
+        assert!(parsed.runs.is_empty());
+        assert_eq!(parsed.seed, 7);
+        let dir = std::env::temp_dir().join(format!("ufim-json-empty-{}", std::process::id()));
+        assert!(snap.write(&dir).is_none());
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for (bad, why) in [
+            ("", "empty"),
+            ("{", "unterminated object"),
+            ("[1, 2]", "top level not an object"),
+            ("{\"experiment\": 3}", "missing fields"),
+            ("{\"a\": 1} trailing", "trailing content"),
+        ] {
+            assert!(JsonSnapshot::from_json(bad).is_err(), "{why}");
+        }
+        // A wrong-typed field is named in the error.
+        let wrong = sample()
+            .to_json()
+            .replace("\"seed\": 42", "\"seed\": \"x\"");
+        let err = JsonSnapshot::from_json(&wrong).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn write_and_check_file() {
+        let dir = std::env::temp_dir().join(format!("ufim-json-test-{}", std::process::id()));
+        let path = sample().write(&dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_fig4_zipf.json");
+        let summary = check_file(&path).unwrap();
+        assert!(summary.contains("2 runs"), "{summary}");
+        let listed = check_path(&dir).unwrap();
+        assert_eq!(listed.len(), 1);
+        // A directory without snapshots is an error.
+        let empty = dir.join("sub");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(check_path(&empty).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parser_handles_nested_and_escaped_values() {
+        let (v, rest) =
+            Value::parse("{\"a\": [1, {\"b\": \"x\\u0021\"}, true, null], \"c\": -2.5e1}  ")
+                .unwrap();
+        assert_eq!(rest.trim(), "");
+        let obj = v.object("t").unwrap();
+        assert_eq!(top_field(&obj, "c").unwrap().number("c").unwrap(), -25.0);
+        let arr = top_field(&obj, "a").unwrap().clone();
+        let arr = arr.array("a").unwrap();
+        assert_eq!(arr[0].number("0").unwrap(), 1.0);
+        let inner = arr[1].object("1").unwrap();
+        assert_eq!(top_field(&inner, "b").unwrap().string("b").unwrap(), "x!");
+    }
+}

@@ -20,8 +20,10 @@
 //! Every subcommand accepts `--scale` (fraction of the paper's transaction
 //! counts; default 0.01 so the full suite completes on a laptop in minutes),
 //! `--seed`, `--timeout-secs` (per-point cutoff mirroring the paper's "we do
-//! not report the running time over 1 hour"), and `--csv DIR` to dump
-//! machine-readable series next to the printed tables.
+//! not report the running time over 1 hour"), `--csv DIR` to dump
+//! machine-readable series next to the printed tables, and `--json DIR` to
+//! write `BENCH_<experiment>.json` performance snapshots (validated by the
+//! `json-check` subcommand; see [`json`]).
 //!
 //! ## Memory accounting
 //!
@@ -48,6 +50,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod json;
 pub mod runner;
 
 pub use config::HarnessConfig;

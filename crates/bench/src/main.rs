@@ -30,6 +30,8 @@ SUBCOMMANDS:
     table9            precision/recall on Kosarak
     table10           winner summary grid
     all               everything, in paper order
+    json-check PATH   validate BENCH_*.json snapshots (a file, or every
+                      snapshot in a directory) — the CI gate for --json
     help              this text
 
 OPTIONS (all subcommands):
@@ -38,6 +40,9 @@ OPTIONS (all subcommands):
     --timeout-secs S  per-point budget; harder points skipped after a miss
                       (default 60; paper used 3600)
     --csv DIR         also write CSV series into DIR
+    --json DIR        also write a machine-readable BENCH_<exp>.json
+                      performance snapshot per experiment into DIR
+                      (workload, wall_ms, peak/memo bytes, intersections)
     --engine E        support backend: horizontal (default), vertical,
                       diffset (memory-optimized delta memo), or both/all
                       (runs every experiment once per backend)
@@ -121,6 +126,23 @@ fn main() {
                 None => None,
             };
             matrix::run(&cfg, measure, traversal);
+        }
+        "json-check" => {
+            let Some(path) = rest.get(1) else {
+                eprintln!("error: json-check needs a path\n\n{HELP}");
+                std::process::exit(2);
+            };
+            match ufim_bench::json::check_path(std::path::Path::new(path)) {
+                Ok(summaries) => {
+                    for s in summaries {
+                        println!("{s}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         "table8" => tables::table8(&cfg),
         "table9" => tables::table9(&cfg),

@@ -57,7 +57,7 @@ pub use params::{EngineKind, MeasureKind, MiningParams, Ratio, TraversalKind};
 pub use result::{FrequentItemset, MinerStats, MiningResult};
 pub use traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
 pub use transaction::Transaction;
-pub use vertical::{DiffVector, ProbVector, VerticalIndex};
+pub use vertical::{DiffVector, ProbVector, ScratchSpace, VerticalIndex};
 pub use vocab::Vocabulary;
 
 /// Convenient glob-import for downstream crates:
@@ -71,6 +71,6 @@ pub mod prelude {
     pub use crate::result::{FrequentItemset, MinerStats, MiningResult};
     pub use crate::traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
     pub use crate::transaction::Transaction;
-    pub use crate::vertical::{DiffVector, ProbVector, VerticalIndex};
+    pub use crate::vertical::{DiffVector, ProbVector, ScratchSpace, VerticalIndex};
     pub use crate::vocab::Vocabulary;
 }

@@ -23,10 +23,23 @@
 //!
 //! Threading is opt-out: `UFIM_THREADS=1` forces sequential execution, any
 //! other value caps the pool, and the default is
-//! [`std::thread::available_parallelism`]. Callers are expected to gate
-//! small inputs themselves (see [`par_map_min_len`]) — spawning threads for
-//! a four-transaction database costs more than it saves.
+//! [`std::thread::available_parallelism`]. Tests and benches that need a
+//! specific pool size without touching the (process-global, racy) `env`
+//! use the scoped [`with_thread_override`] instead. Callers are expected
+//! to gate small inputs themselves (see [`par_map_min_len`]) — spawning
+//! threads for a four-transaction database costs more than it saves.
+//!
+//! ## Per-worker state
+//!
+//! [`par_map_with`] threads a mutable per-worker state value through every
+//! item a worker claims — the seam for reusable scratch buffers
+//! ([`crate::vertical::ScratchSpace`]): each worker allocates its buffers
+//! once and every intersection after the high-water mark is
+//! allocation-free. The state must never influence results (it is scratch,
+//! not an accumulator); the determinism contract above still holds because
+//! outputs remain a pure function of the item.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -44,9 +57,20 @@ pub const DEFAULT_MIN_WORK: usize = 1 << 15;
 /// enough that the one atomic claim per chunk is noise.
 pub const PAR_CHUNK: usize = 8;
 
-/// Upper bound on worker threads: the `UFIM_THREADS` environment variable
-/// when set to a positive integer, else the machine's available parallelism.
+thread_local! {
+    /// Scoped override installed by [`with_thread_override`]; consulted
+    /// before the environment so tests can pin pool sizes without the
+    /// process-global races of `std::env::set_var`.
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Upper bound on worker threads: a [`with_thread_override`] scope when
+/// active, else the `UFIM_THREADS` environment variable when set to a
+/// positive integer, else the machine's available parallelism.
 pub fn max_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.get() {
+        return n.max(1);
+    }
     if let Ok(v) = std::env::var("UFIM_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             return n.max(1);
@@ -55,6 +79,24 @@ pub fn max_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Runs `f` with [`max_threads`] pinned to `threads` **on the calling
+/// thread** (every `par_map` entered from inside `f` uses the pinned pool
+/// size). Scoped and panic-safe: the previous override is restored when
+/// `f` returns or unwinds, and other threads — including concurrently
+/// running tests — are unaffected. This is how the cross-thread-count
+/// determinism suites sweep pool sizes; results must be bit-identical for
+/// every pinned value, so overriding can never change what `f` computes.
+pub fn with_thread_override<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.set(self.0);
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.replace(Some(threads.max(1))));
+    f()
 }
 
 /// Maps `f` over `items` in parallel, returning results in input order.
@@ -72,6 +114,22 @@ where
     par_map_threads(items, max_threads(), f)
 }
 
+/// [`par_map`] with a mutable **per-worker state** threaded through every
+/// item a worker claims — the scratch-buffer seam (see the module docs).
+/// `init` runs once per worker (once total when sequential); `f` receives
+/// the worker's state and the item. The state must not influence results:
+/// outputs stay a pure function of the item, so the determinism contract
+/// is unchanged.
+pub fn par_map_with<S, T, R, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    par_map_with_threads(items, max_threads(), init, f)
+}
+
 /// [`par_map`] with an explicit thread cap — the testable core. Results
 /// must not depend on `threads`; the determinism tests pin this.
 fn par_map_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
@@ -80,9 +138,22 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_with_threads(items, threads, || (), |(), item| f(item))
+}
+
+/// [`par_map_with`] with an explicit thread cap — the shared engine under
+/// both map flavors.
+fn par_map_with_threads<S, T, R, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let threads = threads.min(items.len());
     if threads <= 1 {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     // Shrink the chunk when items are few so every thread gets work: a
     // 5-item map over heavy items must not collapse onto one thread. The
@@ -91,11 +162,12 @@ where
     let chunk_size = PAR_CHUNK.min(items.len().div_ceil(threads)).max(1);
     let num_chunks = items.len().div_ceil(chunk_size);
     let next = AtomicUsize::new(0);
-    let (next, f) = (&next, &f);
+    let (next, init, f) = (&next, &init, &f);
     let claimed: Vec<Vec<(usize, Vec<R>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(move || {
+                    let mut state = init();
                     let mut got: Vec<(usize, Vec<R>)> = Vec::new();
                     loop {
                         let chunk = next.fetch_add(1, Ordering::Relaxed);
@@ -104,7 +176,10 @@ where
                             break;
                         }
                         let end = (start + chunk_size).min(items.len());
-                        got.push((chunk, items[start..end].iter().map(f).collect()));
+                        got.push((
+                            chunk,
+                            items[start..end].iter().map(|i| f(&mut state, i)).collect(),
+                        ));
                     }
                     got
                 })
@@ -140,6 +215,30 @@ where
         items.iter().map(f).collect()
     } else {
         par_map(items, f)
+    }
+}
+
+/// [`par_map_with`] gated on input size like [`par_map_min_len`]. The
+/// sequential path still builds one state and threads it through every
+/// item, so scratch reuse works at every scale.
+pub fn par_map_min_len_with<S, T, R, I, F>(
+    items: &[T],
+    weight: usize,
+    min_work: usize,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    if items.len().saturating_mul(weight.max(1)) < min_work {
+        let mut state = init();
+        items.iter().map(|item| f(&mut state, item)).collect()
+    } else {
+        par_map_with(items, init, f)
     }
 }
 
@@ -194,6 +293,65 @@ mod tests {
             let sum: f64 = out.iter().sum();
             assert_eq!(sum.to_bits(), ref_sum.to_bits(), "threads={threads}");
         }
+    }
+
+    /// Per-worker state is created once per worker and threaded through
+    /// all its items, and results stay order-preserving whatever the state
+    /// does internally.
+    #[test]
+    fn stateful_map_reuses_worker_state() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<u64> = (0..5_000).collect();
+        let inits = AtomicUsize::new(0);
+        for threads in [1usize, 3, 8] {
+            inits.store(0, Ordering::Relaxed);
+            let out = par_map_with_threads(
+                &items,
+                threads,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<u64>::new() // a scratch buffer
+                },
+                |scratch, &x| {
+                    scratch.clear();
+                    scratch.extend([x, x + 1]);
+                    scratch.iter().sum::<u64>()
+                },
+            );
+            assert!(inits.load(Ordering::Relaxed) <= threads);
+            assert!(inits.load(Ordering::Relaxed) >= 1);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, 2 * i as u64 + 1, "threads={threads}");
+            }
+        }
+        // The gated variant builds exactly one state when sequential.
+        inits.store(0, Ordering::Relaxed);
+        let _ = par_map_min_len_with(
+            &items,
+            1,
+            usize::MAX,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, &x| x,
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+    }
+
+    /// `with_thread_override` pins `max_threads` on the calling thread,
+    /// nests, and restores on exit and unwind.
+    #[test]
+    fn thread_override_is_scoped() {
+        let outside = max_threads();
+        let seen = with_thread_override(3, || {
+            assert_eq!(max_threads(), 3);
+            with_thread_override(7, max_threads)
+        });
+        assert_eq!(seen, 7);
+        assert_eq!(max_threads(), outside);
+        // 0 is clamped to 1 (a pool always has one worker: the caller).
+        assert_eq!(with_thread_override(0, max_threads), 1);
+        // Restored even when the closure panics.
+        let _ = std::panic::catch_unwind(|| with_thread_override(5, || panic!("boom")));
+        assert_eq!(max_threads(), outside);
     }
 
     /// Every chunk is claimed exactly once even when the item count is not

@@ -46,6 +46,20 @@
 //! child's `(esup, var, count)` in one pass; [`ProbVector::apply_diff`]
 //! reconstructs the full child vector. The diffset support engine builds
 //! its low-memory prefix memo out of these.
+//!
+//! ## Zero-allocation kernels
+//!
+//! Every allocating kernel has an `*_into` twin writing into a reusable
+//! [`ScratchSpace`] (or, for [`ProbVector::apply_diff_into`], a
+//! caller-owned vector) whose buffers retain their capacity across calls:
+//! [`ProbVector::intersect_into`] and [`ProbVector::diff_extend_into`]
+//! additionally fuse the statistics pass, returning `(esup, var, count)`
+//! bit-identical to [`ProbVector::intersect_stats`]. Support engines keep
+//! one `ScratchSpace` per worker thread
+//! (`ufim_core::parallel::par_map_with`), so steady-state candidate
+//! evaluation performs **no** intersection allocations — a candidate only
+//! pays an (exactly-sized) allocation when it survives pruning and its
+//! result is exported into a memo.
 
 use crate::database::UncertainDatabase;
 use crate::itemset::ItemId;
@@ -336,6 +350,214 @@ impl PartialEq for ProbVector {
     }
 }
 
+/// Which representation the last [`ProbVector::intersect_into`] left in a
+/// [`ScratchSpace`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum ScratchKind {
+    /// Result lives in the sparse `(tids, probs)` buffers.
+    #[default]
+    Sparse,
+    /// Result lives in the dense buffer.
+    Dense,
+}
+
+/// Reusable, capacity-retaining buffers backing the zero-allocation
+/// `*_into` kernels ([`ProbVector::intersect_into`],
+/// [`ProbVector::diff_extend_into`]).
+///
+/// One `ScratchSpace` belongs to one worker thread (they are `Send` but
+/// deliberately not shared): the buffers grow to the run's high-water mark
+/// once, and every kernel call after that reuses them without touching the
+/// allocator. Results are read back either in place
+/// ([`ScratchSpace::dropped`]) or exported as exactly-sized owned values
+/// ([`ScratchSpace::export`], [`ScratchSpace::export_diff`]) when they
+/// must outlive the next kernel call — e.g. when a support engine memoizes
+/// a surviving candidate. Scratch contents never influence results: each
+/// kernel overwrites the buffers it uses in full.
+#[derive(Clone, Debug, Default)]
+pub struct ScratchSpace {
+    /// Sparse result tids (valid for `ScratchKind::Sparse`).
+    tids: Vec<u32>,
+    /// Sparse result probs, parallel to `tids`.
+    probs: Vec<f64>,
+    /// Dense result probs (valid for `ScratchKind::Dense`).
+    dense: Vec<f64>,
+    /// Nonzero count of the dense result.
+    dense_nnz: usize,
+    /// Dropped tids of the last [`ProbVector::diff_extend_into`].
+    dropped: Vec<u32>,
+    /// Which buffers the last `intersect_into` filled.
+    kind: ScratchKind,
+}
+
+impl ScratchSpace {
+    /// Fresh scratch with empty buffers (they grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Nonzero count of the last [`ProbVector::intersect_into`] result.
+    pub fn len(&self) -> usize {
+        match self.kind {
+            ScratchKind::Sparse => self.tids.len(),
+            ScratchKind::Dense => self.dense_nnz,
+        }
+    }
+
+    /// True when the last intersection came out empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The dropped tids of the last [`ProbVector::diff_extend_into`],
+    /// ascending — readable in place, e.g. to measure a delta
+    /// ([`DiffVector::mem_bytes`]-style) before deciding to export it.
+    pub fn dropped(&self) -> &[u32] {
+        &self.dropped
+    }
+
+    /// Exports the last [`ProbVector::intersect_into`] result as an owned,
+    /// exactly-sized [`ProbVector`] — bit-for-bit the vector
+    /// [`ProbVector::intersect`] would have returned, with no excess
+    /// capacity to shrink.
+    pub fn export(&self) -> ProbVector {
+        match self.kind {
+            ScratchKind::Sparse => ProbVector {
+                repr: Repr::Sparse {
+                    tids: self.tids.clone(),
+                    probs: self.probs.clone(),
+                },
+            },
+            ScratchKind::Dense => ProbVector {
+                repr: Repr::Dense {
+                    probs: self.dense.clone(),
+                    nnz: self.dense_nnz,
+                },
+            },
+        }
+    }
+
+    /// Exports the last [`ProbVector::diff_extend_into`] delta as an
+    /// owned, exactly-sized [`DiffVector`].
+    pub fn export_diff(&self) -> DiffVector {
+        DiffVector {
+            dropped: self.dropped.clone(),
+        }
+    }
+}
+
+impl ProbVector {
+    /// [`ProbVector::intersect`] fused with [`ProbVector::intersect_stats`],
+    /// writing the result into `scratch` instead of allocating: returns the
+    /// result's `(esup, variance, nonzero count)` — bit-identical to both
+    /// `intersect_stats` and `intersect(..).moments()` — and leaves the
+    /// result vector (same adaptive representation `intersect` would pick)
+    /// in the scratch buffers for [`ScratchSpace::export`]. Candidates a
+    /// threshold rules out therefore cost no allocation at all.
+    pub fn intersect_into(
+        &self,
+        other: &ProbVector,
+        scratch: &mut ScratchSpace,
+    ) -> (f64, f64, usize) {
+        let mut esup = 0.0f64;
+        let mut var = 0.0f64;
+        match (&self.repr, &other.repr) {
+            (
+                Repr::Sparse {
+                    tids: ta,
+                    probs: pa,
+                },
+                Repr::Sparse {
+                    tids: tb,
+                    probs: pb,
+                },
+            ) => {
+                scratch.kind = ScratchKind::Sparse;
+                scratch.tids.clear();
+                scratch.probs.clear();
+                let cap = ta.len().min(tb.len());
+                scratch.tids.reserve(cap);
+                scratch.probs.reserve(cap);
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < ta.len() && j < tb.len() {
+                    match ta[i].cmp(&tb[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            let q = pa[i] * pb[j];
+                            esup += q;
+                            var += q * (1.0 - q);
+                            if q > 0.0 {
+                                scratch.tids.push(ta[i]);
+                                scratch.probs.push(q);
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
+            (Repr::Sparse { tids, probs }, Repr::Dense { probs: dense, .. })
+            | (Repr::Dense { probs: dense, .. }, Repr::Sparse { tids, probs }) => {
+                scratch.kind = ScratchKind::Sparse;
+                let n = tids.len();
+                scratch.tids.clear();
+                scratch.probs.clear();
+                scratch.tids.resize(n, 0);
+                scratch.probs.resize(n, 0.0);
+                // Branchless survivor cursor, as in the allocating twin.
+                let mut k = 0usize;
+                for i in 0..n {
+                    let tid = tids[i];
+                    let q = probs[i] * dense[tid as usize];
+                    esup += q;
+                    var += q * (1.0 - q);
+                    scratch.tids[k] = tid;
+                    scratch.probs[k] = q;
+                    k += (q > 0.0) as usize;
+                }
+                scratch.tids.truncate(k);
+                scratch.probs.truncate(k);
+            }
+            (Repr::Dense { probs: da, .. }, Repr::Dense { probs: db, .. }) => {
+                debug_assert_eq!(da.len(), db.len());
+                let n = da.len();
+                scratch.dense.clear();
+                scratch.dense.reserve(n);
+                let mut nnz = 0usize;
+                for (&a, &b) in da.iter().zip(db.iter()) {
+                    let q = a * b;
+                    esup += q;
+                    var += q * (1.0 - q);
+                    nnz += (q > 0.0) as usize;
+                    scratch.dense.push(q);
+                }
+                if nnz * DENSE_CUTOFF_DIVISOR >= n {
+                    scratch.kind = ScratchKind::Dense;
+                    scratch.dense_nnz = nnz;
+                } else {
+                    // Too sparse to stay dense: extract, exactly like the
+                    // allocating twin (branchless cursor).
+                    scratch.kind = ScratchKind::Sparse;
+                    scratch.tids.clear();
+                    scratch.probs.clear();
+                    scratch.tids.resize(nnz, 0);
+                    scratch.probs.resize(nnz, 0.0);
+                    let mut k = 0usize;
+                    for (tid, &q) in scratch.dense.iter().enumerate() {
+                        if k < nnz {
+                            scratch.tids[k] = tid as u32;
+                            scratch.probs[k] = q;
+                        }
+                        k += (q > 0.0) as usize;
+                    }
+                }
+            }
+        }
+        (esup, var, scratch.len())
+    }
+}
+
 /// The uncertain-data analog of a dEclat **diffset**: the delta of an
 /// itemset's prob-vector against its own prefix's.
 ///
@@ -397,10 +619,37 @@ impl ProbVector {
     /// tids that did not survive (`other` absent, or the product
     /// underflowed to zero).
     pub fn diff_extend(&self, other: &ProbVector) -> (DiffVector, f64, f64, usize) {
+        let mut dropped: Vec<u32> = Vec::new();
+        let (esup, var, count) = self.diff_extend_core(other, |tid| dropped.push(tid));
+        (DiffVector { dropped }, esup, var, count)
+    }
+
+    /// [`ProbVector::diff_extend`] writing the dropped tids into
+    /// `scratch.dropped` (read back via [`ScratchSpace::dropped`], export
+    /// via [`ScratchSpace::export_diff`]) instead of allocating a fresh
+    /// delta. Returns the child's `(esup, variance, nonzero count)`,
+    /// bit-identical to the allocating twin.
+    pub fn diff_extend_into(
+        &self,
+        other: &ProbVector,
+        scratch: &mut ScratchSpace,
+    ) -> (f64, f64, usize) {
+        scratch.dropped.clear();
+        let dropped = &mut scratch.dropped;
+        self.diff_extend_core(other, |tid| dropped.push(tid))
+    }
+
+    /// Shared engine of [`ProbVector::diff_extend`] /
+    /// [`ProbVector::diff_extend_into`]: one pass over the prefix, calling
+    /// `drop` for every tid that does not survive the extension.
+    fn diff_extend_core<F: FnMut(u32)>(
+        &self,
+        other: &ProbVector,
+        mut drop: F,
+    ) -> (f64, f64, usize) {
         let mut esup = 0.0f64;
         let mut var = 0.0f64;
         let mut count = 0usize;
-        let mut dropped: Vec<u32> = Vec::new();
         // Visits every nonzero prefix entry in ascending tid order with the
         // paired item probability (0.0 = absent). Accumulation order and
         // multiplication order (prefix × item) match `intersect_stats`
@@ -413,7 +662,7 @@ impl ProbVector {
                 var += prod * (1.0 - prod);
                 count += 1;
             } else {
-                dropped.push(tid);
+                drop(tid);
             }
         };
         match (&self.repr, &other.repr) {
@@ -476,7 +725,7 @@ impl ProbVector {
                 }
             }
         }
-        (DiffVector { dropped }, esup, var, count)
+        (esup, var, count)
     }
 
     /// Reconstructs the child vector a [`ProbVector::diff_extend`] call
@@ -485,10 +734,58 @@ impl ProbVector {
     /// `self.intersect(other)` (sparse representation; callers densify via
     /// [`ProbVector::maybe_densify`] when appropriate).
     pub fn apply_diff(&self, diff: &DiffVector, other: &ProbVector) -> ProbVector {
-        let survivors = self.len().saturating_sub(diff.len());
+        self.apply_dropped(&diff.dropped, other)
+    }
+
+    /// [`ProbVector::apply_diff`] writing into a caller-owned vector whose
+    /// sparse buffers are reused (cleared, capacity retained) — the
+    /// zero-allocation twin for transient reconstructions that do not
+    /// outlive the next kernel call.
+    pub fn apply_diff_into(&self, diff: &DiffVector, other: &ProbVector, out: &mut ProbVector) {
+        // Reuse `out`'s sparse buffers when it has them; a dense `out`
+        // falls back to fresh sparse buffers (the result is always sparse).
+        let taken = std::mem::replace(
+            &mut out.repr,
+            Repr::Sparse {
+                tids: Vec::new(),
+                probs: Vec::new(),
+            },
+        );
+        let (mut tids, mut probs) = match taken {
+            Repr::Sparse { tids, probs } => (tids, probs),
+            Repr::Dense { .. } => (Vec::new(), Vec::new()),
+        };
+        tids.clear();
+        probs.clear();
+        self.apply_dropped_core(&diff.dropped, other, &mut tids, &mut probs);
+        out.repr = Repr::Sparse { tids, probs };
+    }
+
+    /// [`ProbVector::apply_diff`] over a raw dropped-tid slice — lets
+    /// callers holding a delta in scratch ([`ScratchSpace::dropped`])
+    /// materialize the child without first exporting a [`DiffVector`].
+    pub fn apply_dropped(&self, dropped: &[u32], other: &ProbVector) -> ProbVector {
+        let survivors = self.len().saturating_sub(dropped.len());
         let mut tids = Vec::with_capacity(survivors);
         let mut probs = Vec::with_capacity(survivors);
-        let dropped = &diff.dropped;
+        self.apply_dropped_core(dropped, other, &mut tids, &mut probs);
+        ProbVector {
+            repr: Repr::Sparse { tids, probs },
+        }
+    }
+
+    /// Shared engine of the `apply_*` reconstructions: pushes the
+    /// surviving `(tid, prob)` pairs into the provided buffers.
+    fn apply_dropped_core(
+        &self,
+        dropped: &[u32],
+        other: &ProbVector,
+        tids: &mut Vec<u32>,
+        probs: &mut Vec<f64>,
+    ) {
+        let survivors = self.len().saturating_sub(dropped.len());
+        tids.reserve(survivors);
+        probs.reserve(survivors);
         let mut d = 0usize;
         let mut j = 0usize; // cursor when `other` is sparse
         let mut visit = |tid: u32, p: f64, other: &ProbVector| {
@@ -535,9 +832,6 @@ impl ProbVector {
             }
         }
         debug_assert_eq!(d, dropped.len(), "dropped tid absent from prefix");
-        ProbVector {
-            repr: Repr::Sparse { tids, probs },
-        }
     }
 }
 
@@ -961,6 +1255,88 @@ mod tests {
         // Memory accounting: deltas are 4 bytes per dropped tid.
         assert_eq!(d_ac.mem_bytes(), d_ac.len() * 4);
         assert_eq!(ac.mem_bytes(), ac.len() * 12);
+    }
+
+    /// `intersect_into` must reproduce `intersect` exactly — same values,
+    /// same adaptive representation choice, same stats bits — across all
+    /// four representation pairings, with one scratch reused (dirty)
+    /// between calls.
+    #[test]
+    fn intersect_into_matches_intersect_across_representations() {
+        let pairs_a = [(0u32, TINY), (1, 0.5), (2, SUBNORMAL_EDGE), (3, 0.9)];
+        let pairs_b = [(0u32, TINY), (1, 0.5), (2, SUBNORMAL_EDGE), (3, 1e-320)];
+        let mut scratch = ScratchSpace::new();
+        for a_dense in [None, Some(8)] {
+            for b_dense in [None, Some(8)] {
+                let a = vector(&pairs_a, a_dense);
+                let b = vector(&pairs_b, b_dense);
+                let want = a.intersect(&b);
+                let (we, wv, wc) = a.intersect_stats(&b);
+                let (esup, var, count) = a.intersect_into(&b, &mut scratch);
+                assert_eq!(esup.to_bits(), we.to_bits(), "{a_dense:?}×{b_dense:?}");
+                assert_eq!(var.to_bits(), wv.to_bits(), "{a_dense:?}×{b_dense:?}");
+                assert_eq!(count, wc);
+                assert_eq!(scratch.len(), want.len());
+                let exported = scratch.export();
+                assert_eq!(exported, want, "{a_dense:?}×{b_dense:?}");
+                assert_eq!(exported.is_dense(), want.is_dense());
+                assert_eq!(
+                    exported.mem_bytes(),
+                    want.len() * 12 * usize::from(!want.is_dense())
+                        + want.mem_units() * 8 * usize::from(want.is_dense())
+                );
+            }
+        }
+    }
+
+    /// A dense × dense intersection that stays dense round-trips through
+    /// scratch, and a later sparse result on the same scratch is unharmed
+    /// by the leftover dense buffer.
+    #[test]
+    fn scratch_reuse_across_representation_switches() {
+        // 8 tids over n=8: dense stays dense.
+        let all: Vec<(u32, f64)> = (0..8).map(|t| (t, 0.9)).collect();
+        let a = vector(&all, Some(8));
+        let b = vector(&all, Some(8));
+        let mut scratch = ScratchSpace::new();
+        let (esup, ..) = a.intersect_into(&b, &mut scratch);
+        assert!(scratch.export().is_dense());
+        assert!((esup - 8.0 * 0.81).abs() < 1e-12);
+        // Now a tiny sparse × sparse on the same scratch.
+        let c = vector(&[(1, 0.5), (5, 0.25)], None);
+        let d = vector(&[(5, 0.5)], None);
+        let (esup, _, count) = c.intersect_into(&d, &mut scratch);
+        assert_eq!(count, 1);
+        assert_eq!(scratch.export().nonzero(), vec![(5, 0.125)]);
+        assert!((esup - 0.125).abs() < 1e-15);
+    }
+
+    /// `diff_extend_into` + `export_diff` ≡ `diff_extend`, and
+    /// `apply_diff_into` / `apply_dropped` ≡ `apply_diff`, with buffer
+    /// reuse across calls.
+    #[test]
+    fn scratch_diff_kernels_match_allocating_twins() {
+        let pairs_a = [(0u32, 0.9), (1, TINY), (3, 0.5), (5, 0.7), (7, 0.2)];
+        let pairs_b = [(0u32, 0.8), (1, TINY), (2, 0.4), (5, 0.6), (7, 0.1)];
+        let mut scratch = ScratchSpace::new();
+        let mut out = ProbVector::new();
+        for a_dense in [None, Some(12)] {
+            for b_dense in [None, Some(12)] {
+                let a = vector(&pairs_a, a_dense);
+                let b = vector(&pairs_b, b_dense);
+                let (want_diff, we, wv, wc) = a.diff_extend(&b);
+                let (esup, var, count) = a.diff_extend_into(&b, &mut scratch);
+                assert_eq!(esup.to_bits(), we.to_bits());
+                assert_eq!(var.to_bits(), wv.to_bits());
+                assert_eq!(count, wc);
+                assert_eq!(scratch.dropped(), want_diff.dropped());
+                assert_eq!(scratch.export_diff(), want_diff);
+                let want = a.apply_diff(&want_diff, &b);
+                assert_eq!(a.apply_dropped(scratch.dropped(), &b), want);
+                a.apply_diff_into(&want_diff, &b, &mut out);
+                assert_eq!(out, want, "{a_dense:?}×{b_dense:?}");
+            }
+        }
     }
 
     #[test]

@@ -55,9 +55,16 @@ pub fn run_apriori<E: LevelEvaluator>(db: &UncertainDatabase, evaluator: &mut E)
 pub fn generate_candidates(frequent: &[FrequentItemset], stats: &mut MinerStats) -> Vec<Itemset> {
     let mut sorted: Vec<&Itemset> = frequent.iter().map(|f| &f.itemset).collect();
     sorted.sort();
-    let frequent_set: FxHashSet<&Itemset> = sorted.iter().copied().collect();
+    // Keyed by item slices so the subset probes below can test membership
+    // from a reused buffer without building an `Itemset` per probe (slice
+    // and itemset hashing agree — `Itemset` hashes its item array).
+    let frequent_set: FxHashSet<&[ufim_core::ItemId]> = sorted.iter().map(|s| s.items()).collect();
 
     let mut out = Vec::new();
+    // One scratch buffer serves every (k)-subset probe of every candidate:
+    // candidate generation runs once per level on the hot path, and the
+    // O(k · joins) fresh allocations it used to make were pure churn.
+    let mut probe: Vec<ufim_core::ItemId> = Vec::new();
     for i in 0..sorted.len() {
         for j in i + 1..sorted.len() {
             // Sorted order groups equal prefixes together: once the prefix
@@ -66,11 +73,14 @@ pub fn generate_candidates(frequent: &[FrequentItemset], stats: &mut MinerStats)
                 break;
             };
             // Subset prune: every (k)-subset of the (k+1)-candidate must be
-            // frequent. The two join parents are by construction; check the
-            // rest.
-            let ok = joined
-                .subsets_dropping_one()
-                .all(|s| frequent_set.contains(&s));
+            // frequent (the two join parents among them, by construction).
+            let items = joined.items();
+            let ok = (0..items.len()).all(|skip| {
+                probe.clear();
+                probe.extend_from_slice(&items[..skip]);
+                probe.extend_from_slice(&items[skip + 1..]);
+                frequent_set.contains(probe.as_slice())
+            });
             if ok {
                 out.push(joined);
             } else {

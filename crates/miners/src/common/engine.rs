@@ -45,12 +45,24 @@
 //! Select a backend through [`EngineKind`] (on `MiningParams` or the miner
 //! builders) and instantiate per run with [`build_engine`]. Future backends
 //! (sharded, async, approximate-sketch) implement the same trait.
+//!
+//! ## Scratch spaces
+//!
+//! Both columnar backends run their per-candidate kernels through the
+//! zero-allocation `*_into` variants ([`ProbVector::intersect_into`],
+//! [`ProbVector::diff_extend_into`]), each worker thread owning one
+//! reusable [`ScratchSpace`] (`par_map_min_len_with` builds it per worker;
+//! the sequential path builds exactly one). Steady-state evaluation
+//! therefore allocates nothing per candidate: a candidate only pays an
+//! exactly-sized export when it survives pruning and enters the memo.
+//! Scratch never affects results — the kernels are bit-identical to their
+//! allocating twins, which the core test suite pins.
 
 use super::scan::LevelScan;
-use ufim_core::parallel::par_map_min_len;
+use ufim_core::parallel::{par_map_min_len, par_map_min_len_with};
 use ufim_core::{
     DiffVector, EngineKind, FrequentItemset, FxHashMap, ItemId, Itemset, MinerStats, ProbVector,
-    UncertainDatabase, VerticalIndex,
+    ScratchSpace, UncertainDatabase, VerticalIndex,
 };
 
 /// Which optional statistics [`SupportEngine::evaluate`] must produce, plus
@@ -303,14 +315,13 @@ impl SupportEngine for VerticalEngine {
             variance: want.variance.then(|| Vec::with_capacity(candidates.len())),
             count: want.count.then(|| Vec::with_capacity(candidates.len())),
         };
-        let record = |out: &mut LevelSupport, vector: &ProbVector| {
-            let (esup, var) = vector.moments();
+        let record = |out: &mut LevelSupport, esup: f64, var: f64, count: usize| {
             out.esup.push(esup);
             if let Some(vs) = out.variance.as_mut() {
                 vs.push(var);
             }
             if let Some(cs) = out.count.as_mut() {
-                cs.push(vector.len() as u64);
+                cs.push(count as u64);
             }
         };
 
@@ -319,13 +330,17 @@ impl SupportEngine for VerticalEngine {
         // straight from the index).
         if candidates.iter().all(|c| c.len() == 1) {
             for c in candidates {
-                record(&mut out, self.index.postings(c.items()[0]));
+                let postings = self.index.postings(c.items()[0]);
+                let (esup, var) = postings.moments();
+                record(&mut out, esup, var, postings.len());
             }
             return out;
         }
 
         // Parallel across candidates: each intersection reads only the
-        // index and the previous level's memo.
+        // index and the previous level's memo, through a per-worker
+        // scratch (see the module docs — evaluation allocates only for
+        // candidates whose vector enters the memo).
         let mean_units = self.index.mean_posting_units();
         let (index, prev) = (&self.index, &self.prev);
 
@@ -343,13 +358,7 @@ impl SupportEngine for VerticalEngine {
             });
             let mut survivors: Vec<&Itemset> = Vec::new();
             for (candidate, (esup, var, count)) in candidates.iter().zip(moments) {
-                out.esup.push(esup);
-                if let Some(vs) = out.variance.as_mut() {
-                    vs.push(var);
-                }
-                if let Some(cs) = out.count.as_mut() {
-                    cs.push(count as u64);
-                }
+                record(&mut out, esup, var, count);
                 let hopeless = want.min_esup.is_some_and(|t| esup < t)
                     || want.min_count.is_some_and(|t| (count as u64) < t);
                 if !hopeless {
@@ -359,20 +368,26 @@ impl SupportEngine for VerticalEngine {
             // Survivors are intersected a second time to materialize; the
             // counter must reflect both passes, not one per candidate.
             stats.intersections += survivors.iter().filter(|c| c.len() > 1).count() as u64;
-            let vectors = par_map_min_len(&survivors, mean_units.max(1), PAR_MIN_WORK, |c| {
-                vector_for(index, prev, c)
-            });
-            for (candidate, mut vector) in survivors.into_iter().zip(vectors) {
-                vector.shrink_to_fit();
+            let vectors = par_map_min_len_with(
+                &survivors,
+                mean_units.max(1),
+                PAR_MIN_WORK,
+                ScratchSpace::new,
+                |scratch, c| evaluate_with(index, prev, c, scratch).0,
+            );
+            for (candidate, vector) in survivors.into_iter().zip(vectors) {
                 self.current.insert(candidate.items().to_vec(), vector);
             }
         } else {
-            let vectors = par_map_min_len(candidates, mean_units.max(1), PAR_MIN_WORK, |c| {
-                vector_for(index, prev, c)
-            });
-            for (candidate, mut vector) in candidates.iter().zip(vectors) {
-                record(&mut out, &vector);
-                vector.shrink_to_fit();
+            let results = par_map_min_len_with(
+                candidates,
+                mean_units.max(1),
+                PAR_MIN_WORK,
+                ScratchSpace::new,
+                |scratch, c| evaluate_with(index, prev, c, scratch),
+            );
+            for (candidate, (vector, esup, var, count)) in candidates.iter().zip(results) {
+                record(&mut out, esup, var, count);
                 self.current.insert(candidate.items().to_vec(), vector);
             }
         }
@@ -570,11 +585,18 @@ impl DiffsetEngine {
     }
 
     /// Evaluates one prefix group: resolves the shared prefix vector once,
-    /// then runs `diff_extend` per candidate, choosing the smaller memo
-    /// representation per surviving node. Returns the per-candidate
-    /// results plus the intersection-equivalent work performed (one per
-    /// `diff_extend` or `apply_diff`; cached hits cost none).
-    fn evaluate_group(&self, candidates: &[Itemset], want: StatRequest) -> (Vec<DiffEval>, u64) {
+    /// then runs `diff_extend_into` per candidate through the worker's
+    /// scratch — a candidate the pushdown rules out costs **no**
+    /// allocation; survivors export whichever memo representation is
+    /// smaller, exactly sized. Returns the per-candidate results plus the
+    /// intersection-equivalent work performed (one per `diff_extend` or
+    /// `apply_diff`; cached hits cost none).
+    fn evaluate_group(
+        &self,
+        candidates: &[Itemset],
+        want: StatRequest,
+        scratch: &mut ScratchSpace,
+    ) -> (Vec<DiffEval>, u64) {
         let mut work = 0u64;
         let n = self.index.num_transactions();
         let mut out = Vec::with_capacity(candidates.len());
@@ -632,11 +654,11 @@ impl DiffsetEngine {
             let last = c.items()[k - 1];
             let postings = self.index.postings(last);
             work += 1;
-            let (diff, esup, var, count) = prefix.diff_extend(postings);
+            let (esup, var, count) = prefix.diff_extend_into(postings, scratch);
             let hopeless = want.min_esup.is_some_and(|t| esup < t)
                 || want.min_count.is_some_and(|t| (count as u64) < t);
             let node = if hopeless {
-                None
+                None // nothing exported: the ruled-out candidate cost no allocation
             } else {
                 // dEclat's per-node choice: keep whichever representation
                 // is smaller. The tidset costs 12 bytes per survivor
@@ -646,20 +668,18 @@ impl DiffsetEngine {
                 } else {
                     count * 12
                 };
-                if diff.mem_bytes() <= tidset_bytes {
-                    let mut diff = diff;
-                    diff.shrink_to_fit();
+                let diff_bytes = std::mem::size_of_val(scratch.dropped());
+                if diff_bytes <= tidset_bytes {
                     Some(MemoNode {
-                        repr: NodeRepr::Diff(diff),
+                        repr: NodeRepr::Diff(scratch.export_diff()),
                         esup,
                         var,
                         count,
                     })
                 } else {
                     work += 1;
-                    let mut v = prefix.apply_diff(&diff, postings);
+                    let mut v = prefix.apply_dropped(scratch.dropped(), postings);
                     v.maybe_densify(n);
-                    v.shrink_to_fit();
                     Some(MemoNode {
                         repr: NodeRepr::Tidset(v),
                         esup,
@@ -728,9 +748,13 @@ impl SupportEngine for DiffsetEngine {
         let mean_units = self.index.mean_posting_units();
         let mean_group = candidates.len().div_ceil(groups.len().max(1));
         let weight = mean_units.max(1).saturating_mul(mean_group.max(1));
-        let results = par_map_min_len(&groups, weight, PAR_MIN_WORK, |&(s, e)| {
-            self.evaluate_group(&candidates[s..e], want)
-        });
+        let results = par_map_min_len_with(
+            &groups,
+            weight,
+            PAR_MIN_WORK,
+            ScratchSpace::new,
+            |scratch, &(s, e)| self.evaluate_group(&candidates[s..e], want, scratch),
+        );
 
         for (&(s, _), (evals, work)) in groups.iter().zip(results) {
             stats.intersections += work;
@@ -760,6 +784,9 @@ impl SupportEngine for DiffsetEngine {
         // one-entry cache amortizes the chain walk per prefix group like
         // `evaluate` does, instead of re-resolving it per candidate.
         let mut cached: Option<(Vec<ItemId>, ProbVector)> = None;
+        // Reused across candidates: each reconstruction overwrites it
+        // (capacity retained), so only the returned probs are allocated.
+        let mut child = ProbVector::new();
         let out = candidates
             .iter()
             .map(|c| match self.current.get(c.items()) {
@@ -777,9 +804,12 @@ impl SupportEngine for DiffsetEngine {
                         }
                         let (_, prefix) = cached.as_ref().expect("just cached");
                         extra += 1;
-                        prefix
-                            .apply_diff(d, self.index.postings(c.items()[k - 1]))
-                            .nonzero_probs()
+                        prefix.apply_diff_into(
+                            d,
+                            self.index.postings(c.items()[k - 1]),
+                            &mut child,
+                        );
+                        child.nonzero_probs()
                     }
                 },
                 None => {
@@ -832,6 +862,50 @@ fn vector_for(
                 v.intersect(last_postings)
             } else {
                 index.prob_vector(items)
+            }
+        }
+    }
+}
+
+/// [`vector_for`] fused with its statistics, run through a per-worker
+/// scratch: one `intersect_into` pass yields `(vector, esup, var, count)`
+/// with a single exactly-sized allocation (the export) — the hot path of
+/// [`VerticalEngine::evaluate`]. Falls back to the allocating fold for
+/// cold prefixes (direct trait users), like [`vector_for`].
+fn evaluate_with(
+    index: &VerticalIndex,
+    prev: &FxHashMap<Vec<ItemId>, ProbVector>,
+    candidate: &Itemset,
+    scratch: &mut ScratchSpace,
+) -> (ProbVector, f64, f64, usize) {
+    let items = candidate.items();
+    match items.len() {
+        0 => (ProbVector::new(), 0.0, 0.0, 0),
+        1 => {
+            let postings = index.postings(items[0]);
+            let (esup, var) = postings.moments();
+            (postings.clone(), esup, var, postings.len())
+        }
+        k => {
+            let (prefix, last) = (&items[..k - 1], items[k - 1]);
+            let last_postings = index.postings(last);
+            let base = if prefix.len() == 1 {
+                Some(index.postings(prefix[0]))
+            } else {
+                prev.get(prefix)
+            };
+            match base {
+                Some(v) => {
+                    let (esup, var, count) = v.intersect_into(last_postings, scratch);
+                    (scratch.export(), esup, var, count)
+                }
+                None => {
+                    let mut v = index.prob_vector(items);
+                    v.shrink_to_fit(); // it enters the memo; drop fold slack
+                    let (esup, var) = v.moments();
+                    let count = v.len();
+                    (v, esup, var, count)
+                }
             }
         }
     }

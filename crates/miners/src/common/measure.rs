@@ -129,7 +129,10 @@ pub struct Judgment {
 /// assert!(normal.needs().variance);
 /// assert!(normal.judge(&stats_of_a, &mut counters).is_none());
 /// ```
-pub trait FrequentnessMeasure {
+/// (`Sync` is a supertrait: the depth-first traversals share the measure
+/// across the worker threads of their first-level fan-out. Measures are
+/// plain parameter bundles, so this costs implementors nothing.)
+pub trait FrequentnessMeasure: Sync {
     /// Stable lower-case measure name (matches [`MeasureKind::name`]).
     fn name(&self) -> &'static str;
 

@@ -32,8 +32,19 @@
 //! exact DP/DC measures cannot run on this traversal (the matrix's one
 //! principled hole).
 
+//! **Parallelism.** Mining decomposes at the first conditional level: the
+//! global UFP-tree is built once, then each header item's candidate —
+//! judgment, conditional-tree construction, and the whole recursion below
+//! it — is an independent task over the shared read-only tree, scheduled
+//! through [`ufim_core::parallel`]'s work queue. Per-task results and
+//! [`MinerStats`] merge in header order (sums and maxes only; every float
+//! is computed inside exactly one task), so records and stats are
+//! bit-identical for every `UFIM_THREADS`; small trees stay sequential
+//! under the shared [`ufim_core::parallel::DEFAULT_MIN_WORK`] gate.
+
 use crate::common::measure::{select_items, CandidateStats, FrequentnessMeasure, Screen};
 use crate::common::order::FrequencyOrder;
+use ufim_core::parallel::{par_map_min_len, DEFAULT_MIN_WORK};
 use ufim_core::prelude::*;
 
 /// The UFP-growth miner.
@@ -156,9 +167,93 @@ impl UfpTree {
     }
 }
 
-/// Recursive FP-growth-style mining: each extension of `suffix` is judged
-/// by the measure from the moments its node list reconstructs, and only
-/// judged-frequent extensions are emitted and recursed into.
+/// One header rank's unit of work: judge `suffix ∪ {item(rank)}` from the
+/// moments its node list reconstructs and, when kept, emit it, build the
+/// conditional tree, and recurse. Shared by the sequential recursion
+/// ([`mine_tree_rec`]) and the top-level fan-out in [`mine_tree`]; the
+/// caller guarantees the rank's node list is nonempty.
+fn mine_rank<M: FrequentnessMeasure>(
+    tree: &UfpTree,
+    order: &FrequencyOrder,
+    measure: &M,
+    rank: u32,
+    suffix: &[ItemId],
+    out: &mut MiningResult,
+    depth_budget: &mut u64,
+) {
+    let needs = measure.needs();
+    let nodes = &tree.header[rank as usize];
+    out.stats.candidates_evaluated += 1;
+    let mut esup = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut count = 0u64;
+    for &n in nodes.iter() {
+        let node = &tree.nodes[n as usize];
+        esup += node.weight * node.prob;
+        if needs.variance {
+            sum_sq += node.weight_sq * node.prob * node.prob;
+        }
+        count += node.count;
+    }
+    match measure.screen(esup, count) {
+        Screen::Keep => {}
+        Screen::PruneCount => {
+            out.stats.candidates_pruned_count += 1;
+            return;
+        }
+        Screen::PruneBound => {
+            out.stats.candidates_pruned_chernoff += 1;
+            return;
+        }
+    }
+    let c = CandidateStats {
+        esup,
+        // Σ q_t(1 − q_t) = esup − Σ q_t², reconstructed exactly from the
+        // per-node second-moment weights.
+        variance: esup - sum_sq,
+        count,
+        probs: None,
+    };
+    let Some(j) = measure.judge(&c, &mut out.stats) else {
+        return;
+    };
+    let mut new_suffix = Vec::with_capacity(suffix.len() + 1);
+    new_suffix.push(order.item(rank));
+    new_suffix.extend_from_slice(suffix);
+    out.itemsets.push(FrequentItemset {
+        itemset: Itemset::from_items(new_suffix.iter().copied()),
+        expected_support: j.expected_support,
+        variance: j.variance,
+        frequent_prob: j.frequent_prob,
+    });
+
+    // Conditional pattern base: prefix paths re-weighted by the node's
+    // own contribution (w·p, w₂·p², count carried through).
+    let mut cond = UfpTree::new(rank as usize);
+    let mut inserted_any = false;
+    for &n in nodes.iter() {
+        let node = &tree.nodes[n as usize];
+        let path = tree.prefix_path(n);
+        if path.is_empty() {
+            continue;
+        }
+        cond.insert(
+            &path,
+            node.weight * node.prob,
+            node.weight_sq * node.prob * node.prob,
+            node.count,
+        );
+        inserted_any = true;
+    }
+    *depth_budget = depth_budget.saturating_sub(1);
+    if inserted_any && *depth_budget > 0 {
+        mine_tree_rec(&cond, order, measure, &new_suffix, out, depth_budget);
+    }
+    out.stats.scans += 1; // each conditional build re-reads node lists
+}
+
+/// Recursive FP-growth-style mining over a conditional tree (sequential;
+/// the fan-out happens one level up, in [`mine_tree`]).
 fn mine_tree_rec<M: FrequentnessMeasure>(
     tree: &UfpTree,
     order: &FrequencyOrder,
@@ -167,81 +262,13 @@ fn mine_tree_rec<M: FrequentnessMeasure>(
     out: &mut MiningResult,
     depth_budget: &mut u64,
 ) {
-    let needs = measure.needs();
     out.stats.peak_structure_nodes = out.stats.peak_structure_nodes.max(tree.num_nodes() as u64);
     // Bottom-up over the header: rank r contributes suffix ∪ {item(r)}.
     for rank in (0..tree.header.len() as u32).rev() {
-        let nodes = &tree.header[rank as usize];
-        if nodes.is_empty() {
+        if tree.header[rank as usize].is_empty() {
             continue;
         }
-        out.stats.candidates_evaluated += 1;
-        let mut esup = 0.0f64;
-        let mut sum_sq = 0.0f64;
-        let mut count = 0u64;
-        for &n in nodes.iter() {
-            let node = &tree.nodes[n as usize];
-            esup += node.weight * node.prob;
-            if needs.variance {
-                sum_sq += node.weight_sq * node.prob * node.prob;
-            }
-            count += node.count;
-        }
-        match measure.screen(esup, count) {
-            Screen::Keep => {}
-            Screen::PruneCount => {
-                out.stats.candidates_pruned_count += 1;
-                continue;
-            }
-            Screen::PruneBound => {
-                out.stats.candidates_pruned_chernoff += 1;
-                continue;
-            }
-        }
-        let c = CandidateStats {
-            esup,
-            // Σ q_t(1 − q_t) = esup − Σ q_t², reconstructed exactly from the
-            // per-node second-moment weights.
-            variance: esup - sum_sq,
-            count,
-            probs: None,
-        };
-        let Some(j) = measure.judge(&c, &mut out.stats) else {
-            continue;
-        };
-        let mut new_suffix = Vec::with_capacity(suffix.len() + 1);
-        new_suffix.push(order.item(rank));
-        new_suffix.extend_from_slice(suffix);
-        out.itemsets.push(FrequentItemset {
-            itemset: Itemset::from_items(new_suffix.iter().copied()),
-            expected_support: j.expected_support,
-            variance: j.variance,
-            frequent_prob: j.frequent_prob,
-        });
-
-        // Conditional pattern base: prefix paths re-weighted by the node's
-        // own contribution (w·p, w₂·p², count carried through).
-        let mut cond = UfpTree::new(rank as usize);
-        let mut inserted_any = false;
-        for &n in nodes.iter() {
-            let node = &tree.nodes[n as usize];
-            let path = tree.prefix_path(n);
-            if path.is_empty() {
-                continue;
-            }
-            cond.insert(
-                &path,
-                node.weight * node.prob,
-                node.weight_sq * node.prob * node.prob,
-                node.count,
-            );
-            inserted_any = true;
-        }
-        *depth_budget = depth_budget.saturating_sub(1);
-        if inserted_any && *depth_budget > 0 {
-            mine_tree_rec(&cond, order, measure, &new_suffix, out, depth_budget);
-        }
-        out.stats.scans += 1; // each conditional build re-reads node lists
+        mine_rank(tree, order, measure, rank, suffix, out, depth_budget);
     }
 }
 
@@ -280,12 +307,44 @@ pub(crate) fn mine_tree<M: FrequentnessMeasure>(
         }
     }
     result.stats.scans += 1;
+    result.stats.peak_structure_nodes = result
+        .stats
+        .peak_structure_nodes
+        .max(tree.num_nodes() as u64);
 
-    // An (ample) recursion budget guards pathological conditional
-    // explosions; it is never hit in the experiments but turns a
-    // hypothetical runaway into truncated-but-sound output.
-    let mut depth_budget = u64::MAX;
-    mine_tree_rec(&tree, &order, measure, &[], &mut result, &mut depth_budget);
+    // Top level: each occupied header rank is one independent subtree task
+    // over the shared read-only tree, processed bottom-up exactly as the
+    // sequential loop would. The global tree's node mass gates small
+    // inputs to the sequential path; merging per-task results in header
+    // order keeps everything bit-identical for every pool size.
+    let ranks: Vec<u32> = (0..tree.header.len() as u32)
+        .rev()
+        .filter(|&r| !tree.header[r as usize].is_empty())
+        .collect();
+    let mean_nodes = tree.num_nodes() / ranks.len().max(1);
+    let subtrees = par_map_min_len(&ranks, mean_nodes.max(1), DEFAULT_MIN_WORK, |&rank| {
+        let mut local = MiningResult::default();
+        // An (ample) per-subtree recursion budget guards pathological
+        // conditional explosions; it is never hit in the experiments but
+        // turns a hypothetical runaway into truncated-but-sound output.
+        // Per-subtree (not shared) so exhaustion could never depend on
+        // task scheduling.
+        let mut depth_budget = u64::MAX;
+        mine_rank(
+            &tree,
+            &order,
+            measure,
+            rank,
+            &[],
+            &mut local,
+            &mut depth_budget,
+        );
+        local
+    });
+    for sub in subtrees {
+        result.stats.absorb(&sub.stats);
+        result.itemsets.extend(sub.itemsets);
+    }
     result.canonicalize();
     result
 }

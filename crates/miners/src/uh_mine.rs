@@ -20,9 +20,24 @@
 //! exact measures. Swapping the measure is the entire difference between
 //! UH-Mine, the paper's novel NDUH-Mine (§3.3.3), and the previously
 //! unbuildable exact-DP/DC-on-UH-Mine cells of the matrix.
+//!
+//! ## Parallelism
+//!
+//! The walk decomposes at the **first projection level**: the root head
+//! table is built and judged once, then each kept item's projected rows
+//! become an independent subtree task scheduled through
+//! [`ufim_core::parallel`]'s work queue (the arena is shared read-only;
+//! subtrees never touch each other's rows). Each task mines into its own
+//! [`MiningResult`], and the per-task results and [`MinerStats`] are merged
+//! in item order — every counter is a sum or a max, and every float is
+//! computed within exactly one task — so output records *and* stats are
+//! bit-identical for every `UFIM_THREADS`. Small inputs (by projected row
+//! mass) stay sequential under the shared
+//! [`ufim_core::parallel::DEFAULT_MIN_WORK`] gate.
 
 use crate::common::measure::{select_items, CandidateStats, FrequentnessMeasure, Screen};
 use crate::common::order::FrequencyOrder;
+use ufim_core::parallel::{par_map_min_len, DEFAULT_MIN_WORK};
 use ufim_core::prelude::*;
 
 /// The UH-Mine miner.
@@ -119,13 +134,15 @@ impl<'a, M: FrequentnessMeasure> UhEngine<'a, M> {
         )
     }
 
-    /// Depth-first expansion of `prefix` over `rows`.
-    pub(crate) fn mine(&mut self, prefix: &mut Vec<ItemId>, rows: &[Row], out: &mut MiningResult) {
+    /// Builds the head table for `rows` — per extension rank, the
+    /// accumulated `(esup, var)` and the projected rows — returned in
+    /// ascending-rank order (descending global esup), and charges the pass
+    /// as one projection scan.
+    fn head_table(&self, rows: &[Row], out: &mut MiningResult) -> Vec<(u32, f64, f64, Vec<Row>)> {
         let needs = self.measure.needs();
-        // Head table: per extension rank, accumulated (esup, var) and the
-        // projected rows. Rank-keyed dense storage would waste memory on
-        // wide vocabularies, so use a hash table (the paper's head tables
-        // are equally per-prefix structures).
+        // Rank-keyed dense storage would waste memory on wide
+        // vocabularies, so use a hash table (the paper's head tables are
+        // equally per-prefix structures).
         let mut head: FxHashMap<u32, (f64, f64, Vec<Row>)> = FxHashMap::default();
         for row in rows {
             let mut pos = row.next;
@@ -148,48 +165,73 @@ impl<'a, M: FrequentnessMeasure> UhEngine<'a, M> {
             }
         }
         out.stats.scans += 1;
+        let mut entries: Vec<(u32, f64, f64, Vec<Row>)> = head
+            .into_iter()
+            .map(|(rank, (esup, var, rows))| (rank, esup, var, rows))
+            .collect();
+        entries.sort_unstable_by_key(|&(rank, ..)| rank);
+        entries
+    }
 
-        // Deterministic order: ascending rank (descending global esup).
-        let mut ranks: Vec<u32> = head.keys().copied().collect();
-        ranks.sort_unstable();
-        for rank in ranks {
-            let (esup, var, next_rows) = head.remove(&rank).expect("present");
-            out.stats.candidates_evaluated += 1;
-            match self.measure.screen(esup, next_rows.len() as u64) {
-                Screen::Keep => {}
-                Screen::PruneCount => {
-                    out.stats.candidates_pruned_count += 1;
-                    continue;
-                }
-                Screen::PruneBound => {
-                    out.stats.candidates_pruned_chernoff += 1;
-                    continue;
-                }
+    /// Judges one head-table entry. On keep, pushes `order.item(rank)`
+    /// onto `prefix`, emits the record, and returns `true` — the caller
+    /// recurses into the entry's rows and pops afterwards.
+    fn judge_entry(
+        &self,
+        prefix: &mut Vec<ItemId>,
+        rank: u32,
+        esup: f64,
+        var: f64,
+        next_rows: &[Row],
+        out: &mut MiningResult,
+    ) -> bool {
+        out.stats.candidates_evaluated += 1;
+        match self.measure.screen(esup, next_rows.len() as u64) {
+            Screen::Keep => {}
+            Screen::PruneCount => {
+                out.stats.candidates_pruned_count += 1;
+                return false;
             }
-            // Each projected row's multiplier is exactly the candidate's
-            // containment probability in that transaction, in transaction
-            // order — the exact kernels' input, gathered for free.
-            let qs: Option<Vec<f64>> = needs
-                .prob_vector
-                .then(|| next_rows.iter().map(|r| r.mult).collect());
-            let c = CandidateStats {
-                esup,
-                variance: var,
-                count: next_rows.len() as u64,
-                probs: qs.as_deref(),
-            };
-            let Some(j) = self.measure.judge(&c, &mut out.stats) else {
-                continue;
-            };
-            prefix.push(self.order.item(rank));
-            out.itemsets.push(FrequentItemset {
-                itemset: Itemset::from_items(prefix.iter().copied()),
-                expected_support: j.expected_support,
-                variance: j.variance,
-                frequent_prob: j.frequent_prob,
-            });
-            self.mine(prefix, &next_rows, out);
-            prefix.pop();
+            Screen::PruneBound => {
+                out.stats.candidates_pruned_chernoff += 1;
+                return false;
+            }
+        }
+        // Each projected row's multiplier is exactly the candidate's
+        // containment probability in that transaction, in transaction
+        // order — the exact kernels' input, gathered for free.
+        let qs: Option<Vec<f64>> = self
+            .measure
+            .needs()
+            .prob_vector
+            .then(|| next_rows.iter().map(|r| r.mult).collect());
+        let c = CandidateStats {
+            esup,
+            variance: var,
+            count: next_rows.len() as u64,
+            probs: qs.as_deref(),
+        };
+        let Some(j) = self.measure.judge(&c, &mut out.stats) else {
+            return false;
+        };
+        prefix.push(self.order.item(rank));
+        out.itemsets.push(FrequentItemset {
+            itemset: Itemset::from_items(prefix.iter().copied()),
+            expected_support: j.expected_support,
+            variance: j.variance,
+            frequent_prob: j.frequent_prob,
+        });
+        true
+    }
+
+    /// Depth-first expansion of `prefix` over `rows` (sequential; the
+    /// fan-out happens one level up, in [`mine_hyper`]).
+    pub(crate) fn mine(&self, prefix: &mut Vec<ItemId>, rows: &[Row], out: &mut MiningResult) {
+        for (rank, esup, var, next_rows) in self.head_table(rows, out) {
+            if self.judge_entry(prefix, rank, esup, var, &next_rows, out) {
+                self.mine(prefix, &next_rows, out);
+                prefix.pop();
+            }
         }
     }
 }
@@ -199,6 +241,9 @@ impl<'a, M: FrequentnessMeasure> UhEngine<'a, M> {
 /// selection, the UH-Struct build, and the recursive walk all consult the
 /// same measure, exactly as UH-Mine (expected support) and NDUH-Mine
 /// (Normal approximation) always did.
+///
+/// The walk fans out over the kept first-level items (see the module docs
+/// on the determinism of the merge).
 pub(crate) fn mine_hyper<M: FrequentnessMeasure>(
     db: &UncertainDatabase,
     measure: &M,
@@ -216,9 +261,41 @@ pub(crate) fn mine_hyper<M: FrequentnessMeasure>(
     if order.is_empty() {
         return result;
     }
-    let (mut engine, rows) = UhEngine::build(db, &order, measure, &mut result.stats);
+    let (engine, rows) = UhEngine::build(db, &order, measure, &mut result.stats);
+
+    // Root level, sequential: one head-table pass judges every first-level
+    // item; each kept item's projected rows become one subtree task.
     let mut prefix = Vec::new();
-    engine.mine(&mut prefix, &rows, &mut result);
+    let mut tasks: Vec<(u32, Vec<Row>)> = Vec::new();
+    for (rank, esup, var, next_rows) in engine.head_table(&rows, &mut result) {
+        if engine.judge_entry(&mut prefix, rank, esup, var, &next_rows, &mut result) {
+            prefix.pop();
+            tasks.push((rank, next_rows));
+        }
+    }
+    drop(rows);
+
+    // Fan the independent subtrees out over the work queue; the projected
+    // row mass gates tiny inputs to the sequential path. Each task mines
+    // into a local result; merging in item order keeps records and stats
+    // bit-identical for every pool size.
+    let task_rows: usize = tasks.iter().map(|(_, r)| r.len()).sum();
+    let mean_rows = task_rows / tasks.len().max(1);
+    let subtrees = par_map_min_len(
+        &tasks,
+        mean_rows.max(1),
+        DEFAULT_MIN_WORK,
+        |(rank, rows)| {
+            let mut local = MiningResult::default();
+            let mut prefix = vec![engine.order.item(*rank)];
+            engine.mine(&mut prefix, rows, &mut local);
+            local
+        },
+    );
+    for sub in subtrees {
+        result.stats.absorb(&sub.stats);
+        result.itemsets.extend(sub.itemsets);
+    }
     result.canonicalize();
     result
 }

@@ -1,0 +1,181 @@
+//! Cross-`UFIM_THREADS` bit-identity suite: every parallelized traversal
+//! must produce byte-identical records **and** [`MinerStats`] whatever the
+//! worker pool size.
+//!
+//! The parallel decompositions (level-wise candidate maps, the UH-Struct
+//! and UFP-tree first-level fan-outs) all merge per-task results in a
+//! fixed item order, and every float is computed within exactly one task —
+//! so nothing observable may change between `UFIM_THREADS=1` and any other
+//! value. This suite pins that with the scoped
+//! [`ufim_core::parallel::with_thread_override`] (thread-local, so tests
+//! can sweep pool sizes without env races), mirroring the level-wise
+//! determinism test in `ufim_core::parallel` one layer up, at the level of
+//! whole mining runs.
+//!
+//! The large databases are sized to clear the
+//! [`ufim_core::parallel::DEFAULT_MIN_WORK`] gate, so pool sizes > 1
+//! genuinely exercise the scoped-thread fan-out (worker threads spawn fine
+//! on single-core hosts; only the interleaving changes).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uncertain_fim::core::parallel::with_thread_override;
+use uncertain_fim::core::{EngineKind, MeasureKind, TraversalKind};
+use uncertain_fim::miners::{MatrixMiner, NDUHMine, UFPGrowth, UHMine};
+use uncertain_fim::prelude::*;
+
+/// Pool sizes to sweep, per the issue: sequential, small, oversubscribed.
+const POOLS: [usize; 3] = [1, 2, 8];
+
+/// A database big enough that the depth-first fan-outs and the level-wise
+/// candidate maps all clear the parallelism gate (~40k projected units).
+fn big_db() -> UncertainDatabase {
+    let mut rng = StdRng::seed_from_u64(99);
+    let transactions: Vec<Transaction> = (0..8_000)
+        .map(|_| {
+            let units: Vec<(u32, f64)> = (0..10u32)
+                .filter_map(|i| {
+                    if rng.gen_bool(0.5) {
+                        Some((i, rng.gen_range(0.2..=1.0)))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            Transaction::new(units).unwrap()
+        })
+        .collect();
+    UncertainDatabase::with_num_items(transactions, 10)
+}
+
+/// A smaller database for the expensive exact-kernel cells (their
+/// per-candidate cost is quadratic-ish in the transaction count). These
+/// runs mostly stay under the gate — the point is that the merge layer is
+/// identical either way, and cheap runs keep the sweep fast.
+fn medium_db() -> UncertainDatabase {
+    let mut rng = StdRng::seed_from_u64(7);
+    let transactions: Vec<Transaction> = (0..600)
+        .map(|_| {
+            let units: Vec<(u32, f64)> = (0..8u32)
+                .filter_map(|i| {
+                    if rng.gen_bool(0.55) {
+                        Some((i, rng.gen_range(0.3..=1.0)))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            Transaction::new(units).unwrap()
+        })
+        .collect();
+    UncertainDatabase::with_num_items(transactions, 8)
+}
+
+/// Byte-level equality of two results: same itemsets in the same
+/// canonical order, every statistic bit-identical, same counters.
+fn assert_bit_identical(reference: &MiningResult, got: &MiningResult, label: &str) {
+    assert_eq!(reference.len(), got.len(), "{label}: result sizes differ");
+    for (a, b) in reference.itemsets.iter().zip(&got.itemsets) {
+        assert_eq!(a.itemset, b.itemset, "{label}");
+        assert_eq!(
+            a.expected_support.to_bits(),
+            b.expected_support.to_bits(),
+            "{label}: esup of {}",
+            a.itemset
+        );
+        assert_eq!(
+            a.variance.map(f64::to_bits),
+            b.variance.map(f64::to_bits),
+            "{label}: variance of {}",
+            a.itemset
+        );
+        assert_eq!(
+            a.frequent_prob.map(f64::to_bits),
+            b.frequent_prob.map(f64::to_bits),
+            "{label}: Pr of {}",
+            a.itemset
+        );
+    }
+    assert_eq!(reference.stats, got.stats, "{label}: stats differ");
+}
+
+/// Runs `mine` under each pool size and pins every run against the
+/// sequential reference.
+fn sweep_pools(label: &str, mine: impl Fn() -> MiningResult) {
+    let reference = with_thread_override(1, &mine);
+    assert!(
+        !reference.is_empty(),
+        "{label}: fixture found nothing — the sweep would be vacuous"
+    );
+    for threads in POOLS {
+        let got = with_thread_override(threads, &mine);
+        assert_bit_identical(&reference, &got, &format!("{label} @ threads={threads}"));
+    }
+}
+
+#[test]
+fn uh_mine_is_bit_identical_across_pool_sizes() {
+    let db = big_db();
+    sweep_pools("UH-Mine", || {
+        UHMine::with_variance()
+            .mine_expected_ratio(&db, 0.05)
+            .unwrap()
+    });
+}
+
+#[test]
+fn ufp_growth_is_bit_identical_across_pool_sizes() {
+    let db = big_db();
+    sweep_pools("UFP-growth", || {
+        UFPGrowth::new().mine_expected_ratio(&db, 0.05).unwrap()
+    });
+}
+
+#[test]
+fn nduh_mine_is_bit_identical_across_pool_sizes() {
+    let db = big_db();
+    sweep_pools("NDUH-Mine", || {
+        NDUHMine::new()
+            .mine_probabilistic_raw(&db, 0.08, 0.5)
+            .unwrap()
+    });
+}
+
+/// Every hyper and tree matrix cell (the traversals this PR parallelized),
+/// on the database sized for its measure's cost.
+#[test]
+fn hyper_and_tree_matrix_cells_are_bit_identical_across_pool_sizes() {
+    let big = big_db();
+    let medium = medium_db();
+    for traversal in [TraversalKind::HyperStructure, TraversalKind::TreeGrowth] {
+        for measure in MeasureKind::ALL {
+            if !MatrixMiner::supported(measure, traversal) {
+                continue;
+            }
+            let (db, min_sup) = if measure.is_exact() {
+                (&medium, 0.3)
+            } else {
+                (&big, 0.08)
+            };
+            let cell = MatrixMiner::new(measure, traversal);
+            sweep_pools(&format!("{measure}×{traversal}"), || {
+                cell.mine_probabilistic_raw(db, min_sup, 0.3).unwrap()
+            });
+        }
+    }
+}
+
+/// The level-wise column on every backend rides the same merge machinery;
+/// sweep it too so the whole matrix is pinned (the issue's "every
+/// hyper/tree cell" plus the engine seam the scratch spaces changed).
+#[test]
+fn level_wise_backends_are_bit_identical_across_pool_sizes() {
+    let db = big_db();
+    for engine in EngineKind::ALL {
+        let cell = MatrixMiner::new(MeasureKind::ExpectedSupport, TraversalKind::LevelWise);
+        sweep_pools(&format!("esup×level-wise/{engine}"), || {
+            let params = MiningParams::new(0.05, 0.5).unwrap().with_engine(engine);
+            cell.mine_probabilistic(&db, params).unwrap()
+        });
+    }
+}
