@@ -1,16 +1,21 @@
-//! The parallel pattern-growth benchmark: the issue's three headline
-//! workloads — UApriori on a dense database (level-wise, scratch-space
-//! intersection kernels), NDUH-Mine (hyper-structure first-level fan-out),
-//! and UFP-growth (tree-growth first-level fan-out) — swept over worker
-//! pool sizes through `ufim_core::parallel::with_thread_override`.
+//! The parallel pattern-growth benchmark: the headline workloads —
+//! UApriori on a dense database (level-wise, scratch-space intersection
+//! kernels), NDUH-Mine (hyper-structure traversal), UFP-growth
+//! (tree-growth traversal), and the **deep-skew** pair (UH-Mine and
+//! UFP-growth on a Zipf-concentrated database whose one dominant
+//! first-level subtree a one-level fan-out provably cannot balance: with
+//! ~90% of the transactions in one subtree, one-level decomposition caps
+//! the parallel fraction at ~10%, so nested re-spawning is the only way
+//! past ~1.1× speedup) — swept over worker pool sizes through
+//! `ufim_core::parallel::with_thread_override`.
 //!
-//! On a multi-core host the `threads=N` rows show the fan-out speedup; on
-//! a single-core container they bound the scheduling overhead instead
-//! (`threads=1` must not regress against the pre-parallel sequential
-//! code — results are bit-identical by construction, pinned by
+//! On a multi-core host the `threads=N` rows show the work-stealing
+//! speedup; on a single-core container they bound the scheduling overhead
+//! instead (`threads=1` must not regress against the sequential code —
+//! results are bit-identical by construction, pinned by
 //! `tests/thread_determinism.rs`). The `parallel_guard` group is the CI
 //! smoke: it asserts cross-pool-size result identity on the benchmarked
-//! workloads.
+//! workloads, including the deep-skew fixture's nested-spawn path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -18,7 +23,7 @@ use rand::{Rng, SeedableRng};
 use std::time::Duration;
 use ufim_core::parallel::with_thread_override;
 use ufim_core::prelude::*;
-use ufim_miners::{NDUHMine, UApriori, UFPGrowth};
+use ufim_miners::{NDUHMine, UApriori, UFPGrowth, UHMine};
 
 /// Dense synthetic uncertain database (same generator family as
 /// `bench_engines`): every item appears in `density` of the transactions
@@ -63,6 +68,14 @@ fn sparse_db(transactions: usize, items: u32, seed: u64) -> UncertainDatabase {
         .collect();
     UncertainDatabase::with_num_items(t, items)
 }
+
+/// Deeply skewed database — the single shared definition in
+/// `ufim_data::benchmarks::deep_skew` (also the determinism suite's
+/// fixture, so this guard and that suite can never drift apart): item
+/// inclusion decays geometrically from a near-ubiquitous item 0, so one
+/// first-level subtree holds almost all the work and only nested
+/// re-spawning can spread it across a pool.
+use ufim_data::benchmarks::deep_skew as deep_skew_db;
 
 /// Pool sizes to sweep: sequential, two workers, and the host's
 /// parallelism — deduplicated so 1- and 2-core hosts never register the
@@ -155,11 +168,60 @@ fn bench_ufp_growth(c: &mut Criterion) {
     group.finish();
 }
 
-/// CI smoke: the three benchmarked miners must produce identical results
+/// The deep-skew workload: UH-Mine and UFP-growth on the dominant-subtree
+/// database. The interesting comparison is `threads=1` vs `threads=N`
+/// here specifically — a one-level fan-out gains almost nothing on this
+/// shape, nested spawning is what moves it.
+fn bench_deep_skew(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_deep_skew");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    let db = deep_skew_db(12_000, 16, 4242);
+    for threads in pools() {
+        group.bench_with_input(
+            BenchmarkId::new(format!("uh_mine/threads={threads}"), "N=12k,I=16,skewed"),
+            &db,
+            |b, db| {
+                let miner = UHMine::new();
+                b.iter(|| {
+                    with_thread_override(threads, || {
+                        miner
+                            .mine_expected_ratio(std::hint::black_box(db), 0.05)
+                            .unwrap()
+                            .len()
+                    })
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("ufp_growth/threads={threads}"), "N=12k,I=16,skewed"),
+            &db,
+            |b, db| {
+                let miner = UFPGrowth::new();
+                b.iter(|| {
+                    with_thread_override(threads, || {
+                        miner
+                            .mine_expected_ratio(std::hint::black_box(db), 0.05)
+                            .unwrap()
+                            .len()
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// CI smoke: the benchmarked miners must produce identical results
 /// at every pool size (checked once, outside timing).
 fn bench_parallel_guard(c: &mut Criterion) {
     let dense = dense_db(4_000, 16, 0.4, 7);
     let sparse = sparse_db(4_000, 16, 13);
+    // Full-size deep-skew fixture: the nested-spawn path only triggers
+    // above the size cutoffs, and pinning that path is the point.
+    let skewed = deep_skew_db(12_000, 16, 4242);
     let reference_u = with_thread_override(1, || {
         UApriori::with_engine(EngineKind::Vertical)
             .mine_expected_ratio(&dense, 0.02)
@@ -172,6 +234,12 @@ fn bench_parallel_guard(c: &mut Criterion) {
     });
     let reference_t = with_thread_override(1, || {
         UFPGrowth::new().mine_expected_ratio(&dense, 0.05).unwrap()
+    });
+    let reference_skew_u = with_thread_override(1, || {
+        UHMine::new().mine_expected_ratio(&skewed, 0.05).unwrap()
+    });
+    let reference_skew_t = with_thread_override(1, || {
+        UFPGrowth::new().mine_expected_ratio(&skewed, 0.05).unwrap()
     });
     for threads in [2usize, 8] {
         with_thread_override(threads, || {
@@ -188,6 +256,20 @@ fn bench_parallel_guard(c: &mut Criterion) {
             let t = UFPGrowth::new().mine_expected_ratio(&dense, 0.05).unwrap();
             assert_eq!(t.sorted_itemsets(), reference_t.sorted_itemsets());
             assert_eq!(t.stats, reference_t.stats, "UFP-growth stats @ {threads}");
+            // Deep skew: these runs take the nested-spawn path, so the
+            // guard pins nested bit-identity in CI, not just locally.
+            let su = UHMine::new().mine_expected_ratio(&skewed, 0.05).unwrap();
+            assert_eq!(su.sorted_itemsets(), reference_skew_u.sorted_itemsets());
+            assert_eq!(
+                su.stats, reference_skew_u.stats,
+                "deep-skew UH-Mine stats @ {threads}"
+            );
+            let st = UFPGrowth::new().mine_expected_ratio(&skewed, 0.05).unwrap();
+            assert_eq!(st.sorted_itemsets(), reference_skew_t.sorted_itemsets());
+            assert_eq!(
+                st.stats, reference_skew_t.stats,
+                "deep-skew UFP-growth stats @ {threads}"
+            );
         });
     }
     let mut group = c.benchmark_group("parallel_guard");
@@ -196,7 +278,13 @@ fn bench_parallel_guard(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(10))
         .measurement_time(Duration::from_millis(50));
     group.bench_function("pool_sizes_identical", |b| {
-        b.iter(|| reference_u.len() + reference_n.len() + reference_t.len())
+        b.iter(|| {
+            reference_u.len()
+                + reference_n.len()
+                + reference_t.len()
+                + reference_skew_u.len()
+                + reference_skew_t.len()
+        })
     });
     group.finish();
 }
@@ -206,6 +294,7 @@ criterion_group!(
     bench_uapriori_dense,
     bench_nduh_mine,
     bench_ufp_growth,
+    bench_deep_skew,
     bench_parallel_guard
 );
 criterion_main!(benches);

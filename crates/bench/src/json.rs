@@ -12,6 +12,22 @@
 //! the (tiny) writer and a strict reader. The reader is a real JSON
 //! parser — `ufim-bench json-check` uses it in CI to prove the emitted
 //! snapshots are actually machine-readable, not just string-shaped.
+//!
+//! ## The regression gate
+//!
+//! `ufim-bench json-compare BASELINE FRESH [--tolerance-pct P]`
+//! ([`compare_paths`]) turns the snapshots into an actual CI gate:
+//!
+//! * **strict** (build-failing): the experiment identity (name, scale,
+//!   seed), the run list's shape (count, workload/algorithm/engine
+//!   labels, order) and the deterministic counters — `intersections` and
+//!   `num_itemsets` — must match the baseline exactly. These are
+//!   bit-identical across machines and pool sizes by the workspace's
+//!   determinism guarantee, so *any* drift is a real behavioral change.
+//! * **advisory** (warning only): `wall_ms` drift beyond the tolerance
+//!   and `peak_memo_bytes` changes. Timing depends on the host; memory
+//!   policy may legitimately change — both are surfaced, neither fails
+//!   the build.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -209,6 +225,220 @@ pub fn check_path(path: &Path) -> Result<Vec<String>, String> {
     } else {
         Ok(vec![check_file(path)?])
     }
+}
+
+/// Default `--tolerance-pct` for [`compare_paths`]: wall-clock drift
+/// within ±this percentage of the baseline never warns. Generous because
+/// baselines are recorded on whatever machine produced the PR while the
+/// gate usually runs on CI hardware.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 200.0;
+
+/// Absolute wall-clock floor below which drift never warns: sub-
+/// millisecond runs are dominated by scheduling noise, not regressions.
+const WALL_MS_NOISE_FLOOR: f64 = 0.5;
+
+/// Outcome of one [`compare_paths`] invocation.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// One confirmation line per compared snapshot pair.
+    pub lines: Vec<String>,
+    /// Advisory drift (time beyond tolerance, memo-byte changes).
+    pub warnings: Vec<String>,
+    /// Strict mismatches — the caller should fail the build on any.
+    pub failures: Vec<String>,
+}
+
+impl CompareReport {
+    /// True when no strict mismatch was found (warnings allowed).
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares one fresh snapshot against its baseline (see the module docs
+/// for what is strict and what is advisory), appending to `report`.
+fn compare_snapshots(
+    name: &str,
+    base: &JsonSnapshot,
+    fresh: &JsonSnapshot,
+    tolerance_pct: f64,
+    report: &mut CompareReport,
+) {
+    let failures_before = report.failures.len();
+    let fail =
+        |report: &mut CompareReport, msg: String| report.failures.push(format!("{name}: {msg}"));
+    if base.experiment != fresh.experiment {
+        fail(
+            report,
+            format!(
+                "experiment {:?} vs baseline {:?}",
+                fresh.experiment, base.experiment
+            ),
+        );
+    }
+    if base.scale != fresh.scale {
+        fail(
+            report,
+            format!("scale {} vs baseline {}", fresh.scale, base.scale),
+        );
+    }
+    if base.seed != fresh.seed {
+        fail(
+            report,
+            format!("seed {} vs baseline {}", fresh.seed, base.seed),
+        );
+    }
+    if base.runs.len() != fresh.runs.len() {
+        fail(
+            report,
+            format!("{} runs vs baseline {}", fresh.runs.len(), base.runs.len()),
+        );
+        return; // per-run comparison would misalign
+    }
+    let mut warned_time = 0usize;
+    for (i, (b, f)) in base.runs.iter().zip(&fresh.runs).enumerate() {
+        let run = format!("run[{i}] ({} / {} / {})", b.workload, b.algorithm, b.engine);
+        if (&f.workload, &f.algorithm, &f.engine) != (&b.workload, &b.algorithm, &b.engine) {
+            fail(
+                report,
+                format!(
+                    "{run}: labels changed to ({} / {} / {})",
+                    f.workload, f.algorithm, f.engine
+                ),
+            );
+            continue;
+        }
+        if f.intersections != b.intersections {
+            fail(
+                report,
+                format!(
+                    "{run}: intersections {} vs baseline {}",
+                    f.intersections, b.intersections
+                ),
+            );
+        }
+        if f.num_itemsets != b.num_itemsets {
+            fail(
+                report,
+                format!(
+                    "{run}: num_itemsets {} vs baseline {}",
+                    f.num_itemsets, b.num_itemsets
+                ),
+            );
+        }
+        if f.peak_memo_bytes != b.peak_memo_bytes {
+            report.warnings.push(format!(
+                "{name}: {run}: peak_memo_bytes {} vs baseline {} (memory drift, advisory)",
+                f.peak_memo_bytes, b.peak_memo_bytes
+            ));
+        }
+        // Wall-clock: advisory, tolerance-gated, noise-floored.
+        let drift = (f.wall_ms - b.wall_ms).abs();
+        let allowed = b.wall_ms * tolerance_pct / 100.0;
+        if drift > allowed && drift > WALL_MS_NOISE_FLOOR {
+            warned_time += 1;
+            let direction = if f.wall_ms > b.wall_ms {
+                "slower"
+            } else {
+                "faster"
+            };
+            report.warnings.push(format!(
+                "{name}: {run}: wall_ms {:.3} vs baseline {:.3} ({direction} than ±{tolerance_pct}% tolerance)",
+                f.wall_ms, b.wall_ms
+            ));
+        }
+    }
+    if report.failures.len() == failures_before {
+        report.lines.push(format!(
+            "{name}: counters match baseline ({} runs, {} time warnings)",
+            base.runs.len(),
+            warned_time
+        ));
+    }
+}
+
+/// Runs the bench-regression gate: every `BENCH_*.json` under `baseline`
+/// must have a fresh counterpart under `fresh` whose deterministic
+/// counters match exactly; wall-clock drift beyond `tolerance_pct` only
+/// warns. Both paths may be a single snapshot file or a directory of
+/// them. Fresh-only snapshots are advisory (baselines lag new
+/// experiments by design).
+///
+/// # Errors
+/// I/O or parse failures on either side, with the path named.
+pub fn compare_paths(
+    baseline: &Path,
+    fresh: &Path,
+    tolerance_pct: f64,
+) -> Result<CompareReport, String> {
+    let base_files = snapshot_files(baseline)?;
+    let fresh_files = snapshot_files(fresh)?;
+    let mut report = CompareReport::default();
+    for base_path in &base_files {
+        let file_name = base_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let Some(fresh_path) = fresh_files
+            .iter()
+            .find(|p| p.file_name().and_then(|n| n.to_str()) == Some(file_name.as_str()))
+        else {
+            report
+                .failures
+                .push(format!("{file_name}: baseline has no fresh counterpart"));
+            continue;
+        };
+        let base = load_snapshot(base_path)?;
+        let fresh = load_snapshot(fresh_path)?;
+        compare_snapshots(&file_name, &base, &fresh, tolerance_pct, &mut report);
+    }
+    for fresh_path in &fresh_files {
+        let name = fresh_path.file_name().and_then(|n| n.to_str());
+        if !base_files
+            .iter()
+            .any(|p| p.file_name().and_then(|n| n.to_str()) == name)
+        {
+            report.warnings.push(format!(
+                "{}: no baseline yet (new experiment, advisory)",
+                name.unwrap_or_default()
+            ));
+        }
+    }
+    Ok(report)
+}
+
+/// The `BENCH_*.json` files under `path` (sorted), or `path` itself when
+/// it is a file.
+fn snapshot_files(path: &Path) -> Result<Vec<PathBuf>, String> {
+    if path.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("{}: cannot read dir: {e}", path.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect();
+        entries.sort();
+        if entries.is_empty() {
+            return Err(format!(
+                "{}: no BENCH_*.json snapshots found",
+                path.display()
+            ));
+        }
+        Ok(entries)
+    } else {
+        Ok(vec![path.to_path_buf()])
+    }
+}
+
+/// Reads and parses one snapshot file.
+fn load_snapshot(path: &Path) -> Result<JsonSnapshot, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    JsonSnapshot::from_json(&text).map_err(|e| format!("{}: invalid snapshot: {e}", path.display()))
 }
 
 /// JSON-escapes and quotes a string (the labels this crate emits are
@@ -506,6 +736,88 @@ mod tests {
         std::fs::create_dir_all(&empty).unwrap();
         assert!(check_path(&empty).is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_passes_on_identical_snapshots_and_warns_on_time() {
+        let dir = std::env::temp_dir().join(format!("ufim-json-cmp-{}", std::process::id()));
+        let base_dir = dir.join("base");
+        let fresh_dir = dir.join("fresh");
+        sample().write(&base_dir).unwrap();
+        // Identical counters, 10× slower wall-clock on run 0.
+        let mut fresh = sample();
+        fresh.runs[0].wall_ms *= 10.0;
+        fresh.write(&fresh_dir).unwrap();
+        let report = compare_paths(&base_dir, &fresh_dir, 200.0).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
+        assert!(
+            report.warnings[0].contains("wall_ms"),
+            "{:?}",
+            report.warnings
+        );
+        // A wide tolerance silences the warning.
+        let report = compare_paths(&base_dir, &fresh_dir, 2000.0).unwrap();
+        assert!(report.passed() && report.warnings.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_fails_on_counter_drift_and_missing_files() {
+        let dir = std::env::temp_dir().join(format!("ufim-json-cmp2-{}", std::process::id()));
+        let base_dir = dir.join("base");
+        let fresh_dir = dir.join("fresh");
+        sample().write(&base_dir).unwrap();
+        let mut drifted = sample();
+        drifted.runs[1].intersections += 1;
+        drifted.runs[0].num_itemsets -= 1;
+        drifted.write(&fresh_dir).unwrap();
+        let report = compare_paths(&base_dir, &fresh_dir, 200.0).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 2, "{:?}", report.failures);
+        assert!(report.failures.iter().any(|f| f.contains("intersections")));
+        assert!(report.failures.iter().any(|f| f.contains("num_itemsets")));
+        // A baseline without a fresh counterpart is a failure; a fresh
+        // snapshot without a baseline only warns.
+        let mut extra = sample();
+        extra.experiment = "fig4_new".into();
+        extra.write(&fresh_dir).unwrap();
+        std::fs::remove_file(fresh_dir.join("BENCH_fig4_zipf.json")).unwrap();
+        let report = compare_paths(&base_dir, &fresh_dir, 200.0).unwrap();
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("no fresh counterpart")));
+        assert!(report.warnings.iter().any(|w| w.contains("no baseline")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_fails_on_shape_and_identity_drift() {
+        let mut report = CompareReport::default();
+        let base = sample();
+        // Changed labels and a dropped run both fail strictly.
+        let mut fresh = sample();
+        fresh.runs[0].engine = "diffset".into();
+        compare_snapshots("s", &base, &fresh, 200.0, &mut report);
+        assert!(report.failures.iter().any(|f| f.contains("labels")));
+        let mut report = CompareReport::default();
+        let mut fresh = sample();
+        fresh.runs.pop();
+        fresh.seed += 1;
+        compare_snapshots("s", &base, &fresh, 200.0, &mut report);
+        assert!(report.failures.iter().any(|f| f.contains("seed")));
+        assert!(report.failures.iter().any(|f| f.contains("runs")));
+        // Memo drift is advisory only.
+        let mut report = CompareReport::default();
+        let mut fresh = sample();
+        fresh.runs[0].peak_memo_bytes += 1024;
+        compare_snapshots("s", &base, &fresh, 200.0, &mut report);
+        assert!(report.passed());
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.contains("peak_memo_bytes")));
     }
 
     #[test]

@@ -31,7 +31,16 @@ SUBCOMMANDS:
     table10           winner summary grid
     all               everything, in paper order
     json-check PATH   validate BENCH_*.json snapshots (a file, or every
-                      snapshot in a directory) — the CI gate for --json
+                      snapshot in a directory) — CI proves --json output
+                      is machine-readable
+    json-compare BASELINE FRESH [--tolerance-pct P]
+                      the bench-regression gate: every baseline snapshot
+                      needs a fresh counterpart whose counters
+                      (intersections, num_itemsets) and labels match
+                      EXACTLY (exit 1 on drift — counters are
+                      deterministic across machines and pool sizes);
+                      wall_ms drift beyond ±P% (default 200) and
+                      peak_memo_bytes changes only warn
     help              this text
 
 OPTIONS (all subcommands):
@@ -137,6 +146,55 @@ fn main() {
                     for s in summaries {
                         println!("{s}");
                     }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "json-compare" => {
+            let (Some(baseline), Some(fresh)) = (rest.get(1), rest.get(2)) else {
+                eprintln!("error: json-compare needs BASELINE and FRESH paths\n\n{HELP}");
+                std::process::exit(2);
+            };
+            let tolerance_pct = match flag_value(&rest, "--tolerance-pct") {
+                Some(v) => match v.parse::<f64>() {
+                    Ok(p) if p >= 0.0 => p,
+                    _ => {
+                        eprintln!("error: bad --tolerance-pct value {v:?}\n\n{HELP}");
+                        std::process::exit(2);
+                    }
+                },
+                None => ufim_bench::json::DEFAULT_TOLERANCE_PCT,
+            };
+            match ufim_bench::json::compare_paths(
+                std::path::Path::new(baseline),
+                std::path::Path::new(fresh),
+                tolerance_pct,
+            ) {
+                Ok(report) => {
+                    for line in &report.lines {
+                        println!("{line}");
+                    }
+                    for warning in &report.warnings {
+                        println!("warning: {warning}");
+                    }
+                    for failure in &report.failures {
+                        eprintln!("FAIL: {failure}");
+                    }
+                    if !report.passed() {
+                        eprintln!(
+                            "bench regression gate FAILED: {} counter/shape mismatch(es)",
+                            report.failures.len()
+                        );
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "bench regression gate passed ({} snapshot(s), {} warning(s))",
+                        report.lines.len(),
+                        report.warnings.len()
+                    );
                 }
                 Err(e) => {
                     eprintln!("error: {e}");

@@ -27,8 +27,9 @@
 //! * [`ExpectedSupportMiner`] / [`ProbabilisticMiner`] — the two algorithm
 //!   interfaces corresponding to the paper's two definitions,
 //! * [`hash`] — a fast FxHash-style hasher used throughout the workspace,
-//! * [`parallel`] — scoped-thread data-parallel helpers used by the
-//!   support engines.
+//! * [`parallel`] — data-parallel helpers over the persistent
+//!   work-stealing pool (`vendor/workpool`): ordered maps for the support
+//!   engines plus nested task spawning for the depth-first traversals.
 //!
 //! The worked example from the paper (its Table 1) ships as
 //! [`examples::paper_table1`] and is pinned by tests across the workspace.

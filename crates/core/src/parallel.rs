@@ -1,33 +1,65 @@
-//! Minimal data-parallel primitives on `std::thread::scope`.
+//! Data-parallel primitives over the persistent [`workpool`]
+//! work-stealing pool.
 //!
-//! The sanctioned dependency set has no rayon, so the support engines
-//! parallelize through this module instead: [`par_map`] fans a slice out
-//! over a bounded number of scoped threads and returns results **in input
-//! order**.
+//! The sanctioned dependency set has no rayon, so the miners parallelize
+//! through this module instead. Two layers of API:
+//!
+//! * [`par_map`] / [`par_map_with`] — level-wise fan-out: map a slice in
+//!   parallel, results in input order (the support engines' shape);
+//! * [`scope`] + [`Scope::spawn`] + [`OrderedSink`] — **nested** fan-out:
+//!   a recursive traversal spawns child subtrees from *inside* running
+//!   tasks, so a single dominant subtree (deep skew) no longer serializes
+//!   on one worker the way a one-level decomposition forces it to.
+//!
+//! Both run on one process-global pool of persistent workers
+//! (`vendor/workpool`: lazily-spawned threads, per-worker Chase-Lev-style
+//! deques plus a shared injector). Worker threads are started on demand
+//! and kept — the pool grows to the high-water mark of requested
+//! parallelism and is partitioned per call by an admission cap, instead
+//! of re-spawning OS threads per call as the old `std::thread::scope`
+//! fan-out did.
 //!
 //! ## Determinism
 //!
-//! Worker threads claim small chunks (at most [`PAR_CHUNK`] items) from a
-//! shared atomic queue, and results are reassembled in **input order**.
-//! Because `f` is applied per item and the output order is fixed, both the
-//! per-item outputs and any caller-side reduction over them are
-//! bit-for-bit identical whatever `UFIM_THREADS` says — a pool of 1 and a
-//! pool of 64 produce the same floating-point sums; scheduling granularity
-//! can never leak into results. Callers that *reduce across blocks of
-//! work* (the horizontal scan's per-chunk partial sums) make each block an
-//! item with their own fixed block size, keeping that association a pure
-//! function of the database, never of the pool. The queue doubles as
-//! dynamic load balancing: a thread that draws cheap candidates simply
-//! claims more chunks, which matters for the skewed per-candidate costs of
-//! the exact miners.
+//! Everything observable is bit-for-bit identical whatever `UFIM_THREADS`
+//! says — a pool of 1 and a pool of 64 produce the same floating-point
+//! records and the same statistics. The argument has three legs:
 //!
-//! Threading is opt-out: `UFIM_THREADS=1` forces sequential execution, any
-//! other value caps the pool, and the default is
+//! 1. **Ordered maps.** [`par_map`] workers claim fixed-size chunks (at
+//!    most [`PAR_CHUNK`] items) from an atomic queue and results are
+//!    reassembled in **input order**; chunk boundaries are a pure
+//!    function of the input length, never of the pool, so scheduling
+//!    granularity cannot leak into results. Callers that reduce across
+//!    blocks of work (the horizontal scan's per-chunk partial sums) make
+//!    each block an item with their own fixed block size.
+//! 2. **Pure-function decomposition.** Nested spawns are gated by
+//!    size/depth cutoffs computed from the *input* (plus the binary "is
+//!    this run parallel at all" — every pool size > 1 spawns the same
+//!    task tree, and pool size 1 runs everything inline). Every float is
+//!    computed within exactly one task either way, and merged counters
+//!    are integer sums and maxes, so even the inline/spawned split cannot
+//!    change a bit.
+//! 3. **Keyed collection.** Tasks push results into an [`OrderedSink`]
+//!    under structural keys assigned in spawn order ([`SpawnKey`]), and
+//!    the sink merges by key — never by completion order.
+//!
+//! ## Threading policy
+//!
+//! Threading is opt-out: `UFIM_THREADS=1` forces sequential execution,
+//! any other value caps the per-call thread budget, and the default is
 //! [`std::thread::available_parallelism`]. Tests and benches that need a
-//! specific pool size without touching the (process-global, racy) `env`
-//! use the scoped [`with_thread_override`] instead. Callers are expected
-//! to gate small inputs themselves (see [`par_map_min_len`]) — spawning
-//! threads for a four-transaction database costs more than it saves.
+//! specific budget without touching the (process-global, racy) `env` use
+//! the scoped [`with_thread_override`]. The budget is captured **once per
+//! call** (at [`scope`]/[`par_map`] entry, on the calling thread) into the
+//! scope's admission cap; tasks consult [`Scope::threads`] — never the
+//! worker thread's own environment — so cutoff decisions inside tasks
+//! agree with the owner's. Overriding can therefore never change *what*
+//! is computed, only how many workers participate; the persistent pool
+//! grows to serve the largest budget ever requested and never shrinks.
+//!
+//! Callers are expected to gate small inputs themselves (see
+//! [`par_map_min_len`] and the miners' spawn cutoffs) — fanning out a
+//! four-transaction database costs more than it saves.
 //!
 //! ## Per-worker state
 //!
@@ -42,6 +74,9 @@
 use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub use workpool::Scope;
 
 /// Default work-size gate for [`par_map_min_len`] callers: below this many
 /// units of work, fanning out costs more than it saves. Shared by the
@@ -64,9 +99,10 @@ thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-/// Upper bound on worker threads: a [`with_thread_override`] scope when
-/// active, else the `UFIM_THREADS` environment variable when set to a
-/// positive integer, else the machine's available parallelism.
+/// Per-call thread budget: a [`with_thread_override`] scope when active,
+/// else the `UFIM_THREADS` environment variable when set to a positive
+/// integer, else the machine's available parallelism. Captured once at
+/// every [`scope`]/[`par_map`] entry on the calling thread.
 pub fn max_threads() -> usize {
     if let Some(n) = THREAD_OVERRIDE.get() {
         return n.max(1);
@@ -82,12 +118,18 @@ pub fn max_threads() -> usize {
 }
 
 /// Runs `f` with [`max_threads`] pinned to `threads` **on the calling
-/// thread** (every `par_map` entered from inside `f` uses the pinned pool
-/// size). Scoped and panic-safe: the previous override is restored when
-/// `f` returns or unwinds, and other threads — including concurrently
-/// running tests — are unaffected. This is how the cross-thread-count
-/// determinism suites sweep pool sizes; results must be bit-identical for
-/// every pinned value, so overriding can never change what `f` computes.
+/// thread** (every [`scope`] or [`par_map`] entered from inside `f`
+/// captures the pinned budget). Scoped and panic-safe: the previous
+/// override is restored when `f` returns or unwinds, and other threads —
+/// including concurrently running tests — are unaffected.
+///
+/// Interaction with the persistent pool: the override does **not** spawn
+/// or kill workers by itself. It sets the admission cap of scopes created
+/// under it; the pool then grows (lazily, monotonically) to serve the
+/// largest cap ever requested and is partitioned between concurrent
+/// scopes by those caps. This is how the cross-thread-count determinism
+/// suites sweep pool sizes; results must be bit-identical for every
+/// pinned value, so overriding can never change what `f` computes.
 pub fn with_thread_override<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     struct Restore(Option<usize>);
     impl Drop for Restore {
@@ -99,11 +141,74 @@ pub fn with_thread_override<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Opens a work-stealing [`Scope`] with the current [`max_threads`]
+/// budget as its admission cap and returns once `f` **and every task
+/// transitively spawned inside** have completed. With a budget of 1,
+/// [`Scope::spawn`] runs tasks inline and execution is genuinely
+/// sequential. Panics from tasks are re-thrown here after the scope
+/// drains (see `vendor/workpool`).
+pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
+    workpool::scope(max_threads(), f)
+}
+
+/// A structural task key assigned in **spawn order**: a child's key is
+/// its parent task's key extended by the parent's running spawn ordinal.
+/// Because every task's spawn sequence is a pure function of the input
+/// (see the module docs), keys are identical across runs and pool sizes,
+/// and sorting them lexicographically reproduces the sequential
+/// depth-first spawn order — the deterministic merge order for
+/// [`OrderedSink`].
+pub type SpawnKey = Vec<u32>;
+
+/// Extends `parent` by the next ordinal from `seq` (incrementing it) —
+/// the one way task keys are minted, so uniqueness is structural.
+pub fn child_key(parent: &[u32], seq: &mut u32) -> SpawnKey {
+    let mut key = Vec::with_capacity(parent.len() + 1);
+    key.extend_from_slice(parent);
+    key.push(*seq);
+    *seq += 1;
+    key
+}
+
+/// A concurrency-safe collector merging per-task results in key order.
+///
+/// Tasks [`push`](OrderedSink::push) their local result under their
+/// [`SpawnKey`]; after the scope drains,
+/// [`into_sorted_values`](OrderedSink::into_sorted_values) yields the
+/// results sorted by key — i.e. in spawn order, independent of completion
+/// order. Keys must be unique (structural minting via [`child_key`]
+/// guarantees it).
+#[derive(Debug, Default)]
+pub struct OrderedSink<R> {
+    results: Mutex<Vec<(SpawnKey, R)>>,
+}
+
+impl<R> OrderedSink<R> {
+    /// An empty sink.
+    pub fn new() -> Self {
+        OrderedSink {
+            results: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records one task's result under its spawn key.
+    pub fn push(&self, key: SpawnKey, value: R) {
+        self.results.lock().unwrap().push((key, value));
+    }
+
+    /// All recorded results, sorted by spawn key.
+    pub fn into_sorted_values(self) -> Vec<R> {
+        let mut results = self.results.into_inner().unwrap();
+        results.sort_by(|a, b| a.0.cmp(&b.0));
+        results.into_iter().map(|(_, value)| value).collect()
+    }
+}
+
 /// Maps `f` over `items` in parallel, returning results in input order.
 ///
-/// Threads claim chunks of at most [`PAR_CHUNK`] items from an atomic
-/// queue (see the module docs on determinism). With one item, one thread,
-/// or an empty slice the map runs inline on the caller's thread —
+/// Worker loops claim chunks of at most [`PAR_CHUNK`] items from an
+/// atomic queue (see the module docs on determinism). With one item, one
+/// thread, or an empty slice the map runs inline on the caller's thread —
 /// producing, like every other pool size, exactly the sequential result.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -116,10 +221,10 @@ where
 
 /// [`par_map`] with a mutable **per-worker state** threaded through every
 /// item a worker claims — the scratch-buffer seam (see the module docs).
-/// `init` runs once per worker (once total when sequential); `f` receives
-/// the worker's state and the item. The state must not influence results:
-/// outputs stay a pure function of the item, so the determinism contract
-/// is unchanged.
+/// `init` runs once per worker loop (once total when sequential); `f`
+/// receives the worker's state and the item. The state must not influence
+/// results: outputs stay a pure function of the item, so the determinism
+/// contract is unchanged.
 pub fn par_map_with<S, T, R, I, F>(items: &[T], init: I, f: F) -> Vec<R>
 where
     T: Sync,
@@ -142,7 +247,9 @@ where
 }
 
 /// [`par_map_with`] with an explicit thread cap — the shared engine under
-/// both map flavors.
+/// both map flavors. `threads − 1` worker loops are spawned as pool tasks
+/// and the calling thread runs one more, so at most `threads` states are
+/// ever built, exactly as when each call spawned its own OS threads.
 fn par_map_with_threads<S, T, R, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
 where
     T: Sync,
@@ -162,37 +269,36 @@ where
     let chunk_size = PAR_CHUNK.min(items.len().div_ceil(threads)).max(1);
     let num_chunks = items.len().div_ceil(chunk_size);
     let next = AtomicUsize::new(0);
-    let (next, init, f) = (&next, &init, &f);
-    let claimed: Vec<Vec<(usize, Vec<R>)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut state = init();
-                    let mut got: Vec<(usize, Vec<R>)> = Vec::new();
-                    loop {
-                        let chunk = next.fetch_add(1, Ordering::Relaxed);
-                        let start = chunk * chunk_size;
-                        if start >= items.len() {
-                            break;
-                        }
-                        let end = (start + chunk_size).min(items.len());
-                        got.push((
-                            chunk,
-                            items[start..end].iter().map(|i| f(&mut state, i)).collect(),
-                        ));
-                    }
-                    got
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("par_map worker panicked"))
-            .collect()
+    let collected: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(num_chunks));
+    let run_loop = |collected: &Mutex<Vec<(usize, Vec<R>)>>| {
+        let mut state = init();
+        let mut got: Vec<(usize, Vec<R>)> = Vec::new();
+        loop {
+            let chunk = next.fetch_add(1, Ordering::Relaxed);
+            let start = chunk * chunk_size;
+            if start >= items.len() {
+                break;
+            }
+            let end = (start + chunk_size).min(items.len());
+            got.push((
+                chunk,
+                items[start..end]
+                    .iter()
+                    .map(|item| f(&mut state, item))
+                    .collect(),
+            ));
+        }
+        collected.lock().unwrap().extend(got);
+    };
+    workpool::scope(threads, |s| {
+        for _ in 0..threads - 1 {
+            s.spawn(|_| run_loop(&collected));
+        }
+        run_loop(&collected);
     });
     // Reassemble in input order: chunk index → slot.
     let mut slots: Vec<Option<Vec<R>>> = (0..num_chunks).map(|_| None).collect();
-    for (chunk, results) in claimed.into_iter().flatten() {
+    for (chunk, results) in collected.into_inner().unwrap() {
         slots[chunk] = Some(results);
     }
     let mut out = Vec::with_capacity(items.len());
@@ -295,9 +401,9 @@ mod tests {
         }
     }
 
-    /// Per-worker state is created once per worker and threaded through
-    /// all its items, and results stay order-preserving whatever the state
-    /// does internally.
+    /// Per-worker state is created once per worker loop and threaded
+    /// through all its items, and results stay order-preserving whatever
+    /// the state does internally.
     #[test]
     fn stateful_map_reuses_worker_state() {
         use std::sync::atomic::AtomicUsize;
@@ -370,5 +476,83 @@ mod tests {
             let out = par_map_threads(&items, 3, |&x| x);
             assert_eq!(out, items, "n={n}");
         }
+    }
+
+    /// The override flows into [`scope`]'s admission cap: tasks observe
+    /// the budget through [`Scope::threads`], and a budget of 1 runs
+    /// spawns inline on the calling thread.
+    #[test]
+    fn override_reaches_scope_budget() {
+        with_thread_override(5, || {
+            scope(|s| {
+                assert_eq!(s.threads(), 5);
+                s.spawn(|s| assert_eq!(s.threads(), 5));
+            });
+        });
+        let caller = std::thread::current().id();
+        with_thread_override(1, || {
+            scope(|s| {
+                s.spawn(move |_| assert_eq!(std::thread::current().id(), caller));
+            });
+        });
+    }
+
+    /// Nested spawns (depth ≥ 4) with spawn-order keys: the sink's merged
+    /// output is identical for every pool size, whatever the completion
+    /// order was.
+    #[test]
+    fn ordered_sink_merges_in_spawn_order_across_pool_sizes() {
+        fn grow<'env>(
+            s: &Scope<'env>,
+            sink: &'env OrderedSink<u64>,
+            key: &[u32],
+            depth: u32,
+            value: u64,
+        ) {
+            let mut seq = 0;
+            if depth < 4 {
+                for child in 0..3u64 {
+                    let child_value = value * 10 + child;
+                    let child_key = child_key(key, &mut seq);
+                    s.spawn(move |s| {
+                        grow(s, sink, &child_key, depth + 1, child_value);
+                        sink.push(child_key.clone(), child_value);
+                    });
+                }
+            }
+        }
+        let mut reference: Option<Vec<u64>> = None;
+        for threads in [1usize, 2, 8] {
+            let sink = OrderedSink::new();
+            with_thread_override(threads, || {
+                scope(|s| grow(s, &sink, &[], 0, 1));
+            });
+            let values = sink.into_sorted_values();
+            assert_eq!(values.len(), 3 + 9 + 27 + 81, "threads={threads}");
+            match &reference {
+                None => reference = Some(values),
+                Some(expected) => assert_eq!(&values, expected, "threads={threads}"),
+            }
+        }
+    }
+
+    /// A panic inside a deeply nested task surfaces from [`scope`] on the
+    /// owner's thread.
+    #[test]
+    fn nested_task_panic_propagates_to_scope_owner() {
+        let result = std::panic::catch_unwind(|| {
+            with_thread_override(4, || {
+                scope(|s| {
+                    s.spawn(|s| {
+                        s.spawn(|s| {
+                            s.spawn(|_| panic!("deep failure"));
+                        });
+                    });
+                });
+            })
+        });
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "deep failure");
     }
 }

@@ -14,7 +14,7 @@ use crate::deterministic::DeterministicDatabase;
 use rand::distributions::{Distribution, WeightedIndex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ufim_core::ItemId;
+use ufim_core::{ItemId, Transaction, UncertainDatabase};
 
 /// Scales a paper-size transaction count, keeping at least one transaction.
 fn scaled(n: usize, scale: f64) -> usize {
@@ -219,6 +219,36 @@ pub fn gazelle_like(scale: f64, seed: u64) -> DeterministicDatabase {
     DeterministicDatabase::with_num_items(transactions, ITEMS as u32)
 }
 
+/// A deeply skewed **uncertain** database for the parallel suites: item
+/// `i` appears in a transaction with probability `0.9 / 1.3^i` (existence
+/// probabilities uniform in `[0.3, 1.0]`), so item 0 is near-ubiquitous
+/// and one first-level subtree dominates every depth-first decomposition
+/// several levels deep — the shape that serializes a one-level fan-out
+/// and exists to exercise the miners' *nested* task spawning.
+///
+/// The single definition is shared by `tests/thread_determinism.rs` and
+/// `bench_parallel` so the CI identity guard and the benchmark can never
+/// drift onto different fixtures.
+pub fn deep_skew(transactions: usize, items: u32, seed: u64) -> UncertainDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t: Vec<Transaction> = (0..transactions)
+        .map(|_| {
+            let units: Vec<(ItemId, f64)> = (0..items)
+                .filter_map(|i| {
+                    let p_incl = 0.9 / 1.3f64.powi(i as i32);
+                    if rng.gen_bool(p_incl) {
+                        Some((i, rng.gen_range(0.3..=1.0)))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            Transaction::new(units).expect("probabilities are in (0, 1]")
+        })
+        .collect();
+    UncertainDatabase::with_num_items(t, items)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +335,24 @@ mod tests {
     #[should_panic(expected = "scale must be in (0,1]")]
     fn rejects_bad_scale() {
         connect_like(0.0, 1);
+    }
+
+    #[test]
+    fn deep_skew_is_dominated_by_item_zero() {
+        let db = deep_skew(2_000, 16, 7);
+        assert_eq!(db.num_items(), 16);
+        let with = |i: u32| {
+            db.transactions()
+                .iter()
+                .filter(|t| t.items().contains(&i))
+                .count()
+        };
+        // Geometric decay: item 0 in ~90% of transactions, the chain
+        // {0,1,2} still dominant, the tail rare — the skew the parallel
+        // suites rely on.
+        assert!(with(0) > 1_700, "item 0 in {} of 2000", with(0));
+        assert!(with(0) > 2 * with(4));
+        assert!(with(15) < with(0) / 10);
     }
 
     #[test]

@@ -50,9 +50,11 @@
 //!
 //! Both columnar backends run their per-candidate kernels through the
 //! zero-allocation `*_into` variants ([`ProbVector::intersect_into`],
-//! [`ProbVector::diff_extend_into`]), each worker thread owning one
-//! reusable [`ScratchSpace`] (`par_map_min_len_with` builds it per worker;
-//! the sequential path builds exactly one). Steady-state evaluation
+//! [`ProbVector::diff_extend_into`]), each worker loop on the persistent
+//! work-stealing pool owning one reusable [`ScratchSpace`]
+//! (`par_map_min_len_with` builds one state per worker loop — at most the
+//! thread budget — whichever pool threads end up running those loops; the
+//! sequential path builds exactly one). Steady-state evaluation
 //! therefore allocates nothing per candidate: a candidate only pays an
 //! exactly-sized export when it survives pruning and enters the memo.
 //! Scratch never affects results — the kernels are bit-identical to their

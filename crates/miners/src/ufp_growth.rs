@@ -32,20 +32,37 @@
 //! exact DP/DC measures cannot run on this traversal (the matrix's one
 //! principled hole).
 
-//! **Parallelism.** Mining decomposes at the first conditional level: the
-//! global UFP-tree is built once, then each header item's candidate —
-//! judgment, conditional-tree construction, and the whole recursion below
-//! it — is an independent task over the shared read-only tree, scheduled
-//! through [`ufim_core::parallel`]'s work queue. Per-task results and
-//! [`MinerStats`] merge in header order (sums and maxes only; every float
-//! is computed inside exactly one task), so records and stats are
-//! bit-identical for every `UFIM_THREADS`; small trees stay sequential
-//! under the shared [`ufim_core::parallel::DEFAULT_MIN_WORK`] gate.
+//! **Parallelism.** Mining decomposes **recursively** over the
+//! work-stealing pool ([`ufim_core::parallel::scope`]). The global
+//! UFP-tree is built once; each occupied header rank becomes a root task
+//! over the shared read-only tree when the tree clears
+//! [`ufim_core::parallel::DEFAULT_MIN_WORK`], and — the nested part —
+//! every conditional tree whose node count clears `SPAWN_MIN_NODES` is
+//! re-spawned from inside its task (the conditional tree is *owned* by
+//! the child task, so nothing is shared downward). A deep-skewed
+//! database, whose one dominant rank used to serialize its entire
+//! recursion on one worker, now splits again at every heavy conditional
+//! level. Per-task results and [`MinerStats`] merge in spawn-key order
+//! through an [`OrderedSink`] (sums and maxes only; every float is
+//! computed inside exactly one task), and spawn decisions are a pure
+//! function of the input — so records and stats are bit-identical for
+//! every `UFIM_THREADS`, pool size 1 running fully inline.
 
 use crate::common::measure::{select_items, CandidateStats, FrequentnessMeasure, Screen};
 use crate::common::order::FrequencyOrder;
-use ufim_core::parallel::{par_map_min_len, DEFAULT_MIN_WORK};
+use ufim_core::parallel::{child_key, scope, OrderedSink, Scope, DEFAULT_MIN_WORK};
 use ufim_core::prelude::*;
+
+/// Conditional-tree node count above which the recursion below a kept
+/// candidate is spawned as a nested pool task (the child task takes
+/// ownership of the conditional tree). Small enough that a skewed rank's
+/// heavy conditionals split; large enough that task overhead stays noise
+/// against the conditional build that precedes it.
+const SPAWN_MIN_NODES: usize = 1 << 9;
+
+/// Suffix length beyond which recursion always stays inline — a backstop
+/// against unbounded task bookkeeping on pathological lattices.
+const SPAWN_MAX_DEPTH: usize = 24;
 
 /// The UFP-growth miner.
 #[derive(Clone, Debug, Default)]
@@ -169,13 +186,26 @@ impl UfpTree {
 
 /// One header rank's unit of work: judge `suffix ∪ {item(rank)}` from the
 /// moments its node list reconstructs and, when kept, emit it, build the
-/// conditional tree, and recurse. Shared by the sequential recursion
-/// ([`mine_tree_rec`]) and the top-level fan-out in [`mine_tree`]; the
-/// caller guarantees the rank's node list is nonempty.
-fn mine_rank<M: FrequentnessMeasure>(
+/// conditional tree, and recurse — spawning the recursion as a nested
+/// pool task when the conditional tree clears `SPAWN_MIN_NODES` (the
+/// task takes ownership of the tree; see the module docs). Shared by the
+/// in-task recursion ([`mine_tree_rec`]) and the root fan-out in
+/// [`mine_tree`]; the caller guarantees the rank's node list is nonempty.
+///
+/// `task_key`/`spawn_seq` are the enclosing task's spawn-order identity
+/// (see [`child_key`]); spawned children push their local results into
+/// `sink` under the minted key. `depth_budget` is **per task**: a spawned
+/// child starts a fresh budget, which cannot change results because the
+/// (ample) budget is only a runaway guard, never reached in practice.
+#[allow(clippy::too_many_arguments)] // one recursion context, kept flat like the sequential original
+fn mine_rank<'env, M: FrequentnessMeasure>(
+    s: &Scope<'env>,
+    sink: &'env OrderedSink<MiningResult>,
+    task_key: &[u32],
+    spawn_seq: &mut u32,
     tree: &UfpTree,
-    order: &FrequencyOrder,
-    measure: &M,
+    order: &'env FrequencyOrder,
+    measure: &'env M,
     rank: u32,
     suffix: &[ItemId],
     out: &mut MiningResult,
@@ -247,17 +277,62 @@ fn mine_rank<M: FrequentnessMeasure>(
     }
     *depth_budget = depth_budget.saturating_sub(1);
     if inserted_any && *depth_budget > 0 {
-        mine_tree_rec(&cond, order, measure, &new_suffix, out, depth_budget);
+        if s.threads() > 1
+            && new_suffix.len() < SPAWN_MAX_DEPTH
+            && cond.num_nodes() >= SPAWN_MIN_NODES
+        {
+            // Heavy conditional: hand the owned tree to a nested task so
+            // the recursion below it runs concurrently with our remaining
+            // ranks (and can itself split again).
+            let key = child_key(task_key, spawn_seq);
+            s.spawn(move |s| {
+                let mut local = MiningResult::default();
+                let mut child_seq = 0;
+                let mut child_budget = u64::MAX;
+                mine_tree_rec(
+                    s,
+                    sink,
+                    &key,
+                    &mut child_seq,
+                    &cond,
+                    order,
+                    measure,
+                    &new_suffix,
+                    &mut local,
+                    &mut child_budget,
+                );
+                sink.push(key, local);
+            });
+        } else {
+            mine_tree_rec(
+                s,
+                sink,
+                task_key,
+                spawn_seq,
+                &cond,
+                order,
+                measure,
+                &new_suffix,
+                out,
+                depth_budget,
+            );
+        }
     }
     out.stats.scans += 1; // each conditional build re-reads node lists
 }
 
-/// Recursive FP-growth-style mining over a conditional tree (sequential;
-/// the fan-out happens one level up, in [`mine_tree`]).
-fn mine_tree_rec<M: FrequentnessMeasure>(
+/// FP-growth-style mining over a conditional tree: bottom-up over the
+/// header, one [`mine_rank`] per occupied rank (each of which may spawn
+/// its own recursion — the nesting happens there).
+#[allow(clippy::too_many_arguments)] // one recursion context, kept flat like the sequential original
+fn mine_tree_rec<'env, M: FrequentnessMeasure>(
+    s: &Scope<'env>,
+    sink: &'env OrderedSink<MiningResult>,
+    task_key: &[u32],
+    spawn_seq: &mut u32,
     tree: &UfpTree,
-    order: &FrequencyOrder,
-    measure: &M,
+    order: &'env FrequencyOrder,
+    measure: &'env M,
     suffix: &[ItemId],
     out: &mut MiningResult,
     depth_budget: &mut u64,
@@ -268,7 +343,19 @@ fn mine_tree_rec<M: FrequentnessMeasure>(
         if tree.header[rank as usize].is_empty() {
             continue;
         }
-        mine_rank(tree, order, measure, rank, suffix, out, depth_budget);
+        mine_rank(
+            s,
+            sink,
+            task_key,
+            spawn_seq,
+            tree,
+            order,
+            measure,
+            rank,
+            suffix,
+            out,
+            depth_budget,
+        );
     }
 }
 
@@ -312,36 +399,70 @@ pub(crate) fn mine_tree<M: FrequentnessMeasure>(
         .peak_structure_nodes
         .max(tree.num_nodes() as u64);
 
-    // Top level: each occupied header rank is one independent subtree task
-    // over the shared read-only tree, processed bottom-up exactly as the
-    // sequential loop would. The global tree's node mass gates small
-    // inputs to the sequential path; merging per-task results in header
-    // order keeps everything bit-identical for every pool size.
+    // Top level: when the global tree is heavy enough, each occupied
+    // header rank — judgment, conditional build, and the recursion below
+    // it — becomes one root task over the shared read-only tree (and the
+    // recursion re-spawns below it; see the module docs). Light trees run
+    // the ranks inline, where the same size cutoffs keep everything
+    // sequential. The sink merges per-task results in spawn-key order, so
+    // every pool size produces bit-identical output.
     let ranks: Vec<u32> = (0..tree.header.len() as u32)
         .rev()
         .filter(|&r| !tree.header[r as usize].is_empty())
         .collect();
-    let mean_nodes = tree.num_nodes() / ranks.len().max(1);
-    let subtrees = par_map_min_len(&ranks, mean_nodes.max(1), DEFAULT_MIN_WORK, |&rank| {
-        let mut local = MiningResult::default();
-        // An (ample) per-subtree recursion budget guards pathological
+    let sink = OrderedSink::new();
+    let tree_ref = &tree;
+    let order_ref = &order;
+    scope(|s| {
+        let spawn_roots = s.threads() > 1 && tree_ref.num_nodes() >= DEFAULT_MIN_WORK;
+        let mut spawn_seq = 0;
+        // An (ample) per-task recursion budget guards pathological
         // conditional explosions; it is never hit in the experiments but
         // turns a hypothetical runaway into truncated-but-sound output.
-        // Per-subtree (not shared) so exhaustion could never depend on
-        // task scheduling.
-        let mut depth_budget = u64::MAX;
-        mine_rank(
-            &tree,
-            &order,
-            measure,
-            rank,
-            &[],
-            &mut local,
-            &mut depth_budget,
-        );
-        local
+        // Per-task (not shared) so exhaustion could never depend on task
+        // scheduling.
+        let mut root_budget = u64::MAX;
+        for &rank in &ranks {
+            if spawn_roots {
+                let key = child_key(&[], &mut spawn_seq);
+                let sink = &sink;
+                s.spawn(move |s| {
+                    let mut local = MiningResult::default();
+                    let mut child_seq = 0;
+                    let mut child_budget = u64::MAX;
+                    mine_rank(
+                        s,
+                        sink,
+                        &key,
+                        &mut child_seq,
+                        tree_ref,
+                        order_ref,
+                        measure,
+                        rank,
+                        &[],
+                        &mut local,
+                        &mut child_budget,
+                    );
+                    sink.push(key, local);
+                });
+            } else {
+                mine_rank(
+                    s,
+                    &sink,
+                    &[],
+                    &mut spawn_seq,
+                    tree_ref,
+                    order_ref,
+                    measure,
+                    rank,
+                    &[],
+                    &mut result,
+                    &mut root_budget,
+                );
+            }
+        }
     });
-    for sub in subtrees {
+    for sub in sink.into_sorted_values() {
         result.stats.absorb(&sub.stats);
         result.itemsets.extend(sub.itemsets);
     }

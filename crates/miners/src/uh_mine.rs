@@ -23,22 +23,37 @@
 //!
 //! ## Parallelism
 //!
-//! The walk decomposes at the **first projection level**: the root head
-//! table is built and judged once, then each kept item's projected rows
-//! become an independent subtree task scheduled through
-//! [`ufim_core::parallel`]'s work queue (the arena is shared read-only;
-//! subtrees never touch each other's rows). Each task mines into its own
-//! [`MiningResult`], and the per-task results and [`MinerStats`] are merged
-//! in item order — every counter is a sum or a max, and every float is
-//! computed within exactly one task — so output records *and* stats are
-//! bit-identical for every `UFIM_THREADS`. Small inputs (by projected row
-//! mass) stay sequential under the shared
-//! [`ufim_core::parallel::DEFAULT_MIN_WORK`] gate.
+//! The walk decomposes **recursively**: at every level of the depth-first
+//! expansion, a kept extension whose projected rows clear
+//! `SPAWN_MIN_ROWS` (and whose prefix is shorter than
+//! `SPAWN_MAX_DEPTH`) is re-spawned as a nested task on the
+//! work-stealing pool ([`ufim_core::parallel::scope`]); smaller subtrees
+//! recurse inline. The arena is shared read-only — subtrees never touch
+//! each other's rows — so a single dominant first-level subtree (deep
+//! skew) splits again below the root instead of serializing on one
+//! worker. Each task mines into its own [`MiningResult`] and pushes it
+//! into an [`OrderedSink`] under a spawn-order key; the sink merges in
+//! key order. Because the spawn decisions are a pure function of the
+//! input (sizes and depths — identical for every pool size > 1, and pool
+//! size 1 runs everything inline), every float is computed within exactly
+//! one task and merged counters are integer sums/maxes, output records
+//! *and* [`MinerStats`] are bit-identical for every `UFIM_THREADS`.
 
 use crate::common::measure::{select_items, CandidateStats, FrequentnessMeasure, Screen};
 use crate::common::order::FrequencyOrder;
-use ufim_core::parallel::{par_map_min_len, DEFAULT_MIN_WORK};
+use ufim_core::parallel::{child_key, scope, OrderedSink, Scope};
 use ufim_core::prelude::*;
+
+/// Projected-row count above which a kept extension's whole subtree is
+/// spawned as a nested pool task instead of recursing inline. Chosen so
+/// task overhead (~a queue push and an allocation) is noise against the
+/// head-table pass it buys, and so tiny databases never spawn at all.
+const SPAWN_MIN_ROWS: usize = 1 << 10;
+
+/// Prefix length beyond which subtrees always recurse inline — a
+/// backstop bounding task bookkeeping on pathologically deep lattices
+/// (row counts shrink monotonically, so this is rarely the binding cut).
+const SPAWN_MAX_DEPTH: usize = 24;
 
 /// The UH-Mine miner.
 #[derive(Clone, Debug, Default)]
@@ -224,12 +239,72 @@ impl<'a, M: FrequentnessMeasure> UhEngine<'a, M> {
         true
     }
 
-    /// Depth-first expansion of `prefix` over `rows` (sequential; the
-    /// fan-out happens one level up, in [`mine_hyper`]).
-    pub(crate) fn mine(&self, prefix: &mut Vec<ItemId>, rows: &[Row], out: &mut MiningResult) {
-        for (rank, esup, var, next_rows) in self.head_table(rows, out) {
+    /// Depth-first expansion of `prefix` over `rows` — one head-table
+    /// pass, then [`UhEngine::expand_entries`] over its output.
+    #[allow(clippy::too_many_arguments)] // one recursion context, kept flat like the sequential original
+    pub(crate) fn mine_scoped<'env>(
+        &'env self,
+        s: &Scope<'env>,
+        sink: &'env OrderedSink<MiningResult>,
+        task_key: &[u32],
+        spawn_seq: &mut u32,
+        prefix: &mut Vec<ItemId>,
+        rows: &[Row],
+        out: &mut MiningResult,
+    ) {
+        let entries = self.head_table(rows, out);
+        self.expand_entries(s, sink, task_key, spawn_seq, prefix, entries, out);
+    }
+
+    /// Judges and expands one level's head-table entries, re-spawning
+    /// large subtrees as nested pool tasks (see the module docs on the
+    /// cutoffs and the determinism argument). Split from
+    /// [`UhEngine::mine_scoped`] so the root level can free its row
+    /// projection between the head-table pass and the expansion.
+    ///
+    /// `task_key`/`spawn_seq` identify the enclosing task and its running
+    /// spawn ordinal: a spawned child gets `child_key(task_key,
+    /// spawn_seq)`, mines into a fresh local result, and pushes it into
+    /// `sink` under that key; inline recursion keeps extending the same
+    /// `out` under the same key/counter. Results merged in key order
+    /// reproduce the sequential spawn order exactly.
+    #[allow(clippy::too_many_arguments)] // one recursion context, kept flat like the sequential original
+    fn expand_entries<'env>(
+        &'env self,
+        s: &Scope<'env>,
+        sink: &'env OrderedSink<MiningResult>,
+        task_key: &[u32],
+        spawn_seq: &mut u32,
+        prefix: &mut Vec<ItemId>,
+        entries: Vec<(u32, f64, f64, Vec<Row>)>,
+        out: &mut MiningResult,
+    ) {
+        for (rank, esup, var, next_rows) in entries {
             if self.judge_entry(prefix, rank, esup, var, &next_rows, out) {
-                self.mine(prefix, &next_rows, out);
+                if s.threads() > 1
+                    && prefix.len() < SPAWN_MAX_DEPTH
+                    && next_rows.len() >= SPAWN_MIN_ROWS
+                {
+                    let key = child_key(task_key, spawn_seq);
+                    let child_prefix = prefix.clone();
+                    s.spawn(move |s| {
+                        let mut local = MiningResult::default();
+                        let mut child_prefix = child_prefix;
+                        let mut child_seq = 0;
+                        self.mine_scoped(
+                            s,
+                            sink,
+                            &key,
+                            &mut child_seq,
+                            &mut child_prefix,
+                            &next_rows,
+                            &mut local,
+                        );
+                        sink.push(key, local);
+                    });
+                } else {
+                    self.mine_scoped(s, sink, task_key, spawn_seq, prefix, &next_rows, out);
+                }
                 prefix.pop();
             }
         }
@@ -242,8 +317,8 @@ impl<'a, M: FrequentnessMeasure> UhEngine<'a, M> {
 /// same measure, exactly as UH-Mine (expected support) and NDUH-Mine
 /// (Normal approximation) always did.
 ///
-/// The walk fans out over the kept first-level items (see the module docs
-/// on the determinism of the merge).
+/// The walk re-spawns large subtrees at every level (see the module docs
+/// on the cutoffs and the determinism of the merge).
 pub(crate) fn mine_hyper<M: FrequentnessMeasure>(
     db: &UncertainDatabase,
     measure: &M,
@@ -263,36 +338,30 @@ pub(crate) fn mine_hyper<M: FrequentnessMeasure>(
     }
     let (engine, rows) = UhEngine::build(db, &order, measure, &mut result.stats);
 
-    // Root level, sequential: one head-table pass judges every first-level
-    // item; each kept item's projected rows become one subtree task.
-    let mut prefix = Vec::new();
-    let mut tasks: Vec<(u32, Vec<Row>)> = Vec::new();
-    for (rank, esup, var, next_rows) in engine.head_table(&rows, &mut result) {
-        if engine.judge_entry(&mut prefix, rank, esup, var, &next_rows, &mut result) {
-            prefix.pop();
-            tasks.push((rank, next_rows));
-        }
-    }
-    drop(rows);
-
-    // Fan the independent subtrees out over the work queue; the projected
-    // row mass gates tiny inputs to the sequential path. Each task mines
-    // into a local result; merging in item order keeps records and stats
-    // bit-identical for every pool size.
-    let task_rows: usize = tasks.iter().map(|(_, r)| r.len()).sum();
-    let mean_rows = task_rows / tasks.len().max(1);
-    let subtrees = par_map_min_len(
-        &tasks,
-        mean_rows.max(1),
-        DEFAULT_MIN_WORK,
-        |(rank, rows)| {
-            let mut local = MiningResult::default();
-            let mut prefix = vec![engine.order.item(*rank)];
-            engine.mine(&mut prefix, rows, &mut local);
-            local
-        },
-    );
-    for sub in subtrees {
+    // The whole walk runs inside one work-stealing scope: the root call
+    // mines into `result` directly (key ε), spawned subtrees push their
+    // local results into the sink, and the sink merges in spawn-key order
+    // once the scope has drained — bit-identical for every pool size.
+    // The root projection is freed right after the root head-table pass
+    // (the entries own their projected rows), so it never overlaps the
+    // subtree mining — peak_bytes is a tracked, baselined metric.
+    let sink = OrderedSink::new();
+    scope(|s| {
+        let entries = engine.head_table(&rows, &mut result);
+        drop(rows);
+        let mut prefix = Vec::new();
+        let mut spawn_seq = 0;
+        engine.expand_entries(
+            s,
+            &sink,
+            &[],
+            &mut spawn_seq,
+            &mut prefix,
+            entries,
+            &mut result,
+        );
+    });
+    for sub in sink.into_sorted_values() {
         result.stats.absorb(&sub.stats);
         result.itemsets.extend(sub.itemsets);
     }

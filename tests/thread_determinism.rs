@@ -13,9 +13,15 @@
 //! whole mining runs.
 //!
 //! The large databases are sized to clear the
-//! [`ufim_core::parallel::DEFAULT_MIN_WORK`] gate, so pool sizes > 1
-//! genuinely exercise the scoped-thread fan-out (worker threads spawn fine
-//! on single-core hosts; only the interleaving changes).
+//! [`ufim_core::parallel::DEFAULT_MIN_WORK`] gate and the miners' spawn
+//! cutoffs, so pool sizes > 1 genuinely exercise the work-stealing pool
+//! (worker threads spawn fine on single-core hosts; only the
+//! interleaving changes). The **deep-skew** fixture additionally pins the
+//! *nested* spawn path: its Zipf-style item distribution concentrates
+//! almost every transaction in one first-level subtree, so the recursion
+//! must re-spawn below the root — the exact shape the one-level fan-out
+//! of PR 4 could not balance — and the results must still be
+//! bit-identical at every pool size.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -69,6 +75,29 @@ fn medium_db() -> UncertainDatabase {
         })
         .collect();
     UncertainDatabase::with_num_items(transactions, 8)
+}
+
+/// The shared deep-skew fixture (`ufim_data::benchmarks::deep_skew`, also
+/// used by `bench_parallel`'s guard so the two suites cannot drift): item
+/// inclusion decays geometrically from a near-ubiquitous item 0, so the
+/// rank-0 subtree dominates every depth-first decomposition (UH-Mine's
+/// projected rows, UFP-growth's heavy conditionals) several levels deep —
+/// the deep-skew shape that serializes a one-level fan-out. Sized so the
+/// dominant chain stays far above the miners' nested-spawn cutoffs for
+/// multiple levels.
+fn deep_skew_db() -> UncertainDatabase {
+    let db = uncertain_fim::data::benchmarks::deep_skew(12_000, 16, 4242);
+    // Non-vacuity: the dominant chain must clear the nested-spawn size
+    // cutoffs (1024 projected rows / 512 conditional nodes) for at least
+    // three levels, otherwise this fixture would never take the nested
+    // path it exists to pin.
+    let chain3 = db
+        .transactions()
+        .iter()
+        .filter(|t| [0u32, 1, 2].iter().all(|i| t.items().contains(i)))
+        .count();
+    assert!(chain3 > 2048, "deep-skew fixture lost its skew: {chain3}");
+    db
 }
 
 /// Byte-level equality of two results: same itemsets in the same
@@ -135,6 +164,41 @@ fn ufp_growth_is_bit_identical_across_pool_sizes() {
 fn nduh_mine_is_bit_identical_across_pool_sizes() {
     let db = big_db();
     sweep_pools("NDUH-Mine", || {
+        NDUHMine::new()
+            .mine_probabilistic_raw(&db, 0.08, 0.5)
+            .unwrap()
+    });
+}
+
+/// Deep skew through UH-Mine: the dominant subtree forces nested
+/// re-spawning (every pool size > 1 spawns the same task tree; pool size
+/// 1 runs inline) and the merge must stay bit-identical.
+#[test]
+fn uh_mine_deep_skew_nested_spawns_are_bit_identical() {
+    let db = deep_skew_db();
+    sweep_pools("UH-Mine deep-skew", || {
+        UHMine::with_variance()
+            .mine_expected_ratio(&db, 0.05)
+            .unwrap()
+    });
+}
+
+/// Deep skew through UFP-growth: the heavy conditional trees under the
+/// dominant ranks re-spawn from inside their tasks.
+#[test]
+fn ufp_growth_deep_skew_nested_spawns_are_bit_identical() {
+    let db = deep_skew_db();
+    sweep_pools("UFP-growth deep-skew", || {
+        UFPGrowth::new().mine_expected_ratio(&db, 0.05).unwrap()
+    });
+}
+
+/// Deep skew through NDUH-Mine (hyper traversal + Normal measure): the
+/// approximate measure's extra statistics ride the same nested tasks.
+#[test]
+fn nduh_mine_deep_skew_nested_spawns_are_bit_identical() {
+    let db = deep_skew_db();
+    sweep_pools("NDUH-Mine deep-skew", || {
         NDUHMine::new()
             .mine_probabilistic_raw(&db, 0.08, 0.5)
             .unwrap()

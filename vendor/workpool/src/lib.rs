@@ -1,0 +1,771 @@
+//! A persistent work-stealing task pool with nested spawning — the
+//! offline stand-in for rayon-core's scheduler, hand-rolled like the other
+//! `vendor/` shims because the build environment has no crates.io access.
+//!
+//! ## Architecture
+//!
+//! One process-global [`Pool`] owns up to [`MAX_WORKERS`] worker threads,
+//! spawned **lazily**: the pool starts empty and grows to the high-water
+//! mark of requested parallelism, never shrinking (parked workers cost a
+//! few KB of stack each). Each worker owns a fixed-capacity
+//! **Chase-Lev-style deque** (Chase & Lev, SPAA 2005, with the C11
+//! memory-ordering corrections of Lê et al., PPoPP 2013): the owner pushes
+//! and pops at the bottom (LIFO — depth-first task order keeps working
+//! sets hot), thieves steal from the top (FIFO — they take the oldest,
+//! biggest-grained work). A shared mutex-guarded **injector** queue takes
+//! spawns from non-worker threads and the overflow when a deque is full.
+//!
+//! ## Scopes
+//!
+//! All spawning happens inside a [`scope`]: tasks may borrow data owned by
+//! the scope's caller (`'env`), and [`scope`] does not return until every
+//! task spawned within it — **including tasks spawned by tasks**, to any
+//! depth — has completed. That nested [`Scope::spawn`] is the point of the
+//! design: a recursive traversal can re-spawn child subtrees from inside a
+//! running task, so a single dominant subtree no longer serializes on one
+//! worker the way a one-shot fan-out forces it to.
+//!
+//! While waiting, the scope's owner executes pending tasks itself, so the
+//! owner thread is always the scope's first participant and a pool of
+//! `threads` means *owner + (threads − 1) workers*.
+//!
+//! ## Concurrency caps (partitioning a shared pool)
+//!
+//! Each scope carries a fixed `threads` cap chosen at creation. The pool
+//! is shared by every scope in the process, so the cap is enforced by
+//! **admission**: at most `threads` threads execute a given scope's tasks
+//! concurrently; a worker that draws a task from a saturated scope
+//! re-queues it and backs off. A cap of 1 short-circuits entirely —
+//! [`Scope::spawn`] runs the task inline, synchronously, and the pool is
+//! never touched, which keeps single-threaded runs genuinely sequential.
+//!
+//! ## Determinism contract
+//!
+//! The pool itself promises only that every spawned task runs **exactly
+//! once** and that [`scope`] observes all of them complete. Callers that
+//! need bit-identical results across pool sizes (this workspace's miners)
+//! must make the *decomposition* a pure function of the input and collect
+//! per-task outputs under deterministic keys — see
+//! `ufim_core::parallel::OrderedSink`. Scheduling order is intentionally
+//! free; result order must never derive from it.
+//!
+//! ## Panics
+//!
+//! A panic inside a task is caught on the worker, the first payload is
+//! stored, the scope still drains fully (no task is leaked mid-borrow),
+//! and the payload is re-thrown from [`scope`] on the owner's thread.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Hard upper bound on persistent worker threads. Requests beyond it are
+/// admitted (the cap still limits concurrency) but execute on at most this
+/// many workers plus the scope owners.
+pub const MAX_WORKERS: usize = 32;
+
+/// Per-worker deque capacity (power of two). Overflow spills to the
+/// shared injector, so the bound affects locality, never correctness.
+const DEQUE_CAP: usize = 256;
+
+/// Backstop park timeout: workers re-poll at this cadence even if a
+/// wake-up notification is lost to the push-vs-park race on the deques
+/// (pushes to a worker's own deque happen outside the injector lock).
+const PARK_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// Back-off after drawing a task from a scope whose concurrency cap is
+/// saturated: the task is re-queued and the thread briefly sleeps instead
+/// of spinning on re-admission.
+const ADMISSION_BACKOFF: Duration = Duration::from_micros(100);
+
+/// A type-erased, lifetime-erased task body. Soundness of the `'env →
+/// 'static` erasure rests on [`scope`] not returning until the body has
+/// run (see [`Scope::spawn`]).
+type TaskBody = Box<dyn FnOnce() + Send + 'static>;
+
+/// One queued task: the body plus the scope it must be accounted to.
+struct Task {
+    scope: Arc<ScopeState>,
+    body: TaskBody,
+}
+
+/// A `Box<Task>` travelling through the queues as a raw pointer (the
+/// Chase-Lev buffer stores machine words). Ownership is linear: exactly
+/// one successful `pop`/`steal`/injector-pop re-materializes the box.
+struct RawTask(*mut Task);
+
+// SAFETY: a RawTask is a uniquely-owned `Box<Task>` in disguise; `Task`
+// itself is Send (body is `Send`, the Arc is Send+Sync), and the queue
+// protocols hand each pointer to exactly one consumer.
+unsafe impl Send for RawTask {}
+
+/// Shared bookkeeping of one [`scope`] invocation.
+struct ScopeState {
+    /// Tasks spawned and not yet finished.
+    pending: AtomicUsize,
+    /// Maximum threads (owner included) executing this scope concurrently.
+    cap: usize,
+    /// Threads currently executing one of this scope's tasks.
+    active: AtomicUsize,
+    /// First panic payload thrown by a task, re-thrown at scope exit.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// Completion signal: notified when `pending` drops to zero.
+    done: Mutex<()>,
+    done_cond: Condvar,
+}
+
+impl ScopeState {
+    fn new(cap: usize) -> Self {
+        ScopeState {
+            pending: AtomicUsize::new(0),
+            cap,
+            active: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done: Mutex::new(()),
+            done_cond: Condvar::new(),
+        }
+    }
+
+    /// Racy capacity hint for queue scans: whether an execution slot
+    /// *looks* free right now. [`ScopeState::try_enter`] remains the
+    /// authoritative gate; a stale `true` here only costs one failed
+    /// admission, a stale `false` only delays a task until the next
+    /// notification or park timeout.
+    fn looks_admissible(&self) -> bool {
+        self.active.load(Ordering::Relaxed) < self.cap
+    }
+
+    /// Claims an execution slot; fails when the cap is saturated.
+    fn try_enter(&self) -> bool {
+        let mut cur = self.active.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.cap {
+                return false;
+            }
+            match self.active.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn leave(&self) {
+        self.active.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Records a task completion; wakes the owner on the last one.
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.done.lock().unwrap();
+            self.done_cond.notify_all();
+        }
+    }
+
+    fn store_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// Outcome of one steal attempt on a foreign deque.
+enum Steal {
+    /// The deque looked empty.
+    Empty,
+    /// Lost a race; worth retrying immediately.
+    Retry,
+    /// Successfully stole the top task.
+    Yes(RawTask),
+}
+
+/// A fixed-capacity Chase-Lev work-stealing deque over raw task pointers.
+///
+/// Single owner (`push`/`pop` from the bottom), many thieves (`steal`
+/// from the top). The buffer slots are `AtomicPtr`, which keeps every
+/// cross-thread slot access a plain atomic op; the `top`/`bottom` index
+/// protocol below is the published algorithm (Chase & Lev 2005; orderings
+/// per Lê et al. 2013). The capacity is fixed — `push` reports a full
+/// deque instead of growing, and the caller spills to the injector — so
+/// no buffer ever needs reclamation.
+struct Deque {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    slots: Box<[AtomicPtr<Task>]>,
+}
+
+impl Deque {
+    fn new() -> Self {
+        let slots: Vec<AtomicPtr<Task>> = (0..DEQUE_CAP)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, index: isize) -> &AtomicPtr<Task> {
+        &self.slots[(index as usize) & (DEQUE_CAP - 1)]
+    }
+
+    /// Owner-only bottom push. `Err` hands the task back when full.
+    fn push(&self, task: RawTask) -> Result<(), RawTask> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= DEQUE_CAP as isize {
+            return Err(task);
+        }
+        self.slot(b).store(task.0, Ordering::Relaxed);
+        // Publish the slot before publishing the new bottom.
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Owner-only bottom pop (LIFO).
+    fn pop(&self) -> Option<RawTask> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // The store above must be visible before we read `top`, and
+        // symmetrically for thieves — the crux of the algorithm.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let task = self.slot(b).load(Ordering::Relaxed);
+        if t == b {
+            // Last element: race the thieves for it via `top`.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            if !won {
+                return None; // a thief got it
+            }
+        }
+        Some(RawTask(task))
+    }
+
+    /// Any-thread top steal (FIFO).
+    fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let task = self.slot(t).load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        Steal::Yes(RawTask(task))
+    }
+}
+
+thread_local! {
+    /// The index of this thread's own deque when it is a pool worker.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The process-global work-stealing pool. Obtain it with [`Pool::global`];
+/// it cannot be constructed directly.
+pub struct Pool {
+    /// One deque per potential worker, pre-allocated so thieves can sweep
+    /// without locking. Unspawned workers' deques just stay empty.
+    deques: Vec<Deque>,
+    /// Spawns from non-worker threads, deque overflow, and re-queued
+    /// admission-blocked tasks.
+    injector: Mutex<VecDeque<RawTask>>,
+    /// Workers parked on `work_cond` (paired with the injector mutex).
+    sleepers: AtomicUsize,
+    work_cond: Condvar,
+    /// Worker threads spawned so far (monotonic, ≤ [`MAX_WORKERS`]).
+    started: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    /// The process-global pool (created empty on first use; worker
+    /// threads are spawned lazily by [`scope`]).
+    pub fn global() -> &'static Pool {
+        POOL.get_or_init(|| Pool {
+            deques: (0..MAX_WORKERS).map(|_| Deque::new()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleepers: AtomicUsize::new(0),
+            work_cond: Condvar::new(),
+            started: Mutex::new(0),
+        })
+    }
+
+    /// Number of worker threads spawned so far — the pool's high-water
+    /// mark (monotonic; exposed for tests and diagnostics).
+    pub fn workers_started(&self) -> usize {
+        *self.started.lock().unwrap()
+    }
+
+    /// Grows the pool to at least `n` workers (clamped to
+    /// [`MAX_WORKERS`]). Failures to spawn are tolerated: scope owners
+    /// always drain their own tasks, so fewer workers only costs speed.
+    fn ensure_workers(&'static self, n: usize) {
+        let n = n.min(MAX_WORKERS);
+        if *self.started.lock().unwrap() >= n {
+            return;
+        }
+        let mut started = self.started.lock().unwrap();
+        while *started < n {
+            let index = *started;
+            let spawned = std::thread::Builder::new()
+                .name(format!("workpool-{index}"))
+                .spawn(move || self.worker_loop(index));
+            if spawned.is_err() {
+                break;
+            }
+            *started += 1;
+        }
+    }
+
+    /// Queues a task: a worker pushes to its own deque (spilling to the
+    /// injector when full), any other thread goes through the injector.
+    fn submit(&self, task: RawTask) {
+        let spilled = match WORKER_INDEX.get() {
+            Some(index) => self.deques[index].push(task).err(),
+            None => Some(task),
+        };
+        match spilled {
+            Some(task) => self.inject(task),
+            None => self.notify(),
+        }
+    }
+
+    /// Queues a task on the shared injector directly, bypassing the
+    /// worker's own deque. Used for spills and for admission-blocked
+    /// tasks: re-queueing a blocked task to the deque we are about to pop
+    /// from again would make the thread busy-poll it instead of stealing
+    /// runnable work from another scope or parking.
+    fn inject(&self, task: RawTask) {
+        let mut q = self.injector.lock().unwrap();
+        q.push_back(task);
+        // Notify under the lock: cheap, and cannot be lost.
+        self.work_cond.notify_one();
+    }
+
+    /// Wakes one parked worker if any are parked. Pushes to a worker's
+    /// own deque race with parking; [`PARK_TIMEOUT`] bounds the loss.
+    fn notify(&self) {
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _guard = self.injector.lock().unwrap();
+            self.work_cond.notify_one();
+        }
+    }
+
+    /// Finds one runnable task: own deque first (LIFO), then a steal
+    /// sweep over every other deque, then the injector. The injector scan
+    /// skips tasks whose scope looks saturated — they stay queued and the
+    /// caller parks instead of cycling them, so a capped scope never
+    /// hot-spins the surplus workers (admission freeing up re-notifies;
+    /// the park timeout backstops the racy capacity hint).
+    fn find_task(&self, me: Option<usize>) -> Option<RawTask> {
+        if let Some(index) = me {
+            if let Some(task) = self.deques[index].pop() {
+                return Some(task);
+            }
+        }
+        // Steal sweep. Start after our own slot so thieves spread out;
+        // retry a deque a few times on CAS races before moving on.
+        let start = me.map_or(0, |i| i + 1);
+        for offset in 0..MAX_WORKERS {
+            let j = (start + offset) % MAX_WORKERS;
+            if Some(j) == me {
+                continue;
+            }
+            for _ in 0..4 {
+                match self.deques[j].steal() {
+                    Steal::Yes(task) => return Some(task),
+                    Steal::Retry => std::hint::spin_loop(),
+                    Steal::Empty => break,
+                }
+            }
+        }
+        let mut q = self.injector.lock().unwrap();
+        for i in 0..q.len() {
+            // SAFETY: the pointer is a live uniquely-owned Box<Task>
+            // sitting in the queue (we hold the queue lock), read-only
+            // here; ownership only transfers via the remove below.
+            let admissible = unsafe { (*q[i].0).scope.looks_admissible() };
+            if admissible {
+                return q.remove(i);
+            }
+        }
+        None
+    }
+
+    /// Executes one drawn task, honoring its scope's concurrency cap:
+    /// blocked tasks are re-queued and the thread backs off briefly.
+    fn execute(&self, raw: RawTask) {
+        // SAFETY: RawTask ownership is linear (see its definition); this
+        // is the unique re-materialization of the box.
+        let task = unsafe { Box::from_raw(raw.0) };
+        if task.scope.try_enter() {
+            let scope = Arc::clone(&task.scope);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(task.body)) {
+                scope.store_panic(payload);
+            }
+            scope.leave();
+            scope.finish_one();
+            // Leaving may unblock admission for a re-queued sibling.
+            self.notify();
+        } else {
+            self.inject(RawTask(Box::into_raw(task)));
+            std::thread::sleep(ADMISSION_BACKOFF);
+        }
+    }
+
+    /// The persistent worker body: run tasks, steal, park.
+    fn worker_loop(&'static self, index: usize) {
+        WORKER_INDEX.set(Some(index));
+        loop {
+            match self.find_task(Some(index)) {
+                Some(task) => self.execute(task),
+                None => self.park(),
+            }
+        }
+    }
+
+    /// Parks until notified or [`PARK_TIMEOUT`] elapses. Parking even
+    /// when the injector is non-empty is deliberate: anything left there
+    /// was skipped as saturated by [`Pool::find_task`], and admission
+    /// freeing up notifies this condvar ([`Pool::execute`] after
+    /// `leave`), with the timeout bounding any notify race.
+    fn park(&self) {
+        let guard = self.injector.lock().unwrap();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let _ = self.work_cond.wait_timeout(guard, PARK_TIMEOUT).unwrap();
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Blocks until `state.pending` reaches zero, executing pending tasks
+    /// (of any scope) while waiting — the owner is a full participant.
+    fn wait_scope(&self, state: &ScopeState) {
+        let me = WORKER_INDEX.get();
+        loop {
+            if state.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            match self.find_task(me) {
+                Some(task) => self.execute(task),
+                None => {
+                    let guard = state.done.lock().unwrap();
+                    if state.pending.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    let _ = state
+                        .done_cond
+                        .wait_timeout(guard, Duration::from_micros(500))
+                        .unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// A spawning handle tied to one [`scope`] invocation. `'env` is the
+/// lifetime of data the caller lets tasks borrow; the `PhantomData` makes
+/// it invariant so it cannot be shrunk.
+pub struct Scope<'env> {
+    state: Arc<ScopeState>,
+    pool: &'static Pool,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// The scope's thread budget (owner included) — the `threads` given
+    /// to [`scope`]. Spawn-cutoff heuristics read this instead of any
+    /// thread-local state so decisions inside tasks match the owner's.
+    pub fn threads(&self) -> usize {
+        self.state.cap
+    }
+
+    /// Spawns `f` as a pool task. The closure receives the scope again,
+    /// so tasks can spawn nested tasks to any depth. With a thread budget
+    /// of 1 the call is synchronous (`f` runs inline, right here), which
+    /// makes single-threaded execution genuinely sequential.
+    ///
+    /// Panics in `f` are captured and re-thrown by [`scope`] after the
+    /// scope fully drains.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        if self.state.cap <= 1 {
+            f(self);
+            return;
+        }
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let state = Arc::clone(&self.state);
+        let pool = self.pool;
+        let body: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let scope = Scope {
+                state,
+                pool,
+                _env: PhantomData,
+            };
+            f(&scope);
+        });
+        // SAFETY: erasing 'env to 'static is sound because `scope` (the
+        // only constructor of `Scope`) does not return — not even on
+        // panic — until `pending` drops to zero, i.e. until this body has
+        // run to completion. No borrow inside `f` can outlive its data.
+        let body: TaskBody = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(body)
+        };
+        let task = Box::new(Task {
+            scope: Arc::clone(&self.state),
+            body,
+        });
+        self.pool.submit(RawTask(Box::into_raw(task)));
+    }
+}
+
+/// Runs `f` with a [`Scope`] capped at `threads` concurrent executors
+/// (the calling thread counts as one), returning once `f` **and every
+/// task transitively spawned in the scope** have completed.
+///
+/// The pool grows (persistently, up to [`MAX_WORKERS`] workers) to serve
+/// the request; it is shared with every other scope in the process, the
+/// cap partitioning it by admission. If a task — or `f` itself —
+/// panicked, the first task payload (else `f`'s) is re-thrown here after
+/// the scope drains, so borrowed data is never abandoned mid-task.
+pub fn scope<'env, R>(threads: usize, f: impl FnOnce(&Scope<'env>) -> R) -> R {
+    let threads = threads.max(1);
+    let pool = Pool::global();
+    if threads > 1 {
+        pool.ensure_workers(threads - 1);
+    }
+    let state = Arc::new(ScopeState::new(threads));
+    let handle = Scope {
+        state: Arc::clone(&state),
+        pool,
+        _env: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&handle)));
+    pool.wait_scope(&state);
+    if let Some(payload) = state.panic.lock().unwrap().take() {
+        resume_unwind(payload);
+    }
+    match result {
+        Ok(value) => value,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let hits = AtomicUsize::new(0);
+        scope(4, |s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn cap_one_is_inline_and_sequential() {
+        // With a budget of 1, spawn is synchronous on the caller: the
+        // strictly increasing order proves no deferral, and the thread id
+        // proves no task ever reached a pool worker. (No assertions on
+        // the process-global queues — sibling tests share them.)
+        let caller = std::thread::current().id();
+        let order = Mutex::new(Vec::new());
+        let order_ref = &order;
+        scope(1, |s| {
+            for i in 0..50 {
+                s.spawn(move |_| {
+                    assert_eq!(std::thread::current().id(), caller);
+                    order_ref.lock().unwrap().push(i);
+                });
+            }
+        });
+        let order = order.into_inner().unwrap();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_spawns_to_depth_five() {
+        // A 3-ary spawn tree of depth 5: 3^0 + ... + 3^5 = 364 tasks.
+        fn grow<'env>(s: &Scope<'env>, sum: &'env AtomicU64, depth: u64, label: u64) {
+            sum.fetch_add(label, Ordering::Relaxed);
+            if depth == 5 {
+                return;
+            }
+            for child in 0..3u64 {
+                let label = label * 3 + child + 1;
+                s.spawn(move |s| grow(s, sum, depth + 1, label));
+            }
+        }
+        let expected = {
+            // Sequential reference of the same tree.
+            fn walk(depth: u64, label: u64) -> u64 {
+                let mut total = label;
+                if depth < 5 {
+                    for child in 0..3u64 {
+                        total += walk(depth + 1, label * 3 + child + 1);
+                    }
+                }
+                total
+            }
+            walk(0, 0)
+        };
+        for threads in [1, 2, 8] {
+            let sum = AtomicU64::new(0);
+            scope(threads, |s| grow(s, &sum, 0, 0));
+            assert_eq!(sum.load(Ordering::Relaxed), expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn deque_overflow_spills_to_injector() {
+        // Far more tasks than DEQUE_CAP from inside a worker task: the
+        // overflow must spill, not be dropped.
+        let hits = AtomicUsize::new(0);
+        scope(2, |s| {
+            s.spawn(|s| {
+                for _ in 0..(DEQUE_CAP * 4) {
+                    s.spawn(|_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), DEQUE_CAP * 4);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_after_drain() {
+        let completed = Arc::new(AtomicUsize::new(0));
+        let seen = completed.clone();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope(4, |s| {
+                for i in 0..20 {
+                    let completed = seen.clone();
+                    s.spawn(move |_| {
+                        if i == 7 {
+                            panic!("task seven failed");
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "task seven failed");
+        // Every non-panicking task still ran: the scope drained fully
+        // before re-throwing.
+        assert_eq!(completed.load(Ordering::Relaxed), 19);
+    }
+
+    #[test]
+    fn panic_in_owner_closure_still_drains_tasks() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let seen = hits.clone();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope(4, |s| {
+                for _ in 0..10 {
+                    let hits = seen.clone();
+                    s.spawn(move |_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                panic!("owner failed");
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn pool_grows_monotonically_and_is_reused() {
+        scope(3, |s| s.spawn(|_| {}));
+        let after_three = Pool::global().workers_started();
+        assert!(after_three >= 2);
+        scope(2, |s| s.spawn(|_| {}));
+        // A smaller request never shrinks the pool.
+        assert!(Pool::global().workers_started() >= after_three);
+    }
+
+    #[test]
+    fn admission_cap_bounds_concurrency() {
+        // Track the high-water mark of concurrently running tasks under a
+        // cap of 2 while many workers are available.
+        scope(8, |s| s.spawn(|_| {})); // grow the pool first
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        scope(2, |s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_micros(200));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {:?}", peak);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let value = scope(4, |s| {
+            s.spawn(|_| {});
+            41 + 1
+        });
+        assert_eq!(value, 42);
+    }
+
+    #[test]
+    fn tasks_borrow_scope_local_data() {
+        let data: Vec<u64> = (0..1000).collect();
+        let total = AtomicU64::new(0);
+        scope(4, |s| {
+            for chunk in data.chunks(100) {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 1000 * 999 / 2);
+    }
+}
