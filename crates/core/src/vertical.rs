@@ -1,5 +1,5 @@
 //! Vertical (columnar) layout of an uncertain database: per-item tid-lists
-//! with existence probabilities.
+//! with existence probabilities, stored as fixed-width 64-tid chunks.
 //!
 //! The horizontal layout ([`UncertainDatabase`]) answers "which items does
 //! transaction `t` contain?"; the vertical layout answers the converse —
@@ -18,24 +18,62 @@
 //! the exact miners' DP/DC input all fall out of that one intersection —
 //! no re-scan of the database is ever needed.
 //!
-//! ## Adaptive representation
+//! ## Chunked representation
 //!
-//! A [`ProbVector`] stores its `(tid, prob)` pairs **sparsely** (two
-//! parallel sorted arrays) when few transactions are involved, and
-//! **densely** (one `f64` per transaction, `0.0` = absent) when at least
-//! [`DENSE_CUTOFF_DIVISOR`]⁻¹ of the database contains the itemset — the
-//! uncertain-data analog of bitset Eclat. Dense × dense intersections are
-//! branchless elementwise multiplies; sparse × dense are `O(nnz)` gathers;
-//! sparse × sparse fall back to a sorted merge. On dense benchmark-style
-//! databases this representation is what lets the vertical engine beat the
-//! trie-guided horizontal scan.
+//! A [`ProbVector`] is a Roaring-style sequence of **64-tid chunks**. Each
+//! nonempty chunk contributes one entry to four parallel arrays: its chunk
+//! key (`tid >> 6`, ascending), a `u64` presence bitmask, an end offset
+//! into a shared probability-lane array, and the lanes themselves. A chunk
+//! stores its lanes in one of two ways, decided **per chunk**:
 //!
-//! Whatever the representation, probabilities are multiplied in ascending
-//! item order and enumerated in ascending transaction order, so results are
-//! bit-for-bit identical to a horizontal scan's. Products that underflow to
-//! exactly `0.0` (possible for deep itemsets of tiny probabilities) are
-//! dropped by every materializing path, keeping the sparse nonzero
-//! invariant and the `len()` / [`ProbVector::intersect_stats`] agreement.
+//! * **packed** — `popcount(mask)` probabilities in ascending tid order
+//!   (the sparse regime: under [`CHUNK_LANES`]` / `[`DENSE_CUTOFF_DIVISOR`]
+//!   = 16 nonzeros);
+//! * **positional** — all 64 lanes, `0.0` = absent (the dense regime:
+//!   ≥ 16 of the chunk's 64 tids present), so a lane is addressed directly
+//!   by its tid's low bits with no rank computation.
+//!
+//! The decision is re-made wherever a chunk is (re)built — [`ProbVector::
+//! from_parts`], [`ProbVector::push`], and every materializing kernel
+//! ([`ProbVector::intersect`], [`ProbVector::intersect_into`],
+//! [`ProbVector::apply_diff_into`], …) — so a vector's layout is a pure
+//! function of its contents, never of its construction history.
+//!
+//! Intersection works the chunk directory first — `mask_a & mask_b`
+//! discards absent tids 64 at a time — then visits only the surviving bits,
+//! reading each side's lane by position (dense chunk) or by mask rank
+//! (packed chunk). When one side's chunk directory is more than
+//! [`GALLOP_RATIO`]× longer than the other's (the Kosarak/zipf skewed-pair
+//! regime), the merge-join over chunk keys switches to **galloping**:
+//! exponential probe then binary search over the longer side, `O(short ·
+//! log long)` instead of `O(short + long)`. Balanced pairs keep the scalar
+//! merge-join.
+//!
+//! ## Determinism
+//!
+//! Results are bit-for-bit reproducible across representations, backends
+//! and thread counts. The argument:
+//!
+//! * probabilities are multiplied in ascending item order and visited in
+//!   ascending tid order, exactly as a horizontal scan visits them;
+//! * every statistics accumulation in the workspace — these kernels, the
+//!   horizontal backend's chunked scan reduction — uses the same **fixed
+//!   summation shape**: [`SUM_STRIPES`] partial sums per
+//!   [`SUM_BLOCK_TIDS`]-aligned tid block (4096 tids = 64 chunks), each tid
+//!   contributing to stripe `tid % 8`, stripes folded in ascending stripe
+//!   order and blocks in ascending block order (the striping breaks the
+//!   accumulator dependency chain that would otherwise serialize one add
+//!   per ~4 cycles);
+//! * skipped tids never contribute: a tid absent from either side adds
+//!   exactly `0.0` under IEEE-754 (`x + 0.0 == x` for the nonnegative
+//!   values that occur here), so visiting *only* the common nonzero tids
+//!   yields the same bits as a full scan — that skip, not reordering, is
+//!   where the chunked layout's speed comes from.
+//!
+//! Products that underflow to exactly `0.0` (possible for deep itemsets of
+//! tiny probabilities) are dropped by every materializing path, keeping the
+//! nonzero invariant and the `len()` / [`ProbVector::intersect_stats`]
+//! agreement.
 //!
 //! ## Delta representation
 //!
@@ -60,42 +98,199 @@
 //! evaluation performs **no** intersection allocations — a candidate only
 //! pays an (exactly-sized) allocation when it survives pruning and its
 //! result is exported into a memo.
+//!
+//! ## Bounded (early-exit) kernels
+//!
+//! [`ProbVector::intersect_stats_bounded`] and
+//! [`ProbVector::intersect_into_bounded`] accept the prefix's own mass and
+//! a support threshold and may stop at a summation-block boundary once the
+//! folded partial plus the unconsumed prefix mass proves the result below
+//! the threshold. Until a bail fires the computation is *identical* to the
+//! unbounded kernels, and bail points are a pure function of the operands
+//! — never of thread count or evaluation order — so the determinism
+//! guarantee survives the pushdown: results are decision-equivalent below
+//! the threshold and bit-identical at or above it.
 
 use crate::database::UncertainDatabase;
 use crate::itemset::ItemId;
 
-/// A vector whose nonzero count is at least `num_transactions /
-/// DENSE_CUTOFF_DIVISOR` is stored densely.
+/// A chunk whose nonzero count is at least [`CHUNK_LANES`]` /
+/// DENSE_CUTOFF_DIVISOR` (16 of its 64 tids) stores all 64 lanes
+/// positionally; below the cutoff it packs only the present lanes.
 pub const DENSE_CUTOFF_DIVISOR: usize = 4;
 
-#[derive(Clone, Debug)]
-enum Repr {
-    /// Parallel arrays sorted by tid; probs are all nonzero.
-    Sparse { tids: Vec<u32>, probs: Vec<f64> },
-    /// `probs[tid]` for every transaction (`0.0` = absent); `nnz` nonzeros.
-    Dense { probs: Vec<f64>, nnz: usize },
+/// Tids covered by one chunk: a `u64` presence bitmask plus probability
+/// lanes.
+pub const CHUNK_LANES: usize = 64;
+
+/// `tid >> CHUNK_BITS` is a tid's chunk key; `tid & 63` its bit.
+const CHUNK_BITS: u32 = 6;
+
+/// Nonzeros at which a chunk crosses from packed to positional lanes.
+const POSITIONAL_MIN: usize = CHUNK_LANES / DENSE_CUTOFF_DIVISOR;
+
+/// When one side of a kernel has over `GALLOP_RATIO×` more chunks than the
+/// other, the chunk-key merge-join switches to galloping (exponential probe
+/// + binary search) over the longer side.
+pub const GALLOP_RATIO: usize = 16;
+
+/// Fixed summation-block width in tids, shared by every statistics
+/// accumulation in the workspace (these kernels *and* the horizontal
+/// backend's scan reduction): [`SUM_STRIPES`] striped partial sums are
+/// formed per aligned 4096-tid block (a tid lands in stripe `tid % 8`) and
+/// folded in ascending stripe then block order, so `esup`/`var` come out
+/// bit-identical no matter which backend, representation or thread count
+/// produced them.
+pub const SUM_BLOCK_TIDS: usize = 4096;
+
+/// Striped partial sums per summation block: tid `t` contributes to stripe
+/// `t & (SUM_STRIPES − 1)`. Eight independent accumulators break the
+/// floating-point add dependency chain (≈ 4 cycles per serialized add)
+/// while keeping the reduction shape a pure function of which nonzero
+/// products exist.
+pub const SUM_STRIPES: usize = 8;
+
+/// `chunk key >> SUM_BLOCK_KEY_SHIFT` is the chunk's summation block.
+const SUM_BLOCK_KEY_SHIFT: u32 = 6; // log2(SUM_BLOCK_TIDS) − CHUNK_BITS
+
+/// The fixed-shape `(esup, var, count)` accumulator: [`SUM_STRIPES`]
+/// striped partial sums per [`SUM_BLOCK_TIDS`]-aligned block, folded in
+/// ascending stripe order on block exit and blocks in ascending order.
+/// Folding an untouched (all-zero) stripe is an IEEE-754 no-op, so blocks
+/// with no contributions may be entered or skipped freely — the final bits
+/// depend only on which nonzero products exist, in tid order.
+struct MomentAcc {
+    esup: f64,
+    var: f64,
+    blk_esup: [f64; SUM_STRIPES],
+    blk_var: [f64; SUM_STRIPES],
+    blk: u32,
+    count: usize,
 }
 
-/// The nonzero containment probabilities of an itemset over a database,
-/// in an adaptive sparse/dense representation (see the module docs).
+impl MomentAcc {
+    #[inline(always)]
+    fn new() -> Self {
+        MomentAcc {
+            esup: 0.0,
+            var: 0.0,
+            blk_esup: [0.0; SUM_STRIPES],
+            blk_var: [0.0; SUM_STRIPES],
+            blk: 0,
+            count: 0,
+        }
+    }
+
+    /// Declares that subsequent [`MomentAcc::add`]s belong to chunk `key`.
+    /// Must be called with ascending keys; calling it again for the same
+    /// key is a no-op. Returns whether a block boundary was crossed (the
+    /// stripes were just folded, so `self.esup` is momentarily exact —
+    /// what the bounded kernel's bail check reads).
+    #[inline(always)]
+    fn enter_chunk(&mut self, key: u32) -> bool {
+        let b = key >> SUM_BLOCK_KEY_SHIFT;
+        if b != self.blk {
+            self.fold();
+            self.blk = b;
+            return true;
+        }
+        false
+    }
+
+    /// Adds the product for the tid whose position within its chunk is
+    /// `lane` (`tid & 63`; only `lane % SUM_STRIPES` — which equals
+    /// `tid % SUM_STRIPES` — selects the stripe).
+    #[inline(always)]
+    fn add(&mut self, lane: u32, q: f64) {
+        let s = (lane as usize) & (SUM_STRIPES - 1);
+        self.blk_esup[s] += q;
+        self.blk_var[s] += q * (1.0 - q);
+        self.count += (q > 0.0) as usize;
+    }
+
+    #[inline(always)]
+    fn fold(&mut self) {
+        for s in 0..SUM_STRIPES {
+            self.esup += self.blk_esup[s];
+            self.blk_esup[s] = 0.0;
+        }
+        for s in 0..SUM_STRIPES {
+            self.var += self.blk_var[s];
+            self.blk_var[s] = 0.0;
+        }
+    }
+
+    #[inline(always)]
+    fn finish(mut self) -> (f64, f64, usize) {
+        self.fold();
+        (self.esup, self.var, self.count)
+    }
+}
+
+/// Number of set bits of `mask` strictly below bit `t` — a packed chunk's
+/// lane index for tid bit `t`.
+#[inline(always)]
+fn rank(mask: u64, t: u32) -> usize {
+    (mask & ((1u64 << t) - 1)).count_ones() as usize
+}
+
+/// First index `≥ from` with `keys[idx] ≥ target` (or `keys.len()`), by
+/// exponential probe then binary search — the galloping step: `O(log gap)`
+/// rather than the merge-join's `O(gap)`.
+fn gallop_to(keys: &[u32], from: usize, target: u32) -> usize {
+    let n = keys.len();
+    let mut lo = from;
+    if lo >= n || keys[lo] >= target {
+        return lo;
+    }
+    // Invariant below: keys[lo] < target.
+    let mut step = 1usize;
+    let hi = loop {
+        match lo.checked_add(step) {
+            Some(h) if h < n => {
+                if keys[h] >= target {
+                    break h;
+                }
+                lo = h;
+                step <<= 1;
+            }
+            _ => break n,
+        }
+    };
+    // First index in (lo, hi] with keys[idx] ≥ target.
+    let mut l = lo + 1;
+    let mut r = hi;
+    while l < r {
+        let mid = l + (r - l) / 2;
+        if keys[mid] < target {
+            l = mid + 1;
+        } else {
+            r = mid;
+        }
+    }
+    l
+}
+
+/// The nonzero containment probabilities of an itemset over a database, in
+/// the adaptive per-chunk representation (see the module docs).
 ///
 /// For a single item this is exactly the item's postings list, so the same
 /// type serves both as the column of a [`VerticalIndex`] and as the
 /// intersection state threaded through a mining run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ProbVector {
-    repr: Repr,
-}
-
-impl Default for ProbVector {
-    fn default() -> Self {
-        ProbVector {
-            repr: Repr::Sparse {
-                tids: Vec::new(),
-                probs: Vec::new(),
-            },
-        }
-    }
+    /// Chunk keys (`tid >> 6`), strictly ascending, nonempty chunks only.
+    keys: Vec<u32>,
+    /// Presence bitmask per chunk (bit `t` = tid `key·64 + t`).
+    masks: Vec<u64>,
+    /// End offset of each chunk's lanes (`ends[i]` closes chunk `i`;
+    /// chunk `i` starts where chunk `i−1` ended).
+    ends: Vec<u32>,
+    /// Probability lanes: `popcount(mask)` packed values per sparse chunk,
+    /// all 64 (0.0 = absent) per dense chunk.
+    lanes: Vec<f64>,
+    /// Total nonzero entries across all chunks.
+    nnz: usize,
 }
 
 impl ProbVector {
@@ -104,158 +299,308 @@ impl ProbVector {
         Self::default()
     }
 
-    /// Builds a sparse vector from parallel arrays. `tids` must be strictly
-    /// increasing and `probs` entries nonzero; checked in debug builds only.
+    /// Builds a vector from parallel arrays. `tids` must be strictly
+    /// increasing and `probs` entries nonzero; checked in debug builds
+    /// only. Each chunk's packed/positional layout is decided as it is
+    /// assembled.
     pub fn from_parts(tids: Vec<u32>, probs: Vec<f64>) -> Self {
         debug_assert_eq!(tids.len(), probs.len());
         debug_assert!(tids.windows(2).all(|w| w[0] < w[1]), "tids not sorted");
         debug_assert!(probs.iter().all(|&p| p > 0.0), "zero-prob entry");
-        ProbVector {
-            repr: Repr::Sparse { tids, probs },
+        let mut v = ProbVector::default();
+        v.lanes.reserve(tids.len());
+        let mut vals = [0.0f64; CHUNK_LANES];
+        let mut i = 0usize;
+        while i < tids.len() {
+            let key = tids[i] >> CHUNK_BITS;
+            let mut mask = 0u64;
+            let mut k = 0usize;
+            while i < tids.len() && tids[i] >> CHUNK_BITS == key {
+                mask |= 1u64 << (tids[i] & (CHUNK_LANES as u32 - 1));
+                vals[k] = probs[i];
+                k += 1;
+                i += 1;
+            }
+            v.commit_chunk(key, mask, &vals);
         }
+        v
     }
 
     /// Number of transactions with nonzero containment probability.
     #[inline]
     pub fn len(&self) -> usize {
-        match &self.repr {
-            Repr::Sparse { tids, .. } => tids.len(),
-            Repr::Dense { nnz, .. } => *nnz,
-        }
+        self.nnz
     }
 
     /// True when no transaction can contain the itemset.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.nnz == 0
     }
 
-    /// True when stored densely.
-    pub fn is_dense(&self) -> bool {
-        matches!(self.repr, Repr::Dense { .. })
+    /// Number of (nonempty) chunks — the vector's directory length.
+    pub fn num_chunks(&self) -> usize {
+        self.keys.len()
     }
 
-    /// `f64` slots occupied in memory (diagnostic: `nnz` when sparse, the
-    /// database size when dense).
+    /// Number of chunks stored positionally (the dense per-chunk regime).
+    pub fn dense_chunks(&self) -> usize {
+        (0..self.keys.len())
+            .filter(|&i| self.end(i) - self.start(i) == CHUNK_LANES)
+            .count()
+    }
+
+    /// `f64` lanes occupied in memory (diagnostic: `popcount` per packed
+    /// chunk, 64 per positional chunk).
     pub fn mem_units(&self) -> usize {
-        match &self.repr {
-            Repr::Sparse { tids, .. } => tids.len(),
-            Repr::Dense { probs, .. } => probs.len(),
+        self.lanes.len()
+    }
+
+    /// Heap bytes occupied by the payload: 8 per lane plus 16 per chunk of
+    /// directory metadata (key 4 + mask 8 + end offset 4). The
+    /// memory-accounting counterpart of [`ProbVector::mem_units`],
+    /// comparable with [`DiffVector::mem_bytes`].
+    pub fn mem_bytes(&self) -> usize {
+        self.lanes.len() * std::mem::size_of::<f64>()
+            + self.keys.len()
+                * (std::mem::size_of::<u32>()      // key
+                    + std::mem::size_of::<u64>()   // mask
+                    + std::mem::size_of::<u32>()) // end offset
+    }
+
+    /// Predicted [`ProbVector::mem_bytes`] of a vector with `count`
+    /// nonzeros over `num_transactions` tids, assuming an even spread —
+    /// the estimate memo policies use before materializing (e.g. the
+    /// diffset engine's per-node tidset-vs-delta choice).
+    pub fn estimate_mem_bytes(count: usize, num_transactions: usize) -> usize {
+        if count == 0 {
+            return 0;
+        }
+        let chunks = count.min(num_transactions.div_ceil(CHUNK_LANES)).max(1);
+        let lanes = if (count / chunks) * DENSE_CUTOFF_DIVISOR >= CHUNK_LANES {
+            chunks * CHUNK_LANES
+        } else {
+            count
+        };
+        lanes * std::mem::size_of::<f64>() + chunks * 16
+    }
+
+    /// Lane start of chunk `i`.
+    #[inline(always)]
+    fn start(&self, i: usize) -> usize {
+        if i == 0 {
+            0
+        } else {
+            self.ends[i - 1] as usize
         }
     }
 
-    /// Heap bytes occupied by the payload arrays: `nnz × (4 + 8)` when
-    /// sparse (tid + prob), `N × 8` when dense. The memory-accounting
-    /// counterpart of [`ProbVector::mem_units`], comparable with
-    /// [`DiffVector::mem_bytes`].
-    pub fn mem_bytes(&self) -> usize {
-        match &self.repr {
-            Repr::Sparse { tids, .. } => {
-                tids.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<f64>())
-            }
-            Repr::Dense { probs, .. } => probs.len() * std::mem::size_of::<f64>(),
+    /// Lane end of chunk `i`.
+    #[inline(always)]
+    fn end(&self, i: usize) -> usize {
+        self.ends[i] as usize
+    }
+
+    /// Drops all chunks, retaining capacity.
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.masks.clear();
+        self.ends.clear();
+        self.lanes.clear();
+        self.nnz = 0;
+    }
+
+    /// Appends one finished chunk, deciding its layout by the per-chunk
+    /// cutoff rule. `vals` holds the `popcount(mask)` nonzero
+    /// probabilities in ascending tid order; an empty mask is skipped.
+    #[inline]
+    fn commit_chunk(&mut self, key: u32, mask: u64, vals: &[f64; CHUNK_LANES]) {
+        let n = mask.count_ones() as usize;
+        if n == 0 {
+            return;
         }
+        debug_assert!(self.keys.last().is_none_or(|&k| k < key));
+        self.keys.push(key);
+        self.masks.push(mask);
+        if n * DENSE_CUTOFF_DIVISOR >= CHUNK_LANES && n < CHUNK_LANES {
+            // Positional: scatter the packed values to their bit positions.
+            let start = self.lanes.len();
+            self.lanes.resize(start + CHUNK_LANES, 0.0);
+            let mut m = mask;
+            let mut i = 0usize;
+            while m != 0 {
+                let t = m.trailing_zeros() as usize;
+                m &= m - 1;
+                self.lanes[start + t] = vals[i];
+                i += 1;
+            }
+        } else {
+            // Packed — or a full chunk, where packed and positional
+            // coincide.
+            self.lanes.extend_from_slice(&vals[..n]);
+        }
+        self.ends.push(self.lanes.len() as u32);
+        self.nnz += n;
     }
 
     /// The nonzero `(tid, prob)` pairs in ascending tid order.
     pub fn nonzero(&self) -> Vec<(u32, f64)> {
-        match &self.repr {
-            Repr::Sparse { tids, probs } => {
-                tids.iter().copied().zip(probs.iter().copied()).collect()
-            }
-            Repr::Dense { probs, nnz } => {
-                let mut out = Vec::with_capacity(*nnz);
-                for (tid, &q) in probs.iter().enumerate() {
-                    if q > 0.0 {
-                        out.push((tid as u32, q));
-                    }
-                }
-                out
-            }
-        }
+        let mut out = Vec::with_capacity(self.nnz);
+        self.for_each_nonzero(|tid, q| out.push((tid, q)));
+        out
     }
 
     /// The nonzero probabilities in ascending tid order — exactly the input
     /// the exact DP / divide-and-conquer kernels take.
     pub fn nonzero_probs(&self) -> Vec<f64> {
-        match &self.repr {
-            Repr::Sparse { probs, .. } => probs.clone(),
-            Repr::Dense { probs, nnz } => {
-                let mut out = Vec::with_capacity(*nnz);
-                out.extend(probs.iter().copied().filter(|&q| q > 0.0));
-                out
+        let mut out = Vec::with_capacity(self.nnz);
+        self.for_each_nonzero(|_, q| out.push(q));
+        out
+    }
+
+    /// Visits every nonzero `(tid, prob)` in ascending tid order.
+    #[inline]
+    fn for_each_nonzero<F: FnMut(u32, f64)>(&self, mut f: F) {
+        for i in 0..self.keys.len() {
+            let base = self.keys[i] << CHUNK_BITS;
+            let mask = self.masks[i];
+            let s = self.start(i);
+            let mut m = mask;
+            if self.end(i) - s == CHUNK_LANES {
+                while m != 0 {
+                    let t = m.trailing_zeros();
+                    m &= m - 1;
+                    f(base | t, self.lanes[s + t as usize]);
+                }
+            } else {
+                let mut idx = s;
+                while m != 0 {
+                    let t = m.trailing_zeros();
+                    m &= m - 1;
+                    f(base | t, self.lanes[idx]);
+                    idx += 1;
+                }
             }
         }
     }
 
-    /// Expected support: `Σ_t q_t`. Accumulated in ascending tid order
-    /// (dense zeros contribute exactly `0.0`), matching a horizontal scan
-    /// bit for bit.
+    /// Expected support: `Σ_t q_t`, in the workspace-wide fixed summation
+    /// shape — bit-identical to `self.moments().0` and to a horizontal
+    /// scan's accumulation.
     pub fn esup(&self) -> f64 {
-        match &self.repr {
-            Repr::Sparse { probs, .. } => probs.iter().sum(),
-            Repr::Dense { probs, .. } => probs.iter().sum(),
-        }
+        self.moments().0
     }
 
-    /// Expected support and variance of `sup(X)` (`Σ q_t (1 − q_t)`), in
-    /// ascending tid order.
+    /// Expected support and variance of `sup(X)` (`Σ q_t (1 − q_t)`),
+    /// accumulated in ascending tid order per [`SUM_BLOCK_TIDS`] block.
     pub fn moments(&self) -> (f64, f64) {
-        let probs: &[f64] = match &self.repr {
-            Repr::Sparse { probs, .. } => probs,
-            Repr::Dense { probs, .. } => probs,
-        };
-        let mut esup = 0.0;
-        let mut var = 0.0;
-        for &q in probs {
-            esup += q;
-            var += q * (1.0 - q);
+        let mut acc = MomentAcc::new();
+        for i in 0..self.keys.len() {
+            acc.enter_chunk(self.keys[i]);
+            let lanes = &self.lanes[self.start(i)..self.end(i)];
+            if lanes.len() == CHUNK_LANES {
+                // Positional zeros contribute exactly 0.0 — a no-op.
+                for (t, &q) in lanes.iter().enumerate() {
+                    acc.add(t as u32, q);
+                }
+            } else {
+                let mut m = self.masks[i];
+                let mut idx = 0usize;
+                while m != 0 {
+                    let t = m.trailing_zeros();
+                    m &= m - 1;
+                    acc.add(t, lanes[idx]);
+                    idx += 1;
+                }
+            }
         }
+        let (esup, var, _) = acc.finish();
         (esup, var)
     }
 
-    /// Appends one entry (sparse representation only). `tid` must exceed
-    /// the current maximum.
+    /// Appends one entry. `tid` must exceed the current maximum. The
+    /// containing chunk converts packed → positional the moment it crosses
+    /// the per-chunk cutoff, so a push-grown vector's layout matches
+    /// [`ProbVector::from_parts`] of the same contents.
     #[inline]
     pub fn push(&mut self, tid: u32, prob: f64) {
-        debug_assert!(prob > 0.0);
-        match &mut self.repr {
-            Repr::Sparse { tids, probs } => {
-                debug_assert!(tids.last().is_none_or(|&last| last < tid));
-                tids.push(tid);
-                probs.push(prob);
+        debug_assert!(prob > 0.0, "zero-prob entry");
+        let key = tid >> CHUNK_BITS;
+        let bit = tid & (CHUNK_LANES as u32 - 1);
+        if let Some(&last_key) = self.keys.last() {
+            if last_key == key {
+                let last = self.keys.len() - 1;
+                let mask = self.masks[last];
+                debug_assert!(mask >> bit == 0, "tid not strictly increasing");
+                self.masks[last] = mask | (1u64 << bit);
+                let start = if last == 0 {
+                    0
+                } else {
+                    self.ends[last - 1] as usize
+                };
+                if self.lanes.len() - start == CHUNK_LANES {
+                    // Already positional.
+                    self.lanes[start + bit as usize] = prob;
+                } else if (mask.count_ones() as usize + 1) >= POSITIONAL_MIN {
+                    // Crossed the cutoff: scatter packed lanes to positions.
+                    let mut tmp = [0.0f64; CHUNK_LANES];
+                    let mut m = mask;
+                    let mut idx = start;
+                    while m != 0 {
+                        let t = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        tmp[t] = self.lanes[idx];
+                        idx += 1;
+                    }
+                    tmp[bit as usize] = prob;
+                    self.lanes.truncate(start);
+                    self.lanes.extend_from_slice(&tmp);
+                } else {
+                    self.lanes.push(prob);
+                }
+                self.ends[last] = self.lanes.len() as u32;
+                self.nnz += 1;
+                return;
             }
-            Repr::Dense { .. } => unreachable!("push on dense ProbVector"),
+            debug_assert!(last_key < key, "tid not strictly increasing");
         }
+        self.keys.push(key);
+        self.masks.push(1u64 << bit);
+        self.lanes.push(prob);
+        self.ends.push(self.lanes.len() as u32);
+        self.nnz += 1;
     }
 
     /// Releases excess capacity (intersection outputs reserve for the
     /// worst case; long-lived memoized vectors should not keep it).
     pub fn shrink_to_fit(&mut self) {
-        if let Repr::Sparse { tids, probs } = &mut self.repr {
-            tids.shrink_to_fit();
-            probs.shrink_to_fit();
+        self.keys.shrink_to_fit();
+        self.masks.shrink_to_fit();
+        self.ends.shrink_to_fit();
+        self.lanes.shrink_to_fit();
+    }
+
+    /// An exactly-sized deep copy (clone allocates to length, not
+    /// capacity) — what [`ScratchSpace::export`] hands to memos. Copies
+    /// only the live lane prefix, excluding any scratch high-water slack
+    /// a [`ChunkWriter`] left past `ends.last()`.
+    fn clone_exact(&self) -> ProbVector {
+        let live = self.ends.last().map_or(0, |&e| e as usize);
+        ProbVector {
+            keys: self.keys.clone(),
+            masks: self.masks.clone(),
+            ends: self.ends.clone(),
+            lanes: self.lanes[..live].to_vec(),
+            nnz: self.nnz,
         }
     }
 
-    /// Converts to the dense representation over `n` transactions when the
-    /// vector qualifies (nonzero count ≥ `n / DENSE_CUTOFF_DIVISOR`);
-    /// otherwise leaves it sparse.
-    pub fn maybe_densify(&mut self, n: usize) {
-        let Repr::Sparse { tids, probs } = &self.repr else {
-            return;
-        };
-        if n == 0 || tids.len() * DENSE_CUTOFF_DIVISOR < n {
-            return;
-        }
-        let mut dense = vec![0.0f64; n];
-        for (&tid, &q) in tids.iter().zip(probs.iter()) {
-            dense[tid as usize] = q;
-        }
-        self.repr = Repr::Dense {
-            nnz: tids.len(),
-            probs: dense,
-        };
+    /// Drops the lane high-water slack a [`ChunkWriter`] may have left
+    /// past `ends.last()` — called before a kernel-built vector escapes
+    /// as an owned value.
+    fn trim_lane_slack(&mut self) {
+        let live = self.ends.last().map_or(0, |&e| e as usize);
+        self.lanes.truncate(live);
     }
 
     /// The statistics of [`ProbVector::intersect`]'s result —
@@ -263,102 +608,677 @@ impl ProbVector {
     /// materializing** the result: no allocation, no stores. Support
     /// engines use this for candidates a pushdown threshold may rule out;
     /// the values are bit-identical to `self.intersect(other).moments()`
-    /// (zero products contribute exactly `0.0` to either accumulator).
+    /// (zero products contribute exactly `0.0` to either accumulator), and
+    /// the path is the same chunk-directory merge — galloping and bitmask
+    /// fast paths included — as materialization.
     pub fn intersect_stats(&self, other: &ProbVector) -> (f64, f64, usize) {
-        let mut esup = 0.0f64;
-        let mut var = 0.0f64;
-        let mut count = 0usize;
-        let mut add = |q: f64| {
-            esup += q;
-            var += q * (1.0 - q);
-            count += (q > 0.0) as usize;
-        };
-        match (&self.repr, &other.repr) {
-            (
-                Repr::Sparse {
-                    tids: ta,
-                    probs: pa,
-                },
-                Repr::Sparse {
-                    tids: tb,
-                    probs: pb,
-                },
-            ) => {
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < ta.len() && j < tb.len() {
-                    match ta[i].cmp(&tb[j]) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            add(pa[i] * pb[j]);
-                            i += 1;
-                            j += 1;
-                        }
-                    }
-                }
-            }
-            (Repr::Sparse { tids, probs }, Repr::Dense { probs: dense, .. })
-            | (Repr::Dense { probs: dense, .. }, Repr::Sparse { tids, probs }) => {
-                for (&tid, &p) in tids.iter().zip(probs.iter()) {
-                    add(p * dense[tid as usize]);
-                }
-            }
-            (Repr::Dense { probs: da, .. }, Repr::Dense { probs: db, .. }) => {
-                for (&a, &b) in da.iter().zip(db.iter()) {
-                    add(a * b);
-                }
-            }
-        }
-        (esup, var, count)
+        intersect_kernel::<true, false, false>(self, other, None, true, None)
+    }
+
+    /// [`ProbVector::intersect_stats`] that may stop early once the result
+    /// is provably below `min_esup`. `self_mass` must be an upper bound on
+    /// the sum of `self`'s probabilities (its own expected support — which
+    /// support engines have on record for every memoized prefix). Because
+    /// every probability of `other` is ≤ 1, the products not yet visited
+    /// can add at most `self_mass − consumed`; at each summation-block
+    /// boundary the kernel compares the folded partial plus that remainder
+    /// (plus a rounding-slack margin) against the threshold and bails when
+    /// the result cannot reach it.
+    ///
+    /// The return value is **decision-equivalent**, not value-equivalent:
+    /// whenever the true esup is ≥ `min_esup` no bail can fire and the
+    /// tuple is bit-identical to [`ProbVector::intersect_stats`]; when a
+    /// bail fires the partial sums returned are themselves < `min_esup`,
+    /// so a threshold screen reaches the same verdict. Bail points are a
+    /// pure function of the operands — thread count and evaluation order
+    /// never change them.
+    pub fn intersect_stats_bounded(
+        &self,
+        other: &ProbVector,
+        self_mass: f64,
+        min_esup: f64,
+    ) -> (f64, f64, usize) {
+        intersect_kernel::<true, false, true>(self, other, None, true, Some((self_mass, min_esup)))
+    }
+
+    /// [`ProbVector::intersect_stats`] with the directory fast paths
+    /// (direct indexing, galloping) disabled — the plain merge-join at any
+    /// length ratio. Exists only so benchmarks can measure the fast-path
+    /// cutoffs; results are identical.
+    #[doc(hidden)]
+    pub fn intersect_stats_merge_join(&self, other: &ProbVector) -> (f64, f64, usize) {
+        intersect_kernel::<true, false, false>(self, other, None, false, None)
     }
 
     /// The U-Eclat step: intersects with another vector, multiplying
     /// probabilities on matching tids (`self` is the prefix, `other` the
     /// appended item's postings — multiplication order is prefix × item).
-    /// Representation of the result is chosen adaptively.
+    /// Each output chunk's layout is chosen adaptively as it is committed.
     pub fn intersect(&self, other: &ProbVector) -> ProbVector {
-        match (&self.repr, &other.repr) {
-            (
-                Repr::Sparse {
-                    tids: ta,
-                    probs: pa,
-                },
-                Repr::Sparse {
-                    tids: tb,
-                    probs: pb,
-                },
-            ) => intersect_sparse_sparse(ta, pa, tb, pb),
-            // f64 multiplication is bitwise commutative, so the gather can
-            // run over whichever side is sparse without breaking the
-            // bit-for-bit match with horizontal scans.
-            (Repr::Sparse { tids, probs }, Repr::Dense { probs: dense, .. })
-            | (Repr::Dense { probs: dense, .. }, Repr::Sparse { tids, probs }) => {
-                intersect_sparse_dense(tids, probs, dense)
-            }
-            (Repr::Dense { probs: da, .. }, Repr::Dense { probs: db, .. }) => {
-                intersect_dense_dense(da, db)
-            }
-        }
+        let mut out = ProbVector::default();
+        intersect_kernel::<true, true, false>(self, other, Some(&mut out), true, None);
+        out.trim_lane_slack();
+        out
+    }
+
+    /// [`ProbVector::intersect`] fused with [`ProbVector::intersect_stats`],
+    /// writing the result into `scratch` instead of allocating: returns the
+    /// result's `(esup, variance, nonzero count)` — bit-identical to both
+    /// `intersect_stats` and `intersect(..).moments()` — and leaves the
+    /// result vector (same per-chunk layout `intersect` would pick) in the
+    /// scratch buffers for [`ScratchSpace::export`]. Candidates a threshold
+    /// rules out therefore cost no allocation at all.
+    pub fn intersect_into(
+        &self,
+        other: &ProbVector,
+        scratch: &mut ScratchSpace,
+    ) -> (f64, f64, usize) {
+        intersect_kernel::<true, true, false>(self, other, Some(&mut scratch.out), true, None)
+    }
+
+    /// [`ProbVector::intersect_into`] without the statistics: materializes
+    /// the intersection into `scratch` (bit-identical vector, same adaptive
+    /// per-chunk layout) but skips the moment accumulation entirely.
+    ///
+    /// This is the second half of the engines' pushdown protocol: a
+    /// candidate's moments come from a stats-only pass
+    /// ([`ProbVector::intersect_stats`] /
+    /// [`ProbVector::intersect_stats_bounded`]), and only if those clear
+    /// the threshold is the vector needed — re-accumulating the sums the
+    /// caller already holds would be pure waste. Run immediately after the
+    /// stats pass the operands are still cache-hot, so the materialization
+    /// costs little more than the stores.
+    pub fn intersect_materialize_into(&self, other: &ProbVector, scratch: &mut ScratchSpace) {
+        intersect_kernel::<false, true, false>(self, other, Some(&mut scratch.out), true, None);
+    }
+
+    /// [`ProbVector::intersect_into`] that may stop early once the result
+    /// is provably below `min_esup` — the materializing twin of
+    /// [`ProbVector::intersect_stats_bounded`] and the engines' pushdown
+    /// workhorse: one walk yields a candidate's moments *and* its vector,
+    /// with hopeless candidates cut off at the first summation block that
+    /// rules them out.
+    ///
+    /// Decision equivalence is exactly as for
+    /// [`ProbVector::intersect_stats_bounded`]: whenever the true esup is
+    /// ≥ `min_esup` no bail can fire, the returned tuple is bit-identical
+    /// to [`ProbVector::intersect_into`]'s and the scratch holds the
+    /// complete result vector. When a bail fires the returned partial sums
+    /// are themselves < `min_esup` — the caller will discard the candidate
+    /// — and the scratch contents are unspecified (a prefix of the result;
+    /// callers must not export them).
+    pub fn intersect_into_bounded(
+        &self,
+        other: &ProbVector,
+        scratch: &mut ScratchSpace,
+        self_mass: f64,
+        min_esup: f64,
+    ) -> (f64, f64, usize) {
+        intersect_kernel::<true, true, true>(
+            self,
+            other,
+            Some(&mut scratch.out),
+            true,
+            Some((self_mass, min_esup)),
+        )
     }
 }
 
 impl PartialEq for ProbVector {
-    /// Semantic equality: same nonzero `(tid, prob)` pairs, regardless of
-    /// representation.
+    /// Semantic equality: same nonzero `(tid, prob)` pairs. (The chunk
+    /// layout is itself canonical — a pure function of the contents — but
+    /// comparing pairs keeps the contract representation-agnostic.)
     fn eq(&self, other: &Self) -> bool {
-        self.len() == other.len() && self.nonzero() == other.nonzero()
+        self.nnz == other.nnz && self.nonzero() == other.nonzero()
     }
 }
 
-/// Which representation the last [`ProbVector::intersect_into`] left in a
-/// [`ScratchSpace`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-enum ScratchKind {
-    /// Result lives in the sparse `(tids, probs)` buffers.
-    #[default]
-    Sparse,
-    /// Result lives in the dense buffer.
-    Dense,
+/// One chunk-pair visit of the intersection kernel, specialized on each
+/// side's layout (`DA`/`DB` positional) and on which outputs it must
+/// produce (`STATS` moments, `MAT` a result chunk). Positional lanes hold
+/// exactly `+0.0` for absent tids and `x + 0.0` is a bitwise no-op, so:
+///
+/// * positional × positional multiplies all 64 lane pairs straight through
+///   and accumulates them in the striped shape as eight rows of
+///   [`SUM_STRIPES`]-wide adds — stripe `s` receives lanes `≡ s (mod 8)` in
+///   ascending order, exactly the scalar visit order, but the row loop is a
+///   plain vertical vector add the compiler auto-vectorizes (the stripes
+///   *are* the SIMD lanes);
+/// * packed × positional iterates only the packed side's bits with a
+///   *sequential* packed-lane cursor (no `rank` popcounts), reading the
+///   positional side directly by bit position;
+/// * packed × packed visits the bits of `mask_a & mask_b`, ranking both
+///   sides.
+///
+/// Returns `true` when `vals` holds the result chunk in *lane* form (all 64
+/// products, `0.0` = absent — the positional-×-positional fast path);
+/// `false` when it holds the nonzero products packed in ascending tid
+/// order. When materializing, `vals` is the [`ChunkWriter::window`] and
+/// [`ChunkWriter::commit_in_place`] finalizes whichever form was produced.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn pair_chunk<const DA: bool, const DB: bool, const MAT: bool, const STATS: bool>(
+    ma: u64,
+    mb: u64,
+    la: &[f64],
+    lb: &[f64],
+    acc: &mut MomentAcc,
+    vals: &mut [f64; CHUNK_LANES],
+    out_mask: &mut u64,
+) -> bool {
+    let mut k = 0usize;
+    if DA && DB {
+        // Both positional: products for all 64 lanes (absent lanes yield
+        // exactly +0.0, which every accumulation below treats as a no-op).
+        let (la, lb): (&[f64; CHUNK_LANES], &[f64; CHUNK_LANES]) =
+            (la.try_into().unwrap(), lb.try_into().unwrap());
+        for t in 0..CHUNK_LANES {
+            vals[t] = la[t] * lb[t];
+        }
+        if STATS {
+            for row in vals.chunks_exact(SUM_STRIPES) {
+                for (s, &q) in row.iter().enumerate() {
+                    acc.blk_esup[s] += q;
+                    acc.blk_var[s] += q * (1.0 - q);
+                }
+            }
+        }
+        if STATS || MAT {
+            let mut nonzero = 0usize;
+            for &v in vals.iter() {
+                nonzero += (v > 0.0) as usize;
+            }
+            if STATS {
+                acc.count += nonzero;
+            }
+            if MAT {
+                let both = ma & mb;
+                *out_mask = if nonzero == both.count_ones() as usize {
+                    // No product underflowed to zero — the common case.
+                    both
+                } else {
+                    let mut m = 0u64;
+                    for (t, &v) in vals.iter().enumerate() {
+                        m |= ((v > 0.0) as u64) << t;
+                    }
+                    m
+                };
+            }
+        }
+        return true;
+    }
+    if DA {
+        // `lb` holds exactly `popcount(mb)` values, one per bit of `mb` in
+        // ascending order — driving the loop off the packed slice elides
+        // its bounds check, and `t & 63` proves the positional index in
+        // range.
+        let la: &[f64; CHUNK_LANES] = la.try_into().unwrap();
+        let mut m = mb;
+        for &qb in lb {
+            let t = m.trailing_zeros();
+            m &= m - 1;
+            let q = la[(t & 63) as usize] * qb;
+            if STATS {
+                acc.add(t, q);
+            }
+            if MAT && q > 0.0 {
+                vals[k & (CHUNK_LANES - 1)] = q;
+                k += 1;
+                *out_mask |= 1u64 << t;
+            }
+        }
+    } else if DB {
+        let lb: &[f64; CHUNK_LANES] = lb.try_into().unwrap();
+        let mut m = ma;
+        for &qa in la {
+            let t = m.trailing_zeros();
+            m &= m - 1;
+            let q = qa * lb[(t & 63) as usize];
+            if STATS {
+                acc.add(t, q);
+            }
+            if MAT && q > 0.0 {
+                vals[k & (CHUNK_LANES - 1)] = q;
+                k += 1;
+                *out_mask |= 1u64 << t;
+            }
+        }
+    } else {
+        let mut m = ma & mb;
+        while m != 0 {
+            let t = m.trailing_zeros();
+            m &= m - 1;
+            let q = la[rank(ma, t)] * lb[rank(mb, t)];
+            if STATS {
+                acc.add(t, q);
+            }
+            if MAT && q > 0.0 {
+                vals[k & (CHUNK_LANES - 1)] = q;
+                k += 1;
+                *out_mask |= 1u64 << t;
+            }
+        }
+    }
+    false
+}
+
+/// The first chunk key of `v` when its chunk directory is *contiguous*
+/// (every key in `[first, first + num_chunks)` present) — the shape of any
+/// vector over a database dense enough that each 64-tid window keeps at
+/// least one nonzero, e.g. every vector of the dense UApriori anchor. A
+/// contiguous side needs no directory merge at all: the partner's key
+/// addresses its chunk index directly as `key − first`.
+#[inline]
+fn contiguous_span(v: &ProbVector) -> Option<u32> {
+    let (Some(&first), Some(&last)) = (v.keys.first(), v.keys.last()) else {
+        return None;
+    };
+    ((last - first) as usize + 1 == v.keys.len()).then_some(first)
+}
+
+/// Absolute slack on the early-exit bound of
+/// [`ProbVector::intersect_stats_bounded`]: the prefix mass handed in and
+/// the partial sums are rounded `f64` sums (error ≲ 1e-10 at this scale),
+/// so the bail comparison keeps a margin several orders above that — a
+/// bail must never fire for a candidate the exact sums would keep.
+const BOUND_SLACK: f64 = 1e-6;
+
+/// Index-addressed output cursor for the materializing kernels.
+///
+/// [`ProbVector::commit_chunk`]'s `Vec` pushes cost a capacity-check
+/// branch per directory array per chunk plus a variable-length `memcpy`
+/// call for the lane payload — at ~300 output chunks per candidate on the
+/// dense anchor that machinery measured as expensive as the arithmetic.
+/// The writer instead resizes the four output arrays *once* to their
+/// upper bounds (chunks ≤ the shorter directory, lanes ≤ 64 per chunk —
+/// scratch buffers retain the headroom across candidates, so steady-state
+/// resizes are no-ops), writes through plain indexed stores, and
+/// [`ChunkWriter::finish`] truncates down to what was actually written.
+/// Stale content beyond the cursors is never observable: every commit
+/// overwrites its slot before advancing, and `finish` restores the
+/// length invariants.
+struct ChunkWriter<'a> {
+    o: &'a mut ProbVector,
+    nk: usize,
+    nl: usize,
+    nnz: usize,
+}
+
+impl<'a> ChunkWriter<'a> {
+    fn new(o: &'a mut ProbVector, kcap: usize) -> Self {
+        if o.keys.len() < kcap {
+            o.keys.resize(kcap, 0);
+            o.masks.resize(kcap, 0);
+            o.ends.resize(kcap, 0);
+        }
+        let lcap = kcap * CHUNK_LANES;
+        if o.lanes.len() < lcap {
+            o.lanes.resize(lcap, 0.0);
+        }
+        ChunkWriter {
+            o,
+            nk: 0,
+            nl: 0,
+            nnz: 0,
+        }
+    }
+
+    /// Writes the shared directory entry; returns `n`, or 0 to skip.
+    #[inline(always)]
+    fn entry(&mut self, key: u32, mask: u64) -> usize {
+        let n = mask.count_ones() as usize;
+        if n == 0 {
+            return 0;
+        }
+        self.o.keys[self.nk] = key;
+        self.o.masks[self.nk] = mask;
+        n
+    }
+
+    #[inline(always)]
+    fn seal(&mut self, n: usize) {
+        self.o.ends[self.nk] = self.nl as u32;
+        self.nk += 1;
+        self.nnz += n;
+    }
+
+    /// The next 64 lanes of the output array, handed to [`pair_chunk`] as
+    /// its value buffer so products are stored *directly* at their final
+    /// location — no intermediate stack buffer and no copy in the commit.
+    /// Always in bounds: at most one output chunk is committed per matched
+    /// directory pair, so before chunk `nk` commits `nl ≤ 64·nk <
+    /// 64·kcap ≤ lanes.len()`.
+    #[inline(always)]
+    fn window(&mut self) -> &mut [f64; CHUNK_LANES] {
+        (&mut self.o.lanes[self.nl..self.nl + CHUNK_LANES])
+            .try_into()
+            .unwrap()
+    }
+
+    /// Finalizes a chunk whose values [`pair_chunk`] produced directly in
+    /// this writer's [`ChunkWriter::window`]. The kernels' two output forms
+    /// already coincide with the two stored layouts — packed arms emit the
+    /// nonzero products packed in ascending tid order, the
+    /// positional × positional arm emits all 64 lanes — so when the
+    /// adaptive layout rule (same as [`ProbVector::commit_chunk`]) picks
+    /// the matching one, commit is just the directory stores and a cursor
+    /// bump. The two mismatch cases reshape in place.
+    #[inline(always)]
+    fn commit_in_place(&mut self, key: u32, mask: u64, lanes_form: bool) {
+        let n = self.entry(key, mask);
+        if n == 0 {
+            return;
+        }
+        let positional = n * DENSE_CUTOFF_DIVISOR >= CHUNK_LANES && n < CHUNK_LANES;
+        let base = self.nl;
+        match (lanes_form, positional) {
+            (true, true) => self.nl += CHUNK_LANES,
+            (false, false) => self.nl += n,
+            (true, false) => {
+                // Compact lane form down to packed. Moving the k-th set
+                // bit's lane `t ≥ k` forward to slot `k` never reads a
+                // slot an earlier step wrote, so the move is in-place-safe.
+                let mut m = mask;
+                for k in 0..n {
+                    let t = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    self.o.lanes[base + k] = self.o.lanes[base + (t & (CHUNK_LANES - 1))];
+                }
+                self.nl += n;
+            }
+            (false, true) => {
+                // Expand packed to positional: the scatter moves values
+                // right and would collide in place, so stage through a
+                // stack buffer. Only skew-kernel chunks dense enough for
+                // the positional layout (n ≥ 16) take this copy.
+                let mut tmp = [0.0f64; CHUNK_LANES];
+                tmp[..n].copy_from_slice(&self.o.lanes[base..base + n]);
+                let dst = &mut self.o.lanes[base..base + CHUNK_LANES];
+                dst.fill(0.0);
+                let mut m = mask;
+                for &v in &tmp[..n] {
+                    let t = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    dst[t & (CHUNK_LANES - 1)] = v;
+                }
+                self.nl += CHUNK_LANES;
+            }
+        }
+        self.seal(n);
+    }
+
+    /// Truncates the directory down to the written prefix. The lane array
+    /// deliberately keeps its high-water length: truncating it would make
+    /// the next candidate's [`ChunkWriter::new`] re-zero the tail on every
+    /// resize (~134 KB per candidate on the dense anchor). The trailing
+    /// slack past `ends.last()` is never read — every consumer walks lanes
+    /// through the `start(i)..end(i)` ranges — and
+    /// [`ProbVector::clone_exact`] / [`ProbVector::trim_lane_slack`] cut it
+    /// off before a vector escapes into a memo or the public API.
+    fn finish(self) {
+        self.o.keys.truncate(self.nk);
+        self.o.masks.truncate(self.nk);
+        self.o.ends.truncate(self.nk);
+        debug_assert!(self.o.lanes.len() >= self.nl);
+        self.o.nnz = self.nnz;
+    }
+}
+
+/// One matched chunk pair of the intersection walk: dispatch to the
+/// layout-specialized [`pair_chunk`], then commit the result chunk (in
+/// whichever of the two value forms the kernel produced) when
+/// materializing. Kept a free function marked `inline(always)` so each
+/// directory walker gets a branch-predictable inlined copy — at ~10
+/// nonzeros per packed chunk, per-chunk call overhead is as expensive as
+/// the arithmetic itself.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn visit_chunk<const STATS: bool, const MAT: bool>(
+    key: u32,
+    ma: u64,
+    mb: u64,
+    la: &[f64],
+    lb: &[f64],
+    acc: &mut MomentAcc,
+    w: &mut Option<ChunkWriter<'_>>,
+    vals: &mut [f64; CHUNK_LANES],
+) {
+    if ma & mb == 0 {
+        return;
+    }
+    if STATS {
+        acc.enter_chunk(key);
+    }
+    let mut out_mask = 0u64;
+    if MAT {
+        let Some(w) = w.as_mut() else {
+            debug_assert!(false, "materializing walk without a writer");
+            return;
+        };
+        // Products land directly in the output lane array; commit then
+        // only writes the directory entry (reshaping in the rare cases
+        // where the kernel's output form loses the adaptive layout vote).
+        let lanes_form =
+            dispatch_pair::<MAT, STATS>(ma, mb, la, lb, acc, w.window(), &mut out_mask);
+        w.commit_in_place(key, out_mask, lanes_form);
+    } else {
+        dispatch_pair::<MAT, STATS>(ma, mb, la, lb, acc, vals, &mut out_mask);
+    }
+}
+
+/// Layout dispatch for one chunk pair: pick the [`pair_chunk`]
+/// instantiation matching each side's stored form.
+#[inline(always)]
+fn dispatch_pair<const MAT: bool, const STATS: bool>(
+    ma: u64,
+    mb: u64,
+    la: &[f64],
+    lb: &[f64],
+    acc: &mut MomentAcc,
+    vals: &mut [f64; CHUNK_LANES],
+    out_mask: &mut u64,
+) -> bool {
+    match (la.len() == CHUNK_LANES, lb.len() == CHUNK_LANES) {
+        (true, true) => pair_chunk::<true, true, MAT, STATS>(ma, mb, la, lb, acc, vals, out_mask),
+        (true, false) => pair_chunk::<true, false, MAT, STATS>(ma, mb, la, lb, acc, vals, out_mask),
+        (false, true) => pair_chunk::<false, true, MAT, STATS>(ma, mb, la, lb, acc, vals, out_mask),
+        (false, false) => {
+            pair_chunk::<false, false, MAT, STATS>(ma, mb, la, lb, acc, vals, out_mask)
+        }
+    }
+}
+
+/// Shared engine of `intersect` / `intersect_into` / `intersect_stats`:
+/// join the chunk directories (direct-indexed when one side is contiguous,
+/// galloping when skewed, scalar merge otherwise), visit common bits, fuse
+/// the stats, and — when `out` is given — commit adaptive output chunks.
+///
+/// `bound` is `Some((self_mass, min_esup))` for the bounded stats pass: at
+/// each summation-block boundary (where the striped partials have just
+/// folded, so `acc.esup` is exact), the kernel bails once the folded
+/// partial plus `self_mass − consumed` — an upper bound on what the
+/// remaining products can still add, since every `other` probability is
+/// ≤ 1 — proves the result below `min_esup`. Until a bail fires the
+/// computation is *identical* to the unbounded kernel, so results are
+/// bit-equal whenever the true esup meets the threshold.
+fn intersect_kernel<const STATS: bool, const MAT: bool, const BOUNDED: bool>(
+    a: &ProbVector,
+    b: &ProbVector,
+    out: Option<&mut ProbVector>,
+    allow_fast: bool,
+    bound: Option<(f64, f64)>,
+) -> (f64, f64, usize) {
+    debug_assert!(STATS || !BOUNDED, "bounded runs need statistics");
+    debug_assert_eq!(MAT, out.is_some());
+    debug_assert_eq!(BOUNDED, bound.is_some());
+    let kcap = a.keys.len().min(b.keys.len());
+    let mut w: Option<ChunkWriter<'_>> = out.map(|o| ChunkWriter::new(o, kcap));
+    let mut acc = MomentAcc::new();
+    let mut vals = [0.0f64; CHUNK_LANES];
+    // Mass of `a` (the prefix side) consumed so far — only maintained for
+    // bounded runs. Chunks skipped because `b` has no partner are *not*
+    // counted, which only weakens (never invalidates) the bail bound.
+    let mut consumed = 0.0f64;
+    let ka: &[u32] = &a.keys;
+    let kb: &[u32] = &b.keys;
+    let mut handle = |i: usize,
+                      j: usize,
+                      acc: &mut MomentAcc,
+                      w: &mut Option<ChunkWriter<'_>>,
+                      consumed: &mut f64| {
+        if BOUNDED {
+            *consumed += a.lanes[a.start(i)..a.end(i)].iter().sum::<f64>();
+        }
+        visit_chunk::<STATS, MAT>(
+            ka[i],
+            a.masks[i],
+            b.masks[j],
+            &a.lanes[a.start(i)..a.end(i)],
+            &b.lanes[b.start(j)..b.end(j)],
+            acc,
+            w,
+            &mut vals,
+        );
+    };
+    // Bail check, run before a chunk is handled (and before its mass is
+    // counted as consumed): entering its block folds the stripes (a
+    // bitwise no-op for untouched blocks), after which `acc.esup` is the
+    // exact partial. Returns true when the bounded run can stop.
+    let check_bail = |key: u32, acc: &mut MomentAcc, consumed: f64| -> bool {
+        if !BOUNDED {
+            return false;
+        }
+        if let Some((mass, thr)) = bound {
+            if acc.enter_chunk(key) && acc.esup + (mass - consumed) + BOUND_SLACK < thr {
+                return true;
+            }
+        }
+        false
+    };
+    let moments = 'walk: {
+        if let (true, Some(a0), Some(b0)) = (allow_fast, contiguous_span(a), contiguous_span(b)) {
+            // Both directories contiguous — the shape of every operand pair on
+            // a dense database: the overlap of the two key ranges is walked
+            // directly, chunk indices and lane cursors advancing in lockstep
+            // with no directory loads, searches or merges at all.
+            let lo = a0.max(b0);
+            let hi = (a0 + ka.len() as u32).min(b0 + kb.len() as u32);
+            if lo < hi {
+                let (i0, j0) = ((lo - a0) as usize, (lo - b0) as usize);
+                let mut la_s = a.start(i0);
+                let mut lb_s = b.start(j0);
+                for step in 0..(hi - lo) as usize {
+                    let (i, j) = (i0 + step, j0 + step);
+                    let key = lo + step as u32;
+                    if check_bail(key, &mut acc, consumed) {
+                        break 'walk acc.finish();
+                    }
+                    let (la_e, lb_e) = (a.ends[i] as usize, b.ends[j] as usize);
+                    if BOUNDED {
+                        consumed += a.lanes[la_s..la_e].iter().sum::<f64>();
+                    }
+                    visit_chunk::<STATS, MAT>(
+                        key,
+                        a.masks[i],
+                        b.masks[j],
+                        &a.lanes[la_s..la_e],
+                        &b.lanes[lb_s..lb_e],
+                        &mut acc,
+                        &mut w,
+                        &mut vals,
+                    );
+                    la_s = la_e;
+                    lb_s = lb_e;
+                }
+            }
+            break 'walk acc.finish();
+        }
+        if allow_fast && contiguous_span(b).is_some_and(|_| ka.len() <= kb.len() * GALLOP_RATIO) {
+            // `b`'s directory is contiguous: walk `a` and address `b`'s chunk
+            // index directly — no merge, no search.
+            let k0 = contiguous_span(b).unwrap();
+            let kend = k0 + kb.len() as u32;
+            let start = ka.partition_point(|&k| k < k0);
+            for (i, &key) in ka.iter().enumerate().skip(start) {
+                if key >= kend {
+                    break;
+                }
+                if check_bail(key, &mut acc, consumed) {
+                    break 'walk acc.finish();
+                }
+                handle(i, (key - k0) as usize, &mut acc, &mut w, &mut consumed);
+            }
+        } else if allow_fast
+            && contiguous_span(a).is_some_and(|_| kb.len() <= ka.len() * GALLOP_RATIO)
+        {
+            let k0 = contiguous_span(a).unwrap();
+            let kend = k0 + ka.len() as u32;
+            let start = kb.partition_point(|&k| k < k0);
+            for (j, &key) in kb.iter().enumerate().skip(start) {
+                if key >= kend {
+                    break;
+                }
+                if check_bail(key, &mut acc, consumed) {
+                    break 'walk acc.finish();
+                }
+                handle((key - k0) as usize, j, &mut acc, &mut w, &mut consumed);
+            }
+        } else if allow_fast && ka.len() * GALLOP_RATIO < kb.len() {
+            // `a` is the short side: gallop `b` to each of `a`'s keys.
+            let mut j = 0usize;
+            for (i, &key) in ka.iter().enumerate() {
+                j = gallop_to(kb, j, key);
+                if j == kb.len() {
+                    break;
+                }
+                if kb[j] == key {
+                    if check_bail(key, &mut acc, consumed) {
+                        break 'walk acc.finish();
+                    }
+                    handle(i, j, &mut acc, &mut w, &mut consumed);
+                    j += 1;
+                }
+            }
+        } else if allow_fast && kb.len() * GALLOP_RATIO < ka.len() {
+            let mut i = 0usize;
+            for (j, &key) in kb.iter().enumerate() {
+                i = gallop_to(ka, i, key);
+                if i == ka.len() {
+                    break;
+                }
+                if ka[i] == key {
+                    if check_bail(key, &mut acc, consumed) {
+                        break 'walk acc.finish();
+                    }
+                    handle(i, j, &mut acc, &mut w, &mut consumed);
+                    i += 1;
+                }
+            }
+        } else {
+            // Balanced: scalar merge-join over the chunk directories.
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < ka.len() && j < kb.len() {
+                let (x, y) = (ka[i], kb[j]);
+                if x < y {
+                    i += 1;
+                } else if y < x {
+                    j += 1;
+                } else {
+                    if check_bail(x, &mut acc, consumed) {
+                        break 'walk acc.finish();
+                    }
+                    handle(i, j, &mut acc, &mut w, &mut consumed);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc.finish()
+    };
+    if let Some(w) = w {
+        w.finish();
+    }
+    moments
 }
 
 /// Reusable, capacity-retaining buffers backing the zero-allocation
@@ -376,18 +1296,10 @@ enum ScratchKind {
 /// kernel overwrites the buffers it uses in full.
 #[derive(Clone, Debug, Default)]
 pub struct ScratchSpace {
-    /// Sparse result tids (valid for `ScratchKind::Sparse`).
-    tids: Vec<u32>,
-    /// Sparse result probs, parallel to `tids`.
-    probs: Vec<f64>,
-    /// Dense result probs (valid for `ScratchKind::Dense`).
-    dense: Vec<f64>,
-    /// Nonzero count of the dense result.
-    dense_nnz: usize,
+    /// The chunked result of the last [`ProbVector::intersect_into`].
+    out: ProbVector,
     /// Dropped tids of the last [`ProbVector::diff_extend_into`].
     dropped: Vec<u32>,
-    /// Which buffers the last `intersect_into` filled.
-    kind: ScratchKind,
 }
 
 impl ScratchSpace {
@@ -398,15 +1310,12 @@ impl ScratchSpace {
 
     /// Nonzero count of the last [`ProbVector::intersect_into`] result.
     pub fn len(&self) -> usize {
-        match self.kind {
-            ScratchKind::Sparse => self.tids.len(),
-            ScratchKind::Dense => self.dense_nnz,
-        }
+        self.out.len()
     }
 
     /// True when the last intersection came out empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.out.is_empty()
     }
 
     /// The dropped tids of the last [`ProbVector::diff_extend_into`],
@@ -421,20 +1330,7 @@ impl ScratchSpace {
     /// [`ProbVector::intersect`] would have returned, with no excess
     /// capacity to shrink.
     pub fn export(&self) -> ProbVector {
-        match self.kind {
-            ScratchKind::Sparse => ProbVector {
-                repr: Repr::Sparse {
-                    tids: self.tids.clone(),
-                    probs: self.probs.clone(),
-                },
-            },
-            ScratchKind::Dense => ProbVector {
-                repr: Repr::Dense {
-                    probs: self.dense.clone(),
-                    nnz: self.dense_nnz,
-                },
-            },
-        }
+        self.out.clone_exact()
     }
 
     /// Exports the last [`ProbVector::diff_extend_into`] delta as an
@@ -446,118 +1342,6 @@ impl ScratchSpace {
     }
 }
 
-impl ProbVector {
-    /// [`ProbVector::intersect`] fused with [`ProbVector::intersect_stats`],
-    /// writing the result into `scratch` instead of allocating: returns the
-    /// result's `(esup, variance, nonzero count)` — bit-identical to both
-    /// `intersect_stats` and `intersect(..).moments()` — and leaves the
-    /// result vector (same adaptive representation `intersect` would pick)
-    /// in the scratch buffers for [`ScratchSpace::export`]. Candidates a
-    /// threshold rules out therefore cost no allocation at all.
-    pub fn intersect_into(
-        &self,
-        other: &ProbVector,
-        scratch: &mut ScratchSpace,
-    ) -> (f64, f64, usize) {
-        let mut esup = 0.0f64;
-        let mut var = 0.0f64;
-        match (&self.repr, &other.repr) {
-            (
-                Repr::Sparse {
-                    tids: ta,
-                    probs: pa,
-                },
-                Repr::Sparse {
-                    tids: tb,
-                    probs: pb,
-                },
-            ) => {
-                scratch.kind = ScratchKind::Sparse;
-                scratch.tids.clear();
-                scratch.probs.clear();
-                let cap = ta.len().min(tb.len());
-                scratch.tids.reserve(cap);
-                scratch.probs.reserve(cap);
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < ta.len() && j < tb.len() {
-                    match ta[i].cmp(&tb[j]) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            let q = pa[i] * pb[j];
-                            esup += q;
-                            var += q * (1.0 - q);
-                            if q > 0.0 {
-                                scratch.tids.push(ta[i]);
-                                scratch.probs.push(q);
-                            }
-                            i += 1;
-                            j += 1;
-                        }
-                    }
-                }
-            }
-            (Repr::Sparse { tids, probs }, Repr::Dense { probs: dense, .. })
-            | (Repr::Dense { probs: dense, .. }, Repr::Sparse { tids, probs }) => {
-                scratch.kind = ScratchKind::Sparse;
-                let n = tids.len();
-                scratch.tids.clear();
-                scratch.probs.clear();
-                scratch.tids.resize(n, 0);
-                scratch.probs.resize(n, 0.0);
-                // Branchless survivor cursor, as in the allocating twin.
-                let mut k = 0usize;
-                for i in 0..n {
-                    let tid = tids[i];
-                    let q = probs[i] * dense[tid as usize];
-                    esup += q;
-                    var += q * (1.0 - q);
-                    scratch.tids[k] = tid;
-                    scratch.probs[k] = q;
-                    k += (q > 0.0) as usize;
-                }
-                scratch.tids.truncate(k);
-                scratch.probs.truncate(k);
-            }
-            (Repr::Dense { probs: da, .. }, Repr::Dense { probs: db, .. }) => {
-                debug_assert_eq!(da.len(), db.len());
-                let n = da.len();
-                scratch.dense.clear();
-                scratch.dense.reserve(n);
-                let mut nnz = 0usize;
-                for (&a, &b) in da.iter().zip(db.iter()) {
-                    let q = a * b;
-                    esup += q;
-                    var += q * (1.0 - q);
-                    nnz += (q > 0.0) as usize;
-                    scratch.dense.push(q);
-                }
-                if nnz * DENSE_CUTOFF_DIVISOR >= n {
-                    scratch.kind = ScratchKind::Dense;
-                    scratch.dense_nnz = nnz;
-                } else {
-                    // Too sparse to stay dense: extract, exactly like the
-                    // allocating twin (branchless cursor).
-                    scratch.kind = ScratchKind::Sparse;
-                    scratch.tids.clear();
-                    scratch.probs.clear();
-                    scratch.tids.resize(nnz, 0);
-                    scratch.probs.resize(nnz, 0.0);
-                    let mut k = 0usize;
-                    for (tid, &q) in scratch.dense.iter().enumerate() {
-                        if k < nnz {
-                            scratch.tids[k] = tid as u32;
-                            scratch.probs[k] = q;
-                        }
-                        k += (q > 0.0) as usize;
-                    }
-                }
-            }
-        }
-        (esup, var, scratch.len())
-    }
-}
-
 /// The uncertain-data analog of a dEclat **diffset**: the delta of an
 /// itemset's prob-vector against its own prefix's.
 ///
@@ -565,14 +1349,14 @@ impl ProbVector {
 /// `vec(X)[t] · P_t(i) > 0`; the survivors' probabilities are reproducible
 /// by gathering `P_t(i)` from the item's postings, so the only information
 /// the extension *destroys* is which tids were dropped. A `DiffVector`
-/// stores exactly that — the dropped tids — at 4 bytes each, versus 12
-/// bytes per *kept* entry for a sparse [`ProbVector`] (or `8 · N` dense).
-/// On dense data, where almost every tid survives every extension, the
-/// delta is a small fraction of the tidset.
+/// stores exactly that — the dropped tids — at 4 bytes each, versus the
+/// kept entries' lanes-plus-directory cost for a [`ProbVector`]. On dense
+/// data, where almost every tid survives every extension, the delta is a
+/// small fraction of the tidset.
 ///
 /// Produced by [`ProbVector::diff_extend`]; the full child vector is
 /// recovered (bit-for-bit equal to [`ProbVector::intersect`]) with
-/// [`ProbVector::apply_diff`] given the same prefix vector and postings.
+/// [`ProbVector::apply_diff`].
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct DiffVector {
     /// Prefix tids that do not survive the extension, ascending.
@@ -640,294 +1424,179 @@ impl ProbVector {
     }
 
     /// Shared engine of [`ProbVector::diff_extend`] /
-    /// [`ProbVector::diff_extend_into`]: one pass over the prefix, calling
-    /// `drop` for every tid that does not survive the extension.
+    /// [`ProbVector::diff_extend_into`]: one pass over the prefix's
+    /// chunks, pairing each against `other`'s chunk directory (galloping
+    /// when `other` is `GALLOP_RATIO×` longer) and calling `drop` for
+    /// every tid that does not survive the extension.
+    ///
+    /// Accumulation shape: contributions are grouped by the prefix's chunk
+    /// blocks — the same [`SUM_BLOCK_TIDS`] shape as `intersect_stats`
+    /// (whose extra zero-product adds are IEEE-754 no-ops), so the sums
+    /// are bit-identical.
     fn diff_extend_core<F: FnMut(u32)>(
         &self,
         other: &ProbVector,
         mut drop: F,
     ) -> (f64, f64, usize) {
-        let mut esup = 0.0f64;
-        let mut var = 0.0f64;
-        let mut count = 0usize;
-        // Visits every nonzero prefix entry in ascending tid order with the
-        // paired item probability (0.0 = absent). Accumulation order and
-        // multiplication order (prefix × item) match `intersect_stats`
-        // exactly; products of 0.0 contribute exactly 0.0 to either
-        // accumulator, so the sums are bit-identical.
-        let mut visit = |tid: u32, p: f64, q: f64| {
-            let prod = p * q;
-            if prod > 0.0 {
-                esup += prod;
-                var += prod * (1.0 - prod);
-                count += 1;
+        let mut acc = MomentAcc::new();
+        let kb: &[u32] = &other.keys;
+        let gallop = self.keys.len() * GALLOP_RATIO < kb.len();
+        let mut j = 0usize;
+        for i in 0..self.keys.len() {
+            let key = self.keys[i];
+            acc.enter_chunk(key);
+            if gallop {
+                j = gallop_to(kb, j, key);
             } else {
-                drop(tid);
+                while j < kb.len() && kb[j] < key {
+                    j += 1;
+                }
             }
-        };
-        match (&self.repr, &other.repr) {
-            (
-                Repr::Sparse {
-                    tids: ta,
-                    probs: pa,
-                },
-                Repr::Sparse {
-                    tids: tb,
-                    probs: pb,
-                },
-            ) => {
-                let mut j = 0usize;
-                for (i, &tid) in ta.iter().enumerate() {
-                    while j < tb.len() && tb[j] < tid {
-                        j += 1;
-                    }
-                    let q = if j < tb.len() && tb[j] == tid {
-                        pb[j]
+            let base = key << CHUNK_BITS;
+            let ma = self.masks[i];
+            let la = &self.lanes[self.start(i)..self.end(i)];
+            let da = la.len() == CHUNK_LANES;
+            if j < kb.len() && kb[j] == key {
+                let mb = other.masks[j];
+                let lb = &other.lanes[other.start(j)..other.end(j)];
+                let db = lb.len() == CHUNK_LANES;
+                let mut m = ma;
+                let mut ia = 0usize;
+                while m != 0 {
+                    let t = m.trailing_zeros();
+                    m &= m - 1;
+                    // Iterating `ma` in bit order makes the packed-lane
+                    // cursor sequential — no rank popcount on `self`.
+                    let p = if da { la[t as usize] } else { la[ia] };
+                    ia += 1;
+                    let q = if db {
+                        // Positional zeros stand in for absent tids.
+                        lb[t as usize]
+                    } else if (mb >> t) & 1 == 1 {
+                        lb[rank(mb, t)]
                     } else {
                         0.0
                     };
-                    visit(tid, pa[i], q);
-                }
-            }
-            (Repr::Sparse { tids, probs }, Repr::Dense { probs: dense, .. }) => {
-                for (&tid, &p) in tids.iter().zip(probs.iter()) {
-                    visit(tid, p, dense[tid as usize]);
-                }
-            }
-            (
-                Repr::Dense { probs: da, .. },
-                Repr::Sparse {
-                    tids: tb,
-                    probs: pb,
-                },
-            ) => {
-                let mut j = 0usize;
-                for (t, &p) in da.iter().enumerate() {
-                    if p > 0.0 {
-                        let tid = t as u32;
-                        while j < tb.len() && tb[j] < tid {
-                            j += 1;
-                        }
-                        let q = if j < tb.len() && tb[j] == tid {
-                            pb[j]
-                        } else {
-                            0.0
-                        };
-                        visit(tid, p, q);
+                    let prod = p * q;
+                    if prod > 0.0 {
+                        acc.add(t, prod);
+                    } else {
+                        drop(base | t);
                     }
                 }
-            }
-            (Repr::Dense { probs: da, .. }, Repr::Dense { probs: db, .. }) => {
-                for (t, (&p, &q)) in da.iter().zip(db.iter()).enumerate() {
-                    if p > 0.0 {
-                        visit(t as u32, p, q);
-                    }
+            } else {
+                // No postings chunk here: every prefix tid is dropped.
+                let mut m = ma;
+                while m != 0 {
+                    let t = m.trailing_zeros();
+                    m &= m - 1;
+                    drop(base | t);
                 }
             }
         }
-        (esup, var, count)
+        acc.finish()
     }
 
     /// Reconstructs the child vector a [`ProbVector::diff_extend`] call
     /// summarized: `self` must be the same prefix vector and `other` the
     /// same appended item's postings. The result is bit-for-bit equal to
-    /// `self.intersect(other)` (sparse representation; callers densify via
-    /// [`ProbVector::maybe_densify`] when appropriate).
+    /// `self.intersect(other)`, each chunk's layout re-decided as it is
+    /// rebuilt.
     pub fn apply_diff(&self, diff: &DiffVector, other: &ProbVector) -> ProbVector {
         self.apply_dropped(&diff.dropped, other)
     }
 
     /// [`ProbVector::apply_diff`] writing into a caller-owned vector whose
-    /// sparse buffers are reused (cleared, capacity retained) — the
+    /// buffers are reused (cleared, capacity retained) — the
     /// zero-allocation twin for transient reconstructions that do not
     /// outlive the next kernel call.
     pub fn apply_diff_into(&self, diff: &DiffVector, other: &ProbVector, out: &mut ProbVector) {
-        // Reuse `out`'s sparse buffers when it has them; a dense `out`
-        // falls back to fresh sparse buffers (the result is always sparse).
-        let taken = std::mem::replace(
-            &mut out.repr,
-            Repr::Sparse {
-                tids: Vec::new(),
-                probs: Vec::new(),
-            },
-        );
-        let (mut tids, mut probs) = match taken {
-            Repr::Sparse { tids, probs } => (tids, probs),
-            Repr::Dense { .. } => (Vec::new(), Vec::new()),
-        };
-        tids.clear();
-        probs.clear();
-        self.apply_dropped_core(&diff.dropped, other, &mut tids, &mut probs);
-        out.repr = Repr::Sparse { tids, probs };
+        self.apply_dropped_core(&diff.dropped, other, out);
     }
 
     /// [`ProbVector::apply_diff`] over a raw dropped-tid slice — lets
     /// callers holding a delta in scratch ([`ScratchSpace::dropped`])
     /// materialize the child without first exporting a [`DiffVector`].
     pub fn apply_dropped(&self, dropped: &[u32], other: &ProbVector) -> ProbVector {
-        let survivors = self.len().saturating_sub(dropped.len());
-        let mut tids = Vec::with_capacity(survivors);
-        let mut probs = Vec::with_capacity(survivors);
-        self.apply_dropped_core(dropped, other, &mut tids, &mut probs);
-        ProbVector {
-            repr: Repr::Sparse { tids, probs },
-        }
+        let mut out = ProbVector::default();
+        out.keys.reserve(self.keys.len());
+        out.masks.reserve(self.keys.len());
+        out.ends.reserve(self.keys.len());
+        out.lanes.reserve(self.nnz.saturating_sub(dropped.len()));
+        self.apply_dropped_core(dropped, other, &mut out);
+        out
     }
 
-    /// Shared engine of the `apply_*` reconstructions: pushes the
-    /// surviving `(tid, prob)` pairs into the provided buffers.
-    fn apply_dropped_core(
-        &self,
-        dropped: &[u32],
-        other: &ProbVector,
-        tids: &mut Vec<u32>,
-        probs: &mut Vec<f64>,
-    ) {
-        let survivors = self.len().saturating_sub(dropped.len());
-        tids.reserve(survivors);
-        probs.reserve(survivors);
+    /// Shared engine of the `apply_*` reconstructions: walks the prefix's
+    /// chunks, skips the dropped tids, regathers the appended item's
+    /// probability for each survivor, and commits adaptive output chunks.
+    fn apply_dropped_core(&self, dropped: &[u32], other: &ProbVector, out: &mut ProbVector) {
+        out.clear();
+        let kb: &[u32] = &other.keys;
+        let gallop = self.keys.len() * GALLOP_RATIO < kb.len();
         let mut d = 0usize;
-        let mut j = 0usize; // cursor when `other` is sparse
-        let mut visit = |tid: u32, p: f64, other: &ProbVector| {
-            if d < dropped.len() && dropped[d] == tid {
-                d += 1;
-                return;
-            }
-            let q = match &other.repr {
-                Repr::Dense { probs, .. } => probs[tid as usize],
-                Repr::Sparse {
-                    tids: tb,
-                    probs: pb,
-                } => {
-                    while j < tb.len() && tb[j] < tid {
-                        j += 1;
-                    }
-                    if j < tb.len() && tb[j] == tid {
-                        pb[j]
-                    } else {
-                        0.0
-                    }
+        let mut j = 0usize;
+        let mut vals = [0.0f64; CHUNK_LANES];
+        for i in 0..self.keys.len() {
+            let key = self.keys[i];
+            if gallop {
+                j = gallop_to(kb, j, key);
+            } else {
+                while j < kb.len() && kb[j] < key {
+                    j += 1;
                 }
+            }
+            let base = key << CHUNK_BITS;
+            let ma = self.masks[i];
+            let la = &self.lanes[self.start(i)..self.end(i)];
+            let da = la.len() == CHUNK_LANES;
+            let hit = j < kb.len() && kb[j] == key;
+            let (mb, sb, db) = if hit {
+                let lb_len = other.end(j) - other.start(j);
+                (other.masks[j], other.start(j), lb_len == CHUNK_LANES)
+            } else {
+                (0u64, 0usize, false)
             };
-            let prod = p * q;
-            debug_assert!(prod > 0.0, "surviving tid {tid} has a zero product");
-            tids.push(tid);
-            probs.push(prod);
-        };
-        match &self.repr {
-            Repr::Sparse {
-                tids: ta,
-                probs: pa,
-            } => {
-                for (&tid, &p) in ta.iter().zip(pa.iter()) {
-                    visit(tid, p, other);
+            let mut out_mask = 0u64;
+            let mut k = 0usize;
+            let mut m = ma;
+            let mut ia = 0usize;
+            while m != 0 {
+                let t = m.trailing_zeros();
+                m &= m - 1;
+                let tid = base | t;
+                let lane_idx = ia;
+                ia += 1;
+                if d < dropped.len() && dropped[d] == tid {
+                    d += 1;
+                    continue;
                 }
+                let p = if da { la[t as usize] } else { la[lane_idx] };
+                debug_assert!(
+                    (mb >> t) & 1 == 1,
+                    "surviving tid {tid} absent from postings"
+                );
+                let q = if db {
+                    other.lanes[sb + t as usize]
+                } else {
+                    other.lanes[sb + rank(mb, t)]
+                };
+                let prod = p * q;
+                debug_assert!(prod > 0.0, "surviving tid {tid} has a zero product");
+                vals[k] = prod;
+                k += 1;
+                out_mask |= 1u64 << t;
             }
-            Repr::Dense { probs: da, .. } => {
-                for (t, &p) in da.iter().enumerate() {
-                    if p > 0.0 {
-                        visit(t as u32, p, other);
-                    }
-                }
-            }
+            out.commit_chunk(key, out_mask, &vals);
         }
         debug_assert_eq!(d, dropped.len(), "dropped tid absent from prefix");
     }
 }
 
-fn intersect_sparse_sparse(ta: &[u32], pa: &[f64], tb: &[u32], pb: &[f64]) -> ProbVector {
-    let cap = ta.len().min(tb.len());
-    let mut tids = Vec::with_capacity(cap);
-    let mut probs = Vec::with_capacity(cap);
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < ta.len() && j < tb.len() {
-        match ta[i].cmp(&tb[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                // Deep itemsets can underflow the product to exactly 0.0;
-                // keeping such an entry would violate the sparse nonzero
-                // invariant and make `len()` disagree with `intersect_stats`
-                // (which counts products, not items).
-                let q = pa[i] * pb[j];
-                if q > 0.0 {
-                    tids.push(ta[i]);
-                    probs.push(q);
-                }
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    ProbVector {
-        repr: Repr::Sparse { tids, probs },
-    }
-}
-
-/// Gathers the sparse side through the dense side: `O(nnz)` lookups.
-///
-/// The survivor cursor `k` advances branchlessly — on the candidate-heavy
-/// last levels of a dense mining run (mostly misses) branch mispredictions
-/// would otherwise dominate the loop.
-fn intersect_sparse_dense(tids: &[u32], probs: &[f64], dense: &[f64]) -> ProbVector {
-    let n = tids.len();
-    let mut out_tids = vec![0u32; n];
-    let mut out_probs = vec![0.0f64; n];
-    let mut k = 0usize;
-    for i in 0..n {
-        let tid = tids[i];
-        let q = probs[i] * dense[tid as usize];
-        out_tids[k] = tid;
-        out_probs[k] = q;
-        // The cursor advances on the *product*, not the item probability: a
-        // product that underflows to 0.0 must be dropped like a miss, or the
-        // nonzero invariant breaks and `len()` diverges from
-        // `intersect_stats`'s count.
-        k += (q > 0.0) as usize;
-    }
-    out_tids.truncate(k);
-    out_probs.truncate(k);
-    ProbVector {
-        repr: Repr::Sparse {
-            tids: out_tids,
-            probs: out_probs,
-        },
-    }
-}
-
-fn intersect_dense_dense(da: &[f64], db: &[f64]) -> ProbVector {
-    debug_assert_eq!(da.len(), db.len());
-    let n = da.len();
-    // Two branchless, autovectorizable passes: multiply, then count.
-    let probs: Vec<f64> = da.iter().zip(db.iter()).map(|(&a, &b)| a * b).collect();
-    let nnz = probs.iter().filter(|&&q| q > 0.0).count();
-    if nnz * DENSE_CUTOFF_DIVISOR >= n {
-        return ProbVector {
-            repr: Repr::Dense { probs, nnz },
-        };
-    }
-    // Too sparse to stay dense: extract (branchless cursor again).
-    let mut tids = vec![0u32; nnz];
-    let mut sparse = vec![0.0f64; nnz];
-    let mut k = 0usize;
-    for (tid, &q) in probs.iter().enumerate() {
-        if k < nnz {
-            tids[k] = tid as u32;
-            sparse[k] = q;
-        }
-        k += (q > 0.0) as usize;
-    }
-    ProbVector {
-        repr: Repr::Sparse {
-            tids,
-            probs: sparse,
-        },
-    }
-}
-
-/// One-pass columnar index over an [`UncertainDatabase`]: for every item, the
-/// sorted postings of `(tid, prob)` pairs in which it occurs, each stored
-/// sparsely or densely by the [`DENSE_CUTOFF_DIVISOR`] rule.
+/// One-pass columnar index over an [`UncertainDatabase`]: for every item,
+/// the sorted postings of `(tid, prob)` pairs in which it occurs, each
+/// chunk stored packed or positionally by the per-chunk
+/// [`DENSE_CUTOFF_DIVISOR`] rule.
 #[derive(Clone, Debug, Default)]
 pub struct VerticalIndex {
     postings: Vec<ProbVector>,
@@ -935,7 +1604,9 @@ pub struct VerticalIndex {
 }
 
 impl VerticalIndex {
-    /// Builds the index in a single pass over the database.
+    /// Builds the index in a single pass over the database. Chunk layouts
+    /// adapt during the build (a chunk converts packed → positional the
+    /// moment it crosses the cutoff).
     pub fn build(db: &UncertainDatabase) -> Self {
         let n = db.num_transactions();
         let mut postings = vec![ProbVector::new(); db.num_items() as usize];
@@ -943,9 +1614,6 @@ impl VerticalIndex {
             for (item, p) in t.units() {
                 postings[item as usize].push(tid as u32, p);
             }
-        }
-        for v in &mut postings {
-            v.maybe_densify(n);
         }
         VerticalIndex {
             postings,
@@ -1010,6 +1678,195 @@ mod tests {
     use crate::examples::paper_table1;
     use crate::transaction::Transaction;
 
+    /// Scalar reference implementation over plain `(tid, prob)` pair
+    /// lists: a merge-join plus the workspace's fixed summation shape —
+    /// eight striped partials (`tid % 8`) per 4096-tid block, stripes
+    /// folded in ascending order — written with none of the chunked
+    /// machinery. The chunked kernels must match it bit for bit.
+    mod reference {
+        /// `tid >> BLOCK_SHIFT` is the tid's summation block.
+        const BLOCK_SHIFT: u32 = 12; // 4096 tids
+
+        /// Everything one extension step produces, per the reference.
+        pub struct Extension {
+            pub kept: Vec<(u32, f64)>,
+            pub dropped: Vec<u32>,
+            pub esup: f64,
+            pub var: f64,
+            pub count: usize,
+        }
+
+        /// Striped-and-blocked `(esup, var)` over pairs in ascending tid
+        /// order.
+        pub fn moments(pairs: &[(u32, f64)]) -> (f64, f64) {
+            let (mut esup, mut var) = (0.0f64, 0.0f64);
+            let (mut be, mut bv) = ([0.0f64; 8], [0.0f64; 8]);
+            let mut blk = 0u32;
+            let fold = |be: &mut [f64; 8], bv: &mut [f64; 8], esup: &mut f64, var: &mut f64| {
+                for s in be.iter_mut() {
+                    *esup += *s;
+                    *s = 0.0;
+                }
+                for s in bv.iter_mut() {
+                    *var += *s;
+                    *s = 0.0;
+                }
+            };
+            for &(tid, q) in pairs {
+                let b = tid >> BLOCK_SHIFT;
+                if b != blk {
+                    fold(&mut be, &mut bv, &mut esup, &mut var);
+                    blk = b;
+                }
+                let s = (tid & 7) as usize;
+                be[s] += q;
+                bv[s] += q * (1.0 - q);
+            }
+            fold(&mut be, &mut bv, &mut esup, &mut var);
+            (esup, var)
+        }
+
+        /// The extension `a × b`: products on common tids (zero products
+        /// contribute `0.0` to the sums and are dropped), `a`-only tids
+        /// dropped.
+        pub fn extend(a: &[(u32, f64)], b: &[(u32, f64)]) -> Extension {
+            let mut kept = Vec::new();
+            let mut dropped = Vec::new();
+            let mut products = Vec::new();
+            for &(tid, pa) in a {
+                match b.binary_search_by_key(&tid, |e| e.0) {
+                    Ok(j) => {
+                        let q = pa * b[j].1;
+                        products.push((tid, q));
+                        if q > 0.0 {
+                            kept.push((tid, q));
+                        } else {
+                            dropped.push(tid);
+                        }
+                    }
+                    Err(_) => dropped.push(tid),
+                }
+            }
+            let (esup, var) = moments(&products);
+            Extension {
+                count: kept.len(),
+                kept,
+                dropped,
+                esup,
+                var,
+            }
+        }
+    }
+
+    fn build(pairs: &[(u32, f64)]) -> ProbVector {
+        let (tids, probs): (Vec<u32>, Vec<f64>) = pairs.iter().copied().unzip();
+        ProbVector::from_parts(tids, probs)
+    }
+
+    /// Runs every kernel pairing of `a × b` and asserts each against the
+    /// scalar reference, bit for bit.
+    fn check_kernels(a_pairs: &[(u32, f64)], b_pairs: &[(u32, f64)]) {
+        let a = build(a_pairs);
+        let b = build(b_pairs);
+        assert_eq!(a.nonzero(), a_pairs, "from_parts/nonzero roundtrip");
+        let want = reference::extend(a_pairs, b_pairs);
+
+        // Operand moments against the reference's blocked summation.
+        let (me, mv) = a.moments();
+        let (re, rv) = reference::moments(a_pairs);
+        assert_eq!(me.to_bits(), re.to_bits(), "moments esup");
+        assert_eq!(mv.to_bits(), rv.to_bits(), "moments var");
+        assert_eq!(a.esup().to_bits(), re.to_bits(), "esup");
+
+        // Materializing intersection.
+        let got = a.intersect(&b);
+        assert_eq!(got.nonzero(), want.kept, "intersect");
+        assert_eq!(got.len(), want.count);
+
+        // Stats-only path.
+        let (e, v, c) = a.intersect_stats(&b);
+        assert_eq!(e.to_bits(), want.esup.to_bits(), "intersect_stats esup");
+        assert_eq!(v.to_bits(), want.var.to_bits(), "intersect_stats var");
+        assert_eq!(c, want.count);
+        let (e, v, c) = a.intersect_stats_merge_join(&b);
+        assert_eq!(e.to_bits(), want.esup.to_bits(), "merge_join esup");
+        assert_eq!(v.to_bits(), want.var.to_bits(), "merge_join var");
+        assert_eq!(c, want.count);
+
+        // Moments of the materialized result agree with the fused stats.
+        let (ge, gv) = got.moments();
+        assert_eq!(ge.to_bits(), want.esup.to_bits(), "result moments esup");
+        assert_eq!(gv.to_bits(), want.var.to_bits(), "result moments var");
+
+        // Fused scratch twin: same stats, same layout, same contents.
+        let mut scratch = ScratchSpace::new();
+        let (e, v, c) = a.intersect_into(&b, &mut scratch);
+        assert_eq!(e.to_bits(), want.esup.to_bits(), "intersect_into esup");
+        assert_eq!(v.to_bits(), want.var.to_bits(), "intersect_into var");
+        assert_eq!(c, want.count);
+        assert_eq!(scratch.len(), want.count);
+        let exported = scratch.export();
+        assert_eq!(exported.nonzero(), want.kept, "export");
+        assert_eq!(exported.mem_bytes(), got.mem_bytes(), "export layout");
+        assert_eq!(exported.mem_units(), got.mem_units());
+
+        // Stats-free materialization: same vector, same adaptive layout.
+        let mut scratch2 = ScratchSpace::new();
+        a.intersect_materialize_into(&b, &mut scratch2);
+        assert_eq!(scratch2.len(), want.count, "materialize_into count");
+        let mat = scratch2.export();
+        assert_eq!(mat.nonzero(), want.kept, "materialize_into");
+        assert_eq!(mat.mem_bytes(), got.mem_bytes(), "materialize_into layout");
+
+        // Bounded twins. With the threshold at the exact true esup no bail
+        // can fire (the remaining-mass bound never under-estimates), so
+        // both bounded kernels must be bit-identical to their unbounded
+        // twins. With an unreachable threshold a bail may fire and the
+        // contract is decision equivalence: the partial sums returned stay
+        // below the threshold and never exceed the true esup (nonnegative
+        // summands keep every rounded prefix sum ≤ the rounded total).
+        let (mass, _) = a.moments();
+        let (e, v, c) = a.intersect_stats_bounded(&b, mass, want.esup);
+        assert_eq!(e.to_bits(), want.esup.to_bits(), "stats_bounded esup");
+        assert_eq!(v.to_bits(), want.var.to_bits(), "stats_bounded var");
+        assert_eq!(c, want.count);
+        let (e, v, c) = a.intersect_into_bounded(&b, &mut scratch, mass, want.esup);
+        assert_eq!(e.to_bits(), want.esup.to_bits(), "into_bounded esup");
+        assert_eq!(v.to_bits(), want.var.to_bits(), "into_bounded var");
+        assert_eq!(c, want.count);
+        assert_eq!(scratch.export().nonzero(), want.kept, "into_bounded vector");
+        let hopeless = want.esup + mass + 1.0;
+        let (e, _, _) = a.intersect_stats_bounded(&b, mass, hopeless);
+        assert!(e < hopeless, "bailed stats stay below the threshold");
+        assert!(e <= want.esup, "partial sums never exceed the total");
+
+        // Delta kernels.
+        let (diff, e, v, c) = a.diff_extend(&b);
+        assert_eq!(e.to_bits(), want.esup.to_bits(), "diff_extend esup");
+        assert_eq!(v.to_bits(), want.var.to_bits(), "diff_extend var");
+        assert_eq!(c, want.count);
+        assert_eq!(diff.dropped(), &want.dropped[..], "diff dropped");
+        let (e, v, c) = a.diff_extend_into(&b, &mut scratch);
+        assert_eq!(e.to_bits(), want.esup.to_bits(), "diff_extend_into esup");
+        assert_eq!(v.to_bits(), want.var.to_bits(), "diff_extend_into var");
+        assert_eq!(c, want.count);
+        assert_eq!(scratch.dropped(), &want.dropped[..]);
+        assert_eq!(scratch.export_diff(), diff);
+
+        // Reconstruction.
+        let rebuilt = a.apply_diff(&diff, &b);
+        assert_eq!(rebuilt.nonzero(), want.kept, "apply_diff");
+        assert_eq!(rebuilt.mem_bytes(), got.mem_bytes(), "apply_diff layout");
+        let mut out = ProbVector::new();
+        a.apply_diff_into(&diff, &b, &mut out);
+        assert_eq!(out.nonzero(), want.kept, "apply_diff_into");
+        assert_eq!(
+            a.apply_dropped(scratch.dropped(), &b).nonzero(),
+            want.kept,
+            "apply_dropped"
+        );
+    }
+
     #[test]
     fn index_matches_horizontal_reference() {
         let db = paper_table1();
@@ -1070,6 +1927,11 @@ mod tests {
         let idx = VerticalIndex::build(&empty);
         assert_eq!(idx.num_items(), 0);
         assert_eq!(idx.total_units(), 0);
+
+        // Empty × empty and empty × nonempty through every kernel.
+        check_kernels(&[], &[]);
+        check_kernels(&[], &[(3, 0.5)]);
+        check_kernels(&[(3, 0.5)], &[]);
     }
 
     #[test]
@@ -1081,13 +1943,13 @@ mod tests {
         assert_eq!(ab, ba);
     }
 
-    /// Exercises all four representation pairings of `intersect` against
-    /// the horizontal reference on a database whose items span the
-    /// dense/sparse cutoff.
+    /// Items spanning the per-chunk packed/positional cutoff, checked
+    /// against the horizontal reference.
     #[test]
     fn mixed_representations_agree_with_reference() {
-        // Item 0: every transaction (dense). Item 1: every other (dense).
-        // Item 2: every 10th (sparse). Item 3: every 16th (sparse).
+        // Item 0: every transaction (64/chunk, positional). Item 1: every
+        // other (32/chunk, positional). Item 2: every 10th (~6/chunk,
+        // packed). Item 3: every 16th (4/chunk, packed).
         let transactions: Vec<Transaction> = (0..320)
             .map(|i| {
                 let mut units = vec![(0u32, 0.9)];
@@ -1105,37 +1967,26 @@ mod tests {
             .collect();
         let db = UncertainDatabase::with_num_items(transactions, 4);
         let idx = VerticalIndex::build(&db);
-        assert!(idx.postings(0).is_dense());
-        assert!(idx.postings(1).is_dense());
-        assert!(!idx.postings(2).is_dense());
-        assert!(!idx.postings(3).is_dense());
+        assert_eq!(idx.postings(0).dense_chunks(), 5);
+        assert_eq!(idx.postings(1).dense_chunks(), 5);
+        assert_eq!(idx.postings(2).dense_chunks(), 0);
+        assert_eq!(idx.postings(3).dense_chunks(), 0);
         for a in 0..4u32 {
             for b in a + 1..4u32 {
                 let got = idx.postings(a).intersect(idx.postings(b));
                 let want = db.itemset_prob_vector(&[a, b]);
                 assert_eq!(got.nonzero_probs(), want, "{{{a},{b}}}");
                 assert_eq!(got.len(), want.len());
+                check_kernels(&idx.postings(a).nonzero(), &idx.postings(b).nonzero());
             }
         }
-        // Dense × dense that comes out sparse: {1, 2} hits every 10th-and-
-        // even transaction (1/10 < 1/4 of the database).
+        // Positional × packed that comes out packed: {1, 2} hits every
+        // 10th transaction only (~3 per chunk).
         let v12 = idx.postings(1).intersect(idx.postings(2));
-        assert!(!v12.is_dense());
-        // Triple through the recurrence, mixing all reprs.
+        assert_eq!(v12.dense_chunks(), 0);
+        // Triple through the recurrence, mixing all layouts.
         let v012 = idx.prob_vector(&[0, 1, 2]);
         assert_eq!(v012.nonzero_probs(), db.itemset_prob_vector(&[0, 1, 2]));
-    }
-
-    /// Builds a sparse or (force-)dense vector for the representation
-    /// sweep tests below.
-    fn vector(pairs: &[(u32, f64)], dense_over: Option<usize>) -> ProbVector {
-        let (tids, probs): (Vec<u32>, Vec<f64>) = pairs.iter().copied().unzip();
-        let mut v = ProbVector::from_parts(tids, probs);
-        if let Some(n) = dense_over {
-            v.maybe_densify(n);
-            assert!(v.is_dense(), "fixture must cross the dense cutoff");
-        }
-        v
     }
 
     /// f64 underflow regime: products of these hit exact 0.0 (1e-200 ×
@@ -1143,44 +1994,75 @@ mod tests {
     const TINY: f64 = 1e-200;
     const SUBNORMAL_EDGE: f64 = 1e-160; // squared → 1e-320, subnormal
 
-    /// All four representation pairings must drop zero products from the
+    const PAIRS_A: [(u32, f64); 4] = [(0, TINY), (1, 0.5), (2, SUBNORMAL_EDGE), (3, 0.9)];
+    const PAIRS_B: [(u32, f64); 4] = [(0, TINY), (1, 0.5), (2, SUBNORMAL_EDGE), (3, 1e-320)];
+
+    /// Pads a payload with filler entries inside chunk 0 so the chunk
+    /// crosses the positional cutoff; `filler` tid ranges let callers
+    /// control whether the paddings of two operands overlap.
+    fn with_filler(pairs: &[(u32, f64)], filler: std::ops::Range<u32>) -> Vec<(u32, f64)> {
+        let mut all: Vec<(u32, f64)> = pairs.to_vec();
+        all.extend(filler.map(|t| (t, 0.5)));
+        all.sort_by_key(|e| e.0);
+        all
+    }
+
+    /// All four chunk-layout pairings must drop zero products from the
     /// materialized result, and `len()`/`moments()` must agree with
     /// `intersect_stats` bit for bit — the invariant the `WITH_COUNT`
-    /// pushdown path relies on.
+    /// pushdown path relies on. Filler tids (32..48 vs 48..64) never
+    /// overlap, so the common-tid set is the same in every pairing.
     #[test]
     fn underflow_products_are_dropped_consistently() {
-        let pairs_a = [(0u32, TINY), (1, 0.5), (2, SUBNORMAL_EDGE), (3, 0.9)];
-        let pairs_b = [(0u32, TINY), (1, 0.5), (2, SUBNORMAL_EDGE), (3, 1e-320)];
-        for a_dense in [None, Some(8)] {
-            for b_dense in [None, Some(8)] {
-                let a = vector(&pairs_a, a_dense);
-                let b = vector(&pairs_b, b_dense);
-                let got = a.intersect(&b);
-                let (esup, var, count) = a.intersect_stats(&b);
+        for a_dense in [false, true] {
+            for b_dense in [false, true] {
+                let a_pairs = if a_dense {
+                    with_filler(&PAIRS_A, 32..48)
+                } else {
+                    PAIRS_A.to_vec()
+                };
+                let b_pairs = if b_dense {
+                    with_filler(&PAIRS_B, 48..64)
+                } else {
+                    PAIRS_B.to_vec()
+                };
+                check_kernels(&a_pairs, &b_pairs);
+                let a = build(&a_pairs);
+                let b = build(&b_pairs);
+                assert_eq!(a.dense_chunks() > 0, a_dense, "fixture layout");
+                assert_eq!(b.dense_chunks() > 0, b_dense, "fixture layout");
                 // tid 0: 1e-400 → 0.0, dropped. tid 1: 0.25 kept. tid 2:
                 // subnormal 1e-320 > 0 kept. tid 3: 0.9·1e-320 kept.
+                let got = a.intersect(&b);
                 assert_eq!(got.len(), 3, "{a_dense:?}×{b_dense:?}");
-                assert_eq!(count, got.len(), "{a_dense:?}×{b_dense:?}");
-                let (ge, gv) = got.moments();
-                assert_eq!(ge.to_bits(), esup.to_bits(), "{a_dense:?}×{b_dense:?}");
-                assert_eq!(gv.to_bits(), var.to_bits(), "{a_dense:?}×{b_dense:?}");
-                // The nonzero invariant holds on the materialized vector.
                 assert!(got.nonzero().iter().all(|&(_, q)| q > 0.0));
             }
         }
+    }
+
+    /// Positional × positional with a large common filler — the dense
+    /// multiply-reduce path — still agrees with the reference.
+    #[test]
+    fn dense_chunks_with_shared_filler() {
+        let a_pairs = with_filler(&PAIRS_A, 16..64);
+        let b_pairs = with_filler(&PAIRS_B, 16..64);
+        check_kernels(&a_pairs, &b_pairs);
+        assert_eq!(build(&a_pairs).dense_chunks(), 1);
     }
 
     /// A fully-underflowing intersection materializes as empty and reports
     /// zero stats — `len()`, `moments()` and `intersect_stats` all agree.
     #[test]
     fn total_underflow_yields_empty_vector() {
-        let a = vector(&[(0, TINY), (5, TINY)], None);
-        let b = vector(&[(0, TINY), (5, TINY)], None);
+        let a = build(&[(0, TINY), (5, TINY)]);
+        let b = build(&[(0, TINY), (5, TINY)]);
         let got = a.intersect(&b);
         assert!(got.is_empty());
+        assert_eq!(got.num_chunks(), 0);
         let (esup, var, count) = a.intersect_stats(&b);
         assert_eq!((esup, var, count), (0.0, 0.0, 0));
         assert_eq!(got.moments(), (0.0, 0.0));
+        check_kernels(&[(0, TINY), (5, TINY)], &[(0, TINY), (5, TINY)]);
     }
 
     /// Chains deep enough that products underflow step by step: the
@@ -1212,33 +2094,8 @@ mod tests {
         assert_eq!(acc.nonzero(), vec![(0, 0.5f64.powi(8))]);
     }
 
-    /// `diff_extend` + `apply_diff` reproduce `intersect`/`intersect_stats`
-    /// exactly, across all representation pairings — including dropped
-    /// entries caused by underflow, not just by absence.
-    #[test]
-    fn diff_roundtrip_matches_intersect() {
-        let pairs_a = [(0u32, 0.9), (1, TINY), (3, 0.5), (5, 0.7), (7, 0.2)];
-        let pairs_b = [(0u32, 0.8), (1, TINY), (2, 0.4), (5, 0.6), (7, 0.1)];
-        for a_dense in [None, Some(12)] {
-            for b_dense in [None, Some(12)] {
-                let a = vector(&pairs_a, a_dense);
-                let b = vector(&pairs_b, b_dense);
-                let (diff, esup, var, count) = a.diff_extend(&b);
-                let want = a.intersect(&b);
-                let (we, wv, wc) = a.intersect_stats(&b);
-                assert_eq!(esup.to_bits(), we.to_bits());
-                assert_eq!(var.to_bits(), wv.to_bits());
-                assert_eq!(count, wc);
-                // Dropped: tid 1 (underflow) and tid 3 (absent from b).
-                assert_eq!(diff.dropped(), &[1, 3], "{a_dense:?}×{b_dense:?}");
-                let rebuilt = a.apply_diff(&diff, &b);
-                assert_eq!(rebuilt, want, "{a_dense:?}×{b_dense:?}");
-                assert_eq!(rebuilt.len(), count);
-            }
-        }
-    }
-
-    /// Delta chains over the Table 1 example equal the scratch fold.
+    /// Delta chains over the Table 1 example equal the scratch fold, and
+    /// the chunked memory accounting charges lanes plus directory.
     #[test]
     fn diff_chain_reconstruction() {
         let db = paper_table1();
@@ -1252,59 +2109,29 @@ mod tests {
         assert_eq!(ace, idx.prob_vector(&[0, 2, 4]));
         assert_eq!(ace.len(), count);
         assert!((esup - db.expected_support(&[0, 2, 4])).abs() < 1e-12);
-        // Memory accounting: deltas are 4 bytes per dropped tid.
+        // Memory accounting: deltas are 4 bytes per dropped tid; the
+        // 4-transaction vectors are one packed chunk (8 per lane + 16
+        // directory).
         assert_eq!(d_ac.mem_bytes(), d_ac.len() * 4);
-        assert_eq!(ac.mem_bytes(), ac.len() * 12);
+        assert_eq!(ac.num_chunks(), 1);
+        assert_eq!(ac.mem_bytes(), ac.len() * 8 + 16);
     }
 
-    /// `intersect_into` must reproduce `intersect` exactly — same values,
-    /// same adaptive representation choice, same stats bits — across all
-    /// four representation pairings, with one scratch reused (dirty)
-    /// between calls.
-    #[test]
-    fn intersect_into_matches_intersect_across_representations() {
-        let pairs_a = [(0u32, TINY), (1, 0.5), (2, SUBNORMAL_EDGE), (3, 0.9)];
-        let pairs_b = [(0u32, TINY), (1, 0.5), (2, SUBNORMAL_EDGE), (3, 1e-320)];
-        let mut scratch = ScratchSpace::new();
-        for a_dense in [None, Some(8)] {
-            for b_dense in [None, Some(8)] {
-                let a = vector(&pairs_a, a_dense);
-                let b = vector(&pairs_b, b_dense);
-                let want = a.intersect(&b);
-                let (we, wv, wc) = a.intersect_stats(&b);
-                let (esup, var, count) = a.intersect_into(&b, &mut scratch);
-                assert_eq!(esup.to_bits(), we.to_bits(), "{a_dense:?}×{b_dense:?}");
-                assert_eq!(var.to_bits(), wv.to_bits(), "{a_dense:?}×{b_dense:?}");
-                assert_eq!(count, wc);
-                assert_eq!(scratch.len(), want.len());
-                let exported = scratch.export();
-                assert_eq!(exported, want, "{a_dense:?}×{b_dense:?}");
-                assert_eq!(exported.is_dense(), want.is_dense());
-                assert_eq!(
-                    exported.mem_bytes(),
-                    want.len() * 12 * usize::from(!want.is_dense())
-                        + want.mem_units() * 8 * usize::from(want.is_dense())
-                );
-            }
-        }
-    }
-
-    /// A dense × dense intersection that stays dense round-trips through
-    /// scratch, and a later sparse result on the same scratch is unharmed
-    /// by the leftover dense buffer.
+    /// A dense-chunk intersection round-trips through scratch, and a later
+    /// sparse result on the same (dirty) scratch is unharmed by leftovers.
     #[test]
     fn scratch_reuse_across_representation_switches() {
-        // 8 tids over n=8: dense stays dense.
-        let all: Vec<(u32, f64)> = (0..8).map(|t| (t, 0.9)).collect();
-        let a = vector(&all, Some(8));
-        let b = vector(&all, Some(8));
+        let all: Vec<(u32, f64)> = (0..24).map(|t| (t, 0.9)).collect();
+        let a = build(&all);
+        let b = build(&all);
+        assert_eq!(a.dense_chunks(), 1);
         let mut scratch = ScratchSpace::new();
         let (esup, ..) = a.intersect_into(&b, &mut scratch);
-        assert!(scratch.export().is_dense());
-        assert!((esup - 8.0 * 0.81).abs() < 1e-12);
-        // Now a tiny sparse × sparse on the same scratch.
-        let c = vector(&[(1, 0.5), (5, 0.25)], None);
-        let d = vector(&[(5, 0.5)], None);
+        assert_eq!(scratch.export().dense_chunks(), 1);
+        assert!((esup - 24.0 * 0.81).abs() < 1e-12);
+        // Now a tiny packed × packed on the same scratch.
+        let c = build(&[(1, 0.5), (5, 0.25)]);
+        let d = build(&[(5, 0.5)]);
         let (esup, _, count) = c.intersect_into(&d, &mut scratch);
         assert_eq!(count, 1);
         assert_eq!(scratch.export().nonzero(), vec![(5, 0.125)]);
@@ -1313,41 +2140,186 @@ mod tests {
 
     /// `diff_extend_into` + `export_diff` ≡ `diff_extend`, and
     /// `apply_diff_into` / `apply_dropped` ≡ `apply_diff`, with buffer
-    /// reuse across calls.
+    /// reuse across calls — over all four chunk-layout pairings.
     #[test]
     fn scratch_diff_kernels_match_allocating_twins() {
         let pairs_a = [(0u32, 0.9), (1, TINY), (3, 0.5), (5, 0.7), (7, 0.2)];
         let pairs_b = [(0u32, 0.8), (1, TINY), (2, 0.4), (5, 0.6), (7, 0.1)];
-        let mut scratch = ScratchSpace::new();
-        let mut out = ProbVector::new();
-        for a_dense in [None, Some(12)] {
-            for b_dense in [None, Some(12)] {
-                let a = vector(&pairs_a, a_dense);
-                let b = vector(&pairs_b, b_dense);
-                let (want_diff, we, wv, wc) = a.diff_extend(&b);
-                let (esup, var, count) = a.diff_extend_into(&b, &mut scratch);
-                assert_eq!(esup.to_bits(), we.to_bits());
-                assert_eq!(var.to_bits(), wv.to_bits());
-                assert_eq!(count, wc);
-                assert_eq!(scratch.dropped(), want_diff.dropped());
-                assert_eq!(scratch.export_diff(), want_diff);
-                let want = a.apply_diff(&want_diff, &b);
-                assert_eq!(a.apply_dropped(scratch.dropped(), &b), want);
-                a.apply_diff_into(&want_diff, &b, &mut out);
-                assert_eq!(out, want, "{a_dense:?}×{b_dense:?}");
+        for a_dense in [false, true] {
+            for b_dense in [false, true] {
+                let ap = if a_dense {
+                    with_filler(&pairs_a, 32..48)
+                } else {
+                    pairs_a.to_vec()
+                };
+                let bp = if b_dense {
+                    with_filler(&pairs_b, 48..64)
+                } else {
+                    pairs_b.to_vec()
+                };
+                // check_kernels covers the equivalences; also pin the
+                // dropped set of the unpadded payload.
+                check_kernels(&ap, &bp);
             }
         }
+        // Dropped: tid 1 (underflow) and tid 3 (absent from b).
+        let (diff, ..) = build(&pairs_a).diff_extend(&build(&pairs_b));
+        assert_eq!(diff.dropped(), &[1, 3]);
     }
 
+    /// The per-chunk layout rule: packed below 16 nonzeros, positional at
+    /// or above — identically for `from_parts` and push-grown vectors —
+    /// with lanes-plus-directory byte accounting.
     #[test]
-    fn densify_rules() {
-        let mut v = ProbVector::from_parts(vec![0, 2], vec![0.5, 0.5]);
-        v.maybe_densify(100); // 2/100 < 1/4: stays sparse
-        assert!(!v.is_dense());
-        v.maybe_densify(8); // 2/8 ≥ 1/4: densifies
-        assert!(v.is_dense());
-        assert_eq!(v.len(), 2);
-        assert_eq!(v.mem_units(), 8);
-        assert_eq!(v.nonzero(), vec![(0, 0.5), (2, 0.5)]);
+    fn per_chunk_layout_rule() {
+        // 15 entries in chunk 0: packed.
+        let p15: Vec<(u32, f64)> = (0..15).map(|t| (t, 0.5)).collect();
+        let v = build(&p15);
+        assert_eq!((v.num_chunks(), v.dense_chunks()), (1, 0));
+        assert_eq!(v.mem_units(), 15);
+        assert_eq!(v.mem_bytes(), 15 * 8 + 16);
+        // 16 entries: positional.
+        let p16: Vec<(u32, f64)> = (0..16).map(|t| (t, 0.5)).collect();
+        let v = build(&p16);
+        assert_eq!((v.num_chunks(), v.dense_chunks()), (1, 1));
+        assert_eq!(v.mem_units(), 64);
+        assert_eq!(v.mem_bytes(), 64 * 8 + 16);
+        // Push-grown vector converts mid-build and matches from_parts.
+        let mut pushed = ProbVector::new();
+        for &(t, p) in &p16 {
+            pushed.push(t, p);
+        }
+        assert_eq!(pushed, v);
+        assert_eq!(pushed.mem_units(), v.mem_units());
+        assert_eq!(pushed.mem_bytes(), v.mem_bytes());
+        // A second, sparse chunk after a positional one.
+        let mut mixed: Vec<(u32, f64)> = p16.clone();
+        mixed.push((130, 0.25));
+        let v = build(&mixed);
+        assert_eq!((v.num_chunks(), v.dense_chunks()), (2, 1));
+        assert_eq!(v.mem_units(), 65);
+        assert_eq!(v.mem_bytes(), 65 * 8 + 2 * 16);
+        assert_eq!(v.nonzero().last(), Some(&(130, 0.25)));
+        // The estimate tracks the same rule.
+        assert_eq!(
+            ProbVector::estimate_mem_bytes(16, 64),
+            64 * 8 + 16,
+            "dense estimate"
+        );
+        assert_eq!(
+            ProbVector::estimate_mem_bytes(15, 6400),
+            15 * 8 + 15 * 16,
+            "sparse estimate"
+        );
+        assert_eq!(ProbVector::estimate_mem_bytes(0, 100), 0);
+    }
+
+    /// Chunk-directory galloping (skewed lengths) returns bit-identical
+    /// results to the plain merge-join, in both argument orders.
+    #[test]
+    fn galloping_matches_merge_join_on_skewed_chunks() {
+        // Short side: 3 chunks spread far apart. Long side: 1000 chunks.
+        let short: Vec<(u32, f64)> = vec![(70, 0.9), (7_001, 0.8), (62_997, 0.7)];
+        let long: Vec<(u32, f64)> = (0..64_000u32)
+            .step_by(64)
+            .map(|t| (t + (t / 64) % 61, 0.6))
+            .collect();
+        check_kernels(&short, &long);
+        check_kernels(&long, &short);
+        let (a, b) = (build(&short), build(&long));
+        assert!(a.num_chunks() * GALLOP_RATIO < b.num_chunks());
+        let fast = a.intersect_stats(&b);
+        let slow = a.intersect_stats_merge_join(&b);
+        assert_eq!(fast.0.to_bits(), slow.0.to_bits());
+        assert_eq!(fast.1.to_bits(), slow.1.to_bits());
+        assert_eq!(fast.2, slow.2);
+    }
+
+    /// The fixed 4096-tid summation blocks: sums over a >4096-tid vector
+    /// match the scalar reference, and multiplying by an all-ones vector
+    /// (exact under IEEE-754) reproduces the same bits through the
+    /// intersection kernels.
+    #[test]
+    fn blocked_summation_is_fixed_shape() {
+        let pairs: Vec<(u32, f64)> = (0..10_000u32)
+            .step_by(3)
+            .map(|t| (t, 0.1 + ((t % 89) as f64) / 100.0))
+            .collect();
+        let v = build(&pairs);
+        let (esup, var) = v.moments();
+        let (re, rv) = reference::moments(&pairs);
+        assert_eq!(esup.to_bits(), re.to_bits());
+        assert_eq!(var.to_bits(), rv.to_bits());
+        // q × 1.0 is exact, so intersecting with all-ones postings must
+        // reproduce the same sums through the kernel path.
+        let ones: Vec<(u32, f64)> = (0..10_000u32).map(|t| (t, 1.0)).collect();
+        let (ie, iv, ic) = v.intersect_stats(&build(&ones));
+        assert_eq!(ie.to_bits(), esup.to_bits());
+        assert_eq!(iv.to_bits(), var.to_bits());
+        assert_eq!(ic, v.len());
+        check_kernels(&pairs, &ones);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        /// Random sorted `(tid, prob)` lists: tids drawn from `0..max_tid`
+        /// (deduped), probs mixing the ordinary range with underflow-prone
+        /// magnitudes.
+        fn arb_pairs(max_tid: u32, max_len: usize) -> impl Strategy<Value = Vec<(u32, f64)>> {
+            vec((0..max_tid, 0u8..8, 1e-3f64..=1.0), 0..max_len).prop_map(|raw| {
+                let mut pairs: Vec<(u32, f64)> = raw
+                    .into_iter()
+                    .map(|(tid, sel, p)| {
+                        let prob = match sel {
+                            0 => 1e-200,
+                            1 => 1e-160,
+                            _ => p,
+                        };
+                        (tid, prob)
+                    })
+                    .collect();
+                pairs.sort_by_key(|e| e.0);
+                pairs.dedup_by_key(|e| e.0);
+                pairs
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            // Dense-leaning single-block regime: chunks cross the
+            // positional cutoff, sums stay within one block.
+            #[test]
+            fn kernels_match_reference_dense(
+                a in arb_pairs(256, 200),
+                b in arb_pairs(256, 200),
+            ) {
+                check_kernels(&a, &b);
+            }
+
+            // Sparse multi-block regime: packed chunks spread over
+            // several 4096-tid summation blocks.
+            #[test]
+            fn kernels_match_reference_sparse(
+                a in arb_pairs(20_000, 120),
+                b in arb_pairs(20_000, 400),
+            ) {
+                check_kernels(&a, &b);
+            }
+
+            // Skewed regime: directory length ratios that trigger
+            // galloping, mixed chunk layouts on the long side.
+            #[test]
+            fn kernels_match_reference_skewed(
+                a in arb_pairs(60_000, 10),
+                b in arb_pairs(60_000, 1500),
+            ) {
+                check_kernels(&a, &b);
+                check_kernels(&b, &a);
+            }
+        }
     }
 }

@@ -28,19 +28,19 @@
 //!   dense data, where almost every tid survives every extension, the memo
 //!   shrinks from O(level width × N) to the sum of the (small) deltas.
 //!
-//! All backends produce equivalent results: per-transaction containment
-//! probabilities are multiplied in ascending item order and summed in
-//! ascending transaction order in every layout, and the horizontal
-//! backend's chunk-reduction uses a fixed chunk size ([`LevelScan`]'s 4096
-//! transactions) with an order-preserving `par_map`, so
-//! results are **deterministic for a given database regardless of
-//! `UFIM_THREADS`**. Sequential-association caveat: once a database
-//! exceeds one horizontal chunk, the chunked summation *association*
-//! (partial sums per 4096-transaction chunk) differs from the columnar
-//! backends' straight-line sums, so esups can drift by ulps between
-//! *backends* — never between pool sizes — and itemset sets only diverge
-//! if an esup lands within rounding distance of the threshold. The
-//! cross-backend proptest suite pins all of this.
+//! All backends produce **bit-identical** results: per-transaction
+//! containment probabilities are multiplied in ascending item order and
+//! summed in ascending transaction order in every layout, and every
+//! statistics accumulation — the columnar kernels' and [`LevelScan`]'s
+//! chunk reduction, sequential or parallel — uses the same fixed summation
+//! shape (`ufim_core::vertical::SUM_STRIPES` striped partial sums per
+//! `ufim_core::vertical::SUM_BLOCK_TIDS` = 4096-transaction block, a
+//! transaction landing in stripe `tid % 8`, stripes folded in ascending
+//! stripe order and blocks in ascending block order). Results are
+//! therefore deterministic for a given database regardless of
+//! `UFIM_THREADS` *and* identical across backends at every database size;
+//! the cross-backend proptest suite and the large-database scan test pin
+//! this bit for bit.
 //!
 //! Select a backend through [`EngineKind`] (on `MiningParams` or the miner
 //! builders) and instantiate per run with [`build_engine`]. Future backends
@@ -61,7 +61,7 @@
 //! allocating twins, which the core test suite pins.
 
 use super::scan::LevelScan;
-use ufim_core::parallel::{par_map_min_len, par_map_min_len_with};
+use ufim_core::parallel::par_map_min_len_with;
 use ufim_core::{
     DiffVector, EngineKind, FrequentItemset, FxHashMap, ItemId, Itemset, MinerStats, ProbVector,
     ScratchSpace, UncertainDatabase, VerticalIndex,
@@ -248,10 +248,12 @@ const PAR_MIN_WORK: usize = ufim_core::parallel::DEFAULT_MIN_WORK;
 /// The columnar backend: per-item postings + memoized prefix intersection.
 pub struct VerticalEngine {
     index: VerticalIndex,
-    /// Prob-vectors of the previous level's *frequent* itemsets, keyed by
-    /// their item arrays — the prefixes the current level's candidates
+    /// Prob-vectors of the previous level's *frequent* itemsets — paired
+    /// with their expected supports (the vector's own probability mass,
+    /// which seeds the bounded stats pass's early-exit bound) — keyed by
+    /// their item arrays: the prefixes the current level's candidates
     /// extend. Singleton prefixes are served by the index itself.
-    prev: FxHashMap<Vec<ItemId>, ProbVector>,
+    prev: FxHashMap<Vec<ItemId>, (ProbVector, f64)>,
     /// Prob-vectors of every candidate evaluated in the current level.
     current: FxHashMap<Vec<ItemId>, ProbVector>,
     /// Whether the one-time index build has been charged to `stats.scans`.
@@ -285,7 +287,12 @@ impl VerticalEngine {
 
     fn note_memo_peak(&mut self) {
         let (mut units, mut bytes) = (0usize, 0usize);
-        for v in self.prev.values().chain(self.current.values()) {
+        for v in self
+            .prev
+            .values()
+            .map(|(v, _)| v)
+            .chain(self.current.values())
+        {
             units += v.mem_units();
             bytes += v.mem_bytes();
         }
@@ -347,38 +354,113 @@ impl SupportEngine for VerticalEngine {
         let (index, prev) = (&self.index, &self.prev);
 
         if want.min_esup.is_some() || want.min_count.is_some() {
-            // Pushdown strategy: a stats-only pass first (no allocation, no
-            // stores), then materialize and memoize only the candidates the
-            // thresholds keep alive. Survivors pay the intersection twice —
-            // a deliberate trade: mid-run levels where most candidates
-            // survive lose a cheap read-only pass, but the candidate-heavy
-            // final levels where (almost) nothing survives skip
-            // materialization entirely, which measures as a net win on
-            // dense workloads (see benches/bench_engines.rs).
-            let moments = par_map_min_len(candidates, mean_units.max(1), PAR_MIN_WORK, |c| {
-                stats_for(index, prev, c)
+            // Pushdown strategy: each candidate is visited once, fusing
+            // statistics and (survivors-only) materialization — see
+            // `evaluate_pushdown` for the bounded / unbounded split. Either
+            // way candidates the thresholds rule out never allocate, and on
+            // candidate-heavy final levels, where (almost) nothing
+            // survives, evaluation degenerates to bounded stats probes that
+            // bail at the first summation block ruling them out.
+            // The bounded kernel only proves "esup below threshold"; when a
+            // count bound is also in play, partial counts could shift which
+            // prune verdict fires, so it stays off.
+            let esup_bound = if want.min_count.is_none() {
+                want.min_esup
+            } else {
+                None
+            };
+            // Evaluate tiled by last item, not in candidate order: all
+            // candidates whose last items fall in one tile of
+            // `LAST_ITEM_TILE` consecutive ids are evaluated together,
+            // sorted by prefix within the tile. The tile's postings vectors
+            // — the fattest operands — fit in cache and stay resident,
+            // while each prefix vector's reads land back-to-back (one
+            // DRAM stream-in, then hits) instead of once per last-item
+            // group. (Raw candidate order interleaves last items, which
+            // re-streams a different postings vector per candidate; on the
+            // dense anchor that traffic costs more than the arithmetic.)
+            // Results are scattered back to candidate order — per-candidate
+            // sums don't depend on evaluation order.
+            const LAST_ITEM_TILE: u32 = 8;
+            let mut order: Vec<u32> = (0..candidates.len() as u32).collect();
+            order.sort_by_key(|&i| {
+                let items = candidates[i as usize].items();
+                let (last, prefix) = items.split_last().expect("candidates are non-empty");
+                (last / LAST_ITEM_TILE, prefix, *last)
             });
-            let mut survivors: Vec<&Itemset> = Vec::new();
-            for (candidate, (esup, var, count)) in candidates.iter().zip(moments) {
-                record(&mut out, esup, var, count);
-                let hopeless = want.min_esup.is_some_and(|t| esup < t)
-                    || want.min_count.is_some_and(|t| (count as u64) < t);
-                if !hopeless {
-                    survivors.push(candidate);
+            // Levels split into two regimes: candidate-heavy final levels
+            // where (almost) nothing survives — the stats-first bounded
+            // shape wins because pruned candidates bail early and never
+            // touch output buffers — and survivor-heavy middle levels where
+            // stats-first pays a *second* materialization walk per survivor
+            // for nothing. Which regime a level is in can't be known up
+            // front, so probe it: evaluate the first `PILOT_CANDIDATES`
+            // (in evaluation order, sequentially) stats-first, and switch
+            // the remainder to the fused single-walk shape iff a majority
+            // survived. The pilot is a pure function of the candidate data,
+            // so the mode — and with it every counter — is identical across
+            // thread counts; either shape returns bit-identical moments and
+            // vectors for survivors, so results never depend on the choice.
+            const PILOT_CANDIDATES: usize = 64;
+            let pilot_len = if esup_bound.is_some() {
+                order.len().min(PILOT_CANDIDATES)
+            } else {
+                0
+            };
+            let mut pilot_results = Vec::with_capacity(pilot_len);
+            let fused = {
+                let mut scratch = ScratchSpace::new();
+                let mut survivors = 0usize;
+                for &i in &order[..pilot_len] {
+                    let r = evaluate_pushdown(
+                        index,
+                        prev,
+                        &candidates[i as usize],
+                        &mut scratch,
+                        esup_bound,
+                        want.min_esup,
+                        want.min_count,
+                        false,
+                    );
+                    survivors += r.1.is_some() as usize;
+                    pilot_results.push(r);
                 }
-            }
-            // Survivors are intersected a second time to materialize; the
-            // counter must reflect both passes, not one per candidate.
-            stats.intersections += survivors.iter().filter(|c| c.len() > 1).count() as u64;
-            let vectors = par_map_min_len_with(
-                &survivors,
+                2 * survivors > pilot_len
+            };
+            let rest = par_map_min_len_with(
+                &order[pilot_len..],
                 mean_units.max(1),
                 PAR_MIN_WORK,
                 ScratchSpace::new,
-                |scratch, c| evaluate_with(index, prev, c, scratch).0,
+                |scratch, &i| {
+                    evaluate_pushdown(
+                        index,
+                        prev,
+                        &candidates[i as usize],
+                        scratch,
+                        esup_bound,
+                        want.min_esup,
+                        want.min_count,
+                        fused,
+                    )
+                },
             );
-            for (candidate, vector) in survivors.into_iter().zip(vectors) {
-                self.current.insert(candidate.items().to_vec(), vector);
+            let results = pilot_results.into_iter().chain(rest);
+            let mut moments = vec![(0.0f64, 0.0f64, 0usize); candidates.len()];
+            let mut second_walks = 0u64;
+            for (&i, (m, vector, double_walked)) in order.iter().zip(results) {
+                moments[i as usize] = m;
+                second_walks += double_walked as u64;
+                if let Some(vector) = vector {
+                    self.current
+                        .insert(candidates[i as usize].items().to_vec(), vector);
+                }
+            }
+            // Bounded survivors spend a second (materialization) walk on
+            // top of the blanket one-per-candidate charge above.
+            stats.intersections += second_walks;
+            for (esup, var, count) in moments {
+                record(&mut out, esup, var, count);
             }
         } else {
             let results = par_map_min_len_with(
@@ -418,7 +500,7 @@ impl SupportEngine for VerticalEngine {
         let mut next = FxHashMap::default();
         for f in frequent {
             if let Some(v) = self.current.remove(f.itemset.items()) {
-                next.insert(f.itemset.items().to_vec(), v);
+                next.insert(f.itemset.items().to_vec(), (v, f.expected_support));
             }
         }
         self.prev = next;
@@ -521,9 +603,7 @@ fn resolve<'a>(
                 NodeRepr::Diff(d) => {
                     let parent = resolve(index, memo, &items[..k - 1], applies);
                     *applies += 1;
-                    let mut v = parent.get().apply_diff(d, index.postings(items[k - 1]));
-                    v.maybe_densify(index.num_transactions());
-                    Resolved::Owned(v)
+                    Resolved::Owned(parent.get().apply_diff(d, index.postings(items[k - 1])))
                 }
             },
             None => {
@@ -663,13 +743,10 @@ impl DiffsetEngine {
                 None // nothing exported: the ruled-out candidate cost no allocation
             } else {
                 // dEclat's per-node choice: keep whichever representation
-                // is smaller. The tidset costs 12 bytes per survivor
-                // sparse, or 8·N once dense; the diffset 4 per dropped tid.
-                let tidset_bytes = if count * ufim_core::vertical::DENSE_CUTOFF_DIVISOR >= n {
-                    n * 8
-                } else {
-                    count * 12
-                };
+                // is smaller. The tidset costs lanes + chunk directory
+                // (estimated from the survivor count); the diffset 4 bytes
+                // per dropped tid.
+                let tidset_bytes = ProbVector::estimate_mem_bytes(count, n);
                 let diff_bytes = std::mem::size_of_val(scratch.dropped());
                 if diff_bytes <= tidset_bytes {
                     Some(MemoNode {
@@ -681,7 +758,7 @@ impl DiffsetEngine {
                 } else {
                     work += 1;
                     let mut v = prefix.apply_dropped(scratch.dropped(), postings);
-                    v.maybe_densify(n);
+                    v.shrink_to_fit();
                     Some(MemoNode {
                         repr: NodeRepr::Tidset(v),
                         esup,
@@ -848,7 +925,7 @@ impl SupportEngine for DiffsetEngine {
 /// can borrow the index and memo without aliasing `&mut VerticalEngine`.
 fn vector_for(
     index: &VerticalIndex,
-    prev: &FxHashMap<Vec<ItemId>, ProbVector>,
+    prev: &FxHashMap<Vec<ItemId>, (ProbVector, f64)>,
     candidate: &Itemset,
 ) -> ProbVector {
     let items = candidate.items();
@@ -860,7 +937,7 @@ fn vector_for(
             let last_postings = index.postings(last);
             if prefix.len() == 1 {
                 index.postings(prefix[0]).intersect(last_postings)
-            } else if let Some(v) = prev.get(prefix) {
+            } else if let Some((v, _)) = prev.get(prefix) {
                 v.intersect(last_postings)
             } else {
                 index.prob_vector(items)
@@ -876,7 +953,7 @@ fn vector_for(
 /// cold prefixes (direct trait users), like [`vector_for`].
 fn evaluate_with(
     index: &VerticalIndex,
-    prev: &FxHashMap<Vec<ItemId>, ProbVector>,
+    prev: &FxHashMap<Vec<ItemId>, (ProbVector, f64)>,
     candidate: &Itemset,
     scratch: &mut ScratchSpace,
 ) -> (ProbVector, f64, f64, usize) {
@@ -894,7 +971,7 @@ fn evaluate_with(
             let base = if prefix.len() == 1 {
                 Some(index.postings(prefix[0]))
             } else {
-                prev.get(prefix)
+                prev.get(prefix).map(|(v, _)| v)
             };
             match base {
                 Some(v) => {
@@ -913,32 +990,91 @@ fn evaluate_with(
     }
 }
 
-/// `(esup, variance, nonzero count)` of a candidate without materializing
-/// its vector — the stats-only twin of [`vector_for`].
-fn stats_for(
+/// One pushdown visit of a candidate. Returns its moments, the exported
+/// memo vector when every threshold keeps it alive, and whether a *second*
+/// intersection walk was spent on it (for the work counter).
+///
+/// Two deterministic shapes, chosen by what is provable:
+///
+/// * **Bounded** (an `esup_bound` and a memoized prefix whose mass is on
+///   record): a stats-only [`ProbVector::intersect_stats_bounded`] walk
+///   first — hopeless candidates stop at the first summation block that
+///   rules them out and touch no output buffers at all, which is what
+///   makes candidate-heavy final levels cheap — then, only for survivors,
+///   an immediate stats-free [`ProbVector::intersect_materialize_into`]
+///   over the operands the stats walk just streamed (still cache-hot).
+/// * **Unbounded** (no threshold, or a singleton prefix with no recorded
+///   mass — the pair level): one fused [`ProbVector::intersect_into`] walk
+///   yields moments and vector together; only survivors pay the export.
+///
+/// `fused` forces bounded candidates onto the unbounded single-walk shape
+/// too — the caller's survival pilot sets it on levels where most
+/// candidates live, so the stats-first shape's second walk per survivor is
+/// not worth the early bails it buys. The two shapes return bit-identical
+/// moments and vectors for every surviving candidate.
+///
+/// Falls back to the allocating fold for cold prefixes, like
+/// [`vector_for`].
+#[allow(clippy::too_many_arguments)]
+fn evaluate_pushdown(
     index: &VerticalIndex,
-    prev: &FxHashMap<Vec<ItemId>, ProbVector>,
+    prev: &FxHashMap<Vec<ItemId>, (ProbVector, f64)>,
     candidate: &Itemset,
-) -> (f64, f64, usize) {
+    scratch: &mut ScratchSpace,
+    esup_bound: Option<f64>,
+    min_esup: Option<f64>,
+    min_count: Option<u64>,
+    fused: bool,
+) -> ((f64, f64, usize), Option<ProbVector>, bool) {
+    let survives = |m: &(f64, f64, usize)| {
+        !(min_esup.is_some_and(|t| m.0 < t) || min_count.is_some_and(|t| (m.2 as u64) < t))
+    };
     let items = candidate.items();
     match items.len() {
-        0 => (0.0, 0.0, 0),
+        0 => ((0.0, 0.0, 0), None, false),
         1 => {
             let postings = index.postings(items[0]);
             let (esup, var) = postings.moments();
-            (esup, var, postings.len())
+            let m = (esup, var, postings.len());
+            let vector = survives(&m).then(|| postings.clone());
+            (m, vector, false)
         }
         k => {
             let (prefix, last) = (&items[..k - 1], items[k - 1]);
             let last_postings = index.postings(last);
-            if prefix.len() == 1 {
-                index.postings(prefix[0]).intersect_stats(last_postings)
-            } else if let Some(v) = prev.get(prefix) {
-                v.intersect_stats(last_postings)
+            // Memoized prefixes carry their own expected support — the
+            // bounded kernel's mass; a singleton prefix resolves from the
+            // index but has no recorded mass, so it runs unbounded.
+            let base = if prefix.len() == 1 {
+                Some((index.postings(prefix[0]), None))
             } else {
-                let v = index.prob_vector(items);
-                let (esup, var) = v.moments();
-                (esup, var, v.len())
+                prev.get(prefix).map(|(v, mass)| (v, Some(*mass)))
+            };
+            match base {
+                Some((v, mass)) => match (esup_bound, mass) {
+                    (Some(t), Some(mass)) if !fused => {
+                        let m = v.intersect_stats_bounded(last_postings, mass, t);
+                        let vector = survives(&m).then(|| {
+                            v.intersect_materialize_into(last_postings, scratch);
+                            scratch.export()
+                        });
+                        let double_walked = vector.is_some();
+                        (m, vector, double_walked)
+                    }
+                    _ => {
+                        let m = v.intersect_into(last_postings, scratch);
+                        let vector = survives(&m).then(|| scratch.export());
+                        (m, vector, false)
+                    }
+                },
+                None => {
+                    let mut v = index.prob_vector(items);
+                    v.shrink_to_fit(); // it enters the memo; drop fold slack
+                    let (esup, var) = v.moments();
+                    let m = (esup, var, v.len());
+                    let vector = survives(&m).then_some(v);
+                    (m, vector, false)
+                }
             }
         }
     }
@@ -1046,26 +1182,29 @@ mod tests {
     }
 
     #[test]
-    fn vertical_pushdown_charges_both_intersection_passes() {
+    fn vertical_pushdown_charges_one_walk_per_candidate() {
         let db = paper_table1();
         let mut engine = VerticalEngine::new(&db);
         let mut stats = MinerStats::default();
         let singletons: Vec<Itemset> = (0..6).map(Itemset::singleton).collect();
         engine.evaluate(&singletons, StatRequest::ESUP, &mut stats);
         engine.finish_level(&as_frequent(&singletons));
-        // A threshold low enough that every pair survives: each of the 15
-        // pairs pays the stats pass AND the materialization pass.
+        // Pushdown evaluation is one fused walk per candidate — moments
+        // and (for survivors) the memo vector from the same intersection —
+        // so the charge is one per candidate whether everything survives…
         let p = pairs();
         engine.evaluate(&p, StatRequest::ESUP.with_min_esup(0.0), &mut stats);
-        assert_eq!(stats.intersections, 2 * p.len() as u64);
+        assert_eq!(stats.intersections, p.len() as u64);
+        assert_eq!(engine.current.len(), p.len());
 
-        // A threshold nothing survives: only the stats pass is charged.
+        // …or nothing does (the walk just bails early and exports nothing).
         let mut engine = VerticalEngine::new(&db);
         let mut stats = MinerStats::default();
         engine.evaluate(&singletons, StatRequest::ESUP, &mut stats);
         engine.finish_level(&as_frequent(&singletons));
         engine.evaluate(&p, StatRequest::ESUP.with_min_esup(1e9), &mut stats);
         assert_eq!(stats.intersections, p.len() as u64);
+        assert!(engine.current.is_empty());
     }
 
     #[test]

@@ -7,19 +7,28 @@
 //! candidate list. The historical free functions remain as thin wrappers
 //! for callers that need a single statistic.
 //!
-//! Large scans are parallelized by splitting the transaction list into
-//! fixed-size chunks mapped across threads (`ufim_core::parallel`); partial
-//! accumulators are reduced in chunk order, so results are deterministic
-//! for a given database regardless of thread count.
+//! Statistic accumulation uses the workspace's fixed summation shape:
+//! [`SUM_STRIPES`] striped partial sums (stripe = transaction id mod 8) per
+//! [`SUM_BLOCK_TIDS`]-transaction chunk, stripes folded in ascending stripe
+//! order and chunks absorbed in ascending chunk order — on the sequential
+//! path *and* across threads (`ufim_core::parallel` maps the same chunks
+//! and reduces them in order). Results are therefore deterministic
+//! regardless of thread count and bit-identical to the columnar backends'
+//! kernels at every database size.
 
 use super::trie::CandidateTrie;
 use ufim_core::parallel::par_map;
+use ufim_core::vertical::{SUM_BLOCK_TIDS, SUM_STRIPES};
 use ufim_core::{Itemset, MinerStats, Transaction, UncertainDatabase};
 
-/// Transactions per parallel chunk. Chunk boundaries are a pure function of
-/// the database size, keeping floating-point reduction order — and thus
-/// results — independent of the worker count.
-const CHUNK: usize = 4096;
+/// Transactions per summation chunk — the workspace-wide fixed summation
+/// block ([`SUM_BLOCK_TIDS`]), shared with the columnar kernels. Chunk
+/// boundaries are a pure function of the database size and striped partials
+/// are absorbed in chunk order on every path (sequential or parallel),
+/// keeping floating-point reduction order — and thus result bits —
+/// independent of the worker count *and* identical to the vertical/diffset
+/// backends.
+const CHUNK: usize = SUM_BLOCK_TIDS;
 
 /// Minimum `transactions × candidates` product before a scan fans out to
 /// threads (shared with the vertical backend's candidate fan-out).
@@ -68,19 +77,56 @@ impl ScanAccumulators {
         }
     }
 
-    fn absorb(&mut self, other: &ScanAccumulators) {
-        for (a, b) in self.esup.iter_mut().zip(&other.esup) {
-            *a += b;
+    /// Folds one summation chunk's striped partial into the totals: per
+    /// candidate, stripes added in ascending stripe order — the exact fold
+    /// the columnar kernels' accumulator performs on block exit.
+    fn fold_in(&mut self, part: &StripedPartial) {
+        for (i, a) in self.esup.iter_mut().enumerate() {
+            for s in 0..SUM_STRIPES {
+                *a += part.esup[i * SUM_STRIPES + s];
+            }
         }
-        if let (Some(a), Some(b)) = (self.var.as_mut(), other.var.as_ref()) {
+        if let (Some(a), Some(b)) = (self.var.as_mut(), part.var.as_ref()) {
+            for (i, x) in a.iter_mut().enumerate() {
+                for s in 0..SUM_STRIPES {
+                    *x += b[i * SUM_STRIPES + s];
+                }
+            }
+        }
+        if let (Some(a), Some(b)) = (self.count.as_mut(), part.count.as_ref()) {
             for (x, y) in a.iter_mut().zip(b) {
                 *x += y;
             }
         }
-        if let (Some(a), Some(b)) = (self.count.as_mut(), other.count.as_ref()) {
-            for (x, y) in a.iter_mut().zip(b) {
-                *x += y;
-            }
+    }
+}
+
+/// One summation chunk's striped partial sums: [`SUM_STRIPES`] lanes per
+/// candidate (`esup`/`var` are `candidates × 8`, indexed `i · 8 + (t mod
+/// 8)`), mirroring the columnar kernels' in-block accumulator. Counts are
+/// integer and need no striping.
+struct StripedPartial {
+    esup: Vec<f64>,
+    var: Option<Vec<f64>>,
+    count: Option<Vec<u64>>,
+}
+
+impl StripedPartial {
+    fn new(n: usize, want_var: bool, want_count: bool) -> Self {
+        StripedPartial {
+            esup: vec![0.0; n * SUM_STRIPES],
+            var: want_var.then(|| vec![0.0; n * SUM_STRIPES]),
+            count: want_count.then(|| vec![0u64; n]),
+        }
+    }
+
+    fn zero(&mut self) {
+        self.esup.iter_mut().for_each(|x| *x = 0.0);
+        if let Some(v) = self.var.as_mut() {
+            v.iter_mut().for_each(|x| *x = 0.0);
+        }
+        if let Some(c) = self.count.as_mut() {
+            c.iter_mut().for_each(|x| *x = 0);
         }
     }
 }
@@ -113,34 +159,55 @@ impl<'a> LevelScan<'a> {
         let work = transactions
             .len()
             .saturating_mul(self.num_candidates.max(1));
-        if work < PAR_MIN_WORK || transactions.len() <= CHUNK {
-            let mut acc = ScanAccumulators::new(self.num_candidates, want_var, want_count);
-            self.accumulate_into(transactions, &mut acc);
-            return acc;
+        let mut total = ScanAccumulators::new(self.num_candidates, want_var, want_count);
+        if transactions.len() <= CHUNK {
+            // One summation block: accumulate its stripes and fold once.
+            let mut part = StripedPartial::new(self.num_candidates, want_var, want_count);
+            self.accumulate_into(transactions, &mut part);
+            total.fold_in(&part);
+            return total;
         }
         let chunks: Vec<&[Transaction]> = transactions.chunks(CHUNK).collect();
+        if work < PAR_MIN_WORK {
+            // Sequential, but per-chunk striped partials folded in chunk
+            // order — the identical summation shape to the parallel path
+            // below and to the columnar kernels, so the bits never depend
+            // on which path ran.
+            let mut part = StripedPartial::new(self.num_candidates, want_var, want_count);
+            for chunk in &chunks {
+                part.zero();
+                self.accumulate_into(chunk, &mut part);
+                total.fold_in(&part);
+            }
+            return total;
+        }
         let partials = par_map(&chunks, |part| {
-            let mut acc = ScanAccumulators::new(self.num_candidates, want_var, want_count);
+            let mut acc = StripedPartial::new(self.num_candidates, want_var, want_count);
             self.accumulate_into(part, &mut acc);
             acc
         });
-        let mut total = ScanAccumulators::new(self.num_candidates, want_var, want_count);
         for p in &partials {
-            total.absorb(p);
+            total.fold_in(p);
         }
         total
     }
 
-    fn accumulate_into(&self, transactions: &[Transaction], acc: &mut ScanAccumulators) {
-        for t in transactions {
+    /// Accumulates one summation chunk's transactions into striped
+    /// partials. `transactions` must start on a [`CHUNK`] boundary of the
+    /// database, so the relative index's low bits equal the global
+    /// transaction id's (the stripe selector).
+    fn accumulate_into(&self, transactions: &[Transaction], acc: &mut StripedPartial) {
+        for (r, t) in transactions.iter().enumerate() {
+            let stripe = r & (SUM_STRIPES - 1);
+            let (esup, var, count) = (&mut acc.esup, &mut acc.var, &mut acc.count);
             self.trie
                 .for_each_contained(t.items(), t.probs(), &mut |idx, q| {
                     let i = idx as usize;
-                    acc.esup[i] += q;
-                    if let Some(var) = acc.var.as_mut() {
-                        var[i] += q * (1.0 - q);
+                    esup[i * SUM_STRIPES + stripe] += q;
+                    if let Some(var) = var.as_mut() {
+                        var[i * SUM_STRIPES + stripe] += q * (1.0 - q);
                     }
-                    if let Some(count) = acc.count.as_mut() {
+                    if let Some(count) = count.as_mut() {
                         count[i] += 1;
                     }
                 });
@@ -260,6 +327,50 @@ mod tests {
             assert_eq!(all.count.as_ref().unwrap()[i] as usize, want_vec.len());
             assert_eq!(qvecs[i], want_vec);
         }
+    }
+
+    /// The fixed-shape summation: on a database larger than one summation
+    /// block, the horizontal scan's esup/var are **bit-identical** to the
+    /// vertical index's kernels — sequential path included (the work here
+    /// stays under `PAR_MIN_WORK`'s fan-out only for the small candidate
+    /// count, which is exactly the regime the old flat accumulation ran
+    /// in and drifted at ulp level).
+    #[test]
+    fn large_scan_is_bit_identical_to_vertical_kernels() {
+        use ufim_core::{Transaction, VerticalIndex};
+        let transactions: Vec<Transaction> = (0..9_000)
+            .map(|i| {
+                let p = 0.05 + 0.9 * ((i % 193) as f64 / 192.0);
+                let mut units = vec![(0u32, p)];
+                if i % 3 != 0 {
+                    units.push((1, 1.0 - p * 0.5));
+                }
+                Transaction::new(units).unwrap()
+            })
+            .collect();
+        let db = UncertainDatabase::with_num_items(transactions, 2);
+        let candidates = vec![
+            Itemset::from_items([0]),
+            Itemset::from_items([1]),
+            Itemset::from_items([0, 1]),
+        ];
+        let mut stats = MinerStats::default();
+        let acc = LevelScan::new(&db, &candidates).accumulate(true, false, &mut stats);
+        let idx = VerticalIndex::build(&db);
+        for (i, c) in candidates.iter().enumerate() {
+            let v = idx.prob_vector(c.items());
+            let (ve, vv) = v.moments();
+            assert_eq!(acc.esup[i].to_bits(), ve.to_bits(), "esup bits {i}");
+            assert_eq!(
+                acc.var.as_ref().unwrap()[i].to_bits(),
+                vv.to_bits(),
+                "var bits {i}"
+            );
+        }
+        // And against the fused stats path (prefix × postings).
+        let (e, v, _) = idx.postings(0).intersect_stats(idx.postings(1));
+        assert_eq!(acc.esup[2].to_bits(), e.to_bits());
+        assert_eq!(acc.var.as_ref().unwrap()[2].to_bits(), v.to_bits());
     }
 
     #[test]
