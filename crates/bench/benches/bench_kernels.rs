@@ -91,6 +91,8 @@ fn kernel_run(
         peak_memo_bytes: 0,
         intersections: input_units as u64,
         num_itemsets: result_count as u64,
+        shards_evaluated: None,
+        shards_pruned: None,
     }
 }
 
@@ -224,10 +226,56 @@ fn main() {
             .push(kernel_run(&workload, "stats_merge_join", ms, units, count));
     }
 
+    // Anchor decomposition: the dense UApriori anchor pays for both the
+    // statistics (esup/var/count) and, since the memoizing engine of PR 6,
+    // the materialization of every surviving tid-list. These rows time the
+    // kernels in isolation on the anchor's *actual* singleton postings
+    // (~8k dense units a side), so the snapshot separates "how much of the
+    // anchor's wall time is stats math" from "how much is building and
+    // allocating result vectors" — the split behind the 99.5 ms → ~140 ms
+    // move when memoization landed.
+    let db = anchor_db();
+    {
+        let index = VerticalIndex::build(&db);
+        let (a, b) = (index.postings(0), index.postings(1));
+        let workload = "anchor-postings";
+        let units = a.len() + b.len();
+        let count = a.intersect_stats(b).2;
+        let ms = time_ms(
+            || {
+                std::hint::black_box(a.intersect_stats(b));
+            },
+            smoke,
+        );
+        snap.runs
+            .push(kernel_run(workload, "intersect_stats", ms, units, count));
+        let ms = time_ms(
+            || {
+                a.intersect_materialize_into(b, &mut scratch);
+                std::hint::black_box(scratch.len());
+            },
+            smoke,
+        );
+        snap.runs.push(kernel_run(
+            workload,
+            "intersect_materialize_into",
+            ms,
+            units,
+            count,
+        ));
+        let ms = time_ms(
+            || {
+                std::hint::black_box(a.intersect(b));
+            },
+            smoke,
+        );
+        snap.runs
+            .push(kernel_run(workload, "intersect_alloc", ms, units, count));
+    }
+
     // The ROADMAP anchor: dense UApriori, vertical engine. Counters come
     // from the mining result (deterministic); wall time is the mean over
     // the timing loop.
-    let db = anchor_db();
     let miner = UApriori::with_engine(EngineKind::Vertical);
     let result = miner.mine_expected_ratio(&db, 0.02).unwrap();
     let iters = if smoke { 1 } else { 5 };
@@ -240,6 +288,7 @@ fn main() {
         );
     }
     let anchor_ms = start.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+    let (shards_evaluated, shards_pruned) = JsonRun::shard_counters(&result.stats);
     snap.runs.push(JsonRun {
         workload: "N=20k,I=24,d=0.4".to_string(),
         algorithm: "UApriori".to_string(),
@@ -249,6 +298,8 @@ fn main() {
         peak_memo_bytes: result.stats.peak_memo_bytes,
         intersections: result.stats.intersections,
         num_itemsets: result.len() as u64,
+        shards_evaluated,
+        shards_pruned,
     });
 
     for r in &snap.runs {

@@ -1,0 +1,146 @@
+//! Sharded-support-engine benchmark: shard-width sweep over a huge-N /
+//! small-I fixture with hard tid locality (`ufim_data::benchmarks::
+//! regional`), demonstrating the zone maps pruning whole shards.
+//!
+//! Like `bench_kernels`, the vendored criterion shim cannot export
+//! measurements, so this is a hand-rolled `harness = false` binary that
+//! emits a `BENCH_shards.json` snapshot (`--json-out DIR`) through
+//! `ufim_bench::json`, joining the CI `json-compare` regression gate.
+//! Strict fields (`intersections`, `num_itemsets`) come from one counted
+//! mining run per configuration and are bit-identical across machines,
+//! pool sizes and `--smoke`; the shard counters ride along as advisory
+//! fields. On top of the snapshot, the binary *asserts* the acceptance
+//! floor: at the low threshold, zone maps must skip at least 30% of shard
+//! evaluations on the default-width sharded run.
+//!
+//! Flags: `--json-out DIR` writes the snapshot; `--smoke` shrinks the
+//! timing loop (counters unchanged); unknown flags (cargo's `--bench`)
+//! are ignored.
+
+use std::time::Instant;
+use ufim_bench::json::{JsonRun, JsonSnapshot};
+use ufim_core::prelude::*;
+use ufim_miners::common::{mine_level_wise_with_plan, ExpectedSupport};
+
+const SEED: u64 = 11;
+/// Four default-width (65,536-tid) shards.
+const N: usize = 262_144;
+/// Regional items: one 32,768-tid band each.
+const REGIONS: u32 = 8;
+/// Low ratio so the regional singletons and their pairs survive — the
+/// pruning has to come from the zone maps, not the threshold.
+const MIN_ESUP_RATIO: f64 = 0.01;
+
+/// One mining run: counted once (deterministic fields), timed over a
+/// small loop.
+fn run(
+    db: &UncertainDatabase,
+    engine: EngineKind,
+    plan: ShardPlan,
+    label: &str,
+    smoke: bool,
+) -> JsonRun {
+    let threshold = MIN_ESUP_RATIO * db.num_transactions() as f64;
+    let mine = || mine_level_wise_with_plan(db, ExpectedSupport::new(threshold), engine, plan);
+    let result = mine();
+    let iters = if smoke { 1 } else { 3 };
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(mine());
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+    let (shards_evaluated, shards_pruned) = JsonRun::shard_counters(&result.stats);
+    JsonRun {
+        workload: format!("N=262144,R=8,{label}"),
+        algorithm: "level-wise esup".to_string(),
+        engine: engine.name().to_string(),
+        wall_ms,
+        peak_bytes: 0,
+        peak_memo_bytes: result.stats.peak_memo_bytes,
+        intersections: result.stats.intersections,
+        num_itemsets: result.len() as u64,
+        shards_evaluated,
+        shards_pruned,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut json_out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--json-out" => {
+                json_out = Some(args.next().expect("--json-out needs a directory").into());
+            }
+            _ => {} // cargo bench passes --bench; ignore unknown flags
+        }
+    }
+
+    let db = ufim_data::benchmarks::regional(N, REGIONS, SEED);
+    let mut snap = JsonSnapshot::new("shards", 1.0, SEED);
+
+    // Width sweep on the vertical backend: one shard spanning the whole
+    // database (the unsharded reference — `4096` chunks cover all 262,144
+    // tids), the 4-shard default, and finer partitions down to 16 shards.
+    let widths = [
+        (
+            "width=unsharded",
+            ShardPlan::with_width_chunks(N.div_ceil(64)),
+        ),
+        ("width=2048", ShardPlan::with_width_chunks(2048)),
+        ("width=1024(default)", ShardPlan::for_transactions(N)),
+        ("width=256", ShardPlan::with_width_chunks(256)),
+    ];
+    for (label, plan) in widths {
+        snap.runs
+            .push(run(&db, EngineKind::Vertical, plan, label, smoke));
+    }
+    // The diffset backend shares the sharded fragment memo; one
+    // default-width row keeps it in the gate.
+    snap.runs.push(run(
+        &db,
+        EngineKind::Diffset,
+        ShardPlan::for_transactions(N),
+        "width=1024(default)",
+        smoke,
+    ));
+
+    let mut pruned_floor_checked = false;
+    for r in &snap.runs {
+        let pruning = match (r.shards_evaluated, r.shards_pruned) {
+            (Some(e), Some(p)) if e + p > 0 => {
+                let frac = p as f64 / (e + p) as f64;
+                // The acceptance floor: on the default-width low-threshold
+                // run, zone maps must skip ≥30% of shard evaluations.
+                if r.workload.contains("default") {
+                    assert!(
+                        frac >= 0.30,
+                        "{}: zone maps pruned only {:.1}% of shard evaluations",
+                        r.workload,
+                        frac * 100.0
+                    );
+                    pruned_floor_checked = true;
+                }
+                format!("  pruned {p}/{} ({:.1}%)", e + p, frac * 100.0)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{:<32} {:<10} {:>10.3} ms  (intersections {:>7}, itemsets {:>3}){pruning}",
+            r.workload, r.engine, r.wall_ms, r.intersections, r.num_itemsets
+        );
+    }
+    assert!(
+        pruned_floor_checked,
+        "no default-width sharded run in the sweep"
+    );
+
+    if let Some(dir) = json_out {
+        match snap.write(&dir) {
+            Some(path) => println!("wrote {}", path.display()),
+            None => std::process::exit(1),
+        }
+    }
+}

@@ -28,6 +28,13 @@
 //!   and `peak_memo_bytes` changes. Timing depends on the host; memory
 //!   policy may legitimately change — both are surfaced, neither fails
 //!   the build.
+//! * **advisory by construction**: counter fields added after a baseline
+//!   was recorded (currently `shards_evaluated` / `shards_pruned` from the
+//!   sharded support engines) parse as optional and never fail strictly —
+//!   a drift or a presence mismatch against an older baseline only warns.
+//!   The gate would otherwise force a baseline refresh on every run the
+//!   moment a new counter ships, defeating the point of keeping old
+//!   snapshots comparable.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -54,6 +61,32 @@ pub struct JsonRun {
     pub intersections: u64,
     /// Number of frequent itemsets found.
     pub num_itemsets: u64,
+    /// Shard evaluations performed by a sharded support engine
+    /// ([`ufim_core::MinerStats::shards_evaluated`]). `None` in snapshots
+    /// written before the field existed, and omitted from unsharded runs —
+    /// newly-added counters stay **advisory** in the gate so older
+    /// baselines keep passing (see the module docs).
+    pub shards_evaluated: Option<u64>,
+    /// Shard evaluations skipped by zone maps or emptiness
+    /// ([`ufim_core::MinerStats::shards_pruned`]); optional like
+    /// [`shards_evaluated`](Self::shards_evaluated).
+    pub shards_pruned: Option<u64>,
+}
+
+impl JsonRun {
+    /// Derives the optional shard counters from a run's [`MinerStats`]:
+    /// `Some` only when the sharded support path actually engaged (either
+    /// counter nonzero), so unsharded runs keep emitting the pre-shard
+    /// snapshot format byte for byte.
+    ///
+    /// [`MinerStats`]: ufim_core::MinerStats
+    pub fn shard_counters(stats: &ufim_core::MinerStats) -> (Option<u64>, Option<u64>) {
+        let engaged = stats.shards_evaluated + stats.shards_pruned > 0;
+        (
+            engaged.then_some(stats.shards_evaluated),
+            engaged.then_some(stats.shards_pruned),
+        )
+    }
 }
 
 /// One experiment's snapshot: configuration + measured runs.
@@ -112,6 +145,12 @@ impl JsonSnapshot {
                 r.intersections,
                 r.num_itemsets
             );
+            if let Some(n) = r.shards_evaluated {
+                let _ = write!(s, ", \"shards_evaluated\": {n}");
+            }
+            if let Some(n) = r.shards_pruned {
+                let _ = write!(s, ", \"shards_pruned\": {n}");
+            }
             s.push('}');
         }
         if !self.runs.is_empty() {
@@ -166,6 +205,8 @@ impl JsonSnapshot {
                 peak_memo_bytes: top_field(&r, "peak_memo_bytes")?.unsigned("peak_memo_bytes")?,
                 intersections: top_field(&r, "intersections")?.unsigned("intersections")?,
                 num_itemsets: top_field(&r, "num_itemsets")?.unsigned("num_itemsets")?,
+                shards_evaluated: opt_field(&r, "shards_evaluated")?,
+                shards_pruned: opt_field(&r, "shards_pruned")?,
             });
         }
         Ok(JsonSnapshot {
@@ -332,6 +373,22 @@ fn compare_snapshots(
                 f.peak_memo_bytes, b.peak_memo_bytes
             ));
         }
+        // Newly-added counters: advisory whatever happens, including one
+        // side missing the field entirely (older baseline or a run that
+        // left sharding off).
+        for (field, fv, bv) in [
+            ("shards_evaluated", f.shards_evaluated, b.shards_evaluated),
+            ("shards_pruned", f.shards_pruned, b.shards_pruned),
+        ] {
+            if fv != bv {
+                let show = |v: Option<u64>| v.map_or("absent".into(), |n| n.to_string());
+                report.warnings.push(format!(
+                    "{name}: {run}: {field} {} vs baseline {} (new counter, advisory)",
+                    show(fv),
+                    show(bv)
+                ));
+            }
+        }
         // Wall-clock: advisory, tolerance-gated, noise-floored.
         let drift = (f.wall_ms - b.wall_ms).abs();
         let allowed = b.wall_ms * tolerance_pct / 100.0;
@@ -493,6 +550,16 @@ fn top_field<'a>(obj: &'a [(String, Value)], name: &str) -> Result<&'a Value, St
         .find(|(k, _)| k == name)
         .map(|(_, v)| v)
         .ok_or_else(|| format!("missing field {name:?}"))
+}
+
+/// Looks an *optional* unsigned counter up: absent is `None` (snapshots
+/// written before the field existed stay parseable), present must still be
+/// a well-formed unsigned integer.
+fn opt_field(obj: &[(String, Value)], name: &str) -> Result<Option<u64>, String> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.unsigned(name))
+        .transpose()
 }
 
 impl Value {
@@ -671,6 +738,8 @@ mod tests {
                     peak_memo_bytes: 65_536,
                     intersections: 1234,
                     num_itemsets: 31,
+                    shards_evaluated: Some(96),
+                    shards_pruned: Some(32),
                 },
                 JsonRun {
                     workload: "skew=1.2".into(),
@@ -681,6 +750,8 @@ mod tests {
                     peak_memo_bytes: 0,
                     intersections: 0,
                     num_itemsets: 7,
+                    shards_evaluated: None,
+                    shards_pruned: None,
                 },
             ],
         }
@@ -818,6 +889,48 @@ mod tests {
             .warnings
             .iter()
             .any(|w| w.contains("peak_memo_bytes")));
+    }
+
+    #[test]
+    fn pre_shard_snapshots_still_parse_and_compare_advisorily() {
+        // A snapshot written before the shard counters existed: strip the
+        // new fields from the emitted text and it must still parse, with
+        // the counters reported absent.
+        let mut old_text = sample().to_json();
+        old_text = old_text.replace(", \"shards_evaluated\": 96", "");
+        old_text = old_text.replace(", \"shards_pruned\": 32", "");
+        let old = JsonSnapshot::from_json(&old_text).unwrap();
+        assert_eq!(old.runs[0].shards_evaluated, None);
+        assert_eq!(old.runs[0].shards_pruned, None);
+        // Comparing a fresh sharded snapshot against that old baseline —
+        // presence mismatch on run 0 — warns twice but passes the gate.
+        let dir = std::env::temp_dir().join(format!("ufim-json-shard-{}", std::process::id()));
+        let (base_dir, fresh_dir) = (dir.join("base"), dir.join("fresh"));
+        old.write(&base_dir).unwrap();
+        sample().write(&fresh_dir).unwrap();
+        let report = compare_paths(&base_dir, &fresh_dir, 200.0).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.warnings.len(), 2, "{:?}", report.warnings);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.contains("shards_evaluated") && w.contains("advisory")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_counter_drift_is_advisory_not_strict() {
+        let mut report = CompareReport::default();
+        let base = sample();
+        let mut fresh = sample();
+        fresh.runs[0].shards_evaluated = Some(64);
+        fresh.runs[0].shards_pruned = Some(64);
+        compare_snapshots("s", &base, &fresh, 200.0, &mut report);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.warnings.len(), 2, "{:?}", report.warnings);
+        // The roundtrip keeps the optional fields.
+        let parsed = JsonSnapshot::from_json(&fresh.to_json()).unwrap();
+        assert_eq!(parsed, fresh);
     }
 
     #[test]

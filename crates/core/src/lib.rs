@@ -58,7 +58,7 @@ pub use params::{EngineKind, MeasureKind, MiningParams, Ratio, TraversalKind};
 pub use result::{FrequentItemset, MinerStats, MiningResult};
 pub use traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
 pub use transaction::Transaction;
-pub use vertical::{DiffVector, ProbVector, ScratchSpace, VerticalIndex};
+pub use vertical::{DiffVector, ProbVector, ScratchSpace, ShardPlan, VerticalIndex, ZoneEntry};
 pub use vocab::Vocabulary;
 
 /// Convenient glob-import for downstream crates:
@@ -72,6 +72,8 @@ pub mod prelude {
     pub use crate::result::{FrequentItemset, MinerStats, MiningResult};
     pub use crate::traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
     pub use crate::transaction::Transaction;
-    pub use crate::vertical::{DiffVector, ProbVector, ScratchSpace, VerticalIndex};
+    pub use crate::vertical::{
+        DiffVector, ProbVector, ScratchSpace, ShardPlan, VerticalIndex, ZoneEntry,
+    };
     pub use crate::vocab::Vocabulary;
 }

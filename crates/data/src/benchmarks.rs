@@ -249,6 +249,40 @@ pub fn deep_skew(transactions: usize, items: u32, seed: u64) -> UncertainDatabas
     UncertainDatabase::with_num_items(t, items)
 }
 
+/// **Regional** synthetic fixture for the sharded support engines: huge-N,
+/// small-I, with hard spatial locality in the tid dimension.
+///
+/// Item `0` is global (present in ~90% of transactions); each *regional*
+/// item `r ∈ 1..=regions` appears only inside its contiguous tid band
+/// (band `r-1` of `regions` equal slices), in ~80% of that band's
+/// transactions. Every posting list therefore has long all-zero tid
+/// ranges, which is exactly what per-shard zone maps exist to exploit:
+/// any candidate touching a regional item is evaluable in at most the
+/// shards its band overlaps, and the zone maps prune the rest without
+/// reading a single probability.
+///
+/// Shared by `bench_shards` and its baseline so the pruning-rate gate and
+/// the benchmark can never drift onto different data.
+pub fn regional(transactions: usize, regions: u32, seed: u64) -> UncertainDatabase {
+    assert!(regions >= 1, "need at least one region");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let band = transactions.div_ceil(regions as usize).max(1);
+    let t: Vec<Transaction> = (0..transactions)
+        .map(|tid| {
+            let region = (tid / band) as u32;
+            let mut units: Vec<(ItemId, f64)> = Vec::with_capacity(2);
+            if rng.gen_bool(0.9) {
+                units.push((0, rng.gen_range(0.5..=1.0)));
+            }
+            if rng.gen_bool(0.8) {
+                units.push((1 + region, rng.gen_range(0.3..=1.0)));
+            }
+            Transaction::new(units).expect("probabilities are in (0, 1]")
+        })
+        .collect();
+    UncertainDatabase::with_num_items(t, regions + 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +387,30 @@ mod tests {
         assert!(with(0) > 1_700, "item 0 in {} of 2000", with(0));
         assert!(with(0) > 2 * with(4));
         assert!(with(15) < with(0) / 10);
+    }
+
+    #[test]
+    fn regional_items_stay_inside_their_bands() {
+        let db = regional(4_000, 4, 7);
+        assert_eq!(db.num_items(), 5);
+        for (tid, t) in db.transactions().iter().enumerate() {
+            let region = (tid / 1_000) as u32;
+            for &i in t.items() {
+                assert!(
+                    i == 0 || i == 1 + region,
+                    "item {i} outside band at tid {tid}"
+                );
+            }
+        }
+        // Dense enough that every band's item actually shows up.
+        for r in 1..=4u32 {
+            let with = db
+                .transactions()
+                .iter()
+                .filter(|t| t.items().contains(&r))
+                .count();
+            assert!(with > 700, "regional item {r} in only {with} transactions");
+        }
     }
 
     #[test]

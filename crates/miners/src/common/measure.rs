@@ -527,9 +527,27 @@ pub fn mine_level_wise<M: FrequentnessMeasure>(
     measure: M,
     engine: EngineKind,
 ) -> MiningResult {
+    mine_level_wise_with_plan(
+        db,
+        measure,
+        engine,
+        ShardPlan::for_transactions(db.num_transactions()),
+    )
+}
+
+/// [`mine_level_wise`] with an explicit tid-range shard plan for the
+/// support backend. Records are bit-identical for every plan (the sharded
+/// engines' merge is exact); the default plan — a pure function of the
+/// database size — only engages sharding past one default-width shard.
+pub fn mine_level_wise_with_plan<M: FrequentnessMeasure>(
+    db: &UncertainDatabase,
+    measure: M,
+    engine: EngineKind,
+    plan: ShardPlan,
+) -> MiningResult {
     let mut evaluator = MeasureEvaluator {
         measure,
-        engine: super::engine::build_engine(engine, db),
+        engine: super::engine::build_engine_with_plan(engine, db, plan),
     };
     super::apriori::run_apriori(db, &mut evaluator)
 }

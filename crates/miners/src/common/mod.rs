@@ -10,12 +10,13 @@ pub mod trie;
 
 pub use apriori::{run_apriori, LevelEvaluator};
 pub use engine::{
-    build_engine, HorizontalScan, LevelSupport, StatRequest, SupportEngine, VerticalEngine,
+    build_engine, build_engine_with_plan, HorizontalScan, LevelSupport, ShardPartial, StatRequest,
+    SupportEngine, VerticalEngine,
 };
 pub use measure::{
-    mine_level_wise, CandidateStats, ExactKernel, ExactMeasure, ExpectedSupport,
-    FrequentnessMeasure, Judgment, MeasureEvaluator, NormalApprox, PoissonApprox, Screen,
-    StatNeeds,
+    mine_level_wise, mine_level_wise_with_plan, CandidateStats, ExactKernel, ExactMeasure,
+    ExpectedSupport, FrequentnessMeasure, Judgment, MeasureEvaluator, NormalApprox, PoissonApprox,
+    Screen, StatNeeds,
 };
 pub use order::FrequencyOrder;
 pub use scan::LevelScan;

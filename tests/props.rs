@@ -3,6 +3,10 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use uncertain_fim::miners::common::{
+    mine_level_wise_with_plan, ExactKernel, ExactMeasure, ExpectedSupport, NormalApprox,
+    PoissonApprox,
+};
 use uncertain_fim::miners::Algorithm;
 use uncertain_fim::prelude::*;
 use uncertain_fim::stats::chernoff::chernoff_upper_bound;
@@ -175,6 +179,145 @@ proptest! {
                 let pa = survival_dp(&qa, msup);
                 let pab = survival_dp(&qab, msup);
                 prop_assert!(pab <= pa + 1e-12);
+            }
+        }
+    }
+}
+
+/// Strategy: a database wide enough to shard (65..200 transactions over 6
+/// items), so a one-chunk (64-tid) shard plan splits it into 2–4 shards
+/// while the default plan leaves it unsharded.
+fn shardable_db() -> impl Strategy<Value = UncertainDatabase> {
+    vec(vec((0u32..6, prob()), 0..6), 65..200).prop_map(|raw| {
+        let transactions = raw
+            .into_iter()
+            .map(|units| {
+                let mut seen = std::collections::BTreeMap::new();
+                for (i, p) in units {
+                    seen.entry(i).or_insert(p);
+                }
+                Transaction::new(seen.into_iter().collect::<Vec<_>>()).unwrap()
+            })
+            .collect();
+        UncertainDatabase::with_num_items(transactions, 6)
+    })
+}
+
+/// Runs the level-wise miner under every measure kind with the given shard
+/// plan: plain and variance-recording expected support, both approximate
+/// frequent-probability measures, and both exact kernels (with their
+/// Chernoff screens, so the threshold pushdown — and therefore the zone-map
+/// precheck — fires on the sharded path).
+fn mine_all_measures(
+    db: &UncertainDatabase,
+    ratio: f64,
+    engine: EngineKind,
+    plan: ShardPlan,
+) -> Vec<(&'static str, MiningResult)> {
+    let n = db.num_transactions();
+    let params = MiningParams::new(ratio, 0.4).unwrap();
+    let esup_threshold = params.min_sup.threshold_real(n);
+    let mut runs = vec![
+        (
+            "esup",
+            mine_level_wise_with_plan(db, ExpectedSupport::new(esup_threshold), engine, plan),
+        ),
+        (
+            "esup+var",
+            mine_level_wise_with_plan(
+                db,
+                ExpectedSupport::with_variance(esup_threshold),
+                engine,
+                plan,
+            ),
+        ),
+        (
+            "normal",
+            mine_level_wise_with_plan(db, NormalApprox::new(params.msup(n), 0.4), engine, plan),
+        ),
+        (
+            "exact-dp",
+            mine_level_wise_with_plan(
+                db,
+                ExactMeasure::new(ExactKernel::DynamicProgramming, true, n, &params),
+                engine,
+                plan,
+            ),
+        ),
+        (
+            "exact-dc",
+            mine_level_wise_with_plan(
+                db,
+                ExactMeasure::new(ExactKernel::DivideConquer, true, n, &params),
+                engine,
+                plan,
+            ),
+        ),
+    ];
+    if let Some(poisson) = PoissonApprox::from_params(n, &params).unwrap() {
+        runs.push((
+            "poisson",
+            mine_level_wise_with_plan(db, poisson, engine, plan),
+        ));
+    }
+    runs
+}
+
+/// Bitwise record equality across mining modes (stats are mode-specific).
+fn records_bits(result: &MiningResult) -> Vec<(Itemset, u64, Option<u64>, Option<u64>)> {
+    result
+        .itemsets
+        .iter()
+        .map(|f| {
+            (
+                f.itemset.clone(),
+                f.expected_support.to_bits(),
+                f.variance.map(f64::to_bits),
+                f.frequent_prob.map(f64::to_bits),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    // Mining runs per case: 3 engines × 3 plans × ~6 measures. Fewer cases
+    // keep the suite quick; the inner sweep is the point.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Any shard partition — one-chunk shards, 16-chunk shards, or the
+    // (unsharded) default — merges bit-identically to the unsharded path
+    // for every engine and measure kind. Because the measures' threshold
+    // pushdown reaches the sharded engines' zone-map precheck, bitwise
+    // record equality here is also the zone-map soundness property at the
+    // mining level: a pruned shard's true contribution never flips a
+    // keep/prune verdict on any randomized database.
+    #[test]
+    fn any_shard_partition_merges_bit_identical_to_unsharded(
+        db in shardable_db(),
+        min_sup in 1u32..=5,
+    ) {
+        let ratio = min_sup as f64 / 10.0;
+        for engine in EngineKind::ALL {
+            let reference = mine_all_measures(
+                &db,
+                ratio,
+                engine,
+                ShardPlan::for_transactions(db.num_transactions()),
+            );
+            for width_chunks in [1usize, 16] {
+                let plan = ShardPlan::with_width_chunks(width_chunks);
+                let sharded = mine_all_measures(&db, ratio, engine, plan);
+                prop_assert_eq!(reference.len(), sharded.len());
+                for ((name, a), (_, b)) in reference.iter().zip(&sharded) {
+                    prop_assert_eq!(
+                        records_bits(a),
+                        records_bits(b),
+                        "{}×{} diverged at width {}",
+                        engine,
+                        name,
+                        width_chunks
+                    );
+                }
             }
         }
     }

@@ -103,6 +103,14 @@ fn deep_skew_db() -> UncertainDatabase {
 /// Byte-level equality of two results: same itemsets in the same
 /// canonical order, every statistic bit-identical, same counters.
 fn assert_bit_identical(reference: &MiningResult, got: &MiningResult, label: &str) {
+    assert_records_bit_identical(reference, got, label);
+    assert_eq!(reference.stats, got.stats, "{label}: stats differ");
+}
+
+/// Record-level half of [`assert_bit_identical`]: used on its own for
+/// cross-mode comparisons (sharded vs. unsharded) where the counters are
+/// legitimately mode-specific but the mined records must not move a bit.
+fn assert_records_bit_identical(reference: &MiningResult, got: &MiningResult, label: &str) {
     assert_eq!(reference.len(), got.len(), "{label}: result sizes differ");
     for (a, b) in reference.itemsets.iter().zip(&got.itemsets) {
         assert_eq!(a.itemset, b.itemset, "{label}");
@@ -125,7 +133,6 @@ fn assert_bit_identical(reference: &MiningResult, got: &MiningResult, label: &st
             a.itemset
         );
     }
-    assert_eq!(reference.stats, got.stats, "{label}: stats differ");
 }
 
 /// Runs `mine` under each pool size and pins every run against the
@@ -225,6 +232,60 @@ fn hyper_and_tree_matrix_cells_are_bit_identical_across_pool_sizes() {
             sweep_pools(&format!("{measure}×{traversal}"), || {
                 cell.mine_probabilistic_raw(db, min_sup, 0.3).unwrap()
             });
+        }
+    }
+}
+
+/// The sharded support engines (tid-range shards from PR 7): forcing
+/// sub-default shard widths on the big fixture engages the shards ×
+/// candidates dual parallel axis in the columnar backends and the
+/// block-range seam in the horizontal one. Every width must be pool-size
+/// invariant down to the full [`MinerStats`], and its records must match
+/// the unsharded run bit for bit (counters are mode-specific there: the
+/// sharded engines count per-shard kernel invocations and the new shard
+/// counters, so only the records cross modes).
+#[test]
+fn sharded_level_wise_is_bit_identical_across_pool_sizes_and_widths() {
+    use uncertain_fim::miners::common::{
+        mine_level_wise, mine_level_wise_with_plan, ExpectedSupport,
+    };
+
+    let db = big_db();
+    let threshold = 0.05 * db.num_transactions() as f64;
+    for engine in EngineKind::ALL {
+        let unsharded = with_thread_override(1, || {
+            mine_level_wise(&db, ExpectedSupport::with_variance(threshold), engine)
+        });
+        assert!(
+            !unsharded.is_empty(),
+            "sharded sweep fixture is vacuous on {engine}"
+        );
+        // 64-tid shards (125 of them) and 1024-tid shards (8): both far
+        // below the default width, so the sharded paths genuinely run.
+        for width_chunks in [1usize, 16] {
+            let plan = ShardPlan::with_width_chunks(width_chunks);
+            assert!(
+                plan.num_shards(db.num_transactions()) > 1,
+                "width {width_chunks} does not shard the fixture"
+            );
+            let label = format!("sharded level-wise/{engine} width={width_chunks}");
+            sweep_pools(&label, || {
+                mine_level_wise_with_plan(
+                    &db,
+                    ExpectedSupport::with_variance(threshold),
+                    engine,
+                    plan,
+                )
+            });
+            let sharded = with_thread_override(1, || {
+                mine_level_wise_with_plan(
+                    &db,
+                    ExpectedSupport::with_variance(threshold),
+                    engine,
+                    plan,
+                )
+            });
+            assert_records_bit_identical(&unsharded, &sharded, &label);
         }
     }
 }
