@@ -93,6 +93,8 @@ fn kernel_run(
         num_itemsets: result_count as u64,
         shards_evaluated: None,
         shards_pruned: None,
+        border_rejudged: None,
+        border_skipped: None,
     }
 }
 
@@ -300,6 +302,8 @@ fn main() {
         num_itemsets: result.len() as u64,
         shards_evaluated,
         shards_pruned,
+        border_rejudged: None,
+        border_skipped: None,
     });
 
     for r in &snap.runs {

@@ -61,6 +61,8 @@ fn run(
         num_itemsets: result.len() as u64,
         shards_evaluated,
         shards_pruned,
+        border_rejudged: None,
+        border_skipped: None,
     }
 }
 
@@ -97,8 +99,8 @@ fn main() {
         snap.runs
             .push(run(&db, EngineKind::Vertical, plan, label, smoke));
     }
-    // The diffset backend shares the sharded fragment memo; one
-    // default-width row keeps it in the gate.
+    // The diffset backend runs per-shard delta chains in sharded mode;
+    // one default-width row keeps it in the gate.
     snap.runs.push(run(
         &db,
         EngineKind::Diffset,

@@ -1,0 +1,273 @@
+//! Sliding-window streaming benchmark: sustained ingest through the
+//! incremental miner versus re-mining the window from scratch at every
+//! checkpoint.
+//!
+//! A fixed synthetic stream slides through a 4,096-slot window in eight
+//! expire/append rounds of 256 transactions each. For every support
+//! backend (and additionally a forced multi-shard plan on the columnar
+//! ones), one counted pass drives the [`IncrementalMiner`] and the batch
+//! oracle side by side, asserting at *every* checkpoint that the
+//! incremental records are identical to the from-scratch mine — the
+//! incremental contract, enforced in-binary. The same pass accumulates the
+//! deterministic work counters, and the binary asserts the acceptance
+//! floor: across the stream phase, the incremental path must evaluate
+//! **strictly fewer** candidates than the batch oracle, at no more than
+//! 90% of the batch count (measured ratios sit far below; the bound only
+//! catches a collapse of the border reuse).
+//!
+//! Like `bench_shards`, the vendored criterion shim cannot export
+//! measurements, so this is a hand-rolled `harness = false` binary that
+//! emits a `BENCH_streaming.json` snapshot (`--json-out DIR`) through
+//! `ufim_bench::json`. Strict fields (`intersections`, `num_itemsets`)
+//! come from the counted pass and are bit-identical across machines and
+//! pool sizes; the throughput (`wall_ms`, from which tx/sec derives) and
+//! the border-tracker counters ride along as advisory fields.
+//!
+//! Flags: `--json-out DIR` writes the snapshot; `--smoke` shrinks the
+//! timing loop (counters unchanged); unknown flags (cargo's `--bench`)
+//! are ignored.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use ufim_bench::json::{JsonRun, JsonSnapshot};
+use ufim_core::prelude::*;
+use ufim_miners::common::{mine_level_wise_with_plan, ExpectedSupport, IncrementalMiner};
+
+const SEED: u64 = 17;
+/// Window capacity (slots — the snapshot's constant transaction count).
+const CAPACITY: usize = 4_096;
+const ITEMS: u32 = 12;
+/// Expire/append burst per round.
+const BATCH: usize = 256;
+/// Stream-phase rounds after the initial fill.
+const ROUNDS: usize = 8;
+/// Expected-support threshold ratio: singletons and most pairs stay
+/// frequent on the dense fixture, triples fall below — a live border.
+const MIN_ESUP_RATIO: f64 = 0.05;
+
+/// The whole stream, synthesized once: the initial fill plus every round's
+/// arrivals (dense fixture, ~35% density, confident readings).
+fn stream() -> Vec<Transaction> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    (0..CAPACITY + ROUNDS * BATCH)
+        .map(|_| {
+            let units: Vec<(u32, f64)> = (0..ITEMS)
+                .filter_map(|i| {
+                    if rng.gen_bool(0.35) {
+                        Some((i, rng.gen_range(0.5..=1.0)))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            Transaction::new(units).unwrap()
+        })
+        .collect()
+}
+
+/// Accumulated work counters of one side of the counted pass.
+#[derive(Default)]
+struct Tally {
+    candidates: u64,
+    intersections: u64,
+    peak_memo: u64,
+    rejudged: u64,
+    skipped: u64,
+}
+
+impl Tally {
+    fn absorb(&mut self, stats: &MinerStats) {
+        self.candidates += stats.candidates_evaluated;
+        self.intersections += stats.intersections;
+        self.peak_memo = self.peak_memo.max(stats.peak_memo_bytes);
+        self.rejudged += stats.border_rejudged;
+        self.skipped += stats.border_skipped;
+    }
+}
+
+/// One counted pass: incremental and batch side by side, record-equality
+/// asserted at every checkpoint. Returns `(incremental, batch, final
+/// result size)`.
+fn counted_pass(
+    txs: &[Transaction],
+    engine: EngineKind,
+    plan: ShardPlan,
+    threshold: f64,
+) -> (Tally, Tally, u64) {
+    let window = WindowedDatabase::new(CAPACITY, ITEMS);
+    let mut miner = IncrementalMiner::with_plan(
+        window,
+        ExpectedSupport::with_variance(threshold),
+        engine,
+        plan,
+    );
+    let (mut inc, mut batch) = (Tally::default(), Tally::default());
+    let mut stream = txs.iter().cloned();
+    for t in stream.by_ref().take(CAPACITY) {
+        miner.append(t);
+    }
+    let check =
+        |miner: &mut IncrementalMiner<ExpectedSupport>, inc: &mut Tally, batch: &mut Tally| {
+            let result = miner.refresh();
+            inc.absorb(&result.stats);
+            let oracle = mine_level_wise_with_plan(
+                &miner.window().snapshot(),
+                ExpectedSupport::with_variance(threshold),
+                engine,
+                plan,
+            );
+            batch.absorb(&oracle.stats);
+            assert_eq!(
+                miner.result().itemsets,
+                oracle.itemsets,
+                "{engine}: incremental diverged from the batch oracle"
+            );
+            oracle.len() as u64
+        };
+    // Cold mine — identical work on both sides by construction.
+    check(&mut miner, &mut inc, &mut batch);
+    let mut final_size = 0;
+    for _ in 0..ROUNDS {
+        miner.expire_oldest(BATCH);
+        for t in stream.by_ref().take(BATCH) {
+            miner.append(t);
+        }
+        final_size = check(&mut miner, &mut inc, &mut batch);
+    }
+    (inc, batch, final_size)
+}
+
+/// Timed replay of one side. `incremental == false` re-mines the snapshot
+/// at every checkpoint instead of refreshing.
+fn timed_pass(
+    txs: &[Transaction],
+    engine: EngineKind,
+    plan: ShardPlan,
+    threshold: f64,
+    incremental: bool,
+    iters: usize,
+) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        let window = WindowedDatabase::new(CAPACITY, ITEMS);
+        let mut miner = IncrementalMiner::with_plan(
+            window,
+            ExpectedSupport::with_variance(threshold),
+            engine,
+            plan,
+        );
+        let mut stream = txs.iter().cloned();
+        for t in stream.by_ref().take(CAPACITY) {
+            miner.append(t);
+        }
+        let mine = |miner: &mut IncrementalMiner<ExpectedSupport>| {
+            if incremental {
+                miner.refresh();
+            } else {
+                std::hint::black_box(mine_level_wise_with_plan(
+                    &miner.window().snapshot(),
+                    ExpectedSupport::with_variance(threshold),
+                    engine,
+                    plan,
+                ));
+            }
+        };
+        mine(&mut miner);
+        for _ in 0..ROUNDS {
+            miner.expire_oldest(BATCH);
+            for t in stream.by_ref().take(BATCH) {
+                miner.append(t);
+            }
+            mine(&mut miner);
+        }
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / iters as f64
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut json_out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--json-out" => {
+                json_out = Some(args.next().expect("--json-out needs a directory").into());
+            }
+            _ => {} // cargo bench passes --bench; ignore unknown flags
+        }
+    }
+
+    let txs = stream();
+    let threshold = MIN_ESUP_RATIO * CAPACITY as f64;
+    let iters = if smoke { 1 } else { 3 };
+    let streamed = (ROUNDS * BATCH) as f64;
+    let mut snap = JsonSnapshot::new("streaming", 1.0, SEED);
+
+    // Every backend on the default plan, plus the columnar backends under
+    // forced 1,024-tid shards (delta composition across shard boundaries).
+    let mut configs: Vec<(String, EngineKind, ShardPlan)> = EngineKind::ALL
+        .into_iter()
+        .map(|e| (String::new(), e, ShardPlan::for_transactions(CAPACITY)))
+        .collect();
+    for e in [EngineKind::Vertical, EngineKind::Diffset] {
+        configs.push((",width=16".into(), e, ShardPlan::with_width_chunks(16)));
+    }
+
+    for (suffix, engine, plan) in configs {
+        let workload = format!("N={CAPACITY},rounds={ROUNDS},batch={BATCH}{suffix}");
+        let (inc, batch, num_itemsets) = counted_pass(&txs, engine, plan, threshold);
+        // The acceptance floor: border reuse must keep the incremental
+        // path strictly under the batch oracle's candidate workload.
+        let ratio = inc.candidates as f64 / batch.candidates as f64;
+        assert!(
+            inc.candidates < batch.candidates && ratio <= 0.90,
+            "{workload} {engine}: incremental evaluated {} candidates vs batch {} \
+             (ratio {ratio:.2} > 0.90) — border reuse collapsed",
+            inc.candidates,
+            batch.candidates
+        );
+        for (algorithm, tally, incremental) in [
+            ("incremental", &inc, true),
+            ("batch re-mine", &batch, false),
+        ] {
+            let wall_ms = timed_pass(&txs, engine, plan, threshold, incremental, iters);
+            println!(
+                "{workload:<34} {:<10} {algorithm:<14} {wall_ms:>9.2} ms  \
+                 ({:.0} tx/sec, candidates {:>5}, intersections {:>6}, itemsets {num_itemsets})",
+                engine.name(),
+                streamed / (wall_ms / 1000.0),
+                tally.candidates,
+                tally.intersections,
+            );
+            snap.runs.push(JsonRun {
+                workload: workload.clone(),
+                algorithm: algorithm.to_string(),
+                engine: engine.name().to_string(),
+                wall_ms,
+                peak_bytes: 0,
+                peak_memo_bytes: tally.peak_memo,
+                intersections: tally.intersections,
+                num_itemsets,
+                shards_evaluated: None,
+                shards_pruned: None,
+                border_rejudged: incremental.then_some(tally.rejudged),
+                border_skipped: incremental.then_some(tally.skipped),
+            });
+        }
+        println!(
+            "{workload:<34} {:<10} candidate ratio {ratio:.2} (border re-judged {}, reused {})",
+            engine.name(),
+            inc.rejudged,
+            inc.skipped
+        );
+    }
+
+    if let Some(dir) = json_out {
+        match snap.write(&dir) {
+            Some(path) => println!("wrote {}", path.display()),
+            None => std::process::exit(1),
+        }
+    }
+}

@@ -140,6 +140,8 @@ pub fn run(
                     num_itemsets: m.num_itemsets as u64,
                     shards_evaluated,
                     shards_pruned,
+                    border_rejudged: None,
+                    border_skipped: None,
                 });
             }
             counts.dedup();

@@ -212,6 +212,8 @@ impl Sweep {
                     num_itemsets: m.num_itemsets as u64,
                     shards_evaluated,
                     shards_pruned,
+                    border_rejudged: None,
+                    border_skipped: None,
                 });
             }
         }

@@ -71,6 +71,15 @@ pub struct JsonRun {
     /// ([`ufim_core::MinerStats::shards_pruned`]); optional like
     /// [`shards_evaluated`](Self::shards_evaluated).
     pub shards_pruned: Option<u64>,
+    /// Border-tracker entries invalidated and re-evaluated by an
+    /// incremental run ([`ufim_core::MinerStats::border_rejudged`]);
+    /// `None` outside incremental (streaming) runs. Advisory in the gate
+    /// like the shard counters.
+    pub border_rejudged: Option<u64>,
+    /// Border-tracker entries reused without re-evaluation
+    /// ([`ufim_core::MinerStats::border_skipped`]); optional like
+    /// [`border_rejudged`](Self::border_rejudged).
+    pub border_skipped: Option<u64>,
 }
 
 impl JsonRun {
@@ -145,11 +154,15 @@ impl JsonSnapshot {
                 r.intersections,
                 r.num_itemsets
             );
-            if let Some(n) = r.shards_evaluated {
-                let _ = write!(s, ", \"shards_evaluated\": {n}");
-            }
-            if let Some(n) = r.shards_pruned {
-                let _ = write!(s, ", \"shards_pruned\": {n}");
+            for (name, v) in [
+                ("shards_evaluated", r.shards_evaluated),
+                ("shards_pruned", r.shards_pruned),
+                ("border_rejudged", r.border_rejudged),
+                ("border_skipped", r.border_skipped),
+            ] {
+                if let Some(n) = v {
+                    let _ = write!(s, ", \"{name}\": {n}");
+                }
             }
             s.push('}');
         }
@@ -207,6 +220,8 @@ impl JsonSnapshot {
                 num_itemsets: top_field(&r, "num_itemsets")?.unsigned("num_itemsets")?,
                 shards_evaluated: opt_field(&r, "shards_evaluated")?,
                 shards_pruned: opt_field(&r, "shards_pruned")?,
+                border_rejudged: opt_field(&r, "border_rejudged")?,
+                border_skipped: opt_field(&r, "border_skipped")?,
             });
         }
         Ok(JsonSnapshot {
@@ -379,6 +394,8 @@ fn compare_snapshots(
         for (field, fv, bv) in [
             ("shards_evaluated", f.shards_evaluated, b.shards_evaluated),
             ("shards_pruned", f.shards_pruned, b.shards_pruned),
+            ("border_rejudged", f.border_rejudged, b.border_rejudged),
+            ("border_skipped", f.border_skipped, b.border_skipped),
         ] {
             if fv != bv {
                 let show = |v: Option<u64>| v.map_or("absent".into(), |n| n.to_string());
@@ -740,6 +757,8 @@ mod tests {
                     num_itemsets: 31,
                     shards_evaluated: Some(96),
                     shards_pruned: Some(32),
+                    border_rejudged: Some(12),
+                    border_skipped: Some(40),
                 },
                 JsonRun {
                     workload: "skew=1.2".into(),
@@ -752,6 +771,8 @@ mod tests {
                     num_itemsets: 7,
                     shards_evaluated: None,
                     shards_pruned: None,
+                    border_rejudged: None,
+                    border_skipped: None,
                 },
             ],
         }

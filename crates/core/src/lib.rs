@@ -20,6 +20,8 @@
 //!   (horizontal layout),
 //! * [`VerticalIndex`] / [`ProbVector`] — the columnar (tid-list) layout
 //!   behind the vertical support engine,
+//! * [`WindowedDatabase`] / [`WindowStep`] — sliding-window ingest with
+//!   per-slot tid deltas (the streaming seam),
 //! * [`Itemset`] — a sorted, duplicate-free set of item ids,
 //! * [`MiningParams`], [`Ratio`], [`EngineKind`] — validated threshold
 //!   parameters and the support-backend selector,
@@ -49,6 +51,7 @@ pub mod traits;
 pub mod transaction;
 pub mod vertical;
 pub mod vocab;
+pub mod window;
 
 pub use database::{DatabaseStats, UncertainDatabase, UncertainDatabaseBuilder};
 pub use error::CoreError;
@@ -60,6 +63,7 @@ pub use traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
 pub use transaction::Transaction;
 pub use vertical::{DiffVector, ProbVector, ScratchSpace, ShardPlan, VerticalIndex, ZoneEntry};
 pub use vocab::Vocabulary;
+pub use window::{DirtySlot, WindowStep, WindowedDatabase};
 
 /// Convenient glob-import for downstream crates:
 /// `use ufim_core::prelude::*;`
@@ -76,4 +80,5 @@ pub mod prelude {
         DiffVector, ProbVector, ScratchSpace, ShardPlan, VerticalIndex, ZoneEntry,
     };
     pub use crate::vocab::Vocabulary;
+    pub use crate::window::{DirtySlot, WindowStep, WindowedDatabase};
 }

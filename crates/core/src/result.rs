@@ -79,6 +79,14 @@ pub struct MinerStats {
     /// is provably empty, plus every shard of a candidate the zone
     /// precheck pruned whole (0 on unsharded runs).
     pub shards_pruned: u64,
+    /// Border itemsets fully re-judged during an incremental window step:
+    /// tracked itemsets a dirty transaction touched whose support bounds
+    /// could not rule out a threshold crossing (0 on batch runs).
+    pub border_rejudged: u64,
+    /// Border itemsets skipped during an incremental window step — either
+    /// untouched by every dirty transaction or ruled out by their
+    /// maintained support bounds without re-evaluation (0 on batch runs).
+    pub border_skipped: u64,
 }
 
 impl MinerStats {
@@ -95,6 +103,8 @@ impl MinerStats {
         self.peak_memo_bytes = self.peak_memo_bytes.max(other.peak_memo_bytes);
         self.shards_evaluated += other.shards_evaluated;
         self.shards_pruned += other.shards_pruned;
+        self.border_rejudged += other.border_rejudged;
+        self.border_skipped += other.border_skipped;
     }
 }
 
@@ -230,11 +240,15 @@ mod tests {
             candidates_evaluated: 2,
             candidates_pruned_chernoff: 5,
             peak_structure_nodes: 7,
+            border_rejudged: 4,
+            border_skipped: 9,
             ..Default::default()
         };
         a.absorb(&b);
         assert_eq!(a.candidates_evaluated, 5);
         assert_eq!(a.candidates_pruned_chernoff, 5);
         assert_eq!(a.peak_structure_nodes, 10);
+        assert_eq!(a.border_rejudged, 4);
+        assert_eq!(a.border_skipped, 9);
     }
 }

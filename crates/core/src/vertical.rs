@@ -571,6 +571,125 @@ impl ProbVector {
         self.nnz += 1;
     }
 
+    /// Point lookup: the stored probability at `tid`, or `0.0` when the
+    /// tid is absent. `O(log chunks)`.
+    pub fn get(&self, tid: u32) -> f64 {
+        let key = tid >> CHUNK_BITS;
+        let bit = tid & (CHUNK_LANES as u32 - 1);
+        let Ok(i) = self.keys.binary_search(&key) else {
+            return 0.0;
+        };
+        if self.masks[i] >> bit & 1 == 0 {
+            return 0.0;
+        }
+        let s = self.start(i);
+        if self.end(i) - s == CHUNK_LANES {
+            self.lanes[s + bit as usize]
+        } else {
+            self.lanes[s + rank(self.masks[i], bit)]
+        }
+    }
+
+    /// Point upsert at an arbitrary tid — the delta-maintenance twin of
+    /// [`ProbVector::push`]. The touched chunk is re-laid-out under the
+    /// same per-chunk cutoff rule as [`ProbVector::from_parts`], so the
+    /// layout stays a pure function of the contents: a point-updated
+    /// vector is byte-identical to one rebuilt from scratch.
+    pub fn insert(&mut self, tid: u32, prob: f64) {
+        debug_assert!(prob > 0.0, "zero-prob entry");
+        self.set_point(tid, Some(prob));
+    }
+
+    /// Point removal at an arbitrary tid; returns whether the tid was
+    /// present. Same canonical-layout guarantee as [`ProbVector::insert`];
+    /// a chunk whose last entry is removed leaves the directory entirely.
+    pub fn remove(&mut self, tid: u32) -> bool {
+        self.set_point(tid, None)
+    }
+
+    /// Shared splice of [`ProbVector::insert`] / [`ProbVector::remove`]:
+    /// extracts the touched chunk to positional form, mutates one lane,
+    /// and re-commits it under the canonical cutoff rule, shifting the
+    /// directory suffix. `O(total lanes)` per call — window steps touch
+    /// few tids, so this stays proportional to the delta times the
+    /// posting length.
+    fn set_point(&mut self, tid: u32, prob: Option<f64>) -> bool {
+        let key = tid >> CHUNK_BITS;
+        let bit = tid & (CHUNK_LANES as u32 - 1);
+        let (pos, existed) = match self.keys.binary_search(&key) {
+            Ok(i) => (i, true),
+            Err(i) => (i, false),
+        };
+        let mut vals = [0.0f64; CHUNK_LANES];
+        let mut mask = 0u64;
+        let old_start = self.start(pos);
+        let mut old_end = old_start;
+        if existed {
+            mask = self.masks[pos];
+            old_end = self.end(pos);
+            if old_end - old_start == CHUNK_LANES {
+                vals.copy_from_slice(&self.lanes[old_start..old_end]);
+            } else {
+                let mut m = mask;
+                let mut idx = old_start;
+                while m != 0 {
+                    let t = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    vals[t] = self.lanes[idx];
+                    idx += 1;
+                }
+            }
+        }
+        let had = mask >> bit & 1 == 1;
+        match prob {
+            Some(p) => {
+                vals[bit as usize] = p;
+                mask |= 1u64 << bit;
+                self.nnz += usize::from(!had);
+            }
+            None => {
+                if !had {
+                    return false;
+                }
+                vals[bit as usize] = 0.0;
+                mask &= !(1u64 << bit);
+                self.nnz -= 1;
+            }
+        }
+        // Re-commit under the same layout rule as `commit_chunk`.
+        let n = mask.count_ones() as usize;
+        let mut new_lanes: Vec<f64> = Vec::with_capacity(if n > 0 { CHUNK_LANES } else { 0 });
+        if n * DENSE_CUTOFF_DIVISOR >= CHUNK_LANES && n < CHUNK_LANES {
+            new_lanes.extend_from_slice(&vals);
+        } else {
+            let mut m = mask;
+            while m != 0 {
+                let t = m.trailing_zeros() as usize;
+                m &= m - 1;
+                new_lanes.push(vals[t]);
+            }
+        }
+        let delta = new_lanes.len() as isize - (old_end - old_start) as isize;
+        if existed && n == 0 {
+            self.keys.remove(pos);
+            self.masks.remove(pos);
+            self.ends.remove(pos);
+        } else if existed {
+            self.masks[pos] = mask;
+        } else {
+            debug_assert!(n > 0, "inserting produced an empty chunk");
+            self.keys.insert(pos, key);
+            self.masks.insert(pos, mask);
+            // Placeholder; the suffix shift below lands it on the real end.
+            self.ends.insert(pos, old_start as u32);
+        }
+        self.lanes.splice(old_start..old_end, new_lanes);
+        for e in &mut self.ends[pos..] {
+            *e = (*e as isize + delta) as u32;
+        }
+        true
+    }
+
     /// Releases excess capacity (intersection outputs reserve for the
     /// worst case; long-lived memoized vectors should not keep it).
     pub fn shrink_to_fit(&mut self) {
@@ -1925,6 +2044,66 @@ impl VerticalIndex {
             .unwrap_or(0)
     }
 
+    /// Applies a window-step delta in place: per dirty slot, the old
+    /// transaction's units leave the postings and the new one's enter —
+    /// point updates at the slot's (stable) tid. In sharded mode the same
+    /// updates land in the per-shard fragments, and every dirty
+    /// `(item, shard)` zone-map cell is rebuilt from its fragment with the
+    /// same code the from-scratch build runs.
+    ///
+    /// Because [`ProbVector`] point updates preserve the canonical chunk
+    /// layout, the maintained index is **byte-identical** to
+    /// [`VerticalIndex::build_with_plan`] over the stepped window's
+    /// snapshot — postings, fragments and zones alike — so everything
+    /// downstream (kernels, bounded pushdown, zone prechecks) behaves as
+    /// if the index had been rebuilt. Cost is proportional to the delta:
+    /// `O(Σ_{dirty units} posting length)` plus a zone refresh per dirty
+    /// cell, never `O(window)`.
+    ///
+    /// Every dirty tid must lie within the indexed transaction range (the
+    /// window's ring-buffer tids guarantee this; checked in debug builds).
+    pub fn apply_step(&mut self, step: &crate::window::WindowStep) {
+        let num_shards = self.num_shards();
+        let sharded = self.is_sharded();
+        // (item, shard) cells whose zone entries must be rebuilt.
+        let mut dirty_cells: Vec<(ItemId, usize)> = Vec::new();
+        for d in &step.dirty {
+            debug_assert!(
+                (d.tid as usize) < self.num_transactions,
+                "dirty tid outside the indexed range"
+            );
+            let shard = self.plan.shard_of_key(d.tid >> CHUNK_BITS);
+            for (item, _) in d.old.units() {
+                if d.new.prob_of(item) == 0.0 {
+                    self.postings[item as usize].remove(d.tid);
+                    if sharded {
+                        self.shard_frags[item as usize][shard].remove(d.tid);
+                        dirty_cells.push((item, shard));
+                    }
+                }
+            }
+            for (item, p) in d.new.units() {
+                self.postings[item as usize].insert(d.tid, p);
+                if sharded {
+                    self.shard_frags[item as usize][shard].insert(d.tid, p);
+                    dirty_cells.push((item, shard));
+                }
+            }
+        }
+        dirty_cells.sort_unstable();
+        dirty_cells.dedup();
+        for (item, shard) in dirty_cells {
+            let f = &self.shard_frags[item as usize][shard];
+            let mut max_prob = 0.0f64;
+            f.for_each_nonzero(|_, q| max_prob = max_prob.max(q));
+            self.zones[item as usize * num_shards + shard] = ZoneEntry {
+                mass: f.esup(),
+                max_prob,
+                nonzero: f.len() as u32,
+            };
+        }
+    }
+
     /// Computes an arbitrary itemset's prob-vector from scratch by folding
     /// postings left to right — `O(Σ |postings|)`. Miners avoid this via
     /// prefix memoization; it anchors tests and serves cold lookups.
@@ -2664,6 +2843,125 @@ mod tests {
                 // proves `Σ bounds < thr` proves the candidate infrequent.
                 let (full, _, _) = idx.postings(a).intersect_stats(idx.postings(b));
                 assert!((total - full).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Byte-level layout equality: the canonical-layout invariant says two
+    /// vectors with the same contents have identical directories and lanes
+    /// however they were built.
+    fn assert_same_layout(a: &ProbVector, b: &ProbVector, label: &str) {
+        assert_eq!(a.keys, b.keys, "{label}: chunk keys");
+        assert_eq!(a.masks, b.masks, "{label}: masks");
+        assert_eq!(a.ends, b.ends, "{label}: lane offsets");
+        assert_eq!(a.nnz, b.nnz, "{label}: nnz");
+        let ab: Vec<u64> = a.lanes.iter().map(|p| p.to_bits()).collect();
+        let bb: Vec<u64> = b.lanes.iter().map(|p| p.to_bits()).collect();
+        assert_eq!(ab, bb, "{label}: lanes");
+    }
+
+    /// Point updates keep the canonical layout: after any mix of inserts,
+    /// overwrites and removals, the vector is byte-identical to a
+    /// `from_parts` rebuild of the same contents — including chunks that
+    /// cross the packed↔positional cutoff in either direction, chunk
+    /// creation at either end, and chunk removal.
+    #[test]
+    fn point_updates_preserve_canonical_layout() {
+        use std::collections::BTreeMap;
+        let mut v = build(&[(70, 0.5), (75, 0.25), (600, 0.9)]);
+        let mut model: BTreeMap<u32, f64> = [(70, 0.5), (75, 0.25), (600, 0.9)].into();
+        // (tid, Some(prob) = upsert | None = remove); drives chunk 1
+        // across the positional cutoff and back, prepends chunk 0,
+        // appends chunk 12, empties chunk 9.
+        let ops: Vec<(u32, Option<f64>)> = (64..64 + 20)
+            .map(|t| (t, Some(0.5 + t as f64 / 1000.0)))
+            .chain([
+                (3, Some(0.125)),
+                (800, Some(0.75)),
+                (600, None),
+                (75, Some(0.3)),
+                (70, None),
+                (1, Some(1.0)),
+                (999, None), // absent: no-op
+            ])
+            .chain((64..64 + 18).map(|t| (t, None)))
+            .collect();
+        for (tid, op) in ops {
+            match op {
+                Some(p) => {
+                    v.insert(tid, p);
+                    model.insert(tid, p);
+                }
+                None => {
+                    assert_eq!(v.remove(tid), model.remove(&tid).is_some(), "remove {tid}");
+                }
+            }
+            let pairs: Vec<(u32, f64)> = model.iter().map(|(&t, &p)| (t, p)).collect();
+            let rebuilt = build(&pairs);
+            assert_same_layout(&v, &rebuilt, "after point update");
+            for (&t, &p) in &model {
+                assert_eq!(v.get(t).to_bits(), p.to_bits(), "get({t})");
+            }
+            assert_eq!(v.get(4096), 0.0);
+        }
+    }
+
+    /// `apply_step` maintains the index byte-identically to a rebuild:
+    /// postings, per-shard fragments and zone-map cells all match a
+    /// from-scratch `build_with_plan` over the stepped window's snapshot —
+    /// including steps that cross shard boundaries and steps that empty a
+    /// slot entirely.
+    #[test]
+    fn apply_step_matches_fresh_build() {
+        use crate::window::WindowedDatabase;
+        let capacity = 200; // 4 shards at width 1 chunk
+        let plan = ShardPlan::with_width_chunks(1);
+        let mut w = WindowedDatabase::new(capacity, 6);
+        let mut idx = VerticalIndex::build_with_plan(&w.snapshot(), plan);
+        assert!(idx.is_sharded());
+        // A deterministic ingest mixing appends (wrapping past capacity,
+        // so slots are reused across shard boundaries) with expiries.
+        let mut x = 12345u64;
+        let mut rng = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        for round in 0..8 {
+            for _ in 0..60 {
+                let mut units: Vec<(u32, f64)> = Vec::new();
+                for i in 0..6u32 {
+                    if rng() % 2 == 0 {
+                        units.push((i, (rng() % 99 + 1) as f64 / 100.0));
+                    }
+                }
+                w.append(Transaction::new(units).unwrap());
+            }
+            if round % 2 == 1 {
+                w.expire_oldest(90);
+            }
+            let step = w.take_step();
+            idx.apply_step(&step);
+            let fresh = VerticalIndex::build_with_plan(&w.snapshot(), plan);
+            assert_eq!(idx.num_shards(), fresh.num_shards());
+            for item in 0..6u32 {
+                assert_same_layout(
+                    idx.postings(item),
+                    fresh.postings(item),
+                    &format!("postings[{item}] round {round}"),
+                );
+                for s in 0..idx.num_shards() {
+                    assert_same_layout(
+                        idx.shard_postings(item, s),
+                        fresh.shard_postings(item, s),
+                        &format!("frag[{item}][{s}] round {round}"),
+                    );
+                    let (a, b) = (idx.zone(item, s), fresh.zone(item, s));
+                    assert_eq!(a.mass.to_bits(), b.mass.to_bits(), "zone mass");
+                    assert_eq!(a.max_prob.to_bits(), b.max_prob.to_bits(), "zone max");
+                    assert_eq!(a.nonzero, b.nonzero, "zone nonzero");
+                }
             }
         }
     }

@@ -1,0 +1,327 @@
+//! Sliding-window ingest over an uncertain database: the tid-delta seam.
+//!
+//! The paper's motivating data — sensor readings, user-behaviour logs — is a
+//! stream, but `sup(X)` is defined over a *database*. The streaming semantics
+//! every incremental layer in this workspace builds on is the **sliding
+//! window**: mine the most recent `W` transactions, where arrival appends a
+//! transaction and expiry removes the oldest.
+//!
+//! # The ring-buffer tid model
+//!
+//! [`WindowedDatabase`] is a ring of `capacity` slots and **a tid is a slot
+//! index**, stable for the slot's lifetime. A vacant slot holds the empty
+//! transaction — a legal [`Transaction`] whose containment probability is
+//! zero for every non-empty itemset, so it contributes *exactly* nothing
+//! (an IEEE `+0.0` no-op) to every support statistic. Consequently:
+//!
+//! * [`WindowedDatabase::snapshot`] always has exactly `capacity`
+//!   transactions, so `N` is constant and every threshold derived from it
+//!   (`⌈N·min_sup⌉`, the Poisson λ-inversion, the Normal bound) is fixed at
+//!   construction time — the window never silently moves the bar;
+//! * a window step touches only the slots it reassigns: downstream index
+//!   and memo maintenance is proportional to the delta, not the window;
+//! * mining the snapshot from scratch is always available as the batch
+//!   oracle, and incremental results can be compared against it bit for bit.
+//!
+//! Arrival fills the lowest-numbered free slot (deterministic), expiry
+//! vacates the oldest occupied slot (FIFO over arrival order). When the
+//! window is full, an arrival first evicts the oldest transaction — the
+//! classic count-based sliding window.
+//!
+//! # Deltas
+//!
+//! Mutations accumulate into a pending delta; [`WindowedDatabase::take_step`]
+//! drains it as a [`WindowStep`] — per dirty slot, the transaction the slot
+//! held when the step began (`old`) and the one it holds now (`new`). Deltas
+//! therefore **compose**: appending then expiring the same transaction
+//! within one step cancels to nothing, and any sequence of mutations between
+//! two `take_step` calls collapses to one old→new pair per slot. Consumers
+//! ([`VerticalIndex::apply_step`](crate::vertical::VerticalIndex::apply_step),
+//! the engines' memo invalidation, the miners' border re-judgment) see only
+//! the net change.
+
+use crate::database::UncertainDatabase;
+use crate::hash::FxHashMap;
+use crate::transaction::Transaction;
+use std::collections::VecDeque;
+
+/// One dirty slot of a [`WindowStep`]: the transaction the slot held when
+/// the step began and the one it holds now. Either side may be the empty
+/// transaction (vacant slot).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DirtySlot {
+    /// The slot index — the stable tid of this window position.
+    pub tid: u32,
+    /// Contents when the step began (empty transaction if vacant).
+    pub old: Transaction,
+    /// Contents now (empty transaction if vacant).
+    pub new: Transaction,
+}
+
+/// The net change between two [`WindowedDatabase::take_step`] calls: one
+/// [`DirtySlot`] per touched slot, ascending by tid. Slots whose contents
+/// ended up unchanged (e.g. a transaction that arrived and expired within
+/// the same step) are dropped — the step records *net* changes only.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WindowStep {
+    /// Net per-slot changes, strictly ascending by `tid`.
+    pub dirty: Vec<DirtySlot>,
+}
+
+impl WindowStep {
+    /// True when the step changes nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Number of dirty slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dirty.len()
+    }
+}
+
+/// A count-based sliding window over uncertain transactions, exposing the
+/// append/expire ingest API and per-step deltas (see the module docs for
+/// the tid model).
+#[derive(Clone, Debug)]
+pub struct WindowedDatabase {
+    /// `capacity` slots; vacant slots hold the empty transaction.
+    slots: Vec<Transaction>,
+    /// Occupied slots in arrival order (front = oldest).
+    order: VecDeque<u32>,
+    /// Vacant slots; popped last-in-first-out. Initialized in descending
+    /// order so fresh windows fill slots `0, 1, 2, …` — fully deterministic.
+    free: Vec<u32>,
+    /// Per-slot contents at the moment the slot first became dirty in the
+    /// current step.
+    pending: FxHashMap<u32, Transaction>,
+    num_items: u32,
+}
+
+impl WindowedDatabase {
+    /// A fresh, empty window of `capacity` slots over the vocabulary
+    /// `0..num_items`.
+    ///
+    /// # Panics
+    /// If `capacity` is zero (a zero-slot window cannot hold anything) or
+    /// does not fit in `u32` (tids are 32-bit).
+    pub fn new(capacity: usize, num_items: u32) -> Self {
+        assert!(capacity > 0, "window capacity must be at least 1");
+        assert!(u32::try_from(capacity).is_ok(), "capacity exceeds u32 tids");
+        WindowedDatabase {
+            slots: vec![Transaction::certain([]); capacity],
+            order: VecDeque::with_capacity(capacity),
+            free: (0..capacity as u32).rev().collect(),
+            pending: FxHashMap::default(),
+            num_items,
+        }
+    }
+
+    /// Number of slots (the constant `N` of every snapshot).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots (live transactions in the window).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when no slot is occupied.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Vocabulary size (item ids are `0..num_items`).
+    #[inline]
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// The current contents of a slot (empty transaction if vacant).
+    #[inline]
+    pub fn slot(&self, tid: u32) -> &Transaction {
+        &self.slots[tid as usize]
+    }
+
+    /// Records `tid`'s current contents as the step's `old` side, if this is
+    /// the first time the slot is dirtied within the step.
+    fn mark_dirty(&mut self, tid: u32) {
+        let slot = &self.slots[tid as usize];
+        self.pending.entry(tid).or_insert_with(|| slot.clone());
+    }
+
+    /// Appends a transaction, evicting the oldest one first when the window
+    /// is full. Returns the tid (slot index) the transaction landed in.
+    ///
+    /// # Panics
+    /// In debug builds, if the transaction references an item outside the
+    /// vocabulary.
+    pub fn append(&mut self, t: Transaction) -> u32 {
+        debug_assert!(
+            t.items().iter().all(|&i| i < self.num_items),
+            "transaction references an item outside the vocabulary"
+        );
+        if self.free.is_empty() {
+            self.expire_oldest(1);
+        }
+        let tid = self.free.pop().expect("a slot was just freed");
+        self.mark_dirty(tid);
+        self.slots[tid as usize] = t;
+        self.order.push_back(tid);
+        tid
+    }
+
+    /// Expires (vacates) up to `n` of the oldest transactions; returns how
+    /// many were actually expired (fewer only when the window ran dry).
+    pub fn expire_oldest(&mut self, n: usize) -> usize {
+        let mut expired = 0;
+        while expired < n {
+            let Some(tid) = self.order.pop_front() else {
+                break;
+            };
+            self.mark_dirty(tid);
+            self.slots[tid as usize] = Transaction::certain([]);
+            self.free.push(tid);
+            expired += 1;
+        }
+        expired
+    }
+
+    /// Drains the pending mutations into a [`WindowStep`]: the *net* change
+    /// per slot since the previous `take_step` (or construction), ascending
+    /// by tid. Slots whose contents are back to what the step started with
+    /// are omitted.
+    pub fn take_step(&mut self) -> WindowStep {
+        let mut dirty: Vec<DirtySlot> = self
+            .pending
+            .drain()
+            .filter_map(|(tid, old)| {
+                let new = self.slots[tid as usize].clone();
+                (old != new).then_some(DirtySlot { tid, old, new })
+            })
+            .collect();
+        dirty.sort_unstable_by_key(|d| d.tid);
+        WindowStep { dirty }
+    }
+
+    /// A from-scratch [`UncertainDatabase`] of the whole window: exactly
+    /// `capacity` transactions with tids equal to slot indices (vacant slots
+    /// are empty transactions). This is the batch-mining oracle every
+    /// incremental result is pinned against.
+    pub fn snapshot(&self) -> UncertainDatabase {
+        UncertainDatabase::with_num_items(self.slots.clone(), self.num_items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(units: &[(u32, f64)]) -> Transaction {
+        Transaction::new(units.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn appends_fill_slots_in_order() {
+        let mut w = WindowedDatabase::new(3, 4);
+        assert_eq!(w.append(tx(&[(0, 0.5)])), 0);
+        assert_eq!(w.append(tx(&[(1, 0.5)])), 1);
+        assert_eq!(w.append(tx(&[(2, 0.5)])), 2);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.capacity(), 3);
+    }
+
+    #[test]
+    fn full_window_append_evicts_oldest() {
+        let mut w = WindowedDatabase::new(2, 4);
+        w.append(tx(&[(0, 0.5)]));
+        w.append(tx(&[(1, 0.5)]));
+        // Slot 0 (oldest) is evicted and immediately reused.
+        assert_eq!(w.append(tx(&[(2, 0.5)])), 0);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.slot(0).items(), &[2]);
+        assert_eq!(w.slot(1).items(), &[1]);
+    }
+
+    #[test]
+    fn expiry_vacates_fifo() {
+        let mut w = WindowedDatabase::new(3, 4);
+        w.append(tx(&[(0, 0.5)]));
+        w.append(tx(&[(1, 0.5)]));
+        assert_eq!(w.expire_oldest(1), 1);
+        assert!(w.slot(0).is_empty());
+        assert_eq!(w.len(), 1);
+        // Draining past empty stops early.
+        assert_eq!(w.expire_oldest(5), 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn step_records_net_changes_sorted_by_tid() {
+        let mut w = WindowedDatabase::new(4, 4);
+        w.append(tx(&[(0, 0.5)]));
+        w.append(tx(&[(1, 0.5)]));
+        let _ = w.take_step();
+        // Dirty slots 1 (expired), 0 (expired), 2 (appended) — out of order.
+        w.expire_oldest(2);
+        w.append(tx(&[(2, 0.5)]));
+        let step = w.take_step();
+        let tids: Vec<u32> = step.dirty.iter().map(|d| d.tid).collect();
+        // Appends reuse freed slots LIFO: slot 1 was freed last, so the new
+        // transaction landed there; slot 0 stays vacant.
+        assert_eq!(tids, vec![0, 1]);
+        assert!(step.dirty[0].new.is_empty());
+        assert_eq!(step.dirty[1].new.items(), &[2]);
+        assert_eq!(step.dirty[1].old.items(), &[1]);
+    }
+
+    #[test]
+    fn arrive_and_expire_same_step_cancels() {
+        let mut w = WindowedDatabase::new(2, 4);
+        w.append(tx(&[(0, 0.5)]));
+        let _ = w.take_step();
+        w.append(tx(&[(1, 0.5)]));
+        w.expire_oldest(2); // removes slot 0's old tx AND the new arrival
+        let step = w.take_step();
+        // Slot 1 went empty → tx → empty: net nothing. Slot 0 went tx → empty.
+        assert_eq!(step.len(), 1);
+        assert_eq!(step.dirty[0].tid, 0);
+        assert!(step.dirty[0].new.is_empty());
+        assert!(!step.is_empty());
+    }
+
+    #[test]
+    fn empty_step_is_empty() {
+        let mut w = WindowedDatabase::new(2, 4);
+        assert!(w.take_step().is_empty());
+        w.append(tx(&[(0, 0.5)]));
+        let _ = w.take_step();
+        assert!(w.take_step().is_empty());
+    }
+
+    #[test]
+    fn snapshot_has_constant_n_with_empty_vacant_slots() {
+        let mut w = WindowedDatabase::new(3, 4);
+        w.append(tx(&[(0, 0.8), (1, 0.5)]));
+        let db = w.snapshot();
+        assert_eq!(db.num_transactions(), 3);
+        assert_eq!(db.num_items(), 4);
+        assert_eq!(db.transactions()[0].items(), &[0, 1]);
+        assert!(db.transactions()[1].is_empty());
+        assert!(db.transactions()[2].is_empty());
+        // Vacant slots contribute exactly nothing.
+        assert_eq!(db.expected_support(&[0]), 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = WindowedDatabase::new(0, 4);
+    }
+}

@@ -58,9 +58,12 @@
 //! ascending shard order into the same [`LevelSupport`] that `evaluate`
 //! returns. On databases wide enough for the default plan to yield more
 //! than one shard, the columnar backends route `evaluate` itself through
-//! the seam: `par_map` across candidates × nested [`Scope::spawn`] tasks
-//! across a heavy candidate's shards, fragment partials merged through an
-//! [`OrderedSink`] in shard order. Determinism is structural, not
+//! the seam: the vertical engine runs `par_map` across candidates ×
+//! nested [`Scope::spawn`] tasks across a heavy candidate's shards,
+//! fragment partials merged through an [`OrderedSink`] in shard order;
+//! the diffset engine runs `par_map` across prefix groups, its delta
+//! chains split per (itemset, shard) cell so the memo keeps its memory
+//! edge under sharding. Determinism is structural, not
 //! incidental: the shard width is a pure function of the database size,
 //! every fragment keeps its global chunk keys so the streamed moment
 //! accumulator ([`ProbVector::fragments_moments`]) folds the identical
@@ -91,7 +94,7 @@ use ufim_core::parallel::{par_map_min_len, par_map_min_len_with, scope, OrderedS
 use ufim_core::vertical::{BOUND_SLACK, SUM_BLOCK_TIDS};
 use ufim_core::{
     DiffVector, EngineKind, FrequentItemset, FxHashMap, ItemId, Itemset, MinerStats, ProbVector,
-    ScratchSpace, ShardPlan, UncertainDatabase, VerticalIndex,
+    ScratchSpace, ShardPlan, UncertainDatabase, VerticalIndex, WindowStep,
 };
 
 /// Which optional statistics [`SupportEngine::evaluate`] must produce, plus
@@ -294,6 +297,21 @@ pub trait SupportEngine {
         let _ = (candidates, want, stats);
         merge_single_level(partials)
     }
+
+    /// Applies one sliding-window step to the backend's own copy of the
+    /// data (postings point updates + zone-map refresh) and drops any
+    /// memoized per-run state, which the step invalidated. After a `true`
+    /// return the engine is equivalent to a freshly built one over the
+    /// stepped window — the maintained index is byte-identical to a
+    /// rebuild, so subsequent evaluations are bit-identical to batch.
+    ///
+    /// Returns `false` when the backend holds no mutable copy of the data
+    /// (the horizontal scan borrows the caller's database) — the caller
+    /// must then rebuild the engine over the new window snapshot.
+    fn apply_window_step(&mut self, step: &WindowStep) -> bool {
+        let _ = step;
+        false
+    }
 }
 
 /// Builds the backend selected by `kind` over `db`, under the default
@@ -472,10 +490,9 @@ struct ShardedNode {
     masses: Vec<f64>,
 }
 
-/// The fragment memo both columnar engines run in sharded mode. The
-/// diffset backend shares it because per-shard *delta* chains are a
-/// ROADMAP follow-up: in sharded mode it stores fragment tidsets, trading
-/// its memory edge for the shard seam (its unsharded path is untouched).
+/// The fragment memo the vertical engine runs in sharded mode (the
+/// diffset backend keeps per-shard *delta* chains instead — see
+/// [`DiffShardedState`]).
 #[derive(Default)]
 struct ShardedState {
     /// Previous level's frequent itemsets, keyed by item array.
@@ -586,13 +603,13 @@ struct ShardedEval {
 /// every factor is an upper bound on the true per-tid product sum.
 fn zone_esup_bound(
     index: &VerticalIndex,
-    prefix: &ShardedPrefix<'_>,
+    prefix_mass: f64,
     prefix_items: &[ItemId],
     last: ItemId,
     shard: usize,
 ) -> f64 {
     let z = index.zone(last, shard);
-    let mut bound = z.mass.min(z.max_prob * prefix.mass(index, shard));
+    let mut bound = z.mass.min(z.max_prob * prefix_mass);
     if let [first] = prefix_items {
         let zp = index.zone(*first, shard);
         bound = bound.min(zp.max_prob * z.max_prob * f64::from(zp.nonzero.min(z.nonzero)));
@@ -655,7 +672,7 @@ fn sharded_candidate(
             if z.nonzero == 0 || frag.is_empty() {
                 continue;
             }
-            esup_ub += zone_esup_bound(index, &prefix, prefix_items, last, shard);
+            esup_ub += zone_esup_bound(index, prefix.mass(index, shard), prefix_items, last, shard);
             count_ub += u64::from(z.nonzero).min(frag.len() as u64);
         }
         let hopeless = want.min_esup.is_some_and(|t| esup_ub + BOUND_SLACK < t)
@@ -842,18 +859,16 @@ fn sharded_candidate_shard(
     Some(frag.intersect(index.shard_postings(last, shard)))
 }
 
-/// The columnar backends' `merge_shards`: reassembles each candidate's
-/// fragment row in ascending shard order, streams the moments, and
-/// memoizes survivors.
-fn fragment_merge_shards(
-    state: &mut ShardedState,
-    candidates: &[Itemset],
+/// Reassembles the columnar seam's per-candidate fragment rows in
+/// ascending shard order (skipped fragments become empty vectors, which
+/// contribute exactly nothing to the streamed moments).
+fn assemble_fragment_rows(
+    num_candidates: usize,
     partials: Vec<ShardPartial>,
-    want: StatRequest,
-) -> LevelSupport {
+) -> Vec<Vec<ProbVector>> {
     let mut sorted = partials;
     sorted.sort_by_key(|p| p.shard);
-    let mut rows: Vec<Vec<ProbVector>> = (0..candidates.len())
+    let mut rows: Vec<Vec<ProbVector>> = (0..num_candidates)
         .map(|_| Vec::with_capacity(sorted.len()))
         .collect();
     for partial in sorted {
@@ -861,7 +876,7 @@ fn fragment_merge_shards(
             ShardPayload::Fragments(frags) => {
                 assert_eq!(
                     frags.len(),
-                    candidates.len(),
+                    num_candidates,
                     "every partial covers every candidate"
                 );
                 for (row, frag) in rows.iter_mut().zip(frags) {
@@ -871,6 +886,19 @@ fn fragment_merge_shards(
             _ => panic!("columnar seam expects fragment partials"),
         }
     }
+    rows
+}
+
+/// The vertical backend's `merge_shards`: reassembles each candidate's
+/// fragment row in ascending shard order, streams the moments, and
+/// memoizes survivors.
+fn fragment_merge_shards(
+    state: &mut ShardedState,
+    candidates: &[Itemset],
+    partials: Vec<ShardPartial>,
+    want: StatRequest,
+) -> LevelSupport {
+    let rows = assemble_fragment_rows(candidates.len(), partials);
     let mut out = LevelSupport {
         esup: Vec::with_capacity(candidates.len()),
         variance: want.variance.then(|| Vec::with_capacity(candidates.len())),
@@ -889,6 +917,541 @@ fn fragment_merge_shards(
             || want.min_count.is_some_and(|t| (count as u64) < t));
         if survives && candidate.len() > 1 {
             state.current.insert(candidate.items().to_vec(), row);
+        }
+    }
+    out
+}
+
+/// One shard's cell of a [`DiffShardedNode`]: dEclat's per-node
+/// representation choice applied per (itemset, shard) — whichever of the
+/// materialized fragment or the delta against the prefix's fragment is
+/// smaller, decided from **exact** byte counts (both representations are
+/// in hand when the cell is built, unlike the unsharded path's estimate).
+enum ShardRepr {
+    /// Materialized fragment (the chain terminator for per-shard
+    /// resolution — chosen in the sparse-child regime).
+    Tidset(ProbVector),
+    /// Delta against the prefix's fragment over the same shard's tid
+    /// range (a [`DiffVector`] only ever drops tids of one shard, so the
+    /// per-shard chains compose exactly like the global one).
+    Diff(DiffVector),
+}
+
+impl ShardRepr {
+    fn mem_bytes(&self) -> usize {
+        match self {
+            ShardRepr::Tidset(v) => v.mem_bytes(),
+            ShardRepr::Diff(d) => d.mem_bytes(),
+        }
+    }
+
+    fn mem_units(&self) -> usize {
+        match self {
+            ShardRepr::Tidset(v) => v.mem_units(),
+            ShardRepr::Diff(d) => d.len(),
+        }
+    }
+}
+
+/// One frequent itemset retained by the diffset backend's sharded mode:
+/// per-shard delta chains (or fragments, where smaller) plus each shard's
+/// exact probability mass and nonzero count — the prefix-side operands of
+/// the zone precheck, recorded so prechecks never walk a chain.
+struct DiffShardedNode {
+    reprs: Vec<ShardRepr>,
+    masses: Vec<f64>,
+    lens: Vec<u32>,
+}
+
+/// Sharded-mode state of the diffset backend. Unlike the vertical
+/// engine's [`ShardedState`] (whole fragment tidsets, one level deep),
+/// the memo is persistent across levels and delta-chained per shard, so
+/// the diffset memory edge survives sharding (`bench_memory` asserts the
+/// win under a forced multi-shard plan).
+#[derive(Default)]
+struct DiffShardedState {
+    /// Every retained frequent itemset, keyed by its item array. Ancestors
+    /// of any retained delta are themselves retained (Apriori closure:
+    /// every prefix of a frequent itemset is frequent).
+    memo: FxHashMap<Vec<ItemId>, DiffShardedNode>,
+    /// Nodes for the current level's survivors, pending `finish_level`.
+    current: FxHashMap<Vec<ItemId>, DiffShardedNode>,
+}
+
+/// Peak `(units, bytes)` of the diff-sharded memo (repr payloads only,
+/// like the unsharded accounting).
+fn diff_sharded_memo_peak(state: &DiffShardedState) -> (u64, u64) {
+    let (mut units, mut bytes) = (0usize, 0usize);
+    for repr in state
+        .memo
+        .values()
+        .chain(state.current.values())
+        .flat_map(|n| n.reprs.iter())
+    {
+        units += repr.mem_units();
+        bytes += repr.mem_bytes();
+    }
+    (units as u64, bytes as u64)
+}
+
+/// Reconstructs one shard's fragment of `items` from the per-shard
+/// delta-chain memo, counting each `apply_diff` step into `applies`.
+/// Falls back to a from-scratch per-shard postings fold for itemsets the
+/// memo never saw (direct trait users) — the single-shard slice of
+/// [`cold_sharded_node`].
+fn resolve_shard_frag<'a>(
+    index: &'a VerticalIndex,
+    memo: &'a FxHashMap<Vec<ItemId>, DiffShardedNode>,
+    items: &[ItemId],
+    shard: usize,
+    applies: &mut u64,
+) -> Resolved<'a> {
+    match items.len() {
+        0 => Resolved::Owned(ProbVector::new()),
+        1 => Resolved::Borrowed(index.shard_postings(items[0], shard)),
+        k => match memo.get(items) {
+            Some(node) => match &node.reprs[shard] {
+                ShardRepr::Tidset(v) => Resolved::Borrowed(v),
+                ShardRepr::Diff(d) => {
+                    let parent = resolve_shard_frag(index, memo, &items[..k - 1], shard, applies);
+                    *applies += 1;
+                    Resolved::Owned(
+                        parent
+                            .get()
+                            .apply_diff(d, index.shard_postings(items[k - 1], shard)),
+                    )
+                }
+            },
+            None => {
+                *applies += items.len().saturating_sub(1) as u64;
+                let mut acc = index.shard_postings(items[0], shard).clone();
+                for &item in &items[1..] {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc = acc.intersect(index.shard_postings(item, shard));
+                }
+                Resolved::Owned(acc)
+            }
+        },
+    }
+}
+
+/// A candidate's prefix in diff-sharded mode, exposing the per-shard
+/// masses and nonzero counts the zone precheck consumes without walking
+/// any chain; fragments themselves resolve lazily per shard.
+enum DiffShardedPrefix<'a> {
+    Item(ItemId),
+    Node(&'a DiffShardedNode),
+    Cold(ShardedNode),
+}
+
+impl DiffShardedPrefix<'_> {
+    fn resolve<'a>(
+        index: &VerticalIndex,
+        memo: &'a FxHashMap<Vec<ItemId>, DiffShardedNode>,
+        prefix_items: &[ItemId],
+    ) -> DiffShardedPrefix<'a> {
+        if let [item] = prefix_items {
+            DiffShardedPrefix::Item(*item)
+        } else if let Some(node) = memo.get(prefix_items) {
+            DiffShardedPrefix::Node(node)
+        } else {
+            DiffShardedPrefix::Cold(cold_sharded_node(index, prefix_items))
+        }
+    }
+
+    /// The prefix's exact probability mass over one shard — the same
+    /// value the vertical engine's [`ShardedPrefix::mass`] reads, so the
+    /// zone prechecks of the two backends agree bit for bit.
+    fn mass(&self, index: &VerticalIndex, shard: usize) -> f64 {
+        match self {
+            DiffShardedPrefix::Item(item) => index.zone(*item, shard).mass,
+            DiffShardedPrefix::Node(node) => node.masses[shard],
+            DiffShardedPrefix::Cold(node) => node.masses[shard],
+        }
+    }
+
+    /// The prefix's nonzero count over one shard (`fragment.len()`
+    /// without materializing the fragment).
+    fn len(&self, index: &VerticalIndex, shard: usize) -> usize {
+        match self {
+            DiffShardedPrefix::Item(item) => index.zone(*item, shard).nonzero as usize,
+            DiffShardedPrefix::Node(node) => node.lens[shard] as usize,
+            DiffShardedPrefix::Cold(node) => node.frags[shard].len(),
+        }
+    }
+
+    /// The prefix's fragment over one shard — borrowed where the index
+    /// (or a cold fold) holds it materialized, reconstructed through the
+    /// per-shard chain otherwise.
+    fn frag<'b>(
+        &'b self,
+        index: &'b VerticalIndex,
+        memo: &'b FxHashMap<Vec<ItemId>, DiffShardedNode>,
+        prefix_items: &[ItemId],
+        shard: usize,
+        applies: &mut u64,
+    ) -> Resolved<'b> {
+        match self {
+            DiffShardedPrefix::Item(item) => Resolved::Borrowed(index.shard_postings(*item, shard)),
+            DiffShardedPrefix::Node(_) => {
+                resolve_shard_frag(index, memo, prefix_items, shard, applies)
+            }
+            DiffShardedPrefix::Cold(node) => Resolved::Borrowed(&node.frags[shard]),
+        }
+    }
+}
+
+/// Worker result for one candidate of a diff-sharded level evaluation.
+struct DiffShardedEval {
+    esup: f64,
+    var: f64,
+    count: usize,
+    /// Node to memoize — `None` when a threshold (or the zone precheck)
+    /// ruled the candidate out, or for singletons (which resolve from the
+    /// index).
+    node: Option<DiffShardedNode>,
+    /// Per-shard kernel invocations this candidate paid.
+    evaluated: u32,
+    /// Shard evaluations the zone maps skipped.
+    pruned: u32,
+}
+
+/// Evaluates one prefix group in diff-sharded mode: the shared prefix's
+/// fragment resolves (at most) once per shard for the whole group — the
+/// per-shard analog of the unsharded path's per-group chain walk — then
+/// each candidate runs the whole-candidate zone precheck (identical
+/// bounds, from identical per-shard masses and counts, as the vertical
+/// engine's [`sharded_candidate`], so prune decisions agree bit for bit)
+/// and, per evaluable shard, one `diff_extend` + `apply_dropped` pair:
+/// the delta for the memo and the materialized fragment for the streamed
+/// moments. Moments must fold the global summation-block sequence
+/// ([`ProbVector::fragments_moments`]); per-shard moments are never
+/// summed. Pure function of index, memo and candidates — never of thread
+/// count.
+fn diff_sharded_group(
+    index: &VerticalIndex,
+    memo: &FxHashMap<Vec<ItemId>, DiffShardedNode>,
+    candidates: &[Itemset],
+    want: StatRequest,
+    scratch: &mut ScratchSpace,
+) -> (Vec<DiffShardedEval>, u64) {
+    let mut work = 0u64;
+    let mut out = Vec::with_capacity(candidates.len());
+    let shards = index.num_shards();
+    // All group members share a length and (for k > 1) a prefix.
+    let k = candidates[0].len();
+    if k <= 1 {
+        // Singletons read their postings in place, like the unsharded
+        // path; no memo entry.
+        for c in candidates {
+            let (esup, var, count) = match c.items().first() {
+                Some(&item) => {
+                    let postings = index.postings(item);
+                    let (esup, var) = postings.moments();
+                    (esup, var, postings.len())
+                }
+                None => (0.0, 0.0, 0),
+            };
+            out.push(DiffShardedEval {
+                esup,
+                var,
+                count,
+                node: None,
+                evaluated: 0,
+                pruned: 0,
+            });
+        }
+        return (out, work);
+    }
+    let prefix_items = &candidates[0].items()[..k - 1];
+    let prefix = DiffShardedPrefix::resolve(index, memo, prefix_items);
+    // The shared prefix's fragments, resolved lazily (only shards some
+    // candidate actually evaluates — zone prechecks cost no chain walk)
+    // and at most once per group.
+    let mut frag_cache: Vec<Option<Resolved<'_>>> = (0..shards).map(|_| None).collect();
+    for c in candidates {
+        let last = c.items()[k - 1];
+        // Whole-candidate zone precheck — see `sharded_candidate` for the
+        // contract (decision-equivalent bounds reported for candidates it
+        // rules out).
+        if want.min_esup.is_some() || want.min_count.is_some() {
+            let (mut esup_ub, mut count_ub) = (0.0f64, 0u64);
+            for shard in 0..shards {
+                let z = index.zone(last, shard);
+                let plen = prefix.len(index, shard);
+                if z.nonzero == 0 || plen == 0 {
+                    continue;
+                }
+                esup_ub +=
+                    zone_esup_bound(index, prefix.mass(index, shard), prefix_items, last, shard);
+                count_ub += u64::from(z.nonzero).min(plen as u64);
+            }
+            let hopeless = want.min_esup.is_some_and(|t| esup_ub + BOUND_SLACK < t)
+                || want.min_count.is_some_and(|t| count_ub < t);
+            if hopeless {
+                out.push(DiffShardedEval {
+                    esup: esup_ub,
+                    var: 0.0,
+                    count: count_ub as usize,
+                    node: None,
+                    evaluated: 0,
+                    pruned: shards as u32,
+                });
+                continue;
+            }
+        }
+        // Exact per-shard skip, like the vertical path: an empty operand
+        // makes the result fragment empty, which contributes exactly
+        // nothing to the streamed moments — integer emptiness only.
+        let mut child_frags = vec![ProbVector::new(); shards];
+        let mut diffs: Vec<Option<DiffVector>> = (0..shards).map(|_| None).collect();
+        let mut evaluated = 0u32;
+        for shard in 0..shards {
+            if index.zone(last, shard).nonzero == 0 || prefix.len(index, shard) == 0 {
+                continue;
+            }
+            evaluated += 1;
+            let pfrag = frag_cache[shard]
+                .get_or_insert_with(|| prefix.frag(index, memo, prefix_items, shard, &mut work));
+            let postings = index.shard_postings(last, shard);
+            // One diff_extend (the delta + per-shard stats, discarded in
+            // favor of the global streamed moments) plus one apply_dropped
+            // (the fragment the moments and a possible tidset repr need):
+            // two intersection-equivalent walks, charged as such.
+            work += 2;
+            let _ = pfrag.get().diff_extend_into(postings, scratch);
+            let frag = pfrag.get().apply_dropped(scratch.dropped(), postings);
+            // dEclat's per-node choice, per shard, from exact sizes.
+            if std::mem::size_of_val(scratch.dropped()) <= frag.mem_bytes() {
+                diffs[shard] = Some(scratch.export_diff());
+            }
+            child_frags[shard] = frag;
+        }
+        let pruned = shards as u32 - evaluated;
+        let (esup, var, count) = ProbVector::fragments_moments(child_frags.iter());
+        let survives = !(want.min_esup.is_some_and(|t| esup < t)
+            || want.min_count.is_some_and(|t| (count as u64) < t));
+        let node = survives.then(|| {
+            let masses = child_frags.iter().map(|f| f.esup()).collect();
+            let lens = child_frags.iter().map(|f| f.len() as u32).collect();
+            let reprs = child_frags
+                .into_iter()
+                .zip(std::mem::take(&mut diffs))
+                .map(|(f, d)| match d {
+                    Some(d) => ShardRepr::Diff(d),
+                    None => ShardRepr::Tidset(f),
+                })
+                .collect();
+            DiffShardedNode {
+                reprs,
+                masses,
+                lens,
+            }
+        });
+        out.push(DiffShardedEval {
+            esup,
+            var,
+            count,
+            node,
+            evaluated,
+            pruned,
+        });
+    }
+    (out, work)
+}
+
+/// Diff-sharded level evaluation: `par_map` across prefix groups (the
+/// shared prefix chain resolves once per group and shard), counters
+/// summed in group order — pure functions of the data, so results and
+/// counters never depend on thread count.
+fn diff_sharded_evaluate(
+    index: &VerticalIndex,
+    state: &mut DiffShardedState,
+    candidates: &[Itemset],
+    want: StatRequest,
+    stats: &mut MinerStats,
+) -> LevelSupport {
+    let n = candidates.len();
+    let mut out = LevelSupport {
+        esup: vec![0.0; n],
+        variance: want.variance.then(|| vec![0.0; n]),
+        count: want.count.then(|| vec![0u64; n]),
+    };
+    let groups = DiffsetEngine::prefix_groups(candidates);
+    let mean_units = index.mean_posting_units();
+    let mean_group = candidates.len().div_ceil(groups.len().max(1));
+    let weight = mean_units.max(1).saturating_mul(mean_group.max(1));
+    let memo = &state.memo;
+    let results = par_map_min_len_with(
+        &groups,
+        weight,
+        PAR_MIN_WORK,
+        ScratchSpace::new,
+        |scratch, &(s, e)| diff_sharded_group(index, memo, &candidates[s..e], want, scratch),
+    );
+    for (&(s, _), (evals, work)) in groups.iter().zip(results) {
+        stats.intersections += work;
+        for (offset, r) in evals.into_iter().enumerate() {
+            let i = s + offset;
+            stats.shards_evaluated += u64::from(r.evaluated);
+            stats.shards_pruned += u64::from(r.pruned);
+            out.esup[i] = r.esup;
+            if let Some(vs) = out.variance.as_mut() {
+                vs[i] = r.var;
+            }
+            if let Some(cs) = out.count.as_mut() {
+                cs[i] = r.count as u64;
+            }
+            if let Some(node) = r.node {
+                state.current.insert(candidates[i].items().to_vec(), node);
+            }
+        }
+    }
+    out
+}
+
+/// Diff-sharded `prob_vectors`: fragment probs concatenate in shard order
+/// (fragments keep transaction order globally); delta cells re-materialize
+/// through their chain — the same memory-for-time trade the unsharded
+/// diffset path makes.
+fn diff_sharded_prob_vectors(
+    index: &VerticalIndex,
+    state: &DiffShardedState,
+    candidates: &[Itemset],
+    stats: &mut MinerStats,
+) -> Vec<Vec<f64>> {
+    let mut extra = 0u64;
+    let out = candidates
+        .iter()
+        .map(|c| match state.current.get(c.items()) {
+            Some(node) => {
+                let k = c.len();
+                let mut probs = Vec::new();
+                for (shard, repr) in node.reprs.iter().enumerate() {
+                    match repr {
+                        ShardRepr::Tidset(v) => probs.extend(v.nonzero_probs()),
+                        ShardRepr::Diff(d) => {
+                            let prefix = resolve_shard_frag(
+                                index,
+                                &state.memo,
+                                &c.items()[..k - 1],
+                                shard,
+                                &mut extra,
+                            );
+                            extra += 1;
+                            let v = prefix
+                                .get()
+                                .apply_diff(d, index.shard_postings(c.items()[k - 1], shard));
+                            probs.extend(v.nonzero_probs());
+                        }
+                    }
+                }
+                probs
+            }
+            None => {
+                // Cold path (direct trait users): a from-scratch fold
+                // costs `len − 1` intersections; charge them.
+                extra += c.len().saturating_sub(1) as u64;
+                index.prob_vector(c.items()).nonzero_probs()
+            }
+        })
+        .collect();
+    stats.intersections += extra;
+    out
+}
+
+/// Diff-sharded `finish_level`: survivors join the persistent per-shard
+/// delta-chain memo (masses and lens were recorded at evaluation time).
+fn diff_sharded_finish_level(state: &mut DiffShardedState, frequent: &[FrequentItemset]) {
+    for f in frequent {
+        if let Some(node) = state.current.remove(f.itemset.items()) {
+            state.memo.insert(f.itemset.items().to_vec(), node);
+        }
+    }
+    state.current = FxHashMap::default();
+}
+
+/// One candidate × one shard of the diffset backend's trait seam: like
+/// [`sharded_candidate_shard`], with the prefix fragment reconstructed
+/// through the per-shard delta chain.
+fn diff_sharded_candidate_shard(
+    index: &VerticalIndex,
+    memo: &FxHashMap<Vec<ItemId>, DiffShardedNode>,
+    candidate: &Itemset,
+    shard: usize,
+    stats: &mut MinerStats,
+) -> Option<ProbVector> {
+    let items = candidate.items();
+    let k = items.len();
+    if k == 0 {
+        return None;
+    }
+    if k == 1 {
+        let frag = index.shard_postings(items[0], shard);
+        if frag.is_empty() {
+            stats.shards_pruned += 1;
+            return None;
+        }
+        stats.shards_evaluated += 1;
+        return Some(frag.clone());
+    }
+    let (prefix_items, last) = (&items[..k - 1], items[k - 1]);
+    if index.zone(last, shard).nonzero == 0 {
+        stats.shards_pruned += 1;
+        return None;
+    }
+    let prefix = resolve_shard_frag(index, memo, prefix_items, shard, &mut stats.intersections);
+    let frag = prefix.get();
+    if frag.is_empty() {
+        stats.shards_pruned += 1;
+        return None;
+    }
+    stats.shards_evaluated += 1;
+    stats.intersections += 1;
+    Some(frag.intersect(index.shard_postings(last, shard)))
+}
+
+/// The diffset backend's `merge_shards`: reassembles fragment rows like
+/// [`fragment_merge_shards`] and memoizes survivors as materialized
+/// per-shard tidsets — the seam moves fragments, not deltas; the main
+/// `evaluate` path is where the per-shard delta choice happens.
+fn diff_fragment_merge_shards(
+    state: &mut DiffShardedState,
+    candidates: &[Itemset],
+    partials: Vec<ShardPartial>,
+    want: StatRequest,
+) -> LevelSupport {
+    let rows = assemble_fragment_rows(candidates.len(), partials);
+    let mut out = LevelSupport {
+        esup: Vec::with_capacity(candidates.len()),
+        variance: want.variance.then(|| Vec::with_capacity(candidates.len())),
+        count: want.count.then(|| Vec::with_capacity(candidates.len())),
+    };
+    for (candidate, row) in candidates.iter().zip(rows) {
+        let (esup, var, count) = ProbVector::fragments_moments(row.iter());
+        out.esup.push(esup);
+        if let Some(vs) = out.variance.as_mut() {
+            vs.push(var);
+        }
+        if let Some(cs) = out.count.as_mut() {
+            cs.push(count as u64);
+        }
+        let survives = !(want.min_esup.is_some_and(|t| esup < t)
+            || want.min_count.is_some_and(|t| (count as u64) < t));
+        if survives && candidate.len() > 1 {
+            let masses = row.iter().map(|v| v.esup()).collect();
+            let lens = row.iter().map(|v| v.len() as u32).collect();
+            let reprs = row.into_iter().map(ShardRepr::Tidset).collect();
+            state.current.insert(
+                candidate.items().to_vec(),
+                DiffShardedNode {
+                    reprs,
+                    masses,
+                    lens,
+                },
+            );
         }
     }
     out
@@ -1250,6 +1813,21 @@ impl SupportEngine for VerticalEngine {
         self.note_sharded_peak(stats);
         out
     }
+
+    fn apply_window_step(&mut self, step: &WindowStep) -> bool {
+        // The index maintains itself byte-identically to a rebuild over
+        // the stepped window; memoized prefix vectors are stale (some tid
+        // changed under them), so they are dropped — the next run starts
+        // from a state equivalent to a freshly built engine. Peak memory
+        // counters deliberately survive: they track the engine lifetime.
+        self.index.apply_step(step);
+        self.prev = FxHashMap::default();
+        self.current = FxHashMap::default();
+        if let Some(state) = self.sharded.as_mut() {
+            *state = ShardedState::default();
+        }
+        true
+    }
 }
 
 /// One entry of the [`DiffsetEngine`] memo: a frequent itemset's cached
@@ -1299,10 +1877,9 @@ pub struct DiffsetEngine {
     memo: FxHashMap<Vec<ItemId>, MemoNode>,
     /// Nodes for the current level's candidates, pending `finish_level`.
     current: FxHashMap<Vec<ItemId>, MemoNode>,
-    /// Fragment memo, present iff the index is sharded — sharded mode
-    /// stores fragment tidsets (see [`ShardedState`]); `memo`/`current`
-    /// stay empty then.
-    sharded: Option<ShardedState>,
+    /// Per-shard delta-chain memo, present iff the index is sharded (see
+    /// [`DiffShardedState`]); `memo`/`current` stay empty then.
+    sharded: Option<DiffShardedState>,
     /// Whether the one-time index build has been charged to `stats.scans`.
     scan_charged: bool,
     /// Peak memo bytes ([`SupportEngine::peak_memo_bytes`]).
@@ -1378,11 +1955,11 @@ impl DiffsetEngine {
 
     /// Like [`DiffsetEngine::new`] with an explicit shard plan. Sharded
     /// evaluation engages iff the plan yields more than one shard; results
-    /// are bit-identical either way (the memo switches to fragment
-    /// tidsets — per-shard delta chains are a ROADMAP follow-up).
+    /// are bit-identical either way, and the memo keeps its delta-chain
+    /// memory edge (the chains split per shard — see `DiffShardedState`).
     pub fn with_plan(db: &UncertainDatabase, plan: ShardPlan) -> Self {
         let index = VerticalIndex::build_with_plan(db, plan);
-        let sharded = index.is_sharded().then(ShardedState::default);
+        let sharded = index.is_sharded().then(DiffShardedState::default);
         DiffsetEngine {
             index,
             memo: FxHashMap::default(),
@@ -1396,7 +1973,7 @@ impl DiffsetEngine {
 
     fn note_sharded_peak(&mut self, stats: &mut MinerStats) {
         if let Some(state) = self.sharded.as_ref() {
-            let (units, bytes) = sharded_memo_peak(state);
+            let (units, bytes) = diff_sharded_memo_peak(state);
             self.peak_memo_units = self.peak_memo_units.max(units);
             self.peak_memo_bytes = self.peak_memo_bytes.max(bytes);
         }
@@ -1575,7 +2152,7 @@ impl SupportEngine for DiffsetEngine {
         }
         if self.sharded.is_some() {
             let state = self.sharded.as_mut().expect("checked above");
-            let out = sharded_evaluate(&self.index, state, candidates, want, stats);
+            let out = diff_sharded_evaluate(&self.index, state, candidates, want, stats);
             self.note_sharded_peak(stats);
             return out;
         }
@@ -1631,7 +2208,7 @@ impl SupportEngine for DiffsetEngine {
 
     fn prob_vectors(&mut self, candidates: &[Itemset], stats: &mut MinerStats) -> Vec<Vec<f64>> {
         if let Some(state) = self.sharded.as_ref() {
-            return sharded_prob_vectors(&self.index, state, candidates, stats);
+            return diff_sharded_prob_vectors(&self.index, state, candidates, stats);
         }
         let mut extra = 0u64;
         // Candidates arrive sorted, so same-prefix runs are contiguous: a
@@ -1680,7 +2257,7 @@ impl SupportEngine for DiffsetEngine {
 
     fn finish_level(&mut self, frequent: &[FrequentItemset]) {
         if let Some(state) = self.sharded.as_mut() {
-            sharded_finish_level(state, frequent);
+            diff_sharded_finish_level(state, frequent);
             return;
         }
         // Frequent nodes join the persistent delta-chain memo; the rest of
@@ -1729,7 +2306,7 @@ impl SupportEngine for DiffsetEngine {
         let state = self.sharded.as_ref().expect("checked above");
         let frags = candidates
             .iter()
-            .map(|c| sharded_candidate_shard(&self.index, &state.prev, c, shard, stats))
+            .map(|c| diff_sharded_candidate_shard(&self.index, &state.memo, c, shard, stats))
             .collect();
         ShardPartial {
             shard,
@@ -1748,9 +2325,22 @@ impl SupportEngine for DiffsetEngine {
             return merge_single_level(partials);
         }
         let state = self.sharded.as_mut().expect("checked above");
-        let out = fragment_merge_shards(state, candidates, partials, want);
+        let out = diff_fragment_merge_shards(state, candidates, partials, want);
         self.note_sharded_peak(stats);
         out
+    }
+
+    fn apply_window_step(&mut self, step: &WindowStep) -> bool {
+        // Same contract as the vertical engine: the index self-maintains
+        // byte-identically to a rebuild; the delta-chain memo is stale
+        // (chains reference pre-step postings) and is dropped whole.
+        self.index.apply_step(step);
+        self.memo = FxHashMap::default();
+        self.current = FxHashMap::default();
+        if let Some(state) = self.sharded.as_mut() {
+            *state = DiffShardedState::default();
+        }
+        true
     }
 }
 

@@ -3,6 +3,7 @@
 
 pub mod apriori;
 pub mod engine;
+pub mod incremental;
 pub mod measure;
 pub mod order;
 pub mod scan;
@@ -13,6 +14,7 @@ pub use engine::{
     build_engine, build_engine_with_plan, HorizontalScan, LevelSupport, ShardPartial, StatRequest,
     SupportEngine, VerticalEngine,
 };
+pub use incremental::{BorderTracker, IncrementalMiner};
 pub use measure::{
     mine_level_wise, mine_level_wise_with_plan, CandidateStats, ExactKernel, ExactMeasure,
     ExpectedSupport, FrequentnessMeasure, Judgment, MeasureEvaluator, NormalApprox, PoissonApprox,

@@ -3,9 +3,10 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 use uncertain_fim::miners::common::{
-    mine_level_wise_with_plan, ExactKernel, ExactMeasure, ExpectedSupport, NormalApprox,
-    PoissonApprox,
+    mine_level_wise_with_plan, ExactKernel, ExactMeasure, ExpectedSupport, FrequentnessMeasure,
+    IncrementalMiner, NormalApprox, PoissonApprox,
 };
 use uncertain_fim::miners::Algorithm;
 use uncertain_fim::prelude::*;
@@ -279,6 +280,87 @@ fn records_bits(result: &MiningResult) -> Vec<(Itemset, u64, Option<u64>, Option
         .collect()
 }
 
+/// One mutation of a randomized ingest script (see
+/// [`incremental_random_step_sequences_match_batch`]).
+#[derive(Clone, Debug)]
+enum StreamOp {
+    /// Append one transaction (possibly empty — a legal no-op arrival).
+    Append(Vec<(u32, f64)>),
+    /// Expire a burst of oldest transactions.
+    Expire(usize),
+}
+
+/// Strategy: the unit list of one streamed transaction over 6 items.
+fn stream_tx() -> impl Strategy<Value = Vec<(u32, f64)>> {
+    vec((0u32..6, prob()), 0..6).prop_map(|units| {
+        let mut seen = std::collections::BTreeMap::new();
+        for (i, p) in units {
+            seen.entry(i).or_insert(p);
+        }
+        seen.into_iter().collect()
+    })
+}
+
+/// Strategy: one stream op, biased 4:1 toward arrivals so windows fill up
+/// (the shim has no `prop_oneof!`; a selector tuple plays its role).
+fn stream_op() -> impl Strategy<Value = StreamOp> {
+    (0u32..5, stream_tx(), 1usize..20).prop_map(|(sel, tx, n)| {
+        if sel < 4 {
+            StreamOp::Append(tx)
+        } else {
+            StreamOp::Expire(n)
+        }
+    })
+}
+
+/// Drives one `IncrementalMiner` through the script, refreshing every
+/// `refresh_every` ops (and at the end), and pins each refresh against
+/// batch-mining the window snapshot — records bit for bit.
+fn drive_incremental<M: FrequentnessMeasure + Copy>(
+    measure: M,
+    kind: EngineKind,
+    plan: ShardPlan,
+    capacity: usize,
+    ops: &[StreamOp],
+    refresh_every: usize,
+) -> Result<(), TestCaseError> {
+    let window = WindowedDatabase::new(capacity, 6);
+    let mut miner = IncrementalMiner::with_plan(window, measure, kind, plan);
+    // Edge case first: refreshing a fully vacant window.
+    miner.refresh();
+    let batch = mine_level_wise_with_plan(&miner.window().snapshot(), measure, kind, plan);
+    prop_assert_eq!(
+        records_bits(miner.result()),
+        records_bits(&batch),
+        "{}×{}: empty-window refresh diverged",
+        kind,
+        measure.name()
+    );
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            StreamOp::Append(units) => {
+                miner.append(Transaction::new(units.iter().copied()).unwrap());
+            }
+            StreamOp::Expire(n) => {
+                miner.expire_oldest(*n);
+            }
+        }
+        if (i + 1) % refresh_every == 0 || i + 1 == ops.len() {
+            miner.refresh();
+            let batch = mine_level_wise_with_plan(&miner.window().snapshot(), measure, kind, plan);
+            prop_assert_eq!(
+                records_bits(miner.result()),
+                records_bits(&batch),
+                "{}×{} diverged from the batch oracle after op {}",
+                kind,
+                measure.name(),
+                i
+            );
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     // Mining runs per case: 3 engines × 3 plans × ~6 measures. Fewer cases
     // keep the suite quick; the inner sweep is the point.
@@ -320,5 +402,110 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+proptest! {
+    // Per case: 3 engines × 2 plans × ~6 measures, each driven through the
+    // whole script with a batch re-mine at every refresh — the sweep is
+    // heavy, so few cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // The incremental miner, driven by a random append/expire script, must
+    // stay record-bit-identical to batch-mining each window snapshot from
+    // scratch — for every engine, measure, and shard width. Capacity 130
+    // with one-chunk (64-tid) shards puts three shards under the window, so
+    // the random scripts routinely produce steps whose dirty slots straddle
+    // shard boundaries (delta composition across shards).
+    #[test]
+    fn incremental_random_step_sequences_match_batch(
+        ops in vec(stream_op(), 10..28),
+        refresh_every in 2usize..6,
+        min_sup in 1u32..=4,
+    ) {
+        let capacity = 130usize;
+        let ratio = min_sup as f64 / 10.0;
+        let params = MiningParams::new(ratio, 0.4).unwrap();
+        let esup_threshold = params.min_sup.threshold_real(capacity);
+        for kind in EngineKind::ALL {
+            for plan in [
+                ShardPlan::for_transactions(capacity),
+                ShardPlan::with_width_chunks(1),
+            ] {
+                drive_incremental(
+                    ExpectedSupport::new(esup_threshold),
+                    kind, plan, capacity, &ops, refresh_every,
+                )?;
+                drive_incremental(
+                    ExpectedSupport::with_variance(esup_threshold),
+                    kind, plan, capacity, &ops, refresh_every,
+                )?;
+                drive_incremental(
+                    NormalApprox::new(params.msup(capacity), 0.4),
+                    kind, plan, capacity, &ops, refresh_every,
+                )?;
+                drive_incremental(
+                    ExactMeasure::new(ExactKernel::DynamicProgramming, true, capacity, &params),
+                    kind, plan, capacity, &ops, refresh_every,
+                )?;
+                drive_incremental(
+                    ExactMeasure::new(ExactKernel::DivideConquer, true, capacity, &params),
+                    kind, plan, capacity, &ops, refresh_every,
+                )?;
+                if let Some(poisson) = PoissonApprox::from_params(capacity, &params).unwrap() {
+                    drive_incremental(poisson, kind, plan, capacity, &ops, refresh_every)?;
+                }
+            }
+        }
+    }
+}
+
+/// The window-delta edge cases, deterministic and sharded: an untouched
+/// (all-vacant) window, a fill that crosses a shard boundary, a transaction
+/// that arrives and expires within one step (its slot nets back to vacant),
+/// full-window expiry, and a refill after total expiry — each refresh pinned
+/// bit-for-bit against the batch oracle on every engine.
+#[test]
+fn window_delta_edge_cases_match_batch() {
+    let capacity = 130usize; // three 64-tid shards under the one-chunk plan
+    let plan = ShardPlan::with_width_chunks(1);
+    let measure = ExpectedSupport::with_variance(3.0);
+    for kind in EngineKind::ALL {
+        let window = WindowedDatabase::new(capacity, 6);
+        let mut miner = IncrementalMiner::with_plan(window, measure, kind, plan);
+        let check = |miner: &mut IncrementalMiner<ExpectedSupport>, label: &str| {
+            miner.refresh();
+            let batch = mine_level_wise_with_plan(&miner.window().snapshot(), measure, kind, plan);
+            assert_eq!(
+                records_bits(miner.result()),
+                records_bits(&batch),
+                "{kind}: {label} diverged from the batch oracle"
+            );
+        };
+        // 1. Refreshing the untouched, fully vacant window.
+        check(&mut miner, "empty window");
+        // 2. Fill past the first shard boundary: dirty slots of one step
+        //    land in different shards.
+        for i in 0..100u32 {
+            miner.append(Transaction::new([(i % 6, 0.9), ((i + 1) % 6, 0.7)]).unwrap());
+        }
+        check(&mut miner, "fill across shard boundary");
+        // 3. A transaction that arrives and expires within the same step:
+        //    its freshly-filled slot nets back to vacant, and the step also
+        //    empties the whole window (full-window expiry).
+        let live = miner.window().len();
+        miner.append(Transaction::new([(2, 0.8), (3, 0.8)]).unwrap());
+        assert_eq!(miner.expire_oldest(live + 1), live + 1);
+        check(
+            &mut miner,
+            "arrive-and-expire same step + full-window expiry",
+        );
+        assert!(miner.window().is_empty());
+        // 4. Refill after total expiry: the tracker must not resurrect
+        //    verdicts from the expired generation.
+        for i in 0..40u32 {
+            miner.append(Transaction::new([(i % 6, 0.6), ((i + 2) % 6, 0.95)]).unwrap());
+        }
+        check(&mut miner, "refill after empty");
     }
 }

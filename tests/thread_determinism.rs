@@ -290,6 +290,87 @@ fn sharded_level_wise_is_bit_identical_across_pool_sizes_and_widths() {
     }
 }
 
+/// The incremental sliding-window miner (PR 8): each pool size replays the
+/// same ingest script from scratch — an initial fill, then three
+/// append/expire rounds — and *every* refresh along the way must be
+/// bit-identical, records **and** [`MinerStats`], across pool sizes. The
+/// incremental layer adds no thread-dependent state of its own (the border
+/// tracker's classify/record loop is sequential), so the invariance it
+/// inherits from the already-pinned engines must survive intact, on the
+/// default plan and under forced 1024-tid shards.
+#[test]
+fn incremental_refresh_is_bit_identical_across_pool_sizes() {
+    use uncertain_fim::miners::common::{ExpectedSupport, IncrementalMiner};
+
+    // One fixed script: big_db-shaped arrivals, enough for the fill plus
+    // three incremental rounds.
+    let mut rng = StdRng::seed_from_u64(21);
+    let script: Vec<Transaction> = (0..8_600)
+        .map(|_| {
+            let units: Vec<(u32, f64)> = (0..10u32)
+                .filter_map(|i| {
+                    if rng.gen_bool(0.5) {
+                        Some((i, rng.gen_range(0.2..=1.0)))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            Transaction::new(units).unwrap()
+        })
+        .collect();
+    let capacity = 8_192usize;
+    let threshold = 0.05 * capacity as f64;
+
+    for engine in EngineKind::ALL {
+        for (plan_label, plan) in [
+            ("default", ShardPlan::for_transactions(capacity)),
+            ("width=16", ShardPlan::with_width_chunks(16)),
+        ] {
+            let run = || -> Vec<MiningResult> {
+                let window = WindowedDatabase::new(capacity, 10);
+                let mut miner = IncrementalMiner::with_plan(
+                    window,
+                    ExpectedSupport::with_variance(threshold),
+                    engine,
+                    plan,
+                );
+                let mut stream = script.iter().cloned();
+                for t in stream.by_ref().take(8_000) {
+                    miner.append(t);
+                }
+                let mut refreshes = vec![miner.refresh().clone()];
+                for _ in 0..3 {
+                    for t in stream.by_ref().take(200) {
+                        miner.append(t);
+                    }
+                    miner.expire_oldest(100);
+                    refreshes.push(miner.refresh().clone());
+                }
+                refreshes
+            };
+            let reference = with_thread_override(1, run);
+            assert!(
+                !reference.iter().all(|r| r.is_empty()),
+                "incremental/{engine} {plan_label}: fixture is vacuous"
+            );
+            for threads in POOLS {
+                let got = with_thread_override(threads, run);
+                assert_eq!(reference.len(), got.len());
+                for (i, (a, b)) in reference.iter().zip(&got).enumerate() {
+                    assert_bit_identical(
+                        a,
+                        b,
+                        &format!(
+                            "incremental/{engine} {plan_label} refresh {i} @ threads={threads}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The level-wise column on every backend rides the same merge machinery;
 /// sweep it too so the whole matrix is pinned (the issue's "every
 /// hyper/tree cell" plus the engine seam the scratch spaces changed).
