@@ -95,6 +95,8 @@ fn kernel_run(
         shards_pruned: None,
         border_rejudged: None,
         border_skipped: None,
+        memo_patched: None,
+        memo_rebuilt: None,
     }
 }
 
@@ -304,6 +306,8 @@ fn main() {
         shards_pruned,
         border_rejudged: None,
         border_skipped: None,
+        memo_patched: None,
+        memo_rebuilt: None,
     });
 
     for r in &snap.runs {

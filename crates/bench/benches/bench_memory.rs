@@ -174,6 +174,56 @@ fn bench_memory_guard(c: &mut Criterion) {
         );
         b.iter(|| vertical + diffset)
     });
+    // Streaming guard: with memo-preserving delta evaluation the engine
+    // retains its memo across refreshes, so the per-refresh
+    // `peak_memo_bytes` must be a *monotone non-decreasing* cross-refresh
+    // peak (it used to reset with the memo clear on every window step)
+    // and every warm refresh must report at least the cold mine's peak —
+    // the retained lattice plus its block-moment partials never leaves
+    // the engine's accounting.
+    group.bench_function("streaming_peak_monotone", |b| {
+        use ufim_miners::common::{ExpectedSupport, IncrementalMiner};
+        let db = dense_db(2_048, 16, 0.4, 11);
+        let threshold = 0.05 * 1_024.0;
+        let mut last = 0u64;
+        for engine in [EngineKind::Vertical, EngineKind::Diffset] {
+            let window = WindowedDatabase::new(1_024, 16);
+            let mut miner =
+                IncrementalMiner::new(window, ExpectedSupport::with_variance(threshold), engine);
+            let mut stream = db.transactions().iter().cloned();
+            for t in stream.by_ref().take(1_024) {
+                miner.append(t);
+            }
+            let cold = miner.refresh().stats.peak_memo_bytes;
+            assert!(cold > 0, "{engine:?}: cold mine must charge the memo peak");
+            let mut peaks = vec![cold];
+            for _ in 0..8 {
+                miner.expire_oldest(128);
+                for t in stream.by_ref().take(128) {
+                    miner.append(t);
+                }
+                peaks.push(miner.refresh().stats.peak_memo_bytes);
+            }
+            for (i, pair) in peaks.windows(2).enumerate() {
+                assert!(
+                    pair[1] >= pair[0],
+                    "{engine:?}: peak_memo_bytes fell {} -> {} at refresh {} — \
+                     the cross-refresh peak reset with a memo clear",
+                    pair[0],
+                    pair[1],
+                    i + 1
+                );
+            }
+            println!(
+                "memory_guard (streaming): {engine:?} memo peak {} B cold -> {} B after 8 \
+                 refreshes (monotone)",
+                cold,
+                peaks[peaks.len() - 1]
+            );
+            last = peaks[peaks.len() - 1];
+        }
+        b.iter(|| last)
+    });
     group.finish();
 }
 

@@ -63,6 +63,8 @@ fn run(
         shards_pruned,
         border_rejudged: None,
         border_skipped: None,
+        memo_patched: None,
+        memo_rebuilt: None,
     }
 }
 

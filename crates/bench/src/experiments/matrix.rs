@@ -142,6 +142,8 @@ pub fn run(
                     shards_pruned,
                     border_rejudged: None,
                     border_skipped: None,
+                    memo_patched: None,
+                    memo_rebuilt: None,
                 });
             }
             counts.dedup();

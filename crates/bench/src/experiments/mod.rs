@@ -214,6 +214,8 @@ impl Sweep {
                     shards_pruned,
                     border_rejudged: None,
                     border_skipped: None,
+                    memo_patched: None,
+                    memo_rebuilt: None,
                 });
             }
         }

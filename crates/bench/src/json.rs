@@ -80,6 +80,15 @@ pub struct JsonRun {
     /// ([`ufim_core::MinerStats::border_skipped`]); optional like
     /// [`border_rejudged`](Self::border_rejudged).
     pub border_skipped: Option<u64>,
+    /// Retained memo nodes point-updated in place by a window step
+    /// ([`ufim_core::MinerStats::memo_patched`]); `None` outside
+    /// incremental (streaming) runs. Advisory in the gate like the
+    /// border counters.
+    pub memo_patched: Option<u64>,
+    /// Retained memo nodes whose delta was too dense to patch, rebuilt
+    /// from scratch instead ([`ufim_core::MinerStats::memo_rebuilt`]);
+    /// optional like [`memo_patched`](Self::memo_patched).
+    pub memo_rebuilt: Option<u64>,
 }
 
 impl JsonRun {
@@ -159,6 +168,8 @@ impl JsonSnapshot {
                 ("shards_pruned", r.shards_pruned),
                 ("border_rejudged", r.border_rejudged),
                 ("border_skipped", r.border_skipped),
+                ("memo_patched", r.memo_patched),
+                ("memo_rebuilt", r.memo_rebuilt),
             ] {
                 if let Some(n) = v {
                     let _ = write!(s, ", \"{name}\": {n}");
@@ -222,6 +233,8 @@ impl JsonSnapshot {
                 shards_pruned: opt_field(&r, "shards_pruned")?,
                 border_rejudged: opt_field(&r, "border_rejudged")?,
                 border_skipped: opt_field(&r, "border_skipped")?,
+                memo_patched: opt_field(&r, "memo_patched")?,
+                memo_rebuilt: opt_field(&r, "memo_rebuilt")?,
             });
         }
         Ok(JsonSnapshot {
@@ -396,6 +409,8 @@ fn compare_snapshots(
             ("shards_pruned", f.shards_pruned, b.shards_pruned),
             ("border_rejudged", f.border_rejudged, b.border_rejudged),
             ("border_skipped", f.border_skipped, b.border_skipped),
+            ("memo_patched", f.memo_patched, b.memo_patched),
+            ("memo_rebuilt", f.memo_rebuilt, b.memo_rebuilt),
         ] {
             if fv != bv {
                 let show = |v: Option<u64>| v.map_or("absent".into(), |n| n.to_string());
@@ -759,6 +774,8 @@ mod tests {
                     shards_pruned: Some(32),
                     border_rejudged: Some(12),
                     border_skipped: Some(40),
+                    memo_patched: Some(88),
+                    memo_rebuilt: Some(3),
                 },
                 JsonRun {
                     workload: "skew=1.2".into(),
@@ -773,6 +790,8 @@ mod tests {
                     shards_pruned: None,
                     border_rejudged: None,
                     border_skipped: None,
+                    memo_patched: None,
+                    memo_rebuilt: None,
                 },
             ],
         }

@@ -61,9 +61,11 @@ pub use params::{EngineKind, MeasureKind, MiningParams, Ratio, TraversalKind};
 pub use result::{FrequentItemset, MinerStats, MiningResult};
 pub use traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
 pub use transaction::Transaction;
-pub use vertical::{DiffVector, ProbVector, ScratchSpace, ShardPlan, VerticalIndex, ZoneEntry};
+pub use vertical::{
+    BlockMoments, DiffVector, ProbVector, ScratchSpace, ShardPlan, VerticalIndex, ZoneEntry,
+};
 pub use vocab::Vocabulary;
-pub use window::{DirtySlot, WindowStep, WindowedDatabase};
+pub use window::{DirtySlot, StepProbe, WindowStep, WindowedDatabase};
 
 /// Convenient glob-import for downstream crates:
 /// `use ufim_core::prelude::*;`
@@ -77,8 +79,8 @@ pub mod prelude {
     pub use crate::traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
     pub use crate::transaction::Transaction;
     pub use crate::vertical::{
-        DiffVector, ProbVector, ScratchSpace, ShardPlan, VerticalIndex, ZoneEntry,
+        BlockMoments, DiffVector, ProbVector, ScratchSpace, ShardPlan, VerticalIndex, ZoneEntry,
     };
     pub use crate::vocab::Vocabulary;
-    pub use crate::window::{DirtySlot, WindowStep, WindowedDatabase};
+    pub use crate::window::{DirtySlot, StepProbe, WindowStep, WindowedDatabase};
 }

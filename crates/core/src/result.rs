@@ -87,6 +87,14 @@ pub struct MinerStats {
     /// untouched by every dirty transaction or ruled out by their
     /// maintained support bounds without re-evaluation (0 on batch runs).
     pub border_skipped: u64,
+    /// Retained memo nodes a window step point-updated in place (touched
+    /// chunks rewritten, cached block partials re-folded; 0 on batch runs).
+    pub memo_patched: u64,
+    /// Retained memo nodes a window step evicted instead of patching —
+    /// the step changed too much of the node, or the node carried no
+    /// patchable block partials; the next use re-folds it cold (0 on
+    /// batch runs).
+    pub memo_rebuilt: u64,
 }
 
 impl MinerStats {
@@ -105,6 +113,8 @@ impl MinerStats {
         self.shards_pruned += other.shards_pruned;
         self.border_rejudged += other.border_rejudged;
         self.border_skipped += other.border_skipped;
+        self.memo_patched += other.memo_patched;
+        self.memo_rebuilt += other.memo_rebuilt;
     }
 }
 
@@ -242,6 +252,8 @@ mod tests {
             peak_structure_nodes: 7,
             border_rejudged: 4,
             border_skipped: 9,
+            memo_patched: 6,
+            memo_rebuilt: 2,
             ..Default::default()
         };
         a.absorb(&b);
@@ -250,5 +262,7 @@ mod tests {
         assert_eq!(a.peak_structure_nodes, 10);
         assert_eq!(a.border_rejudged, 4);
         assert_eq!(a.border_skipped, 9);
+        assert_eq!(a.memo_patched, 6);
+        assert_eq!(a.memo_rebuilt, 2);
     }
 }

@@ -227,6 +227,260 @@ impl MomentAcc {
     }
 }
 
+/// Destination of a fixed-shape statistics accumulation: either the plain
+/// folding [`MomentAcc`] or a [`BlockRecorder`] that additionally retains
+/// the per-block striped partials for a memo. Both receive the exact same
+/// `(chunk, lane, product)` sequence, so whichever sink a kernel runs with,
+/// the folded `(esup, var, count)` come out bit-identical.
+trait StatSink {
+    fn enter_chunk(&mut self, key: u32) -> bool;
+    fn add(&mut self, lane: u32, q: f64);
+}
+
+impl StatSink for MomentAcc {
+    #[inline(always)]
+    fn enter_chunk(&mut self, key: u32) -> bool {
+        MomentAcc::enter_chunk(self, key)
+    }
+
+    #[inline(always)]
+    fn add(&mut self, lane: u32, q: f64) {
+        MomentAcc::add(self, lane, q)
+    }
+}
+
+/// One summation block's retained partial sums: the [`SUM_STRIPES`] striped
+/// `esup` / `var` accumulators exactly as [`MomentAcc`] held them the
+/// moment the block folded, plus the block's nonzero count. Retaining
+/// these (instead of only the folded scalars) is what makes point updates
+/// bit-exact: a window step recomputes *whole touched blocks* from the
+/// patched vector — reproducing the identical left-fold per stripe — and
+/// replays the same block-ascending, stripe-ascending fold, so the result
+/// is indistinguishable from a cold re-fold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct BlockPartial {
+    /// Summation-block key (`tid >> 12`).
+    key: u32,
+    esup: [f64; SUM_STRIPES],
+    var: [f64; SUM_STRIPES],
+    /// Nonzero entries in the block.
+    count: u32,
+}
+
+impl BlockPartial {
+    fn zero(key: u32) -> Self {
+        BlockPartial {
+            key,
+            esup: [0.0; SUM_STRIPES],
+            var: [0.0; SUM_STRIPES],
+            count: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn add(&mut self, lane: u32, q: f64) {
+        let s = (lane as usize) & (SUM_STRIPES - 1);
+        self.esup[s] += q;
+        self.var[s] += q * (1.0 - q);
+        self.count += (q > 0.0) as u32;
+    }
+}
+
+/// Per-[`SUM_BLOCK_TIDS`]-block striped partial sums of a memoized
+/// prob-vector — the fold state a support engine retains alongside a
+/// vector so cached `(esup, var, count)` moments survive point updates.
+///
+/// [`BlockMoments::fold`] replays `MomentAcc`'s exact reduction (blocks
+/// ascending; within a block, the eight esup stripes then the eight var
+/// stripes) over the retained partials, so it is bit-identical to
+/// [`ProbVector::moments`] of the vector the partials describe — and stays
+/// so after any sequence of [`BlockMoments::refresh`] calls, because a
+/// refresh recomputes each touched block's stripes with the same
+/// tid-ascending left fold the cold accumulation used. Untouched blocks
+/// keep their bits; only `O(touched blocks)` of work is redone per window
+/// step, never `O(window)`.
+///
+/// Only blocks with at least one nonzero entry are stored (an all-zero
+/// block folds as an IEEE-754 no-op, exactly as `MomentAcc` skipping
+/// it), so equal vectors always yield structurally equal `BlockMoments`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BlockMoments {
+    /// Nonempty blocks, ascending by key.
+    blocks: Vec<BlockPartial>,
+}
+
+impl BlockMoments {
+    /// The summation block containing `tid`.
+    #[inline]
+    pub fn block_of_tid(tid: u32) -> u32 {
+        tid / SUM_BLOCK_TIDS as u32
+    }
+
+    /// Builds the retained partials of `v` from scratch — one pass, same
+    /// cost shape as [`ProbVector::moments`].
+    pub fn of(v: &ProbVector) -> Self {
+        let mut blocks = Vec::new();
+        let mut i = 0usize;
+        while i < v.keys.len() {
+            let bkey = v.keys[i] >> SUM_BLOCK_KEY_SHIFT;
+            let mut j = i;
+            while j < v.keys.len() && v.keys[j] >> SUM_BLOCK_KEY_SHIFT == bkey {
+                j += 1;
+            }
+            let b = block_partial_of(v, bkey, i, j);
+            if b.count > 0 {
+                blocks.push(b);
+            }
+            i = j;
+        }
+        BlockMoments { blocks }
+    }
+
+    /// Recomputes the listed blocks' partials from `v` (strictly ascending
+    /// block keys; `v` must hold the described vector's chunks for those
+    /// blocks — the full vector, or a fragment restricted to them). Blocks
+    /// not listed keep their retained bits untouched; a listed block that
+    /// came out empty leaves the directory. After the call,
+    /// [`BlockMoments::fold`] equals a cold [`BlockMoments::of`] of the
+    /// patched vector, bit for bit.
+    pub fn refresh(&mut self, v: &ProbVector, block_keys: &[u32]) {
+        debug_assert!(
+            block_keys.windows(2).all(|w| w[0] < w[1]),
+            "block keys not strictly ascending"
+        );
+        for &bkey in block_keys {
+            let lo = v
+                .keys
+                .partition_point(|&k| (k >> SUM_BLOCK_KEY_SHIFT) < bkey);
+            let hi = v
+                .keys
+                .partition_point(|&k| (k >> SUM_BLOCK_KEY_SHIFT) <= bkey);
+            let fresh = (lo < hi)
+                .then(|| block_partial_of(v, bkey, lo, hi))
+                .filter(|b| b.count > 0);
+            match self.blocks.binary_search_by_key(&bkey, |b| b.key) {
+                Ok(p) => match fresh {
+                    Some(b) => self.blocks[p] = b,
+                    None => {
+                        self.blocks.remove(p);
+                    }
+                },
+                Err(p) => {
+                    if let Some(b) = fresh {
+                        self.blocks.insert(p, b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Folds the retained partials into `(esup, var, count)` — bit-identical
+    /// to [`ProbVector::moments`] (plus the nonzero count) of the vector
+    /// the partials describe.
+    pub fn fold(&self) -> (f64, f64, usize) {
+        debug_assert!(
+            self.blocks.windows(2).all(|w| w[0].key < w[1].key),
+            "blocks out of order"
+        );
+        let (mut esup, mut var, mut count) = (0.0f64, 0.0f64, 0usize);
+        for b in &self.blocks {
+            for s in 0..SUM_STRIPES {
+                esup += b.esup[s];
+            }
+            for s in 0..SUM_STRIPES {
+                var += b.var[s];
+            }
+            count += b.count as usize;
+        }
+        (esup, var, count)
+    }
+
+    /// Heap bytes of the retained partials — counted into a memo's
+    /// `peak_memo_bytes` contribution alongside the vector it describes.
+    pub fn mem_bytes(&self) -> usize {
+        self.blocks.len() * std::mem::size_of::<BlockPartial>()
+    }
+}
+
+/// One block's stripes accumulated from `v`'s chunk range `[i, j)` (all
+/// chunks of block `key`), in the exact tid-ascending visit order of
+/// [`ProbVector::moments`].
+fn block_partial_of(v: &ProbVector, key: u32, i: usize, j: usize) -> BlockPartial {
+    let mut b = BlockPartial::zero(key);
+    for c in i..j {
+        let lanes = &v.lanes[v.start(c)..v.end(c)];
+        if lanes.len() == CHUNK_LANES {
+            // Positional zeros contribute exactly 0.0 — a no-op.
+            for (t, &q) in lanes.iter().enumerate() {
+                b.add(t as u32, q);
+            }
+        } else {
+            let mut m = v.masks[c];
+            let mut idx = 0usize;
+            while m != 0 {
+                let t = m.trailing_zeros();
+                m &= m - 1;
+                b.add(t, lanes[idx]);
+                idx += 1;
+            }
+        }
+    }
+    b
+}
+
+/// [`StatSink`] that retains every block's striped partials as it folds —
+/// how the diffset engine obtains a child's [`BlockMoments`] from one
+/// [`ProbVector::diff_extend_blocks_into`] pass without materializing the
+/// child vector. The recorded partials are bit-identical to
+/// [`BlockMoments::of`] of the materialized child: the kernel's visit
+/// order within each block is tid-ascending and zero products are stripe
+/// no-ops, exactly as in the from-vector accumulation.
+struct BlockRecorder {
+    blocks: Vec<BlockPartial>,
+    cur: BlockPartial,
+}
+
+impl BlockRecorder {
+    fn new() -> Self {
+        BlockRecorder {
+            blocks: Vec::new(),
+            cur: BlockPartial::zero(0),
+        }
+    }
+
+    #[inline(always)]
+    fn flush(&mut self) {
+        if self.cur.count > 0 {
+            self.blocks.push(self.cur);
+        }
+    }
+
+    fn finish(mut self) -> BlockMoments {
+        self.flush();
+        BlockMoments {
+            blocks: self.blocks,
+        }
+    }
+}
+
+impl StatSink for BlockRecorder {
+    #[inline(always)]
+    fn enter_chunk(&mut self, key: u32) -> bool {
+        let b = key >> SUM_BLOCK_KEY_SHIFT;
+        if b != self.cur.key {
+            self.flush();
+            self.cur = BlockPartial::zero(b);
+            return true;
+        }
+        false
+    }
+
+    #[inline(always)]
+    fn add(&mut self, lane: u32, q: f64) {
+        self.cur.add(lane, q);
+    }
+}
+
 /// Number of set bits of `mask` strictly below bit `t` — a packed chunk's
 /// lane index for tid bit `t`.
 #[inline(always)]
@@ -688,6 +942,148 @@ impl ProbVector {
             *e = (*e as isize + delta) as u32;
         }
         true
+    }
+
+    /// Applies a batch of point updates in one pass — the window-step
+    /// patch kernel for memoized vectors. `updates` holds `(tid, prob)`
+    /// pairs with strictly ascending tids; `prob > 0.0` upserts the entry,
+    /// `prob == 0.0` removes it (absent removals are no-ops). Untouched
+    /// chunks are bulk-copied; each touched chunk is rebuilt and
+    /// re-committed under the canonical cutoff rule, so the patched vector
+    /// is **byte-identical** to [`ProbVector::from_parts`] of the updated
+    /// contents. Cost is `O(chunks + lanes + updates)` for the whole
+    /// batch, versus `O(total lanes)` *per point* for
+    /// [`ProbVector::insert`] / [`ProbVector::remove`].
+    pub fn apply_tid_delta(&mut self, updates: &[(u32, f64)]) {
+        if updates.is_empty() {
+            return;
+        }
+        debug_assert!(
+            updates.windows(2).all(|w| w[0].0 < w[1].0),
+            "update tids not strictly ascending"
+        );
+        let mut out = ProbVector::default();
+        out.keys.reserve(self.keys.len() + updates.len());
+        out.masks.reserve(self.keys.len() + updates.len());
+        out.ends.reserve(self.keys.len() + updates.len());
+        out.lanes.reserve(self.lanes.len() + updates.len());
+        let mut u = 0usize;
+        let mut i = 0usize;
+        while i < self.keys.len() || u < updates.len() {
+            let upd_key = updates.get(u).map(|&(t, _)| t >> CHUNK_BITS);
+            if upd_key.is_none_or(|k| i < self.keys.len() && self.keys[i] < k) {
+                // Bulk-copy the run of untouched chunks below the next
+                // update's chunk (their canonical layouts carry over).
+                let stop = upd_key.unwrap_or(u32::MAX);
+                let mut j = i;
+                while j < self.keys.len() && self.keys[j] < stop {
+                    j += 1;
+                }
+                let base = self.start(i);
+                let lane_base = out.lanes.len();
+                out.keys.extend_from_slice(&self.keys[i..j]);
+                out.masks.extend_from_slice(&self.masks[i..j]);
+                out.lanes
+                    .extend_from_slice(&self.lanes[base..self.end(j - 1)]);
+                for c in i..j {
+                    out.ends.push((self.end(c) - base + lane_base) as u32);
+                    out.nnz += self.masks[c].count_ones() as usize;
+                }
+                i = j;
+                continue;
+            }
+            // Rebuild the chunk at the next update key (existing or fresh).
+            let key = upd_key.unwrap_or_default();
+            let mut vals = [0.0f64; CHUNK_LANES];
+            let mut mask = 0u64;
+            if i < self.keys.len() && self.keys[i] == key {
+                let (s, e) = (self.start(i), self.end(i));
+                mask = self.masks[i];
+                if e - s == CHUNK_LANES {
+                    vals.copy_from_slice(&self.lanes[s..e]);
+                } else {
+                    let mut m = mask;
+                    let mut idx = s;
+                    while m != 0 {
+                        let t = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        vals[t] = self.lanes[idx];
+                        idx += 1;
+                    }
+                }
+                i += 1;
+            }
+            while u < updates.len() && updates[u].0 >> CHUNK_BITS == key {
+                let (tid, p) = updates[u];
+                let bit = (tid & (CHUNK_LANES as u32 - 1)) as usize;
+                if p > 0.0 {
+                    vals[bit] = p;
+                    mask |= 1u64 << bit;
+                } else {
+                    vals[bit] = 0.0;
+                    mask &= !(1u64 << bit);
+                }
+                u += 1;
+            }
+            let n = mask.count_ones() as usize;
+            if n > 0 {
+                // `commit_chunk` takes the nonzeros packed ascending.
+                let mut packed = [0.0f64; CHUNK_LANES];
+                let mut m = mask;
+                let mut k = 0usize;
+                while m != 0 {
+                    let t = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    packed[k] = vals[t];
+                    k += 1;
+                }
+                out.commit_chunk(key, mask, &packed);
+            }
+        }
+        *self = out;
+    }
+
+    /// Removes one tid from a memoized vector — the single-point twin of
+    /// [`ProbVector::apply_tid_delta`] for expiry-only window steps.
+    /// Returns whether the tid was present; same canonical-layout
+    /// guarantee as [`ProbVector::remove`].
+    pub fn retract_tid(&mut self, tid: u32) -> bool {
+        self.remove(tid)
+    }
+
+    /// The vector restricted to the listed summation blocks (strictly
+    /// ascending keys): the chunks whose tids fall in those blocks,
+    /// bulk-copied with their global keys and canonical layouts. Feeds
+    /// [`BlockMoments::refresh`] when the full child vector is not
+    /// materialized (the diffset memo's stats patch).
+    pub fn restrict_to_blocks(&self, block_keys: &[u32]) -> ProbVector {
+        debug_assert!(
+            block_keys.windows(2).all(|w| w[0] < w[1]),
+            "block keys not strictly ascending"
+        );
+        let mut out = ProbVector::default();
+        for &bkey in block_keys {
+            let lo = self
+                .keys
+                .partition_point(|&k| (k >> SUM_BLOCK_KEY_SHIFT) < bkey);
+            let hi = self
+                .keys
+                .partition_point(|&k| (k >> SUM_BLOCK_KEY_SHIFT) <= bkey);
+            if lo == hi {
+                continue;
+            }
+            let base = self.start(lo);
+            let lane_base = out.lanes.len();
+            out.keys.extend_from_slice(&self.keys[lo..hi]);
+            out.masks.extend_from_slice(&self.masks[lo..hi]);
+            out.lanes
+                .extend_from_slice(&self.lanes[base..self.end(hi - 1)]);
+            for c in lo..hi {
+                out.ends.push((self.end(c) - base + lane_base) as u32);
+                out.nnz += self.masks[c].count_ones() as usize;
+            }
+        }
+        out
     }
 
     /// Releases excess capacity (intersection outputs reserve for the
@@ -1512,6 +1908,50 @@ impl DiffVector {
     pub fn shrink_to_fit(&mut self) {
         self.dropped.shrink_to_fit();
     }
+
+    /// Applies a batch of point updates to the dropped-tid set in one
+    /// merge pass — the window-step patch for a memoized delta chain.
+    /// `updates` holds `(tid, dropped)` pairs with strictly ascending
+    /// tids: `true` ensures the tid is in the dropped set (the stepped
+    /// transaction kills the extension at that slot), `false` ensures it
+    /// is not (the tid now survives, or left the prefix entirely —
+    /// dropped sets only ever list live prefix tids). Redundant updates
+    /// are no-ops, so the result equals the delta a cold
+    /// [`ProbVector::diff_extend`] over the stepped window would emit.
+    pub fn apply_tid_delta(&mut self, updates: &[(u32, bool)]) {
+        if updates.is_empty() {
+            return;
+        }
+        debug_assert!(
+            updates.windows(2).all(|w| w[0].0 < w[1].0),
+            "update tids not strictly ascending"
+        );
+        let mut out = Vec::with_capacity(self.dropped.len() + updates.len());
+        let mut u = 0usize;
+        for &tid in &self.dropped {
+            while u < updates.len() && updates[u].0 < tid {
+                if updates[u].1 {
+                    out.push(updates[u].0);
+                }
+                u += 1;
+            }
+            if u < updates.len() && updates[u].0 == tid {
+                if updates[u].1 {
+                    out.push(tid);
+                }
+                u += 1;
+            } else {
+                out.push(tid);
+            }
+        }
+        while u < updates.len() {
+            if updates[u].1 {
+                out.push(updates[u].0);
+            }
+            u += 1;
+        }
+        self.dropped = out;
+    }
 }
 
 impl ProbVector {
@@ -1524,7 +1964,9 @@ impl ProbVector {
     /// underflowed to zero).
     pub fn diff_extend(&self, other: &ProbVector) -> (DiffVector, f64, f64, usize) {
         let mut dropped: Vec<u32> = Vec::new();
-        let (esup, var, count) = self.diff_extend_core(other, |tid| dropped.push(tid));
+        let mut acc = MomentAcc::new();
+        self.diff_extend_core(other, &mut acc, |tid| dropped.push(tid));
+        let (esup, var, count) = acc.finish();
         (DiffVector { dropped }, esup, var, count)
     }
 
@@ -1540,7 +1982,30 @@ impl ProbVector {
     ) -> (f64, f64, usize) {
         scratch.dropped.clear();
         let dropped = &mut scratch.dropped;
-        self.diff_extend_core(other, |tid| dropped.push(tid))
+        let mut acc = MomentAcc::new();
+        self.diff_extend_core(other, &mut acc, |tid| dropped.push(tid));
+        acc.finish()
+    }
+
+    /// [`ProbVector::diff_extend_into`] that additionally retains the
+    /// child's per-block striped partials — the [`BlockMoments`] a
+    /// streaming diffset memo keeps so a later window step can patch the
+    /// cached stats instead of re-folding. One pass, no child
+    /// materialization; the returned `(esup, var, count)` and the recorded
+    /// partials are bit-identical to the plain twin's results and to
+    /// [`BlockMoments::of`] of the materialized child, respectively.
+    pub fn diff_extend_blocks_into(
+        &self,
+        other: &ProbVector,
+        scratch: &mut ScratchSpace,
+    ) -> (BlockMoments, f64, f64, usize) {
+        scratch.dropped.clear();
+        let dropped = &mut scratch.dropped;
+        let mut rec = BlockRecorder::new();
+        self.diff_extend_core(other, &mut rec, |tid| dropped.push(tid));
+        let blocks = rec.finish();
+        let (esup, var, count) = blocks.fold();
+        (blocks, esup, var, count)
     }
 
     /// Shared engine of [`ProbVector::diff_extend`] /
@@ -1553,12 +2018,12 @@ impl ProbVector {
     /// blocks — the same [`SUM_BLOCK_TIDS`] shape as `intersect_stats`
     /// (whose extra zero-product adds are IEEE-754 no-ops), so the sums
     /// are bit-identical.
-    fn diff_extend_core<F: FnMut(u32)>(
+    fn diff_extend_core<S: StatSink, F: FnMut(u32)>(
         &self,
         other: &ProbVector,
+        acc: &mut S,
         mut drop: F,
-    ) -> (f64, f64, usize) {
-        let mut acc = MomentAcc::new();
+    ) {
         let kb: &[u32] = &other.keys;
         let gallop = self.keys.len() * GALLOP_RATIO < kb.len();
         let mut j = 0usize;
@@ -1614,7 +2079,6 @@ impl ProbVector {
                 }
             }
         }
-        acc.finish()
     }
 
     /// Reconstructs the child vector a [`ProbVector::diff_extend`] call
@@ -2045,48 +2509,94 @@ impl VerticalIndex {
     }
 
     /// Applies a window-step delta in place: per dirty slot, the old
-    /// transaction's units leave the postings and the new one's enter —
-    /// point updates at the slot's (stable) tid. In sharded mode the same
-    /// updates land in the per-shard fragments, and every dirty
-    /// `(item, shard)` zone-map cell is rebuilt from its fragment with the
-    /// same code the from-scratch build runs.
+    /// transaction's units leave the postings and the new one's enter. The
+    /// step is first transposed into one ascending `(tid, new_prob)`
+    /// update list per touched item (removals as probability 0), and each
+    /// touched posting absorbs its whole list in a single
+    /// [`ProbVector::apply_tid_delta`] merge — one pass per item instead
+    /// of a point update per dirty unit, the difference on bursty steps
+    /// (hundreds of slots) and the initial whole-window fill. In sharded
+    /// mode the same lists split at shard boundaries into the per-shard
+    /// fragments, and every dirty `(item, shard)` zone-map cell is rebuilt
+    /// from its fragment with the same code the from-scratch build runs.
     ///
-    /// Because [`ProbVector`] point updates preserve the canonical chunk
+    /// Because [`ProbVector::apply_tid_delta`] commits the canonical chunk
     /// layout, the maintained index is **byte-identical** to
     /// [`VerticalIndex::build_with_plan`] over the stepped window's
     /// snapshot — postings, fragments and zones alike — so everything
     /// downstream (kernels, bounded pushdown, zone prechecks) behaves as
     /// if the index had been rebuilt. Cost is proportional to the delta:
-    /// `O(Σ_{dirty units} posting length)` plus a zone refresh per dirty
-    /// cell, never `O(window)`.
+    /// one touched-chunk merge per dirty item plus a zone refresh per
+    /// dirty cell, never `O(window)`.
     ///
     /// Every dirty tid must lie within the indexed transaction range (the
     /// window's ring-buffer tids guarantee this; checked in debug builds).
     pub fn apply_step(&mut self, step: &crate::window::WindowStep) {
         let num_shards = self.num_shards();
         let sharded = self.is_sharded();
-        // (item, shard) cells whose zone entries must be rebuilt.
-        let mut dirty_cells: Vec<(ItemId, usize)> = Vec::new();
+        // Transpose the step: per-item update lists, ascending by tid
+        // (`step.dirty` is tid-sorted). A lockstep walk of each slot's
+        // sorted unit lists emits only probabilities that actually moved —
+        // unchanged units are no-ops for a rebuild and are skipped.
+        let mut per_item: Vec<Vec<(u32, f64)>> = vec![Vec::new(); self.postings.len()];
         for d in &step.dirty {
             debug_assert!(
                 (d.tid as usize) < self.num_transactions,
                 "dirty tid outside the indexed range"
             );
-            let shard = self.plan.shard_of_key(d.tid >> CHUNK_BITS);
-            for (item, _) in d.old.units() {
-                if d.new.prob_of(item) == 0.0 {
-                    self.postings[item as usize].remove(d.tid);
-                    if sharded {
-                        self.shard_frags[item as usize][shard].remove(d.tid);
-                        dirty_cells.push((item, shard));
+            let mut old_units = d.old.units().peekable();
+            let mut new_units = d.new.units().peekable();
+            loop {
+                match (old_units.peek().copied(), new_units.peek().copied()) {
+                    (None, None) => break,
+                    (Some((oi, op)), Some((ni, np))) => {
+                        if oi == ni {
+                            if op != np {
+                                per_item[oi as usize].push((d.tid, np));
+                            }
+                            old_units.next();
+                            new_units.next();
+                        } else if oi < ni {
+                            per_item[oi as usize].push((d.tid, 0.0));
+                            old_units.next();
+                        } else {
+                            per_item[ni as usize].push((d.tid, np));
+                            new_units.next();
+                        }
+                    }
+                    (Some((oi, _)), None) => {
+                        per_item[oi as usize].push((d.tid, 0.0));
+                        old_units.next();
+                    }
+                    (None, Some((ni, np))) => {
+                        per_item[ni as usize].push((d.tid, np));
+                        new_units.next();
                     }
                 }
             }
-            for (item, p) in d.new.units() {
-                self.postings[item as usize].insert(d.tid, p);
-                if sharded {
-                    self.shard_frags[item as usize][shard].insert(d.tid, p);
-                    dirty_cells.push((item, shard));
+        }
+        // (item, shard) cells whose zone entries must be rebuilt.
+        let mut dirty_cells: Vec<(ItemId, usize)> = Vec::new();
+        for (item, updates) in per_item.iter().enumerate() {
+            if updates.is_empty() {
+                continue;
+            }
+            self.postings[item].apply_tid_delta(updates);
+            if sharded {
+                // Shards cover contiguous tid ranges, so the ascending
+                // list splits into contiguous per-shard runs.
+                let mut i = 0usize;
+                while i < updates.len() {
+                    let shard = self.plan.shard_of_key(updates[i].0 >> CHUNK_BITS);
+                    let mut j = i + 1;
+                    while j < updates.len()
+                        && self.plan.shard_of_key(updates[j].0 >> CHUNK_BITS) == shard
+                    {
+                        j += 1;
+                    }
+                    self.shard_frags[item][shard].apply_tid_delta(&updates[i..j]);
+                    dirty_cells.push((item as ItemId, shard));
+                    i = j;
                 }
             }
         }
@@ -2966,6 +3476,173 @@ mod tests {
         }
     }
 
+    /// Model-checked batch patch: `apply_tid_delta` must leave the vector
+    /// byte-identical to a `from_parts` rebuild of the updated contents,
+    /// and a `BlockMoments::refresh` over the touched blocks must leave
+    /// the retained partials structurally equal to a cold
+    /// `BlockMoments::of` — so `fold()` is bit-identical to a cold
+    /// re-fold.
+    fn check_tid_delta(
+        v: &mut ProbVector,
+        model: &mut std::collections::BTreeMap<u32, f64>,
+        moments: &mut BlockMoments,
+        updates: &[(u32, f64)],
+        label: &str,
+    ) {
+        v.apply_tid_delta(updates);
+        for &(tid, p) in updates {
+            if p > 0.0 {
+                model.insert(tid, p);
+            } else {
+                model.remove(&tid);
+            }
+        }
+        let pairs: Vec<(u32, f64)> = model.iter().map(|(&t, &p)| (t, p)).collect();
+        let rebuilt = build(&pairs);
+        assert_same_layout(v, &rebuilt, label);
+        let mut blocks: Vec<u32> = updates
+            .iter()
+            .map(|&(t, _)| BlockMoments::block_of_tid(t))
+            .collect();
+        blocks.dedup();
+        moments.refresh(v, &blocks);
+        assert_eq!(*moments, BlockMoments::of(v), "{label}: refreshed partials");
+        let (esup, var, count) = moments.fold();
+        let (we, wv) = v.moments();
+        assert_eq!(esup.to_bits(), we.to_bits(), "{label}: folded esup");
+        assert_eq!(var.to_bits(), wv.to_bits(), "{label}: folded var");
+        assert_eq!(count, v.len(), "{label}: folded count");
+    }
+
+    /// Batched point updates keep the canonical layout and the retained
+    /// block partials bit-exact across chunk creation/removal, cutoff
+    /// crossings in both directions, multi-block vectors, no-op removals
+    /// and full expiry of a block.
+    #[test]
+    fn tid_delta_patches_match_cold_rebuild() {
+        use std::collections::BTreeMap;
+        let seed: Vec<(u32, f64)> = (0..40u32)
+            .map(|i| (i * 7, 0.25 + (i % 4) as f64 / 8.0))
+            .chain((4096..4096 + 30).map(|t| (t, 0.5)))
+            .chain([(9000, 0.9), (9001, 0.8)])
+            .collect();
+        let mut v = build(&seed);
+        let mut model: BTreeMap<u32, f64> = seed.iter().copied().collect();
+        let mut moments = BlockMoments::of(&v);
+        let (e0, v0) = v.moments();
+        let f0 = moments.fold();
+        assert_eq!(f0.0.to_bits(), e0.to_bits());
+        assert_eq!(f0.1.to_bits(), v0.to_bits());
+        assert_eq!(f0.2, v.len());
+
+        // Mixed upserts/removals across three blocks, including a chunk
+        // that crosses the positional cutoff and a brand-new chunk.
+        let batch1: Vec<(u32, f64)> = (64..64 + 20)
+            .map(|t| (t, 0.5 + t as f64 / 1000.0))
+            .chain([(273, 0.0), (4096, 0.0), (4100, 0.75), (8191, 0.3)])
+            .collect();
+        check_tid_delta(&mut v, &mut model, &mut moments, &batch1, "batch1");
+
+        // Retract the dense run again (cutoff crossing back down), empty
+        // block 2 entirely, and touch an absent tid (no-op removal).
+        let batch2: Vec<(u32, f64)> = (64..64 + 20)
+            .map(|t| (t, 0.0))
+            .chain([(8191, 0.0), (9000, 0.0), (9001, 0.0), (10000, 0.0)])
+            .collect();
+        check_tid_delta(&mut v, &mut model, &mut moments, &batch2, "batch2");
+
+        // Arrive-and-expire cancellation: insert then remove in separate
+        // batches lands back on the original bits.
+        check_tid_delta(&mut v, &mut model, &mut moments, &[(500, 0.5)], "arrive");
+        check_tid_delta(&mut v, &mut model, &mut moments, &[(500, 0.0)], "cancel");
+
+        // Full expiry of everything that remains.
+        let all: Vec<(u32, f64)> = model.keys().map(|&t| (t, 0.0)).collect();
+        check_tid_delta(&mut v, &mut model, &mut moments, &all, "full expiry");
+        assert!(v.is_empty());
+        assert_eq!(moments, BlockMoments::default());
+
+        // Refill an emptied vector.
+        let refill: Vec<(u32, f64)> = (0..200u32).map(|t| (t * 3, 0.6)).collect();
+        check_tid_delta(&mut v, &mut model, &mut moments, &refill, "refill");
+
+        // `retract_tid` is the single-point twin.
+        assert!(v.retract_tid(0));
+        assert!(!v.retract_tid(1));
+        model.remove(&0);
+        let pairs: Vec<(u32, f64)> = model.iter().map(|(&t, &p)| (t, p)).collect();
+        assert_same_layout(&v, &build(&pairs), "retract_tid");
+    }
+
+    /// The block-recording diff-extend matches its plain twin bit for bit
+    /// and records exactly the partials of the materialized child; a
+    /// touched-block `refresh` fed from `restrict_to_blocks` fragments
+    /// reproduces them after a patch.
+    #[test]
+    fn diff_extend_blocks_matches_plain_twin() {
+        let a_pairs: Vec<(u32, f64)> = (0..600u32)
+            .map(|t| (t * 9, 0.3 + (t % 5) as f64 / 10.0))
+            .collect();
+        let b_pairs: Vec<(u32, f64)> = (0..900u32)
+            .map(|t| (t * 6, 0.2 + (t % 7) as f64 / 10.0))
+            .collect();
+        let a = build(&a_pairs);
+        let b = build(&b_pairs);
+        let mut scratch = ScratchSpace::new();
+        let (diff, e, vr, c) = a.diff_extend(&b);
+        let (blocks, be, bv, bc) = a.diff_extend_blocks_into(&b, &mut scratch);
+        assert_eq!(be.to_bits(), e.to_bits(), "blocks esup");
+        assert_eq!(bv.to_bits(), vr.to_bits(), "blocks var");
+        assert_eq!(bc, c, "blocks count");
+        assert_eq!(scratch.export_diff(), diff, "blocks dropped set");
+        let child = a.apply_diff(&diff, &b);
+        assert_eq!(blocks, BlockMoments::of(&child), "recorded partials");
+
+        // Patch the child in two blocks and refresh from restricted
+        // fragments only — partials must equal a cold rebuild's.
+        let mut patched = child.clone();
+        patched.apply_tid_delta(&[(54, 0.0), (4098, 0.9), (5000, 0.5)]);
+        let mut m = blocks.clone();
+        let touched = [0u32, 1u32];
+        let frag = patched.restrict_to_blocks(&touched);
+        assert_eq!(
+            frag.nonzero(),
+            patched
+                .nonzero()
+                .into_iter()
+                .filter(|&(t, _)| BlockMoments::block_of_tid(t) <= 1)
+                .collect::<Vec<_>>(),
+            "restricted fragment contents"
+        );
+        m.refresh(&frag, &touched);
+        assert_eq!(m, BlockMoments::of(&patched), "refresh from fragment");
+    }
+
+    /// `DiffVector::apply_tid_delta` reproduces the delta a cold
+    /// `diff_extend` over the stepped operands would emit.
+    #[test]
+    fn diff_vector_delta_matches_cold_extend() {
+        let a = build(&[(0, 0.5), (3, 0.25), (10, 0.9), (70, 0.8), (100, 0.6)]);
+        let b = build(&[(0, 0.5), (10, 0.7), (70, 0.4), (200, 0.9)]);
+        let (mut diff, ..) = a.diff_extend(&b); // dropped: 3, 100
+        assert_eq!(diff.dropped(), &[3, 100]);
+        // Step: tid 3 gains a postings entry (survives now), tid 10 loses
+        // its entry (dropped now), tid 100 leaves the prefix entirely,
+        // tid 150 is a no-op confirmation of absence.
+        let mut a2 = a.clone();
+        a2.apply_tid_delta(&[(100, 0.0)]);
+        let mut b2 = b.clone();
+        b2.apply_tid_delta(&[(3, 0.5), (10, 0.0)]);
+        diff.apply_tid_delta(&[(3, false), (10, true), (100, false), (150, false)]);
+        let (cold, ..) = a2.diff_extend(&b2);
+        assert_eq!(diff, cold, "patched delta chain");
+        assert_eq!(
+            a2.apply_diff(&diff, &b2).nonzero(),
+            a2.intersect(&b2).nonzero(),
+            "patched chain resolves"
+        );
+    }
+
     mod proptests {
         use super::*;
         use proptest::collection::vec;
@@ -3075,6 +3752,37 @@ mod tests {
             ) {
                 check_kernels(&a, &b);
                 check_kernels(&b, &a);
+            }
+
+            // Random patch scripts: batched point updates stay
+            // byte-identical to cold rebuilds and keep refreshed block
+            // partials bit-equal to a cold re-fold, across several
+            // summation blocks and both chunk layouts.
+            #[test]
+            fn tid_delta_scripts_match_cold_rebuild(
+                seed_pairs in arb_pairs(12_288, 400),
+                scripts in vec(vec((0u32..12_288, 0u8..3, 1e-3f64..=1.0), 1..60), 1..5),
+            ) {
+                let mut v = build(&seed_pairs);
+                let mut model: std::collections::BTreeMap<u32, f64> =
+                    seed_pairs.iter().copied().collect();
+                let mut moments = BlockMoments::of(&v);
+                for raw in scripts {
+                    let mut updates: Vec<(u32, f64)> = raw
+                        .into_iter()
+                        .map(|(tid, sel, p)| {
+                            let prob = match sel {
+                                0 => 0.0, // removal (maybe of an absent tid)
+                                1 => 1e-200,
+                                _ => p,
+                            };
+                            (tid, prob)
+                        })
+                        .collect();
+                    updates.sort_by_key(|e| e.0);
+                    updates.dedup_by_key(|e| e.0);
+                    check_tid_delta(&mut v, &mut model, &mut moments, &updates, "script");
+                }
             }
         }
     }

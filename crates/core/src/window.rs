@@ -42,6 +42,7 @@
 
 use crate::database::UncertainDatabase;
 use crate::hash::FxHashMap;
+use crate::itemset::ItemId;
 use crate::transaction::Transaction;
 use std::collections::VecDeque;
 
@@ -79,6 +80,199 @@ impl WindowStep {
     #[inline]
     pub fn len(&self) -> usize {
         self.dirty.len()
+    }
+}
+
+/// Precomputed per-step containment probabilities: the shared fast path
+/// for every consumer that asks, per candidate itemset, "which dirty slots
+/// changed this itemset's containment probability, and to what?".
+///
+/// Touch detection through [`Transaction::itemset_prob`] walks the
+/// transaction's unit list twice per (candidate, dirty slot) pair — the
+/// dominant cost of a refresh once border reuse has collapsed the
+/// candidate workload. The probe hoists that walk out of the per-candidate
+/// loop: construction expands every dirty slot's old/new transactions into
+/// dense per-item probability rows (absent items hold `0.0`) and records,
+/// per item, a bitset of the slots where that item's probability moved.
+/// A candidate's queries then reduce to a few multiplies per *changed*
+/// slot — slots where no member item moved are skipped outright, which is
+/// sound because an unchanged factor list yields a bit-identical product.
+///
+/// Every product is folded exactly like [`Transaction::itemset_prob`]
+/// (ascending item order, from `1.0`): probabilities are non-negative, so
+/// an absent item's `0.0` factor drives the fold to exactly `+0.0` — the
+/// same bits the early-return produces. All derived quantities are
+/// therefore **bit-identical** to the naive per-transaction loops they
+/// replace, which `probe_matches_naive_loops` pins.
+#[derive(Clone, Debug)]
+pub struct StepProbe {
+    /// Dirty tids, ascending (slot `s` of every row/bitset is `tids[s]`).
+    tids: Vec<u32>,
+    /// Old-side containment probability rows, `num_items` per dirty slot.
+    old: Vec<f64>,
+    /// New-side containment probability rows, `num_items` per dirty slot.
+    new: Vec<f64>,
+    num_items: usize,
+    /// Per-item changed-slot bitsets, `words` u64 words per item.
+    changed: Vec<u64>,
+    /// Bitset words per item (`ceil(len / 64)`).
+    words: usize,
+}
+
+impl StepProbe {
+    /// Expands `step` against the vocabulary `0..num_items`. Cost (and
+    /// memory) is `O(dirty × num_items)` — dense on purpose: the probe is
+    /// rebuilt per step and queried per candidate, and the candidate loop
+    /// is what must be fast.
+    pub fn new(step: &WindowStep, num_items: u32) -> Self {
+        let n = num_items as usize;
+        let len = step.dirty.len();
+        let mut old = vec![0.0f64; n * len];
+        let mut new = vec![0.0f64; n * len];
+        for (s, d) in step.dirty.iter().enumerate() {
+            for (item, p) in d.old.units() {
+                old[s * n + item as usize] = p;
+            }
+            for (item, p) in d.new.units() {
+                new[s * n + item as usize] = p;
+            }
+        }
+        let words = len.div_ceil(64).max(1);
+        let mut changed = vec![0u64; n * words];
+        for s in 0..len {
+            for i in 0..n {
+                if old[s * n + i] != new[s * n + i] {
+                    changed[i * words + s / 64] |= 1u64 << (s % 64);
+                }
+            }
+        }
+        StepProbe {
+            tids: step.dirty.iter().map(|d| d.tid).collect(),
+            old,
+            new,
+            num_items: n,
+            changed,
+            words,
+        }
+    }
+
+    /// Number of dirty slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// True when the underlying step changes nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+
+    /// The tid of dirty-slot index `slot`.
+    #[inline]
+    pub fn tid(&self, slot: usize) -> u32 {
+        self.tids[slot]
+    }
+
+    /// The containment product of `items` over a probability row —
+    /// [`Transaction::itemset_prob`]'s fold, bit for bit (see the type
+    /// docs for why the absent-item `0.0` factor is equivalent).
+    #[inline]
+    fn product(row: &[f64], items: &[ItemId]) -> f64 {
+        let mut p = 1.0f64;
+        for &i in items {
+            p *= row[i as usize];
+        }
+        p
+    }
+
+    /// New-side containment probability of `items` at dirty-slot `slot`.
+    #[inline]
+    pub fn new_prob(&self, slot: usize, items: &[ItemId]) -> f64 {
+        let n = self.num_items;
+        Self::product(&self.new[slot * n..(slot + 1) * n], items)
+    }
+
+    /// Visits, ascending, every dirty slot where some member item's
+    /// probability moved, with the itemset's old/new containment products
+    /// there. Slots outside carry bit-identical old/new products and are
+    /// skipped.
+    fn for_each_candidate_slot(&self, items: &[ItemId], mut f: impl FnMut(usize, f64, f64)) {
+        let n = self.num_items;
+        for w in 0..self.words {
+            let mut mask = 0u64;
+            for &i in items {
+                mask |= self.changed[i as usize * self.words + w];
+            }
+            while mask != 0 {
+                let s = w * 64 + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let old_p = Self::product(&self.old[s * n..(s + 1) * n], items);
+                let new_p = Self::product(&self.new[s * n..(s + 1) * n], items);
+                f(s, old_p, new_p);
+            }
+        }
+    }
+
+    /// Dirty-slot indices where some member item's probability moved,
+    /// ascending — the superset of slots whose membership in any structure
+    /// keyed on `items` (or on a subset of `items`) can have changed.
+    pub fn candidate_slots(&self, items: &[ItemId]) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut mask_words = vec![0u64; self.words];
+        for &i in items {
+            for (m, &c) in mask_words
+                .iter_mut()
+                .zip(&self.changed[i as usize * self.words..(i as usize + 1) * self.words])
+            {
+                *m |= c;
+            }
+        }
+        for (w, &mut mut mask) in mask_words.iter_mut().enumerate() {
+            while mask != 0 {
+                out.push(w * 64 + mask.trailing_zeros() as usize);
+                mask &= mask - 1;
+            }
+        }
+        out
+    }
+
+    /// Border-tracker deltas for one itemset: whether any dirty slot moved
+    /// its containment probability, the total added mass
+    /// `Σ max(new − old, 0)`, and the count of slots that went zero →
+    /// nonzero. Bit-identical to the naive all-slots loop: skipped slots
+    /// contribute exactly nothing to either accumulator.
+    pub fn growth(&self, items: &[ItemId]) -> (bool, f64, u64) {
+        let mut touched = false;
+        let mut added_mass = 0.0f64;
+        let mut added_count = 0u64;
+        self.for_each_candidate_slot(items, |_, old_p, new_p| {
+            if old_p != new_p {
+                touched = true;
+            }
+            if new_p > old_p {
+                added_mass += new_p - old_p;
+            }
+            if old_p == 0.0 && new_p > 0.0 {
+                added_count += 1;
+            }
+        });
+        (touched, added_mass, added_count)
+    }
+
+    /// The itemset's net containment updates: ascending `(tid, new_prob)`
+    /// for every dirty slot where the probability actually moved — exactly
+    /// the delta [`ProbVector::apply_tid_delta`] consumes.
+    ///
+    /// [`ProbVector::apply_tid_delta`]: crate::vertical::ProbVector::apply_tid_delta
+    pub fn updates(&self, items: &[ItemId]) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        self.for_each_candidate_slot(items, |s, old_p, new_p| {
+            if old_p != new_p {
+                out.push((self.tids[s], new_p));
+            }
+        });
+        out
     }
 }
 
@@ -323,5 +517,113 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = WindowedDatabase::new(0, 4);
+    }
+
+    /// The probe's products, growth deltas and update lists must be
+    /// bit-identical to the naive per-transaction loops they replace.
+    #[test]
+    fn probe_matches_naive_loops() {
+        const NUM_ITEMS: u32 = 7;
+        // A deterministic pseudo-random step: slots cycle through
+        // empty→tx, tx→tx and tx→empty shapes with varied units.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut rand_tx = |seed_bias: u64| {
+            let units: Vec<(u32, f64)> = (0..NUM_ITEMS)
+                .filter_map(|i| {
+                    let r = next().wrapping_add(seed_bias);
+                    (r % 3 != 0).then(|| (i, ((r % 97) as f64 + 1.0) / 98.0))
+                })
+                .collect();
+            tx(&units)
+        };
+        let empty = Transaction::certain([]);
+        let mut dirty = Vec::new();
+        for tid in 0..70u32 {
+            let (old, new) = match tid % 4 {
+                0 => (empty.clone(), rand_tx(1)),
+                1 => (rand_tx(2), empty.clone()),
+                2 => (rand_tx(3), rand_tx(4)),
+                _ => continue, // gaps: dirty tids need not be contiguous
+            };
+            dirty.push(DirtySlot { tid, old, new });
+        }
+        let step = WindowStep { dirty };
+        let probe = StepProbe::new(&step, NUM_ITEMS);
+        assert_eq!(probe.len(), step.len());
+        assert!(!probe.is_empty());
+
+        let sets: Vec<Vec<ItemId>> = vec![
+            vec![0],
+            vec![3],
+            vec![0, 1],
+            vec![2, 5],
+            vec![0, 3, 6],
+            vec![1, 2, 4, 5],
+            vec![0, 1, 2, 3, 4, 5, 6],
+        ];
+        for items in &sets {
+            // growth == the classifier's naive all-slots accumulation.
+            let (mut touched, mut mass, mut count) = (false, 0.0f64, 0u64);
+            for d in &step.dirty {
+                let old_p = d.old.itemset_prob(items);
+                let new_p = d.new.itemset_prob(items);
+                if old_p != new_p {
+                    touched = true;
+                }
+                if new_p > old_p {
+                    mass += new_p - old_p;
+                }
+                if old_p == 0.0 && new_p > 0.0 {
+                    count += 1;
+                }
+            }
+            let (t, m, c) = probe.growth(items);
+            assert_eq!(t, touched, "{items:?}");
+            assert_eq!(m.to_bits(), mass.to_bits(), "{items:?}");
+            assert_eq!(c, count, "{items:?}");
+
+            // updates == the naive changed-slot filter, values bit for bit.
+            let naive: Vec<(u32, u64)> = step
+                .dirty
+                .iter()
+                .filter_map(|d| {
+                    let old_p = d.old.itemset_prob(items);
+                    let new_p = d.new.itemset_prob(items);
+                    (old_p != new_p).then_some((d.tid, new_p.to_bits()))
+                })
+                .collect();
+            let got: Vec<(u32, u64)> = probe
+                .updates(items)
+                .into_iter()
+                .map(|(t, p)| (t, p.to_bits()))
+                .collect();
+            assert_eq!(got, naive, "{items:?}");
+
+            // new_prob at every slot == itemset_prob of the new side, and
+            // candidate_slots covers every slot whose product moved.
+            let slots = probe.candidate_slots(items);
+            assert!(slots.windows(2).all(|w| w[0] < w[1]));
+            for (s, d) in step.dirty.iter().enumerate() {
+                assert_eq!(
+                    probe.new_prob(s, items).to_bits(),
+                    d.new.itemset_prob(items).to_bits(),
+                    "{items:?} slot {s}"
+                );
+                let moved = d.old.itemset_prob(items) != d.new.itemset_prob(items);
+                assert!(!moved || slots.contains(&s), "{items:?} slot {s}");
+            }
+        }
+        // Empty itemset: containment is the empty product everywhere.
+        let (t, m, c) = probe.growth(&[]);
+        assert!(!t);
+        assert_eq!(m, 0.0);
+        assert_eq!(c, 0);
+        assert!(probe.updates(&[]).is_empty());
     }
 }

@@ -93,8 +93,8 @@ use super::scan::{LevelScan, ScanAccumulators, StripedPartial};
 use ufim_core::parallel::{par_map_min_len, par_map_min_len_with, scope, OrderedSink};
 use ufim_core::vertical::{BOUND_SLACK, SUM_BLOCK_TIDS};
 use ufim_core::{
-    DiffVector, EngineKind, FrequentItemset, FxHashMap, ItemId, Itemset, MinerStats, ProbVector,
-    ScratchSpace, ShardPlan, UncertainDatabase, VerticalIndex, WindowStep,
+    BlockMoments, DiffVector, EngineKind, FrequentItemset, FxHashMap, ItemId, Itemset, MinerStats,
+    ProbVector, ScratchSpace, ShardPlan, StepProbe, UncertainDatabase, VerticalIndex, WindowStep,
 };
 
 /// Which optional statistics [`SupportEngine::evaluate`] must produce, plus
@@ -299,17 +299,36 @@ pub trait SupportEngine {
     }
 
     /// Applies one sliding-window step to the backend's own copy of the
-    /// data (postings point updates + zone-map refresh) and drops any
-    /// memoized per-run state, which the step invalidated. After a `true`
-    /// return the engine is equivalent to a freshly built one over the
-    /// stepped window — the maintained index is byte-identical to a
-    /// rebuild, so subsequent evaluations are bit-identical to batch.
+    /// data (postings point updates + zone-map refresh) and brings any
+    /// retained memo state along: the columnar backends switch into
+    /// *streaming* mode on the first step and thereafter keep their
+    /// prefix memos across refreshes, point-patching each retained node
+    /// — touched vector chunks rewritten in place, cached `(esup, var,
+    /// count)` moments re-folded from retained per-4096-tid-block partial
+    /// sums — to exactly the state a freshly built engine would
+    /// recompute. Nodes the step moved too much (or that fell out of the
+    /// last refresh's frequent stream) are evicted instead; evictions are
+    /// safe because every backend falls back to a bit-identical cold fold
+    /// for prefixes absent from its memo. After a `true` return,
+    /// evaluations are bit-identical to a rebuilt engine's.
+    ///
+    /// `probe` must be [`StepProbe::new`] over the same `step` (the caller
+    /// builds it once per step and shares it with the border tracker); the
+    /// patch walks use it to detect touched nodes and read new containment
+    /// probabilities without re-walking transactions. `stats` receives
+    /// [`MinerStats::memo_patched`] / [`MinerStats::memo_rebuilt`] counts
+    /// for the patch walk.
     ///
     /// Returns `false` when the backend holds no mutable copy of the data
     /// (the horizontal scan borrows the caller's database) — the caller
     /// must then rebuild the engine over the new window snapshot.
-    fn apply_window_step(&mut self, step: &WindowStep) -> bool {
-        let _ = step;
+    fn apply_window_step(
+        &mut self,
+        step: &WindowStep,
+        probe: &StepProbe,
+        stats: &mut MinerStats,
+    ) -> bool {
+        let _ = (step, probe, stats);
         false
     }
 }
@@ -481,6 +500,38 @@ const PAR_MIN_WORK: usize = ufim_core::parallel::DEFAULT_MIN_WORK;
 /// bit and counter) never depends on the thread count.
 const SHARD_SPAWN_MIN_WORK: usize = ufim_core::parallel::DEFAULT_MIN_WORK;
 
+/// The point updates one window step implies for a retained node of
+/// `items`: `(tid, new containment probability)` for every dirty slot
+/// whose probability actually changed, ascending by tid. The memoized
+/// vector's value at a tid equals the probe's old-row product bit for bit
+/// (both are the same ascending left-fold), so the bitwise filter detects
+/// untouched nodes exactly like the border tracker does — an empty return
+/// means the node is already byte-identical to a rebuild.
+fn itemset_updates(probe: &StepProbe, items: &[ItemId]) -> Vec<(u32, f64)> {
+    probe.updates(items)
+}
+
+/// The ascending, deduplicated summation-block keys a batch of point
+/// updates touches — the blocks [`BlockMoments::refresh`] must recompute.
+fn touched_block_keys(updates: &[(u32, f64)]) -> Vec<u32> {
+    let mut blocks: Vec<u32> = updates
+        .iter()
+        .map(|&(tid, _)| BlockMoments::block_of_tid(tid))
+        .collect();
+    blocks.dedup();
+    blocks
+}
+
+/// Deterministic patch-vs-evict rule for a retained node: patching
+/// rewrites only touched chunks, but a step that moves half the node's
+/// tids costs as much as the cold re-fold it replaces — evict then and
+/// let the next use rebuild. A pure function of the update count and the
+/// node's nonzero size, so `memo_patched` / `memo_rebuilt` are identical
+/// across thread counts.
+fn patch_beats_rebuild(changed: usize, nnz: usize) -> bool {
+    changed * 2 <= nnz.max(1)
+}
+
 /// One frequent prefix retained by a sharded columnar engine: its
 /// prob-vector split at shard boundaries (global chunk keys; empty where
 /// the prefix has no tids) plus each fragment's exact probability mass —
@@ -488,6 +539,9 @@ const SHARD_SPAWN_MIN_WORK: usize = ufim_core::parallel::DEFAULT_MIN_WORK;
 struct ShardedNode {
     frags: Vec<ProbVector>,
     masses: Vec<f64>,
+    /// Streaming mode: stamp of the last refresh that kept this prefix
+    /// frequent (drives cross-refresh GC); 0 in batch mode.
+    stamp: u64,
 }
 
 /// The fragment memo the vertical engine runs in sharded mode (the
@@ -577,7 +631,11 @@ fn cold_sharded_node(index: &VerticalIndex, items: &[ItemId]) -> ShardedNode {
         masses.push(acc.esup());
         frags.push(acc);
     }
-    ShardedNode { frags, masses }
+    ShardedNode {
+        frags,
+        masses,
+        stamp: 0,
+    }
 }
 
 /// Worker result for one candidate of a sharded level evaluation.
@@ -805,17 +863,97 @@ fn sharded_prob_vectors(
 }
 
 /// Sharded `finish_level`: survivors keep their fragments, each annotated
-/// with its exact mass for the next level's zone prechecks.
-fn sharded_finish_level(state: &mut ShardedState, frequent: &[FrequentItemset]) {
+/// with its exact mass for the next level's zone prechecks. In batch mode
+/// the previous level is replaced wholesale; in streaming mode survivors
+/// *accumulate* into the retained cross-refresh memo and re-stamp it
+/// (reused frequent itemsets — untouched border entries the engine never
+/// re-evaluated — keep their patched fragments and just renew the stamp).
+fn sharded_finish_level(
+    state: &mut ShardedState,
+    frequent: &[FrequentItemset],
+    streaming: bool,
+    stamp: u64,
+) {
+    if streaming {
+        for f in frequent {
+            if let Some(frags) = state.current.remove(f.itemset.items()) {
+                let masses = frags.iter().map(|v| v.esup()).collect();
+                state.prev.insert(
+                    f.itemset.items().to_vec(),
+                    ShardedNode {
+                        frags,
+                        masses,
+                        stamp,
+                    },
+                );
+            } else if let Some(node) = state.prev.get_mut(f.itemset.items()) {
+                node.stamp = stamp;
+            }
+        }
+        state.current = FxHashMap::default();
+        return;
+    }
     let mut next = FxHashMap::default();
     for f in frequent {
         if let Some(frags) = state.current.remove(f.itemset.items()) {
             let masses = frags.iter().map(|v| v.esup()).collect();
-            next.insert(f.itemset.items().to_vec(), ShardedNode { frags, masses });
+            next.insert(
+                f.itemset.items().to_vec(),
+                ShardedNode {
+                    frags,
+                    masses,
+                    stamp: 0,
+                },
+            );
         }
     }
     state.prev = next;
     state.current = FxHashMap::default();
+}
+
+/// The vertical backend's sharded patch walk: drops nodes that fell out
+/// of the last refresh's frequent stream, then point-patches each
+/// survivor's touched fragments (a dirty tid lands in exactly one shard)
+/// and re-folds only those shards' masses. Patched fragments are
+/// byte-identical to a rebuilt engine's ([`ProbVector::apply_tid_delta`]
+/// commits canonical chunk layouts), and `mass = fragment.esup()` is the
+/// exact expression `sharded_finish_level` records — so zone prechecks
+/// and kernels downstream see rebuilt-identical operands.
+fn patch_sharded_nodes(
+    index: &VerticalIndex,
+    state: &mut ShardedState,
+    probe: &StepProbe,
+    keep: u64,
+    stats: &mut MinerStats,
+) {
+    let width = index.shard_plan().width_tids();
+    state.prev.retain(|items, node| {
+        if node.stamp != keep {
+            return false;
+        }
+        let updates = itemset_updates(probe, items);
+        if updates.is_empty() {
+            return true;
+        }
+        let nnz: usize = node.frags.iter().map(ProbVector::len).sum();
+        if !patch_beats_rebuild(updates.len(), nnz) {
+            stats.memo_rebuilt += 1;
+            return false;
+        }
+        let mut i = 0usize;
+        while i < updates.len() {
+            let shard = updates[i].0 as usize / width;
+            let mut j = i + 1;
+            while j < updates.len() && updates[j].0 as usize / width == shard {
+                j += 1;
+            }
+            node.frags[shard].apply_tid_delta(&updates[i..j]);
+            node.masses[shard] = node.frags[shard].esup();
+            i = j;
+        }
+        stats.memo_patched += 1;
+        true
+    });
 }
 
 /// One candidate × one shard of the trait seam: the candidate's fragment
@@ -961,6 +1099,8 @@ struct DiffShardedNode {
     reprs: Vec<ShardRepr>,
     masses: Vec<f64>,
     lens: Vec<u32>,
+    /// Cross-refresh GC stamp (streaming mode; 0 in batch mode).
+    stamp: u64,
 }
 
 /// Sharded-mode state of the diffset backend. Unlike the vertical
@@ -1248,6 +1388,7 @@ fn diff_sharded_group(
                 reprs,
                 masses,
                 lens,
+                stamp: 0,
             }
         });
         out.push(DiffShardedEval {
@@ -1364,13 +1505,125 @@ fn diff_sharded_prob_vectors(
 
 /// Diff-sharded `finish_level`: survivors join the persistent per-shard
 /// delta-chain memo (masses and lens were recorded at evaluation time).
-fn diff_sharded_finish_level(state: &mut DiffShardedState, frequent: &[FrequentItemset]) {
+/// In streaming mode every frequent itemset of the refresh — freshly
+/// evaluated or reused — renews the GC stamp.
+fn diff_sharded_finish_level(
+    state: &mut DiffShardedState,
+    frequent: &[FrequentItemset],
+    streaming: bool,
+    stamp: u64,
+) {
     for f in frequent {
-        if let Some(node) = state.current.remove(f.itemset.items()) {
+        if let Some(mut node) = state.current.remove(f.itemset.items()) {
+            node.stamp = stamp;
             state.memo.insert(f.itemset.items().to_vec(), node);
+        } else if streaming {
+            if let Some(node) = state.memo.get_mut(f.itemset.items()) {
+                node.stamp = stamp;
+            }
         }
     }
     state.current = FxHashMap::default();
+}
+
+/// The diffset backend's sharded patch walk. Keys are visited parents
+/// before children (ascending length, then lexicographic — a
+/// deterministic order), each node temporarily removed so its delta cells
+/// can re-resolve their *already-patched* prefix fragment through the
+/// memo, then reinserted. Per touched shard a `Tidset` cell rewrites only
+/// the dirty chunks in place; a `Diff` cell first re-decides membership
+/// for every dirty tid where a *member item's* probability moved (`t` is
+/// dropped iff the new prefix keeps it while the new child zeroes it —
+/// membership can flip even when the child value does not move, but only
+/// a member-item change can flip it: untouched member lists leave both
+/// products, and so the decision, bit-identical) and then, only when some
+/// child value actually changed, re-materializes the fragment to re-fold
+/// `masses`/`lens`. Everything lands byte-identical to a rebuilt engine:
+/// patched vectors commit canonical layouts and the folded expressions
+/// are exactly the ones evaluation records.
+fn patch_diff_sharded_nodes(
+    index: &VerticalIndex,
+    state: &mut DiffShardedState,
+    probe: &StepProbe,
+    keep: u64,
+    stats: &mut MinerStats,
+) {
+    let width = index.shard_plan().width_tids();
+    let mut keys: Vec<Vec<ItemId>> = state.memo.keys().cloned().collect();
+    keys.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    for items in keys {
+        let Some(mut node) = state.memo.remove(&items) else {
+            continue;
+        };
+        if node.stamp != keep {
+            // Fell out of the last refresh's frequent stream.
+            continue;
+        }
+        let updates = itemset_updates(probe, &items);
+        let has_diff_cell = node.reprs.iter().any(|r| matches!(r, ShardRepr::Diff(_)));
+        if updates.is_empty() && !has_diff_cell {
+            state.memo.insert(items, node);
+            continue;
+        }
+        let nnz: usize = node.lens.iter().map(|&l| l as usize).sum();
+        if !updates.is_empty() && !patch_beats_rebuild(updates.len(), nnz) {
+            stats.memo_rebuilt += 1;
+            continue;
+        }
+        let k = items.len();
+        let (prefix_items, last) = (&items[..k - 1], items[k - 1]);
+        let slots = probe.candidate_slots(&items);
+        let mut patched = false;
+        for shard in 0..node.reprs.len() {
+            let changed: Vec<(u32, f64)> = updates
+                .iter()
+                .copied()
+                .filter(|&(t, _)| t as usize / width == shard)
+                .collect();
+            match &mut node.reprs[shard] {
+                ShardRepr::Tidset(v) => {
+                    if changed.is_empty() {
+                        continue;
+                    }
+                    v.apply_tid_delta(&changed);
+                    node.masses[shard] = v.esup();
+                    node.lens[shard] = v.len() as u32;
+                    patched = true;
+                }
+                ShardRepr::Diff(d) => {
+                    let membership: Vec<(u32, bool)> = slots
+                        .iter()
+                        .filter(|&&s| probe.tid(s) as usize / width == shard)
+                        .map(|&s| {
+                            let drop = probe.new_prob(s, prefix_items) > 0.0
+                                && probe.new_prob(s, &items) == 0.0;
+                            (probe.tid(s), drop)
+                        })
+                        .collect();
+                    if membership.is_empty() && changed.is_empty() {
+                        continue;
+                    }
+                    d.apply_tid_delta(&membership);
+                    if changed.is_empty() {
+                        continue;
+                    }
+                    let mut applies = 0u64;
+                    let parent =
+                        resolve_shard_frag(index, &state.memo, prefix_items, shard, &mut applies);
+                    let frag = parent
+                        .get()
+                        .apply_diff(d, index.shard_postings(last, shard));
+                    node.masses[shard] = frag.esup();
+                    node.lens[shard] = frag.len() as u32;
+                    patched = true;
+                }
+            }
+        }
+        if patched {
+            stats.memo_patched += 1;
+        }
+        state.memo.insert(items, node);
+    }
 }
 
 /// One candidate × one shard of the diffset backend's trait seam: like
@@ -1450,6 +1703,7 @@ fn diff_fragment_merge_shards(
                     reprs,
                     masses,
                     lens,
+                    stamp: 0,
                 },
             );
         }
@@ -1457,15 +1711,32 @@ fn diff_fragment_merge_shards(
     out
 }
 
+/// One retained prefix of the vertical memo: its prob-vector and its
+/// probability mass (the expected support recorded at `finish_level`,
+/// which seeds the bounded stats pass's early-exit bound). In streaming
+/// mode the node additionally keeps the vector's per-4096-tid-block
+/// striped partial sums, so a window step can re-fold only the touched
+/// blocks and land bit-identical cached moments, plus the stamp of the
+/// last refresh whose frequent stream contained it.
+struct PrevNode {
+    vector: ProbVector,
+    mass: f64,
+    /// Block partials of `vector` (`Some` in streaming mode only).
+    moments: Option<BlockMoments>,
+    /// Cross-refresh GC stamp (streaming mode; 0 in batch mode).
+    stamp: u64,
+}
+
 /// The columnar backend: per-item postings + memoized prefix intersection.
 pub struct VerticalEngine {
     index: VerticalIndex,
-    /// Prob-vectors of the previous level's *frequent* itemsets — paired
-    /// with their expected supports (the vector's own probability mass,
-    /// which seeds the bounded stats pass's early-exit bound) — keyed by
+    /// Prob-vectors of the previous levels' *frequent* itemsets, keyed by
     /// their item arrays: the prefixes the current level's candidates
-    /// extend. Singleton prefixes are served by the index itself.
-    prev: FxHashMap<Vec<ItemId>, (ProbVector, f64)>,
+    /// extend. Singleton prefixes are served by the index itself. In
+    /// batch mode this holds exactly the previous level; in streaming
+    /// mode it is the retained cross-refresh memo (the live frequent
+    /// lattice), point-patched by each window step.
+    prev: FxHashMap<Vec<ItemId>, PrevNode>,
     /// Prob-vectors of every candidate evaluated in the current level.
     current: FxHashMap<Vec<ItemId>, ProbVector>,
     /// Fragment memo, present iff the index is sharded (more than one
@@ -1477,6 +1748,13 @@ pub struct VerticalEngine {
     peak_memo_units: u64,
     /// Peak bytes of the same memo state ([`SupportEngine::peak_memo_bytes`]).
     peak_memo_bytes: u64,
+    /// True once the first window step was applied: the memo is retained
+    /// across refreshes from then on and point-patched per step.
+    streaming: bool,
+    /// Streaming refresh stamp: bumped per applied step; `finish_level`
+    /// stamps every frequent itemset of the refresh with the current
+    /// value, and the next step's GC drops nodes that missed it.
+    stamp: u64,
 }
 
 impl VerticalEngine {
@@ -1500,6 +1778,8 @@ impl VerticalEngine {
             scan_charged: false,
             peak_memo_units: 0,
             peak_memo_bytes: 0,
+            streaming: false,
+            stamp: 0,
         }
     }
 
@@ -1523,12 +1803,12 @@ impl VerticalEngine {
 
     fn note_memo_peak(&mut self) {
         let (mut units, mut bytes) = (0usize, 0usize);
-        for v in self
-            .prev
-            .values()
-            .map(|(v, _)| v)
-            .chain(self.current.values())
-        {
+        for node in self.prev.values() {
+            units += node.vector.mem_units();
+            bytes += node.vector.mem_bytes();
+            bytes += node.moments.as_ref().map_or(0, BlockMoments::mem_bytes);
+        }
+        for v in self.current.values() {
             units += v.mem_units();
             bytes += v.mem_bytes();
         }
@@ -1559,8 +1839,6 @@ impl SupportEngine for VerticalEngine {
             self.note_sharded_peak(stats);
             return out;
         }
-        stats.intersections += candidates.iter().filter(|c| c.len() > 1).count() as u64;
-
         let mut out = LevelSupport {
             esup: Vec::with_capacity(candidates.len()),
             variance: want.variance.then(|| Vec::with_capacity(candidates.len())),
@@ -1596,6 +1874,7 @@ impl SupportEngine for VerticalEngine {
         let (index, prev) = (&self.index, &self.prev);
 
         if want.min_esup.is_some() || want.min_count.is_some() {
+            stats.intersections += candidates.iter().filter(|c| c.len() > 1).count() as u64;
             // Pushdown strategy: each candidate is visited once, fusing
             // statistics and (survivors-only) materialization — see
             // `evaluate_pushdown` for the bounded / unbounded split. Either
@@ -1705,16 +1984,52 @@ impl SupportEngine for VerticalEngine {
                 record(&mut out, esup, var, count);
             }
         } else {
+            // Streaming refreshes take this unbounded arm. Candidates the
+            // patch walk kept current in the retained memo are answered
+            // straight from their per-block partials — the payoff of
+            // memo-preserving delta evaluation: the fold combines the
+            // already-maintained block sums, bit-identical to the cold
+            // re-fold a fresh intersection would feed the same accumulator
+            // shape. Only memo misses pay an intersection (and only they
+            // are charged one).
+            let streaming = self.streaming;
+            let folded: Vec<Option<(f64, f64, usize)>> = candidates
+                .iter()
+                .map(|c| {
+                    if !streaming {
+                        return None;
+                    }
+                    prev.get(c.items())
+                        .and_then(|n| n.moments.as_ref())
+                        .map(BlockMoments::fold)
+                })
+                .collect();
+            let misses: Vec<u32> = (0..candidates.len() as u32)
+                .filter(|&i| folded[i as usize].is_none())
+                .collect();
+            stats.intersections += misses
+                .iter()
+                .filter(|&&i| candidates[i as usize].len() > 1)
+                .count() as u64;
             let results = par_map_min_len_with(
-                candidates,
+                &misses,
                 mean_units.max(1),
                 PAR_MIN_WORK,
                 ScratchSpace::new,
-                |scratch, c| evaluate_with(index, prev, c, scratch),
+                |scratch, &i| evaluate_with(index, prev, &candidates[i as usize], scratch),
             );
-            for (candidate, (vector, esup, var, count)) in candidates.iter().zip(results) {
+            let mut fresh: FxHashMap<u32, (f64, f64, usize)> = FxHashMap::default();
+            for (&i, (vector, esup, var, count)) in misses.iter().zip(results) {
+                fresh.insert(i, (esup, var, count));
+                self.current
+                    .insert(candidates[i as usize].items().to_vec(), vector);
+            }
+            for i in 0..candidates.len() as u32 {
+                let (esup, var, count) = match folded[i as usize] {
+                    Some(m) => m,
+                    None => fresh[&i],
+                };
                 record(&mut out, esup, var, count);
-                self.current.insert(candidate.items().to_vec(), vector);
             }
         }
         self.note_memo_peak();
@@ -1743,13 +2058,46 @@ impl SupportEngine for VerticalEngine {
 
     fn finish_level(&mut self, frequent: &[FrequentItemset]) {
         if let Some(state) = self.sharded.as_mut() {
-            sharded_finish_level(state, frequent);
+            sharded_finish_level(state, frequent, self.streaming, self.stamp);
+            return;
+        }
+        if self.streaming {
+            // Streaming mode: survivors accumulate into the retained
+            // cross-refresh memo with fresh block partials; reused
+            // frequent itemsets (never re-evaluated this refresh) keep
+            // their patched node and just renew the GC stamp.
+            for f in frequent {
+                if let Some(v) = self.current.remove(f.itemset.items()) {
+                    let moments = BlockMoments::of(&v);
+                    self.prev.insert(
+                        f.itemset.items().to_vec(),
+                        PrevNode {
+                            vector: v,
+                            mass: f.expected_support,
+                            moments: Some(moments),
+                            stamp: self.stamp,
+                        },
+                    );
+                } else if let Some(node) = self.prev.get_mut(f.itemset.items()) {
+                    node.stamp = self.stamp;
+                }
+            }
+            self.current = FxHashMap::default();
+            self.note_memo_peak();
             return;
         }
         let mut next = FxHashMap::default();
         for f in frequent {
             if let Some(v) = self.current.remove(f.itemset.items()) {
-                next.insert(f.itemset.items().to_vec(), (v, f.expected_support));
+                next.insert(
+                    f.itemset.items().to_vec(),
+                    PrevNode {
+                        vector: v,
+                        mass: f.expected_support,
+                        moments: None,
+                        stamp: 0,
+                    },
+                );
             }
         }
         self.prev = next;
@@ -1814,17 +2162,60 @@ impl SupportEngine for VerticalEngine {
         out
     }
 
-    fn apply_window_step(&mut self, step: &WindowStep) -> bool {
+    fn apply_window_step(
+        &mut self,
+        step: &WindowStep,
+        probe: &StepProbe,
+        stats: &mut MinerStats,
+    ) -> bool {
         // The index maintains itself byte-identically to a rebuild over
-        // the stepped window; memoized prefix vectors are stale (some tid
-        // changed under them), so they are dropped — the next run starts
-        // from a state equivalent to a freshly built engine. Peak memory
-        // counters deliberately survive: they track the engine lifetime.
+        // the stepped window. The retained prefix memo is *patched*, not
+        // dropped: each live node whose itemset probability changed at a
+        // dirty tid gets its touched chunks rewritten in place and its
+        // cached block partials re-folded — bit-identical to the cold
+        // fold the next refresh would otherwise pay. Peak memory counters
+        // deliberately survive: they track the engine lifetime.
         self.index.apply_step(step);
-        self.prev = FxHashMap::default();
-        self.current = FxHashMap::default();
+        let keep = self.stamp;
+        self.stamp += 1;
+        let first = !self.streaming;
+        self.streaming = true;
         if let Some(state) = self.sharded.as_mut() {
-            *state = ShardedState::default();
+            if first {
+                // Batch-era fragment memo: nodes carry stamp 0 and were
+                // never part of a stamped frequent stream — drop them
+                // without charging the patch counters.
+                *state = ShardedState::default();
+            } else {
+                patch_sharded_nodes(&self.index, state, probe, keep, stats);
+            }
+        } else if first {
+            self.prev = FxHashMap::default();
+            self.current = FxHashMap::default();
+        } else {
+            self.prev.retain(|items, node| {
+                if node.stamp != keep {
+                    // Fell out of the last refresh's frequent stream.
+                    return false;
+                }
+                let updates = itemset_updates(probe, items);
+                if updates.is_empty() {
+                    return true;
+                }
+                let Some(moments) = node.moments.as_mut() else {
+                    stats.memo_rebuilt += 1;
+                    return false;
+                };
+                if !patch_beats_rebuild(updates.len(), node.vector.len()) {
+                    stats.memo_rebuilt += 1;
+                    return false;
+                }
+                node.vector.apply_tid_delta(&updates);
+                moments.refresh(&node.vector, &touched_block_keys(&updates));
+                node.mass = moments.fold().0;
+                stats.memo_patched += 1;
+                true
+            });
         }
         true
     }
@@ -1838,6 +2229,13 @@ struct MemoNode {
     esup: f64,
     var: f64,
     count: usize,
+    /// Per-4096-tid-block partials of the node's *resolved* vector
+    /// (`Some` in streaming mode only): the fixed summation shape that
+    /// lets a window step re-fold only the touched blocks and land
+    /// cached `(esup, var, count)` bit-identical to a cold re-fold.
+    moments: Option<BlockMoments>,
+    /// Cross-refresh GC stamp (streaming mode; 0 in batch mode).
+    stamp: u64,
 }
 
 enum NodeRepr {
@@ -1851,10 +2249,11 @@ enum NodeRepr {
 
 impl MemoNode {
     fn mem_bytes(&self) -> usize {
-        match &self.repr {
+        let repr = match &self.repr {
             NodeRepr::Tidset(v) => v.mem_bytes(),
             NodeRepr::Diff(d) => d.mem_bytes(),
-        }
+        };
+        repr + self.moments.as_ref().map_or(0, BlockMoments::mem_bytes)
     }
 }
 
@@ -1887,6 +2286,12 @@ pub struct DiffsetEngine {
     /// Peak memo units (a dropped tid or a `(tid, prob)` entry each count
     /// one), reported through `MinerStats::peak_structure_nodes`.
     peak_memo_units: u64,
+    /// True once the first window step was applied: the delta-chain memo
+    /// is retained across refreshes from then on and point-patched per
+    /// step.
+    streaming: bool,
+    /// Streaming refresh stamp — same protocol as [`VerticalEngine`].
+    stamp: u64,
 }
 
 /// A resolved prefix vector: borrowed straight from the index or a tidset
@@ -1968,6 +2373,8 @@ impl DiffsetEngine {
             scan_charged: false,
             peak_memo_bytes: 0,
             peak_memo_units: 0,
+            streaming: false,
+            stamp: 0,
         }
     }
 
@@ -2079,7 +2486,16 @@ impl DiffsetEngine {
             let last = c.items()[k - 1];
             let postings = self.index.postings(last);
             work += 1;
-            let (esup, var, count) = prefix.diff_extend_into(postings, scratch);
+            // Streaming runs fold through the block-partial kernel so the
+            // retained node carries the fixed summation shape a window
+            // step patches; both kernels land bit-identical moments.
+            let (blocks, esup, var, count) = if self.streaming {
+                let (b, esup, var, count) = prefix.diff_extend_blocks_into(postings, scratch);
+                (Some(b), esup, var, count)
+            } else {
+                let (esup, var, count) = prefix.diff_extend_into(postings, scratch);
+                (None, esup, var, count)
+            };
             let hopeless = want.min_esup.is_some_and(|t| esup < t)
                 || want.min_count.is_some_and(|t| (count as u64) < t);
             let node = if hopeless {
@@ -2097,6 +2513,8 @@ impl DiffsetEngine {
                         esup,
                         var,
                         count,
+                        moments: blocks,
+                        stamp: 0,
                     })
                 } else {
                     work += 1;
@@ -2107,6 +2525,8 @@ impl DiffsetEngine {
                         esup,
                         var,
                         count,
+                        moments: blocks,
+                        stamp: 0,
                     })
                 }
             };
@@ -2257,19 +2677,29 @@ impl SupportEngine for DiffsetEngine {
 
     fn finish_level(&mut self, frequent: &[FrequentItemset]) {
         if let Some(state) = self.sharded.as_mut() {
-            diff_sharded_finish_level(state, frequent);
+            diff_sharded_finish_level(state, frequent, self.streaming, self.stamp);
             return;
         }
         // Frequent nodes join the persistent delta-chain memo; the rest of
         // the level is dropped. Every ancestor a retained delta needs is
         // already in the memo (each prefix of a frequent itemset was itself
-        // frequent on an earlier level).
+        // frequent on an earlier level). In streaming mode every frequent
+        // itemset of the refresh — freshly evaluated or served from the
+        // retained memo — renews the GC stamp.
         for f in frequent {
-            if let Some(node) = self.current.remove(f.itemset.items()) {
+            if let Some(mut node) = self.current.remove(f.itemset.items()) {
+                node.stamp = self.stamp;
                 self.memo.insert(f.itemset.items().to_vec(), node);
+            } else if self.streaming {
+                if let Some(node) = self.memo.get_mut(f.itemset.items()) {
+                    node.stamp = self.stamp;
+                }
             }
         }
         self.current = FxHashMap::default();
+        if self.streaming {
+            self.note_memo_peak();
+        }
     }
 
     fn peak_memo_bytes(&self) -> u64 {
@@ -2330,17 +2760,173 @@ impl SupportEngine for DiffsetEngine {
         out
     }
 
-    fn apply_window_step(&mut self, step: &WindowStep) -> bool {
+    fn apply_window_step(
+        &mut self,
+        step: &WindowStep,
+        probe: &StepProbe,
+        stats: &mut MinerStats,
+    ) -> bool {
         // Same contract as the vertical engine: the index self-maintains
-        // byte-identically to a rebuild; the delta-chain memo is stale
-        // (chains reference pre-step postings) and is dropped whole.
+        // byte-identically to a rebuild, and the retained delta-chain
+        // memo is *patched* — each live node re-decides the dirty tids'
+        // membership in its delta (or rewrites the dirty chunks of its
+        // tidset) and re-folds only the touched summation blocks, so the
+        // cached `(esup, var, count)` stay bit-identical to a cold
+        // re-fold over the stepped window.
         self.index.apply_step(step);
-        self.memo = FxHashMap::default();
-        self.current = FxHashMap::default();
+        let keep = self.stamp;
+        self.stamp += 1;
+        let first = !self.streaming;
+        self.streaming = true;
         if let Some(state) = self.sharded.as_mut() {
-            *state = DiffShardedState::default();
+            if first {
+                *state = DiffShardedState::default();
+            } else {
+                patch_diff_sharded_nodes(&self.index, state, probe, keep, stats);
+            }
+        } else if first {
+            // Batch-era memo: nodes carry no block partials (and stamp 0)
+            // — drop them without charging the patch counters.
+            self.memo = FxHashMap::default();
+            self.current = FxHashMap::default();
+        } else {
+            patch_diff_nodes(&self.index, &mut self.memo, probe, keep, stats);
         }
         true
+    }
+}
+
+/// Reconstructs the fragment of `items` restricted to the listed summation
+/// blocks (ascending block keys) from the delta-chain memo: the
+/// block-restricted analog of [`resolve`]. Restriction commutes with every
+/// chain step — `restrict(parent ∖ dropped) = restrict(parent) ∖
+/// restrict(dropped)` — and [`ProbVector::apply_dropped`]'s lockstep
+/// membership walk requires its dropped list to contain only tids present
+/// in `self`, which is exactly why each chain step filters the dropped
+/// tids to the requested blocks. Falls back to a block-restricted postings
+/// fold for itemsets the memo does not hold.
+fn resolve_restricted(
+    index: &VerticalIndex,
+    memo: &FxHashMap<Vec<ItemId>, MemoNode>,
+    items: &[ItemId],
+    blocks: &[u32],
+) -> ProbVector {
+    match items.len() {
+        0 => ProbVector::new(),
+        1 => index.postings(items[0]).restrict_to_blocks(blocks),
+        k => match memo.get(items) {
+            Some(node) => match &node.repr {
+                NodeRepr::Tidset(v) => v.restrict_to_blocks(blocks),
+                NodeRepr::Diff(d) => {
+                    let parent = resolve_restricted(index, memo, &items[..k - 1], blocks);
+                    let dropped: Vec<u32> = d
+                        .dropped()
+                        .iter()
+                        .copied()
+                        .filter(|&t| blocks.binary_search(&BlockMoments::block_of_tid(t)).is_ok())
+                        .collect();
+                    parent.apply_dropped(&dropped, index.postings(items[k - 1]))
+                }
+            },
+            None => {
+                let mut acc = index.postings(items[0]).restrict_to_blocks(blocks);
+                for &item in &items[1..] {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc = acc.intersect(index.postings(item));
+                }
+                acc
+            }
+        },
+    }
+}
+
+/// The diffset backend's unsharded patch walk. Keys are visited parents
+/// before children (ascending length, then lexicographic), each node
+/// temporarily removed so its delta can re-resolve through its
+/// *already-patched* ancestors, then reinserted. A `Diff` node first
+/// re-decides its delta membership at every dirty tid where a member
+/// item's probability moved — `t` is dropped iff the new prefix keeps it
+/// while the new child zeroes it; membership can flip even when the child
+/// value does not move, but never at a tid whose member probabilities all
+/// held still — and then, only when some child value actually changed,
+/// re-materializes the touched blocks' fragment through
+/// [`resolve_restricted`] and re-folds exactly those blocks of its
+/// retained partials; a `Tidset` node rewrites the dirty chunks in place.
+/// Either way the cached `(esup, var, count)` come out of
+/// [`BlockMoments::fold`], bit-identical to a cold re-fold.
+fn patch_diff_nodes(
+    index: &VerticalIndex,
+    memo: &mut FxHashMap<Vec<ItemId>, MemoNode>,
+    probe: &StepProbe,
+    keep: u64,
+    stats: &mut MinerStats,
+) {
+    let mut keys: Vec<Vec<ItemId>> = memo.keys().cloned().collect();
+    keys.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    for items in keys {
+        let Some(mut node) = memo.remove(&items) else {
+            continue;
+        };
+        if node.stamp != keep {
+            // Fell out of the last refresh's frequent stream.
+            continue;
+        }
+        let updates = itemset_updates(probe, &items);
+        let is_diff = matches!(node.repr, NodeRepr::Diff(_));
+        if updates.is_empty() && !is_diff {
+            memo.insert(items, node);
+            continue;
+        }
+        if !updates.is_empty() {
+            let hopeless =
+                node.moments.is_none() || !patch_beats_rebuild(updates.len(), node.count);
+            if hopeless {
+                stats.memo_rebuilt += 1;
+                continue;
+            }
+        }
+        let k = items.len();
+        let (prefix_items, last) = (&items[..k - 1], items[k - 1]);
+        match &mut node.repr {
+            NodeRepr::Tidset(v) => {
+                v.apply_tid_delta(&updates);
+                let blocks = touched_block_keys(&updates);
+                let moments = node.moments.as_mut().expect("checked above");
+                moments.refresh(v, &blocks);
+                (node.esup, node.var, node.count) = moments.fold();
+                stats.memo_patched += 1;
+            }
+            NodeRepr::Diff(d) => {
+                let membership: Vec<(u32, bool)> = probe
+                    .candidate_slots(&items)
+                    .iter()
+                    .map(|&s| {
+                        let drop = probe.new_prob(s, prefix_items) > 0.0
+                            && probe.new_prob(s, &items) == 0.0;
+                        (probe.tid(s), drop)
+                    })
+                    .collect();
+                d.apply_tid_delta(&membership);
+                if !updates.is_empty() {
+                    let blocks = touched_block_keys(&updates);
+                    let parent = resolve_restricted(index, memo, prefix_items, &blocks);
+                    let dropped: Vec<u32> = d
+                        .dropped()
+                        .iter()
+                        .copied()
+                        .filter(|&t| blocks.binary_search(&BlockMoments::block_of_tid(t)).is_ok())
+                        .collect();
+                    let frag = parent.apply_dropped(&dropped, index.postings(last));
+                    let moments = node.moments.as_mut().expect("checked above");
+                    moments.refresh(&frag, &blocks);
+                    (node.esup, node.var, node.count) = moments.fold();
+                    stats.memo_patched += 1;
+                }
+            }
+        }
+        memo.insert(items, node);
     }
 }
 
@@ -2348,7 +2934,7 @@ impl SupportEngine for DiffsetEngine {
 /// can borrow the index and memo without aliasing `&mut VerticalEngine`.
 fn vector_for(
     index: &VerticalIndex,
-    prev: &FxHashMap<Vec<ItemId>, (ProbVector, f64)>,
+    prev: &FxHashMap<Vec<ItemId>, PrevNode>,
     candidate: &Itemset,
 ) -> ProbVector {
     let items = candidate.items();
@@ -2360,8 +2946,8 @@ fn vector_for(
             let last_postings = index.postings(last);
             if prefix.len() == 1 {
                 index.postings(prefix[0]).intersect(last_postings)
-            } else if let Some((v, _)) = prev.get(prefix) {
-                v.intersect(last_postings)
+            } else if let Some(node) = prev.get(prefix) {
+                node.vector.intersect(last_postings)
             } else {
                 index.prob_vector(items)
             }
@@ -2376,7 +2962,7 @@ fn vector_for(
 /// cold prefixes (direct trait users), like [`vector_for`].
 fn evaluate_with(
     index: &VerticalIndex,
-    prev: &FxHashMap<Vec<ItemId>, (ProbVector, f64)>,
+    prev: &FxHashMap<Vec<ItemId>, PrevNode>,
     candidate: &Itemset,
     scratch: &mut ScratchSpace,
 ) -> (ProbVector, f64, f64, usize) {
@@ -2394,7 +2980,7 @@ fn evaluate_with(
             let base = if prefix.len() == 1 {
                 Some(index.postings(prefix[0]))
             } else {
-                prev.get(prefix).map(|(v, _)| v)
+                prev.get(prefix).map(|n| &n.vector)
             };
             match base {
                 Some(v) => {
@@ -2441,7 +3027,7 @@ fn evaluate_with(
 #[allow(clippy::too_many_arguments)]
 fn evaluate_pushdown(
     index: &VerticalIndex,
-    prev: &FxHashMap<Vec<ItemId>, (ProbVector, f64)>,
+    prev: &FxHashMap<Vec<ItemId>, PrevNode>,
     candidate: &Itemset,
     scratch: &mut ScratchSpace,
     esup_bound: Option<f64>,
@@ -2471,7 +3057,7 @@ fn evaluate_pushdown(
             let base = if prefix.len() == 1 {
                 Some((index.postings(prefix[0]), None))
             } else {
-                prev.get(prefix).map(|(v, mass)| (v, Some(*mass)))
+                prev.get(prefix).map(|n| (&n.vector, Some(n.mass)))
             };
             match base {
                 Some((v, mass)) => match (esup_bound, mass) {

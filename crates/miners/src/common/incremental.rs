@@ -56,7 +56,7 @@ use super::engine::{DiffsetEngine, HorizontalScan, StatRequest, SupportEngine, V
 use super::measure::{CandidateStats, FrequentnessMeasure, Screen};
 use ufim_core::{
     EngineKind, FrequentItemset, FxHashMap, ItemId, Itemset, MinerStats, MiningResult, ShardPlan,
-    Transaction, UncertainDatabase, WindowStep, WindowedDatabase,
+    StepProbe, Transaction, UncertainDatabase, WindowStep, WindowedDatabase,
 };
 
 /// Cached verdict of one tracked itemset (see [`BorderTracker`]).
@@ -139,11 +139,13 @@ impl BorderTracker {
         self.stamp += 1;
     }
 
-    /// Dispatches one candidate against the cached border and the step.
+    /// Dispatches one candidate against the cached border and the step
+    /// (read through its [`StepProbe`] — bit-identical to walking the
+    /// dirty transactions, at a fraction of the cost).
     fn classify(
         &mut self,
         items: &[ItemId],
-        step: &WindowStep,
+        probe: &StepProbe,
         min_esup: Option<f64>,
         min_count: Option<u64>,
     ) -> Action {
@@ -153,22 +155,7 @@ impl BorderTracker {
         };
         entry.stamp = stamp;
 
-        let mut touched = false;
-        let mut added_mass = 0.0f64;
-        let mut added_count = 0u64;
-        for d in &step.dirty {
-            let old_p = d.old.itemset_prob(items);
-            let new_p = d.new.itemset_prob(items);
-            if old_p != new_p {
-                touched = true;
-            }
-            if new_p > old_p {
-                added_mass += new_p - old_p;
-            }
-            if old_p == 0.0 && new_p > 0.0 {
-                added_count += 1;
-            }
-        }
+        let (touched, added_mass, added_count) = probe.growth(items);
         if !touched {
             // Identical containment probability in every dirty slot: the
             // itemset's vector — hence every derived statistic and the
@@ -221,7 +208,7 @@ fn evaluate_level<M: FrequentnessMeasure>(
     engine: &mut dyn SupportEngine,
     measure: &M,
     tracker: &mut BorderTracker,
-    step: &WindowStep,
+    probe: &StepProbe,
     candidates: &[Itemset],
     stats: &mut MinerStats,
 ) -> Vec<FrequentItemset> {
@@ -239,7 +226,7 @@ fn evaluate_level<M: FrequentnessMeasure>(
     let mut plan: Vec<Slot> = Vec::with_capacity(candidates.len());
     let mut fresh: Vec<Itemset> = Vec::new();
     for c in candidates {
-        match tracker.classify(c.items(), step, min_esup, min_count) {
+        match tracker.classify(c.items(), probe, min_esup, min_count) {
             Action::ReuseFrequent(rec) => {
                 stats.border_skipped += 1;
                 plan.push(Slot::Reuse(Some(rec)));
@@ -339,7 +326,7 @@ fn refresh_levels<M: FrequentnessMeasure>(
     engine: &mut dyn SupportEngine,
     measure: &M,
     tracker: &mut BorderTracker,
-    step: &WindowStep,
+    probe: &StepProbe,
     num_items: u32,
 ) -> MiningResult {
     let mut result = MiningResult::default();
@@ -349,7 +336,7 @@ fn refresh_levels<M: FrequentnessMeasure>(
             engine,
             measure,
             tracker,
-            step,
+            probe,
             &candidates,
             &mut result.stats,
         );
@@ -508,8 +495,25 @@ impl<M: FrequentnessMeasure> IncrementalMiner<M> {
             return &self.result;
         }
         self.tracker.begin_refresh();
+        let num_items = self.window.num_items();
+        // One probe per step, shared by the engine's patch walk and every
+        // border classification below: dense old/new probability rows plus
+        // per-item changed-slot bitsets, so touch detection costs a few
+        // multiplies per changed slot instead of transaction walks. The
+        // unprimed first refresh provably never reads it — the tracker has
+        // no entries to classify against and the engine holds no stamped
+        // memo to patch — so the (large, whole-window) initial-fill step
+        // gets a trivial probe instead of a dense-matrix build.
+        let probe = if self.primed {
+            StepProbe::new(&step, num_items)
+        } else {
+            StepProbe::new(&WindowStep::default(), num_items)
+        };
+        // Counters of the step application itself (memo_patched /
+        // memo_rebuilt), merged into the refresh's stats below.
+        let mut step_stats = MinerStats::default();
         if let Some(engine) = self.engine.as_mut() {
-            if !engine.apply_window_step(&step) {
+            if !engine.apply_window_step(&step, &probe, &mut step_stats) {
                 // The backend declined delta maintenance: rebuild it over
                 // the stepped snapshot (still cheaper than re-mining — the
                 // tracker's reuse survives a rebuild).
@@ -517,13 +521,12 @@ impl<M: FrequentnessMeasure> IncrementalMiner<M> {
                     .expect("owned backends accept window steps");
             }
         }
-        let num_items = self.window.num_items();
-        let result = match self.engine.as_mut() {
+        let mut result = match self.engine.as_mut() {
             Some(engine) => refresh_levels(
                 engine.as_mut(),
                 &self.measure,
                 &mut self.tracker,
-                &step,
+                &probe,
                 num_items,
             ),
             None => {
@@ -536,12 +539,13 @@ impl<M: FrequentnessMeasure> IncrementalMiner<M> {
                     &mut engine,
                     &self.measure,
                     &mut self.tracker,
-                    &step,
+                    &probe,
                     num_items,
                 )
             }
         };
         self.tracker.retire();
+        result.stats.absorb(&step_stats);
         self.result = result;
         self.primed = true;
         &self.result

@@ -313,9 +313,30 @@ fn stream_op() -> impl Strategy<Value = StreamOp> {
     })
 }
 
+/// The deterministic work counters a *cold* incremental refresh must share
+/// bit-for-bit with the batch oracle: an unprimed refresh takes the same
+/// evaluation path as a from-scratch mine, so any drift here means the
+/// streaming machinery leaked into the cold path.
+fn cold_work_bits(stats: &MinerStats) -> (u64, u64, u64, u64, u64) {
+    (
+        stats.candidates_evaluated,
+        stats.intersections,
+        stats.exact_evaluations,
+        stats.shards_evaluated,
+        stats.shards_pruned,
+    )
+}
+
 /// Drives one `IncrementalMiner` through the script, refreshing every
-/// `refresh_every` ops (and at the end), and pins each refresh against
-/// batch-mining the window snapshot — records bit for bit.
+/// `refresh_every` ops (and at the end). Each refresh is pinned two ways:
+/// against batch-mining the window snapshot (records bit for bit), and
+/// against a *cold re-mine* — the same snapshot replayed into a fresh
+/// `IncrementalMiner` — diffing records **and** the deterministic work
+/// stats. The warm miner runs on memos point-patched across the whole
+/// script; the fresh miner folds everything from scratch; the batch
+/// oracle never sees the window machinery at all. All three must agree on
+/// records, and the cold miner must additionally match the oracle's work
+/// counters (its unprimed refresh *is* a batch mine).
 fn drive_incremental<M: FrequentnessMeasure + Copy>(
     measure: M,
     kind: EngineKind,
@@ -346,8 +367,9 @@ fn drive_incremental<M: FrequentnessMeasure + Copy>(
             }
         }
         if (i + 1) % refresh_every == 0 || i + 1 == ops.len() {
-            miner.refresh();
-            let batch = mine_level_wise_with_plan(&miner.window().snapshot(), measure, kind, plan);
+            let warm = miner.refresh().stats.clone();
+            let snapshot = miner.window().snapshot();
+            let batch = mine_level_wise_with_plan(&snapshot, measure, kind, plan);
             prop_assert_eq!(
                 records_bits(miner.result()),
                 records_bits(&batch),
@@ -356,6 +378,42 @@ fn drive_incremental<M: FrequentnessMeasure + Copy>(
                 measure.name(),
                 i
             );
+            // Memo counters engage only on the patched path, never cold.
+            prop_assert_eq!(batch.stats.memo_patched, 0);
+            prop_assert_eq!(batch.stats.memo_rebuilt, 0);
+            prop_assert!(
+                warm.memo_patched == 0 || kind != EngineKind::Horizontal,
+                "horizontal keeps no engine memo to patch"
+            );
+            // Cold re-mine: same window contents through a fresh miner.
+            let mut cold = IncrementalMiner::with_plan(
+                WindowedDatabase::new(capacity, 6),
+                measure,
+                kind,
+                plan,
+            );
+            for t in snapshot.transactions() {
+                cold.append(t.clone());
+            }
+            let cold_stats = cold.refresh().stats.clone();
+            prop_assert_eq!(
+                records_bits(miner.result()),
+                records_bits(cold.result()),
+                "{}×{}: memo-patched records diverged from a cold re-mine after op {}",
+                kind,
+                measure.name(),
+                i
+            );
+            prop_assert_eq!(
+                cold_work_bits(&cold_stats),
+                cold_work_bits(&batch.stats),
+                "{}×{}: cold refresh work differs from the batch oracle after op {}",
+                kind,
+                measure.name(),
+                i
+            );
+            prop_assert_eq!(cold_stats.memo_patched, 0);
+            prop_assert_eq!(cold_stats.memo_rebuilt, 0);
         }
     }
     Ok(())
@@ -413,10 +471,12 @@ proptest! {
 
     // The incremental miner, driven by a random append/expire script, must
     // stay record-bit-identical to batch-mining each window snapshot from
-    // scratch — for every engine, measure, and shard width. Capacity 130
-    // with one-chunk (64-tid) shards puts three shards under the window, so
-    // the random scripts routinely produce steps whose dirty slots straddle
-    // shard boundaries (delta composition across shards).
+    // scratch — for every engine, measure, and shard width {1, 16, full}.
+    // Capacity 130 with one-chunk (64-tid) shards puts three shards under
+    // the window, so the random scripts routinely produce steps whose
+    // dirty slots straddle shard boundaries (delta composition across
+    // shards); the 16-chunk plan forces the sharded machinery into its
+    // single-shard degenerate case, and the default plan stays unsharded.
     #[test]
     fn incremental_random_step_sequences_match_batch(
         ops in vec(stream_op(), 10..28),
@@ -431,6 +491,7 @@ proptest! {
             for plan in [
                 ShardPlan::for_transactions(capacity),
                 ShardPlan::with_width_chunks(1),
+                ShardPlan::with_width_chunks(16),
             ] {
                 drive_incremental(
                     ExpectedSupport::new(esup_threshold),
@@ -460,52 +521,81 @@ proptest! {
     }
 }
 
-/// The window-delta edge cases, deterministic and sharded: an untouched
-/// (all-vacant) window, a fill that crosses a shard boundary, a transaction
-/// that arrives and expires within one step (its slot nets back to vacant),
-/// full-window expiry, and a refill after total expiry — each refresh pinned
-/// bit-for-bit against the batch oracle on every engine.
+/// The window-delta edge cases, deterministic, across shard widths
+/// {1, 16, full}: an untouched (all-vacant) window, a fill that crosses a
+/// shard boundary, a warm churn step patching a *retained* memo (the memo
+/// counters must engage on the columnar backends), a transaction that
+/// arrives and expires within one step (its slot nets back to vacant)
+/// landing on that retained memo, full-window expiry, and a refill after
+/// total expiry — each refresh pinned bit-for-bit against the batch
+/// oracle on every engine.
 #[test]
 fn window_delta_edge_cases_match_batch() {
     let capacity = 130usize; // three 64-tid shards under the one-chunk plan
-    let plan = ShardPlan::with_width_chunks(1);
     let measure = ExpectedSupport::with_variance(3.0);
-    for kind in EngineKind::ALL {
-        let window = WindowedDatabase::new(capacity, 6);
-        let mut miner = IncrementalMiner::with_plan(window, measure, kind, plan);
-        let check = |miner: &mut IncrementalMiner<ExpectedSupport>, label: &str| {
-            miner.refresh();
-            let batch = mine_level_wise_with_plan(&miner.window().snapshot(), measure, kind, plan);
-            assert_eq!(
-                records_bits(miner.result()),
-                records_bits(&batch),
-                "{kind}: {label} diverged from the batch oracle"
+    for plan in [
+        ShardPlan::for_transactions(capacity),
+        ShardPlan::with_width_chunks(1),
+        ShardPlan::with_width_chunks(16),
+    ] {
+        for kind in EngineKind::ALL {
+            let window = WindowedDatabase::new(capacity, 6);
+            let mut miner = IncrementalMiner::with_plan(window, measure, kind, plan);
+            let check = |miner: &mut IncrementalMiner<ExpectedSupport>, label: &str| {
+                let stats = miner.refresh().stats.clone();
+                let batch =
+                    mine_level_wise_with_plan(&miner.window().snapshot(), measure, kind, plan);
+                assert_eq!(
+                    records_bits(miner.result()),
+                    records_bits(&batch),
+                    "{kind}: {label} diverged from the batch oracle"
+                );
+                stats
+            };
+            // 1. Refreshing the untouched, fully vacant window.
+            check(&mut miner, "empty window");
+            // 2. Fill past the first shard boundary: dirty slots of one step
+            //    land in different shards.
+            for i in 0..100u32 {
+                miner.append(Transaction::new([(i % 6, 0.9), ((i + 1) % 6, 0.7)]).unwrap());
+            }
+            check(&mut miner, "fill across shard boundary");
+            // 3. Warm churn on the now-retained memo: a second refresh whose
+            //    step must point-patch the survivors of step 2's mine rather
+            //    than rebuild them — on the columnar backends the patch
+            //    counter has to actually engage here.
+            miner.expire_oldest(5);
+            for i in 0..5u32 {
+                miner.append(Transaction::new([(i % 6, 0.85), ((i + 3) % 6, 0.65)]).unwrap());
+            }
+            let warm = check(&mut miner, "churn on a retained memo");
+            if kind != EngineKind::Horizontal {
+                assert!(
+                    warm.memo_patched > 0,
+                    "{kind} ({plan:?}): warm churn step never patched a retained memo node \
+                     (patched {}, rebuilt {})",
+                    warm.memo_patched,
+                    warm.memo_rebuilt
+                );
+            }
+            // 4. A transaction that arrives and expires within the same
+            //    step — against the memo retained across two refreshes —
+            //    its freshly-filled slot nets back to vacant, and the step
+            //    also empties the whole window (full-window expiry).
+            let live = miner.window().len();
+            miner.append(Transaction::new([(2, 0.8), (3, 0.8)]).unwrap());
+            assert_eq!(miner.expire_oldest(live + 1), live + 1);
+            check(
+                &mut miner,
+                "arrive-and-expire same step + full-window expiry on a retained memo",
             );
-        };
-        // 1. Refreshing the untouched, fully vacant window.
-        check(&mut miner, "empty window");
-        // 2. Fill past the first shard boundary: dirty slots of one step
-        //    land in different shards.
-        for i in 0..100u32 {
-            miner.append(Transaction::new([(i % 6, 0.9), ((i + 1) % 6, 0.7)]).unwrap());
+            assert!(miner.window().is_empty());
+            // 5. Refill after total expiry: the tracker must not resurrect
+            //    verdicts from the expired generation.
+            for i in 0..40u32 {
+                miner.append(Transaction::new([(i % 6, 0.6), ((i + 2) % 6, 0.95)]).unwrap());
+            }
+            check(&mut miner, "refill after empty");
         }
-        check(&mut miner, "fill across shard boundary");
-        // 3. A transaction that arrives and expires within the same step:
-        //    its freshly-filled slot nets back to vacant, and the step also
-        //    empties the whole window (full-window expiry).
-        let live = miner.window().len();
-        miner.append(Transaction::new([(2, 0.8), (3, 0.8)]).unwrap());
-        assert_eq!(miner.expire_oldest(live + 1), live + 1);
-        check(
-            &mut miner,
-            "arrive-and-expire same step + full-window expiry",
-        );
-        assert!(miner.window().is_empty());
-        // 4. Refill after total expiry: the tracker must not resurrect
-        //    verdicts from the expired generation.
-        for i in 0..40u32 {
-            miner.append(Transaction::new([(i % 6, 0.6), ((i + 2) % 6, 0.95)]).unwrap());
-        }
-        check(&mut miner, "refill after empty");
     }
 }
