@@ -91,12 +91,7 @@ fn kernel_run(
         peak_memo_bytes: 0,
         intersections: input_units as u64,
         num_itemsets: result_count as u64,
-        shards_evaluated: None,
-        shards_pruned: None,
-        border_rejudged: None,
-        border_skipped: None,
-        memo_patched: None,
-        memo_rebuilt: None,
+        ..Default::default()
     }
 }
 
@@ -304,10 +299,7 @@ fn main() {
         num_itemsets: result.len() as u64,
         shards_evaluated,
         shards_pruned,
-        border_rejudged: None,
-        border_skipped: None,
-        memo_patched: None,
-        memo_rebuilt: None,
+        ..Default::default()
     });
 
     for r in &snap.runs {

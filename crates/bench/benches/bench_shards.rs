@@ -61,10 +61,7 @@ fn run(
         num_itemsets: result.len() as u64,
         shards_evaluated,
         shards_pruned,
-        border_rejudged: None,
-        border_skipped: None,
-        memo_patched: None,
-        memo_rebuilt: None,
+        ..Default::default()
     }
 }
 

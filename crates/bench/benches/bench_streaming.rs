@@ -286,6 +286,7 @@ fn main() {
                 border_skipped: incremental.then_some(tally.skipped),
                 memo_patched: incremental.then_some(tally.patched),
                 memo_rebuilt: incremental.then_some(tally.rebuilt),
+                ..Default::default()
             });
         }
         println!(

@@ -140,10 +140,7 @@ pub fn run(
                     num_itemsets: m.num_itemsets as u64,
                     shards_evaluated,
                     shards_pruned,
-                    border_rejudged: None,
-                    border_skipped: None,
-                    memo_patched: None,
-                    memo_rebuilt: None,
+                    ..Default::default()
                 });
             }
             counts.dedup();

@@ -212,10 +212,7 @@ impl Sweep {
                     num_itemsets: m.num_itemsets as u64,
                     shards_evaluated,
                     shards_pruned,
-                    border_rejudged: None,
-                    border_skipped: None,
-                    memo_patched: None,
-                    memo_rebuilt: None,
+                    ..Default::default()
                 });
             }
         }

@@ -29,18 +29,22 @@
 //!   policy may legitimately change — both are surfaced, neither fails
 //!   the build.
 //! * **advisory by construction**: counter fields added after a baseline
-//!   was recorded (currently `shards_evaluated` / `shards_pruned` from the
-//!   sharded support engines) parse as optional and never fail strictly —
-//!   a drift or a presence mismatch against an older baseline only warns.
-//!   The gate would otherwise force a baseline refresh on every run the
-//!   moment a new counter ships, defeating the point of keeping old
-//!   snapshots comparable.
+//!   was recorded (the `shards_evaluated` / `shards_pruned` pair from the
+//!   sharded support engines, the border/memo counters from incremental
+//!   runs, and the `memo_hits` / `memo_extends` pair plus the
+//!   `latency_*_ms` / `qps` percentiles from the query server) parse as
+//!   optional and never fail strictly — a drift or a presence mismatch
+//!   against an older baseline only warns. The gate would otherwise force
+//!   a baseline refresh on every run the moment a new counter ships,
+//!   defeating the point of keeping old snapshots comparable.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-/// One measured run inside a snapshot.
-#[derive(Clone, Debug, PartialEq)]
+/// One measured run inside a snapshot. `Default` gives every label empty,
+/// every measurement zero and every optional counter absent — experiment
+/// code fills what it measures and leaves the rest via `..Default::default()`.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct JsonRun {
     /// Workload label — the x-axis point of the sweep (e.g. `min_esup=0.5`)
     /// or a dataset tag.
@@ -89,6 +93,26 @@ pub struct JsonRun {
     /// from scratch instead ([`ufim_core::MinerStats::memo_rebuilt`]);
     /// optional like [`memo_patched`](Self::memo_patched).
     pub memo_rebuilt: Option<u64>,
+    /// Queries the serve-layer resident memo answered warm (no mining);
+    /// `None` outside `bench_serve` runs. Advisory in the gate like the
+    /// shard counters.
+    pub memo_hits: Option<u64>,
+    /// Queries that extended a resident memo cell downward to a lower
+    /// threshold (re-mined, replacing the basis); optional like
+    /// [`memo_hits`](Self::memo_hits).
+    pub memo_extends: Option<u64>,
+    /// Median per-request latency in milliseconds; `None` outside
+    /// `bench_serve` runs. Timing-derived, so advisory like `wall_ms`.
+    pub latency_p50_ms: Option<f64>,
+    /// 95th-percentile per-request latency in milliseconds; optional like
+    /// [`latency_p50_ms`](Self::latency_p50_ms).
+    pub latency_p95_ms: Option<f64>,
+    /// 99th-percentile per-request latency in milliseconds; optional like
+    /// [`latency_p50_ms`](Self::latency_p50_ms).
+    pub latency_p99_ms: Option<f64>,
+    /// Sustained queries per second over the measured window; optional
+    /// like [`latency_p50_ms`](Self::latency_p50_ms).
+    pub qps: Option<f64>,
 }
 
 impl JsonRun {
@@ -170,9 +194,21 @@ impl JsonSnapshot {
                 ("border_skipped", r.border_skipped),
                 ("memo_patched", r.memo_patched),
                 ("memo_rebuilt", r.memo_rebuilt),
+                ("memo_hits", r.memo_hits),
+                ("memo_extends", r.memo_extends),
             ] {
                 if let Some(n) = v {
                     let _ = write!(s, ", \"{name}\": {n}");
+                }
+            }
+            for (name, v) in [
+                ("latency_p50_ms", r.latency_p50_ms),
+                ("latency_p95_ms", r.latency_p95_ms),
+                ("latency_p99_ms", r.latency_p99_ms),
+                ("qps", r.qps),
+            ] {
+                if let Some(x) = v {
+                    let _ = write!(s, ", \"{name}\": {}", fmt_f64(x));
                 }
             }
             s.push('}');
@@ -235,6 +271,12 @@ impl JsonSnapshot {
                 border_skipped: opt_field(&r, "border_skipped")?,
                 memo_patched: opt_field(&r, "memo_patched")?,
                 memo_rebuilt: opt_field(&r, "memo_rebuilt")?,
+                memo_hits: opt_field(&r, "memo_hits")?,
+                memo_extends: opt_field(&r, "memo_extends")?,
+                latency_p50_ms: opt_float(&r, "latency_p50_ms")?,
+                latency_p95_ms: opt_float(&r, "latency_p95_ms")?,
+                latency_p99_ms: opt_float(&r, "latency_p99_ms")?,
+                qps: opt_float(&r, "qps")?,
             });
         }
         Ok(JsonSnapshot {
@@ -411,6 +453,8 @@ fn compare_snapshots(
             ("border_skipped", f.border_skipped, b.border_skipped),
             ("memo_patched", f.memo_patched, b.memo_patched),
             ("memo_rebuilt", f.memo_rebuilt, b.memo_rebuilt),
+            ("memo_hits", f.memo_hits, b.memo_hits),
+            ("memo_extends", f.memo_extends, b.memo_extends),
         ] {
             if fv != bv {
                 let show = |v: Option<u64>| v.map_or("absent".into(), |n| n.to_string());
@@ -419,6 +463,36 @@ fn compare_snapshots(
                     show(fv),
                     show(bv)
                 ));
+            }
+        }
+        // Serve-layer latency percentiles and throughput: timing-derived,
+        // so advisory like `wall_ms` — tolerance-gated when both sides
+        // have them, presence mismatches (pre-serve baselines) only warn.
+        for (field, fv, bv) in [
+            ("latency_p50_ms", f.latency_p50_ms, b.latency_p50_ms),
+            ("latency_p95_ms", f.latency_p95_ms, b.latency_p95_ms),
+            ("latency_p99_ms", f.latency_p99_ms, b.latency_p99_ms),
+            ("qps", f.qps, b.qps),
+        ] {
+            match (fv, bv) {
+                (Some(fv), Some(bv)) => {
+                    let drift = (fv - bv).abs();
+                    if drift > bv.abs() * tolerance_pct / 100.0 && drift > WALL_MS_NOISE_FLOOR {
+                        report.warnings.push(format!(
+                            "{name}: {run}: {field} {fv:.3} vs baseline {bv:.3} \
+                             (beyond ±{tolerance_pct}% tolerance, advisory)"
+                        ));
+                    }
+                }
+                (None, None) => {}
+                (fv, bv) => {
+                    let show = |v: Option<f64>| v.map_or("absent".into(), |x| format!("{x:.3}"));
+                    report.warnings.push(format!(
+                        "{name}: {run}: {field} {} vs baseline {} (new field, advisory)",
+                        show(fv),
+                        show(bv)
+                    ));
+                }
             }
         }
         // Wall-clock: advisory, tolerance-gated, noise-floored.
@@ -591,6 +665,15 @@ fn opt_field(obj: &[(String, Value)], name: &str) -> Result<Option<u64>, String>
     obj.iter()
         .find(|(k, _)| k == name)
         .map(|(_, v)| v.unsigned(name))
+        .transpose()
+}
+
+/// The floating-point sibling of [`opt_field`]: absent is `None`, present
+/// must be a well-formed JSON number.
+fn opt_float(obj: &[(String, Value)], name: &str) -> Result<Option<f64>, String> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.number(name))
         .transpose()
 }
 
@@ -776,6 +859,7 @@ mod tests {
                     border_skipped: Some(40),
                     memo_patched: Some(88),
                     memo_rebuilt: Some(3),
+                    ..Default::default()
                 },
                 JsonRun {
                     workload: "skew=1.2".into(),
@@ -786,12 +870,7 @@ mod tests {
                     peak_memo_bytes: 0,
                     intersections: 0,
                     num_itemsets: 7,
-                    shards_evaluated: None,
-                    shards_pruned: None,
-                    border_rejudged: None,
-                    border_skipped: None,
-                    memo_patched: None,
-                    memo_rebuilt: None,
+                    ..Default::default()
                 },
             ],
         }
@@ -956,6 +1035,53 @@ mod tests {
             .iter()
             .any(|w| w.contains("shards_evaluated") && w.contains("advisory")));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_fields_absent_vs_present_only_warn() {
+        // A fresh bench_serve snapshot carries the memo counters and the
+        // latency percentiles; a pre-serve baseline has neither. The gate
+        // must warn about the new fields, never fail.
+        let base = sample();
+        let mut fresh = sample();
+        fresh.runs[0].memo_hits = Some(120);
+        fresh.runs[0].memo_extends = Some(2);
+        fresh.runs[0].latency_p50_ms = Some(0.8);
+        fresh.runs[0].latency_p95_ms = Some(2.5);
+        fresh.runs[0].latency_p99_ms = Some(4.0);
+        fresh.runs[0].qps = Some(1500.0);
+        // The new fields survive a serialization roundtrip bit-for-bit.
+        let parsed = JsonSnapshot::from_json(&fresh.to_json()).unwrap();
+        assert_eq!(parsed, fresh);
+        let mut report = CompareReport::default();
+        compare_snapshots("s", &base, &fresh, 200.0, &mut report);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.warnings.len(), 6, "{:?}", report.warnings);
+        for field in ["memo_hits", "memo_extends", "latency_p50_ms", "qps"] {
+            assert!(
+                report
+                    .warnings
+                    .iter()
+                    .any(|w| w.contains(field) && w.contains("advisory")),
+                "no advisory warning for {field}: {:?}",
+                report.warnings
+            );
+        }
+        // Both sides carrying the fields with drift inside the tolerance
+        // is silent; beyond the tolerance it warns but still passes.
+        let mut report = CompareReport::default();
+        let base = fresh.clone();
+        compare_snapshots("s", &base, &fresh, 200.0, &mut report);
+        assert!(report.passed() && report.warnings.is_empty());
+        let mut report = CompareReport::default();
+        let mut slow = fresh.clone();
+        slow.runs[0].latency_p99_ms = Some(400.0);
+        compare_snapshots("s", &base, &slow, 200.0, &mut report);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.contains("latency_p99_ms") && w.contains("tolerance")));
     }
 
     #[test]

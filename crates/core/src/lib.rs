@@ -46,6 +46,7 @@ pub mod hash;
 pub mod itemset;
 pub mod parallel;
 pub mod params;
+pub mod resident;
 pub mod result;
 pub mod traits;
 pub mod transaction;
@@ -58,6 +59,7 @@ pub use error::CoreError;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use itemset::{ItemId, Itemset};
 pub use params::{EngineKind, MeasureKind, MiningParams, Ratio, TraversalKind};
+pub use resident::{ResidentLru, ResidentStats};
 pub use result::{FrequentItemset, MinerStats, MiningResult};
 pub use traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
 pub use transaction::Transaction;
@@ -75,6 +77,7 @@ pub mod prelude {
     pub use crate::hash::{FxHashMap, FxHashSet};
     pub use crate::itemset::{ItemId, Itemset};
     pub use crate::params::{EngineKind, MeasureKind, MiningParams, Ratio, TraversalKind};
+    pub use crate::resident::{ResidentLru, ResidentStats};
     pub use crate::result::{FrequentItemset, MinerStats, MiningResult};
     pub use crate::traits::{ExpectedSupportMiner, MinerInfo, ProbabilisticMiner};
     pub use crate::transaction::Transaction;

@@ -1,0 +1,275 @@
+//! Shared residency for cross-query reuse: a concurrency-safe,
+//! byte-budgeted LRU of immutable snapshots.
+//!
+//! The query-serving layer keeps expensive derived structures — mined
+//! frequent lattices, columnar indexes — *resident* between queries so a
+//! request that is covered by earlier work answers without recomputation.
+//! [`ResidentLru`] is the shared handle that makes that safe under
+//! concurrency inside the workspace's `#![forbid(unsafe_code)]` boundary:
+//!
+//! * values are stored as [`Arc`] snapshots — readers clone the `Arc` under
+//!   a short mutex hold and then work lock-free on an immutable value;
+//! * writers replace whole entries (insert-new / swap), never mutate in
+//!   place, so a query that raced an eviction or an extension keeps a
+//!   consistent snapshot for its entire lifetime;
+//! * residency is bounded by a **byte budget** in the same spirit as
+//!   [`MinerStats::peak_memo_bytes`](crate::MinerStats::peak_memo_bytes)
+//!   accounting: every entry declares its byte weight, and inserting past
+//!   the budget evicts least-recently-used entries (the entry being
+//!   inserted is always admitted, so one oversized value degrades to a
+//!   one-entry cache instead of thrashing to zero).
+
+use crate::hash::FxHashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+/// One resident entry: the snapshot, its declared weight, and its
+/// recency tick.
+struct Entry<V> {
+    value: Arc<V>,
+    bytes: u64,
+    tick: u64,
+}
+
+/// Aggregate observability counters of one [`ResidentLru`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResidentStats {
+    /// Lookups that found a resident snapshot.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted (first residency of a key).
+    pub inserts: u64,
+    /// Entries replaced in place (same key, new snapshot).
+    pub replacements: u64,
+    /// Entries evicted to satisfy the byte budget.
+    pub evictions: u64,
+}
+
+/// The mutable inside of the cache, guarded by one mutex.
+struct Inner<K, V> {
+    entries: FxHashMap<K, Entry<V>>,
+    bytes: u64,
+    clock: u64,
+    stats: ResidentStats,
+}
+
+/// A thread-safe LRU cache of [`Arc`] snapshots under a byte budget.
+///
+/// Locking discipline: every operation takes the internal mutex only long
+/// enough to clone an `Arc` or splice an entry; no user code (hashing of
+/// keys aside) runs under the lock. Suitable for sharing across server
+/// worker threads via `Arc<ResidentLru<..>>`.
+///
+/// ```
+/// use ufim_core::resident::ResidentLru;
+///
+/// let cache: ResidentLru<&str, Vec<u32>> = ResidentLru::new(64);
+/// cache.insert("a", vec![1, 2, 3], 24);
+/// assert_eq!(cache.get(&"a").as_deref(), Some(&vec![1, 2, 3]));
+/// // Inserting past the 64-byte budget evicts the least recently used.
+/// cache.insert("b", vec![4], 48);
+/// assert!(cache.get(&"a").is_none());
+/// assert!(cache.get(&"b").is_some());
+/// ```
+pub struct ResidentLru<K, V> {
+    budget: u64,
+    inner: Mutex<Inner<K, V>>,
+}
+
+impl<K: Eq + Hash + Clone, V> ResidentLru<K, V> {
+    /// An empty cache bounded by `budget_bytes` of declared entry weight.
+    pub fn new(budget_bytes: u64) -> Self {
+        ResidentLru {
+            budget: budget_bytes,
+            inner: Mutex::new(Inner {
+                entries: FxHashMap::default(),
+                bytes: 0,
+                clock: 0,
+                stats: ResidentStats::default(),
+            }),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Looks a snapshot up, bumping its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock().expect("resident cache poisoned");
+        inner.clock += 1;
+        let tick = inner.clock;
+        match inner.entries.get_mut(key) {
+            Some(e) => {
+                e.tick = tick;
+                let v = Arc::clone(&e.value);
+                inner.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs (or replaces) the snapshot for `key` with declared weight
+    /// `bytes`, evicting least-recently-used *other* entries until the
+    /// budget holds again, and returns the shared handle. The inserted
+    /// entry itself is never evicted by its own insertion.
+    pub fn insert(&self, key: K, value: V, bytes: u64) -> Arc<V> {
+        let value = Arc::new(value);
+        let mut inner = self.inner.lock().expect("resident cache poisoned");
+        inner.clock += 1;
+        let tick = inner.clock;
+        let entry = Entry {
+            value: Arc::clone(&value),
+            bytes,
+            tick,
+        };
+        match inner.entries.insert(key.clone(), entry) {
+            Some(old) => {
+                inner.bytes -= old.bytes;
+                inner.stats.replacements += 1;
+            }
+            None => inner.stats.inserts += 1,
+        }
+        inner.bytes += bytes;
+        while inner.bytes > self.budget && inner.entries.len() > 1 {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(e) = inner.entries.remove(&victim) {
+                inner.bytes -= e.bytes;
+                inner.stats.evictions += 1;
+            }
+        }
+        value
+    }
+
+    /// Drops the entry for `key`, if resident.
+    pub fn remove(&self, key: &K) -> bool {
+        let mut inner = self.inner.lock().expect("resident cache poisoned");
+        match inner.entries.remove(key) {
+            Some(e) => {
+                inner.bytes -= e.bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("resident cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of the declared byte weights of all resident entries.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().expect("resident cache poisoned").bytes
+    }
+
+    /// A copy of the aggregate counters.
+    pub fn stats(&self) -> ResidentStats {
+        self.inner.lock().expect("resident cache poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_roundtrip_and_counters() {
+        let c: ResidentLru<u32, String> = ResidentLru::new(1000);
+        assert!(c.is_empty());
+        assert!(c.get(&1).is_none());
+        c.insert(1, "one".into(), 100);
+        assert_eq!(c.get(&1).as_deref().map(String::as_str), Some("one"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.resident_bytes(), 100);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn replacement_swaps_bytes_not_entries() {
+        let c: ResidentLru<u32, u32> = ResidentLru::new(1000);
+        c.insert(7, 1, 400);
+        let old = c.get(&7).unwrap();
+        c.insert(7, 2, 100);
+        // The old snapshot stays valid for holders; the cache serves the new.
+        assert_eq!(*old, 1);
+        assert_eq!(*c.get(&7).unwrap(), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.resident_bytes(), 100);
+        assert_eq!(c.stats().replacements, 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_keeps_newest() {
+        let c: ResidentLru<&str, u32> = ResidentLru::new(300);
+        c.insert("a", 1, 100);
+        c.insert("b", 2, 100);
+        c.insert("c", 3, 100);
+        // Touch "a" so "b" is now least recently used.
+        assert!(c.get(&"a").is_some());
+        c.insert("d", 4, 100);
+        assert!(c.get(&"b").is_none(), "LRU entry must be the victim");
+        assert!(c.get(&"a").is_some() && c.get(&"c").is_some() && c.get(&"d").is_some());
+        assert_eq!(c.stats().evictions, 1);
+        // An oversized insert evicts everything else but is itself admitted.
+        c.insert("huge", 9, 10_000);
+        assert_eq!(c.len(), 1);
+        assert_eq!(*c.get(&"huge").unwrap(), 9);
+    }
+
+    #[test]
+    fn remove_frees_bytes() {
+        let c: ResidentLru<u8, u8> = ResidentLru::new(100);
+        c.insert(1, 1, 60);
+        assert!(c.remove(&1));
+        assert!(!c.remove(&1));
+        assert_eq!(c.resident_bytes(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_stay_consistent() {
+        let c = std::sync::Arc::new(ResidentLru::<u32, Vec<u32>>::new(10_000));
+        let threads: Vec<_> = (0..4u32)
+            .map(|t| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..200u32 {
+                        let key = (t * 7 + i) % 13;
+                        if i % 3 == 0 {
+                            c.insert(key, vec![key; 4], 64);
+                        } else if let Some(v) = c.get(&key) {
+                            assert!(v.iter().all(|&x| x == key));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(c.resident_bytes() <= 10_000);
+    }
+}

@@ -441,6 +441,61 @@ impl FrequentnessMeasure for ExactMeasure {
     }
 }
 
+/// One kept candidate's raw engine statistics, retained for later
+/// re-judgment at a different threshold of the *same* measure kind.
+///
+/// These are the exact [`CandidateStats`] fields the basis run's judge saw
+/// (bit-exact f64s, cloned probability vectors), which is what makes warm
+/// answers provably bit-identical to a cold re-mine: the engine statistics
+/// of a candidate do not depend on the threshold (pushdown bounds only drop
+/// memo state, never change values), so re-running `judge` on a retained
+/// record at a covered query threshold reproduces the cold record exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetainedRecord {
+    /// The itemset.
+    pub itemset: Itemset,
+    /// Engine-computed expected support.
+    pub esup: f64,
+    /// Engine-computed support variance (0.0 when the measure never reads
+    /// it — [`StatNeeds::variance`] is a constant per measure kind).
+    pub variance: f64,
+    /// Engine-computed nonzero-transaction count (0 likewise).
+    pub count: u64,
+    /// The nonzero containment-probability vector, retained only for exact
+    /// measures ([`StatNeeds::prob_vector`]).
+    pub probs: Option<Vec<f64>>,
+}
+
+impl RetainedRecord {
+    /// Approximate heap + inline weight in bytes, for residency budgeting.
+    pub fn mem_bytes(&self) -> u64 {
+        let probs = self.probs.as_ref().map_or(0, |p| p.len() * 8);
+        (std::mem::size_of::<RetainedRecord>() + self.itemset.len() * 4 + probs) as u64
+    }
+
+    /// Re-judges this record's retained statistics under `measure`,
+    /// producing the same [`FrequentItemset`] a cold mine at that measure's
+    /// parameters would emit (or `None` if the record does not qualify).
+    pub fn rejudge<M: FrequentnessMeasure + ?Sized>(
+        &self,
+        measure: &M,
+        stats: &mut MinerStats,
+    ) -> Option<FrequentItemset> {
+        let c = CandidateStats {
+            esup: self.esup,
+            variance: self.variance,
+            count: self.count,
+            probs: self.probs.as_deref(),
+        };
+        measure.judge(&c, stats).map(|j| FrequentItemset {
+            itemset: self.itemset.clone(),
+            expected_support: j.expected_support,
+            variance: j.variance,
+            frequent_prob: j.frequent_prob,
+        })
+    }
+}
+
 /// The generic level evaluator: any [`FrequentnessMeasure`] over any
 /// [`SupportEngine`]. This is the whole Apriori half of the matrix — the
 /// per-miner evaluators (expected-support, Normal, Poisson, exact two-phase)
@@ -450,6 +505,9 @@ pub struct MeasureEvaluator<'e, M: FrequentnessMeasure> {
     pub measure: M,
     /// The support backend.
     pub engine: Box<dyn SupportEngine + 'e>,
+    /// When `Some`, every kept candidate's raw statistics are also pushed
+    /// here (the resident-memo capture seam; see [`mine_level_wise_captured`]).
+    pub capture: Option<Vec<RetainedRecord>>,
 }
 
 impl<M: FrequentnessMeasure> LevelEvaluator for MeasureEvaluator<'_, M> {
@@ -507,6 +565,15 @@ impl<M: FrequentnessMeasure> LevelEvaluator for MeasureEvaluator<'_, M> {
                 probs: qvecs.as_ref().map(|q| q[slot].as_slice()),
             };
             if let Some(j) = self.measure.judge(&c, stats) {
+                if let Some(capture) = &mut self.capture {
+                    capture.push(RetainedRecord {
+                        itemset: candidates[i].clone(),
+                        esup: c.esup,
+                        variance: c.variance,
+                        count: c.count,
+                        probs: c.probs.map(<[f64]>::to_vec),
+                    });
+                }
                 out.push(FrequentItemset {
                     itemset: candidates[i].clone(),
                     expected_support: j.expected_support,
@@ -548,8 +615,36 @@ pub fn mine_level_wise_with_plan<M: FrequentnessMeasure>(
     let mut evaluator = MeasureEvaluator {
         measure,
         engine: super::engine::build_engine_with_plan(engine, db, plan),
+        capture: None,
     };
     super::apriori::run_apriori(db, &mut evaluator)
+}
+
+/// [`mine_level_wise`], additionally retaining every kept candidate's raw
+/// engine statistics — the mine-*into*-a-resident-memo entry point.
+///
+/// The returned records are in judgment order (level-major), one per output
+/// itemset, carrying the bit-exact [`CandidateStats`] the judge consumed.
+/// [`RetainedRecord::rejudge`] replays them under any same-kind measure
+/// whose answer set is a subset (anti-monotonicity in the threshold), which
+/// is how the serving layer answers covered queries with zero intersections.
+pub fn mine_level_wise_captured<M: FrequentnessMeasure>(
+    db: &UncertainDatabase,
+    measure: M,
+    engine: EngineKind,
+) -> (MiningResult, Vec<RetainedRecord>) {
+    let mut evaluator = MeasureEvaluator {
+        measure,
+        engine: super::engine::build_engine_with_plan(
+            engine,
+            db,
+            ShardPlan::for_transactions(db.num_transactions()),
+        ),
+        capture: Some(Vec::new()),
+    };
+    let result = super::apriori::run_apriori(db, &mut evaluator);
+    let retained = evaluator.capture.take().unwrap_or_default();
+    (result, retained)
 }
 
 /// One-scan item-level selection for the depth-first traversals: judges

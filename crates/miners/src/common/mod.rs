@@ -16,9 +16,9 @@ pub use engine::{
 };
 pub use incremental::{BorderTracker, IncrementalMiner};
 pub use measure::{
-    mine_level_wise, mine_level_wise_with_plan, CandidateStats, ExactKernel, ExactMeasure,
-    ExpectedSupport, FrequentnessMeasure, Judgment, MeasureEvaluator, NormalApprox, PoissonApprox,
-    Screen, StatNeeds,
+    mine_level_wise, mine_level_wise_captured, mine_level_wise_with_plan, CandidateStats,
+    ExactKernel, ExactMeasure, ExpectedSupport, FrequentnessMeasure, Judgment, MeasureEvaluator,
+    NormalApprox, PoissonApprox, RetainedRecord, Screen, StatNeeds,
 };
 pub use order::FrequencyOrder;
 pub use scan::LevelScan;

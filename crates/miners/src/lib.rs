@@ -42,6 +42,7 @@ pub mod nduh_mine;
 pub mod pdu_apriori;
 pub mod postprocess;
 pub mod registry;
+pub mod resident;
 pub mod uapriori;
 pub mod ufp_growth;
 pub mod uh_mine;
@@ -54,6 +55,7 @@ pub use nduh_mine::NDUHMine;
 pub use pdu_apriori::PDUApriori;
 pub use postprocess::{closed, containing, maximal, top_k_by_expected_support};
 pub use registry::{Algorithm, AlgorithmGroup};
+pub use resident::{boxed_measure, ResidentLattice};
 pub use uapriori::UApriori;
 pub use ufp_growth::UFPGrowth;
 pub use uh_mine::UHMine;
@@ -67,6 +69,7 @@ pub mod prelude {
     pub use crate::nduh_mine::NDUHMine;
     pub use crate::pdu_apriori::PDUApriori;
     pub use crate::registry::{Algorithm, AlgorithmGroup};
+    pub use crate::resident::ResidentLattice;
     pub use crate::uapriori::UApriori;
     pub use crate::ufp_growth::UFPGrowth;
     pub use crate::uh_mine::UHMine;

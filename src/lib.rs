@@ -18,7 +18,11 @@
 //! * [`miners`] — the eight algorithms of the paper plus a brute-force
 //!   oracle;
 //! * [`metrics`] — measurement utilities (peak-memory tracking allocator,
-//!   timers, precision/recall).
+//!   timers, precision/recall);
+//! * [`serve`] — the concurrent query server: resident datasets, the
+//!   cross-query memo ([`serve::ResidentMemo`]), and the line-JSON
+//!   protocol ([`serve::ServeCore`] in-process, [`serve::TcpServer`] over
+//!   a socket).
 //!
 //! ## Quickstart
 //!
@@ -107,10 +111,13 @@
 //! assert!(!DcMiner::with_pruning().mine_probabilistic(&db, params).unwrap().is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ufim_core as core;
 pub use ufim_data as data;
 pub use ufim_metrics as metrics;
 pub use ufim_miners as miners;
+pub use ufim_serve as serve;
 pub use ufim_stats as stats;
 
 /// One-stop imports for applications.
